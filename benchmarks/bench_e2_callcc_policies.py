@@ -1,0 +1,86 @@
+"""E2 — Section 3: traditional-continuation policies under concurrency.
+
+Claims reproduced:
+
+* whole-tree ``call/cc`` captures *every* sibling branch: the size of
+  its captured snapshot grows linearly with sibling count;
+* a ``spawn`` controller captures only its own subtree: its capture
+  size is constant in sibling count;
+* timing rows for branch-local early exit under both working policies.
+
+(The semantic failures of each call/cc policy are reproduced as tests
+in ``tests/control/test_callcc_concurrent.py``.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Interpreter
+from repro.datum import to_pylist
+from benchmarks.conftest import scheme_list
+
+LIST_LEN = 60
+
+
+def capture_size(kind: str, nsiblings: int) -> tuple[int, int]:
+    """Run a pcall with one capturing branch and ``nsiblings`` spinning
+    branches; return (tasks, control points) inside the captured
+    package."""
+    interp = Interpreter(quantum=2)
+    interp.run("(define (spin n) (if (= n 0) 0 (spin (- n 1))))")
+    if kind == "callcc":
+        body = "(call/cc (lambda (k) k))"
+    else:
+        body = "(spawn (lambda (c) (c (lambda (k) k))))"
+    siblings = " ".join("(spin 400)" for _ in range(nsiblings))
+    result = interp.eval(f"(pcall list {body} {siblings})")
+    continuation = to_pylist(result)[0]
+    capture = continuation.capture
+    return capture.task_count(), capture.control_points()
+
+
+def test_e2_whole_tree_capture_grows_with_siblings():
+    print("\nE2  captured snapshot size vs sibling count")
+    print("  siblings | call/cc tasks | spawn tasks")
+    callcc_sizes = []
+    spawn_sizes = []
+    for nsiblings in (1, 4, 8):
+        cc_tasks, _ = capture_size("callcc", nsiblings)
+        sp_tasks, _ = capture_size("spawn", nsiblings)
+        callcc_sizes.append(cc_tasks)
+        spawn_sizes.append(sp_tasks)
+        print(f"  {nsiblings:8d} | {cc_tasks:13d} | {sp_tasks:11d}")
+    # Whole-tree policy: snapshot grows with siblings.
+    assert callcc_sizes[0] < callcc_sizes[1] < callcc_sizes[2]
+    # spawn controller: constant-size capture (its own branch only).
+    assert spawn_sizes[0] == spawn_sizes[1] == spawn_sizes[2] == 1
+
+
+def define_exits(interp: Interpreter) -> None:
+    interp.run(
+        """
+        (define (product/callcc-leaf ls)
+          (call/cc-leaf (lambda (exit) (product0 ls exit))))
+        (define (product/spawn ls)
+          (spawn/exit (lambda (exit) (product0 ls exit))))
+        """
+    )
+
+
+@pytest.mark.parametrize("policy", ["product/callcc-leaf", "product/spawn"])
+@pytest.mark.parametrize("nbranches", [2, 8])
+def test_e2_branch_local_exit_cost(benchmark, policy, nbranches):
+    """Branch-local early exit timing (lists are zero-free, so exits
+    never fire: this times each policy's setup overhead)."""
+    interp = Interpreter()
+    interp.load_paper_example("product0")
+    interp.load_paper_example("spawn/exit")
+    define_exits(interp)
+    values = scheme_list([2] * LIST_LEN)
+    branches = " ".join(f"({policy} '{values})" for _ in range(nbranches))
+    source = f"(pcall list {branches})"
+    expected = [2**LIST_LEN] * nbranches
+
+    result = benchmark(lambda: interp.eval(source))
+    assert to_pylist(result) == expected

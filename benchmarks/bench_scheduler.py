@@ -1,0 +1,81 @@
+"""Supplementary — scheduler scaling (supports every E-experiment's
+validity: the interleaving substrate itself must scale sanely).
+
+Rows: total machine steps and wall time for a fixed amount of work
+split across 1..64 pcall branches.  Expected shape: steps ≈ constant
+(the work is the work), wall time grows mildly with branch count
+(queue overhead only) — i.e. the scheduler adds O(1) per quantum.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Interpreter
+
+TOTAL_WORK = 2048
+
+
+def fan_out_source(nbranches: int) -> str:
+    per_branch = TOTAL_WORK // nbranches
+    branch = f"(work {per_branch})"
+    return f"(pcall + {' '.join(branch for _ in range(nbranches))})"
+
+
+def fresh() -> Interpreter:
+    interp = Interpreter(quantum=8)
+    interp.run("(define (work n) (if (= n 0) 0 (work (- n 1))))")
+    return interp
+
+
+def test_scheduler_steps_constant_across_fanout():
+    print("\nScheduler  steps vs fan-out (total work fixed)")
+    rows = []
+    for nbranches in (1, 4, 16, 64):
+        interp = fresh()
+        before = interp.machine.steps_total
+        interp.eval(fan_out_source(nbranches))
+        steps = interp.machine.steps_total - before
+        rows.append((nbranches, steps))
+        print(f"  branches={nbranches:3d}: steps={steps}")
+    # The work is conserved: fan-out adds only per-branch setup.
+    base = rows[0][1]
+    assert rows[-1][1] < base * 1.5
+
+
+@pytest.mark.parametrize("nbranches", [1, 4, 16, 64])
+def test_scheduler_fanout_timing(benchmark, nbranches):
+    interp = fresh()
+    source = fan_out_source(nbranches)
+    benchmark(lambda: interp.eval(source))
+
+
+@pytest.mark.parametrize("policy", ["round-robin", "random", "serial"])
+def test_scheduler_policy_timing(benchmark, policy):
+    interp = Interpreter(policy=policy, seed=7, quantum=8)
+    interp.run("(define (work n) (if (= n 0) 0 (work (- n 1))))")
+    source = "(pcall + (work 300) (work 300) (work 300))"
+    assert interp.eval(source) == 0
+    benchmark(lambda: interp.eval(source))
+
+
+def test_deep_vs_wide_trees():
+    """A degenerate chain of nested pcalls versus a flat fan-out: both
+    shapes must complete with comparable per-unit cost."""
+    interp = fresh()
+    interp.run(
+        """
+        (define (chain n)
+          (if (= n 0) 0 (pcall + 1 (chain (- n 1)))))
+        """
+    )
+    before = interp.machine.steps_total
+    assert interp.eval("(chain 100)") == 100
+    chain_steps = interp.machine.steps_total - before
+    interp2 = fresh()
+    before = interp2.machine.steps_total
+    interp2.eval(fan_out_source(64))
+    wide_steps = interp2.machine.steps_total - before
+    print(f"\nScheduler  deep chain (100 joins): {chain_steps} steps; "
+          f"wide (64 branches): {wide_steps} steps")
+    assert chain_steps > 0 and wide_steps > 0

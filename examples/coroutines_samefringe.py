@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Coroutines from process continuations — in plain Python.
+
+Uses the tasklet runtime (:mod:`repro.runtime`), which gives Python
+code the paper's control algebra.  Demonstrates:
+
+* a producer/consumer coroutine pair;
+* the classic *same-fringe* problem — comparing the leaf sequences of
+  two differently shaped trees lazily, stopping at the first mismatch;
+* Multilisp-style futures (Section 8's "forest of trees").
+
+Run:  python examples/coroutines_samefringe.py
+"""
+
+from repro.runtime import Call, Coroutine, MakeFuture, Runtime, Touch
+
+
+def demo_producer_consumer() -> None:
+    print("== Producer / consumer ==")
+
+    def producer(suspend):
+        for item in ["bread", "milk", "eggs"]:
+            ack = yield suspend(item)
+            print(f"   producer: consumer said {ack!r}")
+        return "sold out"
+
+    shop = Coroutine(producer)
+    result = shop.resume()
+    while not result.done:
+        print(f"   consumer: buying {result.value!r}")
+        result = shop.resume(f"thanks for the {result.value}")
+    print(f"   shop closed: {result.value!r}\n")
+
+
+def fringe_coroutine(tree):
+    """A coroutine yielding the leaves of a nested-tuple tree."""
+
+    def walker(suspend):
+        def walk(node):
+            if isinstance(node, tuple):
+                for child in node:
+                    yield Call(walk, child)
+            else:
+                yield suspend(node)
+
+        yield Call(walk, tree)
+        return None  # sentinel: fringe exhausted
+
+    return Coroutine(walker)
+
+
+def same_fringe(t1, t2) -> bool:
+    a, b = fringe_coroutine(t1), fringe_coroutine(t2)
+    while True:
+        ra, rb = a.resume(), b.resume()
+        if ra.done or rb.done:
+            return ra.done and rb.done
+        if ra.value != rb.value:
+            return False
+
+
+def demo_same_fringe() -> None:
+    print("== Same fringe ==")
+    cases = [
+        (((1, 2), 3), (1, (2, 3))),
+        ((1, (2, (3, 4))), (((1, 2), 3), 4)),
+        ((1, 2, 3), (1, 2, 4)),
+        ((1, 2), (1, 2, 3)),
+    ]
+    for t1, t2 in cases:
+        print(f"   {t1!r:24s} vs {t2!r:24s} -> {same_fringe(t1, t2)}")
+    print()
+
+
+def demo_futures() -> None:
+    print("== Futures: independent trees in the forest ==")
+
+    def main():
+        def crunch(label, n):
+            def body():
+                total = 0
+                for i in range(n):
+                    total += i
+                    yield Call(lambda: None)
+                print(f"   future {label}: done ({total})")
+                return total
+
+            return body
+
+        ph_a = yield MakeFuture(crunch("A", 500))
+        ph_b = yield MakeFuture(crunch("B", 100))
+        print("   main: both futures launched, doing own work...")
+        own = 0
+        for i in range(50):
+            own += i
+            yield Call(lambda: None)
+        a = yield Touch(ph_a)
+        b = yield Touch(ph_b)
+        return own + a + b
+
+    total = Runtime(quantum=16).run(main)
+    print(f"   grand total: {total}\n")
+
+
+if __name__ == "__main__":
+    demo_producer_consumer()
+    demo_same_fringe()
+    demo_futures()

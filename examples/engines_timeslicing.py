@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Engines: preemptive time-slicing from suspension machinery.
+
+Dybvig & Hieb derived engines from continuations ("Engines from
+Continuations", reference [6] of the paper); here they come from the
+tasklet runtime's process trees.  The demo builds a fair preemptive
+scheduler for unequal workloads, then shows nested slicing — an engine
+running engines.
+
+Run:  python examples/engines_timeslicing.py
+"""
+
+from repro.runtime import Call
+from repro.runtime.engines import make_engine, round_robin
+
+
+def job(name: str, ticks: int, log: list):
+    """A tasklet that reports its progress as it burns ticks."""
+
+    def body():
+        for i in range(ticks):
+            if i % max(1, ticks // 4) == 0:
+                log.append(f"{name}@{i}")
+            yield Call(lambda: None)
+        log.append(f"{name}:done")
+        return name, ticks
+
+    return body
+
+
+def demo_manual_slicing() -> None:
+    print("== Manual slicing ==")
+    log: list = []
+    engine = make_engine(job("solo", 40, log))
+    slices = 0
+    outcome = engine.run(15)
+    while not outcome.done:
+        slices += 1
+        print(f"   slice {slices}: expired (mileage {engine.mileage})")
+        outcome = outcome.engine.run(15)
+    print(f"   finished: {outcome.value}, fuel left in last slice: "
+          f"{outcome.remaining_fuel}")
+    print(f"   progress log: {log}\n")
+
+
+def demo_fair_scheduler() -> None:
+    print("== Fair round-robin over unequal jobs ==")
+    log: list = []
+    engines = [
+        make_engine(job("short", 30, log)),
+        make_engine(job("medium", 90, log)),
+        make_engine(job("long", 150, log)),
+    ]
+    results = round_robin(engines, fuel_each=20)
+    print("   results:", results)
+    done_order = [entry.split(":")[0] for entry in log if entry.endswith(":done")]
+    print("   completion order:", done_order, "(shortest first — fairness)\n")
+
+
+def demo_nested_engines() -> None:
+    print("== An engine running engines ==")
+    log: list = []
+
+    def meta():
+        # This tasklet *itself* drives two engines to completion...
+        inner = [make_engine(job("inner-a", 25, log)), make_engine(job("inner-b", 25, log))]
+        outcomes = [e.run(10) for e in inner]
+        while not all(o.done for o in outcomes):
+            outcomes = [
+                o if o.done else o.engine.run(10) for o in outcomes
+            ]
+            yield Call(lambda: None)  # stay preemptible
+        return [o.value for o in outcomes]
+
+    # ...while being sliced by an outer engine.
+    outer = make_engine(meta)
+    outcome = outer.run(30)
+    outer_slices = 1
+    while not outcome.done:
+        outcome = outcome.engine.run(30)
+        outer_slices += 1
+    print(f"   outer slices used: {outer_slices}")
+    print(f"   inner results: {outcome.value}\n")
+
+
+if __name__ == "__main__":
+    demo_manual_slicing()
+    demo_fair_scheduler()
+    demo_nested_engines()

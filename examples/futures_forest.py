@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Futures in the Scheme machine: Section 8's forest of trees.
+
+The paper closes by noting that tree-structured and *independent*
+concurrency can coexist: "one possibility is to treat such combinations
+of dependent and independent processes as a forest of trees, in which
+control operations affect only the tree in which they occur."  That is
+exactly what the machine implements:
+
+* ``(future thunk)`` plants a new tree and returns a placeholder;
+* ``(touch ph)`` waits for it (touch of a non-placeholder is identity);
+* controllers cannot cross trees;
+* futures keep running across top-level forms.
+
+Run:  python examples/futures_forest.py
+"""
+
+from repro import DeadControllerError, Interpreter
+
+
+def main() -> None:
+    interp = Interpreter(quantum=8)
+
+    print("== future / touch basics ==")
+    interp.run("(define ph (future (lambda () (* 6 7))))")
+    print("placeholder:      ", interp.eval_to_string("ph"))
+    print("(touch ph)      =>", interp.eval("(touch ph)"))
+    print("(future-done? ph) =>", interp.eval("(future-done? ph)"))
+
+    print("\n== futures overlap the main computation ==")
+    interp.run(
+        """
+        (define progress 0)
+        (define slow
+          (future (lambda ()
+                    (let loop ([i 0])
+                      (set! progress i)
+                      (if (= i 300) 'finished (loop (+ i 1)))))))
+        """
+    )
+    # The define above returned immediately; do main-tree work and peek.
+    interp.eval("(let spin ([i 0]) (if (= i 40) i (spin (+ i 1))))")
+    print("future progress while main tree worked:", interp.eval("progress"))
+    print("touch across top-level forms:", interp.eval_to_string("(touch slow)"))
+
+    print("\n== fan-out: a parallel pipeline of futures ==")
+    interp.run(
+        """
+        (define (spawn-worker n)
+          (future (lambda ()
+                    (let loop ([i n] [acc 0])
+                      (if (zero? i) acc (loop (- i 1) (+ acc i)))))))
+        (define workers (map spawn-worker '(100 200 300 400)))
+        """
+    )
+    print(
+        "sum of worker results:",
+        interp.eval("(fold-left + 0 (map touch workers))"),
+    )
+
+    print("\n== control isolation between trees ==")
+    try:
+        interp.eval(
+            """
+            (spawn (lambda (c)
+                     (touch (future (lambda ()
+                              (c (lambda (k) 'crossed)))))))
+            """
+        )
+    except DeadControllerError as exc:
+        print("controller across trees =>", type(exc).__name__)
+        print("  (the paper: 'control operations affect only the tree")
+        print("   in which they occur')")
+
+    print("\n== but spawn inside one future tree is business as usual ==")
+    print(
+        interp.eval_to_string(
+            """
+            (touch (future (lambda ()
+                     (spawn (lambda (c)
+                              (+ 1 (c (lambda (k) '(local exit)))))))))
+            """
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

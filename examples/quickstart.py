@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: process continuations in five minutes.
+
+Runs through the core ideas of Hieb & Dybvig's "Continuations and
+Concurrency" (PPoPP 1990) using the public API:
+
+1. evaluate Scheme;
+2. fork with ``pcall``;
+3. spawn a process and abort it with its controller;
+4. capture a process continuation, reinstate it (twice!);
+5. see the validity rules in action.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DeadControllerError, Interpreter
+
+
+def main() -> None:
+    interp = Interpreter()
+
+    print("== 1. An embedded Scheme ==")
+    print("(+ 1 2)             =>", interp.eval("(+ 1 2)"))
+    interp.run("(define (square x) (* x x))")
+    print("(square 7)          =>", interp.eval("(square 7)"))
+    print("(map square '(1 2 3)) =>", interp.eval_to_string("(map square '(1 2 3))"))
+
+    print("\n== 2. Tree-structured concurrency: pcall ==")
+    print("pcall evaluates operator and arguments in parallel branches")
+    print("(pcall + (* 3 4) (* 5 6)) =>", interp.eval("(pcall + (* 3 4) (* 5 6))"))
+
+    print("\n== 3. spawn: a process with a controller ==")
+    value = interp.eval("(spawn (lambda (c) (* 6 7)))")
+    print("normal return       =>", value)
+    value = interp.eval("(spawn (lambda (c) (+ 1000 (c (lambda (k) 'aborted)))))")
+    print("controller abort    =>", value, "   (the +1000 never happened)")
+
+    print("\n== 4. Process continuations compose and are multi-shot ==")
+    interp.run(
+        """
+        (define k    ; k = <process: (* 10 [hole])>
+          (spawn (lambda (c) (* 10 (c (lambda (k) k))))))
+        """
+    )
+    print("(k 5)               =>", interp.eval("(k 5)"))
+    print("(k 12)              =>", interp.eval("(k 12)"), "  (same k, reused)")
+    print("(+ 1 (k 5))         =>", interp.eval("(+ 1 (k 5))"), "  (it composes)")
+
+    print("\n== 5. Validity: the root must be in the continuation ==")
+    try:
+        interp.eval("((spawn (lambda (c) c)) (lambda (k) k))")
+    except DeadControllerError as exc:
+        print("late controller use =>", type(exc).__name__)
+
+    print("\n== 6. The paper's concurrent product (Section 5) ==")
+    interp.load_paper_example("sum-of-products")
+    print(
+        "(sum-of-products '(1 2 3) '(4 0 6)) =>",
+        interp.eval("(sum-of-products '(1 2 3) '(4 0 6))"),
+        "  (zero branch exited early, sibling unharmed)",
+    )
+
+    print("\nMachine statistics:", interp.stats)
+
+
+if __name__ == "__main__":
+    main()

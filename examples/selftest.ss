@@ -1,0 +1,90 @@
+;; A self-test suite for the embedded Scheme, written IN the embedded
+;; Scheme — including a tiny test framework built with spawn-based
+;; exceptions.  Run it through the CLI:
+;;
+;;     python -m repro examples/selftest.ss
+;;
+;; Exercises: the macro system, control operators, futures, engines,
+;; and the paper's algebraic laws.
+
+;; --- a minimal test framework ---------------------------------------
+
+(define passes 0)
+(define failures '())
+
+(define (check-equal! label actual expected)
+  (if (equal? actual expected)
+      (set! passes (+ passes 1))
+      (set! failures (cons (list label 'got actual 'want expected) failures))))
+
+(extend-syntax (check)
+  [(check label expr expected) (check-equal! 'label expr expected)])
+
+;; (check-bails! label thunk): passes iff thunk escapes via `bail`
+;; rather than returning normally — a spawn-based exception check.
+(define (check-bails! label thunk)
+  (define outcome
+    (spawn (lambda (c)
+             (thunk (lambda () (c (lambda (k) 'bailed))))
+             'no-bail)))
+  (check-equal! label outcome 'bailed))
+
+;; --- basic language -----------------------------------------------------
+
+(check arithmetic (+ 1 (* 2 3) (- 10 4)) 13)
+(check rationals (* 2/3 3/4) 1/2)
+(check let-star (let* ([a 1] [b (+ a 1)]) (* a b)) 2)
+(check named-let (let loop ([i 0] [acc 1])
+                   (if (= i 5) acc (loop (+ i 1) (* acc 2)))) 32)
+(check quasiquote (let ([x 2]) `(1 ,x ,@(list 3 4))) '(1 2 3 4))
+(check higher-order (map (lambda (x) (* x x)) '(1 2 3)) '(1 4 9))
+(check tail-loop (let l ([i 0]) (if (= i 50000) i (l (+ i 1)))) 50000)
+
+;; --- the paper's operators ----------------------------------------------
+
+(check spawn-return (spawn (lambda (c) 42)) 42)
+(check controller-abort
+       (spawn (lambda (c) (+ 1000 (c (lambda (k) 'out))))) 'out)
+(check reinstatement
+       (spawn (lambda (c) (* 10 (c (lambda (k) (k 4)))))) 40)
+(check multi-shot
+       (let ([k (spawn (lambda (c) (+ 1 (c (lambda (kk) kk)))))])
+         (list (k 10) (k 20)))
+       '(11 21))
+(check pcall (pcall + (* 3 4) (* 5 6)) 42)
+(check prompt-f (+ 1 (prompt (+ 10 (F (lambda (k) (k (k 0))))))) 21)
+
+(check-bails! 'nonlocal-exit-fires
+  (lambda (bail)
+    (+ 1 (bail))  ; escapes past the pending addition
+    'not-reached))
+
+(check-bails! 'bail-from-pcall-branch
+  (lambda (bail)
+    (pcall + 1 (bail))
+    'not-reached))
+
+;; --- futures and engines --------------------------------------------------
+
+(check future-touch (touch (future (lambda () (* 6 7)))) 42)
+(check future-forest
+       (let ([a (future (lambda () 1))] [b (future (lambda () 2))])
+         (+ (touch a) (touch b)))
+       3)
+(check engine-completes
+       (engine-run (make-engine (lambda () 'fin)) 100000
+                   (lambda (v r) v) (lambda (e) 'expired))
+       'fin)
+(check engine-expires
+       (engine-run (make-engine (lambda () (let l () (l)))) 50
+                   (lambda (v r) v) (lambda (e) 'expired))
+       'expired)
+
+;; --- report ---------------------------------------------------------------
+
+(display "selftest: ") (display passes) (display " checks passed")
+(newline)
+(unless (null? failures)
+  (display "FAILURES:") (newline)
+  (for-each (lambda (f) (display "  ") (write f) (newline)) failures)
+  (error "selftest failed"))

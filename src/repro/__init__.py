@@ -1,0 +1,54 @@
+"""repro — a reproduction of Hieb & Dybvig, "Continuations and
+Concurrency" (PPoPP 1990).
+
+The package implements **process continuations** (subcontinuations) and
+the ``spawn`` operator over an embedded Scheme with tree-structured
+concurrency (``pcall``), together with the traditional-continuation
+baselines the paper critiques, the formal rewriting semantics of
+Section 6, and a Python-native tasklet runtime exposing the same
+algebra to plain Python code.
+
+Quick start::
+
+    from repro import Interpreter
+
+    interp = Interpreter()
+    interp.load_paper_example("sum-of-products")
+    interp.eval("(sum-of-products '(1 2 3) '(4 0 6))")   # => 6
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-claim reproduction index.
+"""
+
+from repro.api import Interpreter
+from repro.errors import (
+    ReproError,
+    ReaderError,
+    ExpandError,
+    MachineError,
+    SchemeError,
+    ControlError,
+    InvalidControllerError,
+    DeadControllerError,
+    PromptMissingError,
+    ContinuationReusedError,
+    StepBudgetExceeded,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Interpreter",
+    "ReproError",
+    "ReaderError",
+    "ExpandError",
+    "MachineError",
+    "SchemeError",
+    "ControlError",
+    "InvalidControllerError",
+    "DeadControllerError",
+    "PromptMissingError",
+    "ContinuationReusedError",
+    "StepBudgetExceeded",
+    "__version__",
+]

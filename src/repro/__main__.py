@@ -1,0 +1,8 @@
+"""``python -m repro`` — the REPL / CLI entry point."""
+
+import sys
+
+from repro.repl import main
+
+if __name__ == "__main__":
+    sys.exit(main())

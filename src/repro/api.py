@@ -1,0 +1,169 @@
+"""The public API: :class:`Interpreter`.
+
+    >>> from repro import Interpreter
+    >>> interp = Interpreter()
+    >>> interp.eval("(+ 1 2)")
+    3
+    >>> interp.run("(define (twice f x) (f (f x)))")
+    >>> interp.eval("(twice (lambda (n) (* n n)) 3)")
+    81
+
+``Interpreter`` wires together the reader, the expander, the machine,
+the primitive library, the control operators and the Scheme prelude.
+Paper programs can be loaded by name via :meth:`load_paper_example`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.datum import scheme_repr
+from repro.expander import ExpandEnv, expand_program
+from repro.control import register_control_primitives
+from repro.lib import PRELUDE, paper_examples
+from repro.lib.derived import LIBRARIES
+from repro.machine.environment import GlobalEnv
+from repro.machine.scheduler import Machine, SchedulerPolicy
+from repro.primitives import OutputBuffer, install_primitives
+from repro.reader import read_all
+
+__all__ = ["Interpreter"]
+
+
+class Interpreter:
+    """A complete Scheme-with-process-continuations system.
+
+    Parameters
+    ----------
+    policy:
+        Scheduling policy for ``pcall`` branches: ``"round-robin"``
+        (default, deterministic), ``"random"`` (seeded by ``seed``) or
+        ``"serial"``.
+    seed:
+        RNG seed for the random policy.
+    quantum:
+        Steps a task runs before the scheduler rotates (round-robin).
+    max_steps:
+        Optional global step budget; exceeding it raises
+        :class:`repro.errors.StepBudgetExceeded`.
+    prelude:
+        Load the Scheme prelude (list utilities, tree helpers).  On by
+        default; switch off for a bare machine.
+    echo_output:
+        Also print ``display`` output to real stdout.
+    """
+
+    def __init__(
+        self,
+        policy: str | SchedulerPolicy = SchedulerPolicy.ROUND_ROBIN,
+        seed: int | None = None,
+        quantum: int = 16,
+        max_steps: int | None = None,
+        prelude: bool = True,
+        echo_output: bool = False,
+    ):
+        self.globals = GlobalEnv()
+        self.output = install_primitives(self.globals, OutputBuffer(echo=echo_output))
+        register_control_primitives(self.globals)
+        self.machine = Machine(
+            self.globals,
+            policy=policy,
+            seed=seed,
+            quantum=quantum,
+            max_steps=None,  # the budget applies to user code only
+        )
+        self.expand_env = ExpandEnv()
+        self._loaded_examples: set[str] = set()
+        if prelude:
+            self.run(PRELUDE)
+        self.machine.steps_total = 0
+        self.machine.max_steps = max_steps
+
+    # -- evaluation -----------------------------------------------------
+
+    def run(self, source: str) -> list[Any]:
+        """Read, expand and evaluate every form in ``source``.
+
+        Returns the list of values (definitions yield the unspecified
+        value)."""
+        forms = read_all(source)
+        nodes = expand_program(forms, self.expand_env)
+        return self.machine.run(nodes)
+
+    def eval(self, source: str) -> Any:
+        """Evaluate ``source`` and return the value of its *last* form."""
+        results = self.run(source)
+        if not results:
+            return None
+        return results[-1]
+
+    def eval_to_string(self, source: str) -> str:
+        """Evaluate and render the result with ``write`` syntax."""
+        return scheme_repr(self.eval(source))
+
+    # -- conveniences ----------------------------------------------------
+
+    def definitions(self, source: str) -> None:
+        """Alias of :meth:`run` for readability at call sites that load
+        definitions only."""
+        self.run(source)
+
+    def load_paper_example(self, name: str) -> None:
+        """Load one of the paper's programs (and its prerequisites) by
+        name; see :data:`repro.lib.paper_examples.ALL` for names."""
+        prerequisites = {
+            "product-callcc": ["product0"],
+            "product-callcc-leaf": ["product0"],
+            "product-of-products-callcc": ["product0"],
+            "sum-of-products": ["product0", "spawn/exit"],
+            "product-of-products-spawn": ["product0", "spawn/exit"],
+            "first-true": ["spawn/exit"],
+            "parallel-or": ["spawn/exit", "first-true"],
+            "search-all": ["parallel-search"],
+        }
+        for dep in prerequisites.get(name, []):
+            self.load_paper_example(dep)
+        if name in self._loaded_examples:
+            return
+        source, kind = paper_examples.ALL[name]
+        if kind == "definitions":
+            self.run(source)
+            self._loaded_examples.add(name)
+        else:
+            raise ValueError(
+                f"{name} is an expression, not definitions; evaluate it "
+                "with interp.eval(paper_examples.ALL[name][0])"
+            )
+
+    def load_file(self, path: str) -> list[Any]:
+        """Read and run a Scheme source file; returns the form values."""
+        with open(path, encoding="utf-8") as handle:
+            return self.run(handle.read())
+
+    def load_library(self, name: str) -> None:
+        """Load a derived Scheme library: ``exceptions``,
+        ``generators``, ``coroutines``, ``parallel`` or ``amb``
+        (see :mod:`repro.lib.derived`)."""
+        key = f"lib:{name}"
+        if key in self._loaded_examples:
+            return
+        try:
+            source = LIBRARIES[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown library {name!r}; available: {sorted(LIBRARIES)}"
+            ) from None
+        self.run(source)
+        self._loaded_examples.add(key)
+
+    def output_text(self) -> str:
+        """Everything ``display``/``write``/``newline`` produced so far."""
+        return self.output.getvalue()
+
+    def clear_output(self) -> None:
+        self.output.clear()
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Machine counters: forks, captures, reinstatements, ..."""
+        return dict(self.machine.stats)

@@ -1,0 +1,44 @@
+"""Control operators.
+
+* :mod:`repro.control.spawn` — the paper's contribution: ``spawn``,
+  process controllers and process continuations (Sections 4–5, 7).
+* :mod:`repro.control.callcc` — traditional ``call/cc`` baselines, in
+  both of Section 3's flavours (whole-tree and leaf-local).
+* :mod:`repro.control.fcontrol` — Felleisen's ``F`` and the prompt
+  ``#`` (Section 3's delimited-control baseline).
+
+:func:`register_control_primitives` installs them all into a global
+environment.
+"""
+
+from repro.control.spawn import (
+    ProcessController,
+    ProcessContinuation,
+    spawn_primitive,
+)
+from repro.control.callcc import (
+    RootContinuation,
+    LeafContinuation,
+    callcc_primitive,
+    callcc_leaf_primitive,
+)
+from repro.control.fcontrol import (
+    FunctionalContinuation,
+    call_with_prompt_primitive,
+    fcontrol_primitive,
+)
+from repro.control.registry import register_control_primitives
+
+__all__ = [
+    "ProcessController",
+    "ProcessContinuation",
+    "spawn_primitive",
+    "RootContinuation",
+    "LeafContinuation",
+    "callcc_primitive",
+    "callcc_leaf_primitive",
+    "FunctionalContinuation",
+    "call_with_prompt_primitive",
+    "fcontrol_primitive",
+    "register_control_primitives",
+]

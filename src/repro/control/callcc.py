@@ -1,0 +1,134 @@
+"""Traditional ``call/cc`` — the Section 3 baselines.
+
+The paper's point in Section 3 is that once concurrency exists, the
+"current continuation" is ambiguous: it either reaches back to the root
+of the whole process tree or stays within the current leaf.  Both
+readings are implemented here so the inadequacy arguments can be
+reproduced as executable tests and benchmarks:
+
+* :func:`callcc_primitive` (``call/cc``) — **whole-tree** policy: the
+  captured continuation is a snapshot of the entire process tree with
+  the application point as hole; invoking it aborts everything and
+  restores the snapshot.  In sequential programs this is exactly R3RS
+  ``call/cc`` (multi-shot included).
+* :func:`callcc_leaf_primitive` (``call/cc-leaf``) — **leaf** policy:
+  captures only the invoking task's own control state by reference.
+  Local uses inside one branch work; uses that cross branches leave an
+  orphaned branch behind or hit a completed fork, raising the
+  descriptive errors that stand in for the paper's "does not in general
+  make sense".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ControlError
+from repro.machine.links import TOMBSTONE, HaltLink
+from repro.machine.task import APPLY, VALUE, Task, TaskState
+from repro.machine.tree import (
+    abandon_position,
+    capture_subtree,
+    child_of,
+    reinstate,
+    replace_child,
+)
+from repro.machine.values import check_arity
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.frames import Frame
+    from repro.machine.links import Link
+    from repro.machine.scheduler import Machine
+
+__all__ = [
+    "RootContinuation",
+    "LeafContinuation",
+    "callcc_primitive",
+    "callcc_leaf_primitive",
+]
+
+
+class RootContinuation:
+    """A whole-tree continuation: abortive, multi-shot."""
+
+    __slots__ = ("capture",)
+
+    def __init__(self, capture: Any):
+        self.capture = capture
+
+    def machine_apply(self, machine: "Machine", task: Task, args: list[Any]) -> None:
+        check_arity("continuation", len(args), 1, 1)
+        value = args[0]
+        # Abort the main tree (future trees are independent, Section
+        # 8), then restore the snapshot at the root.
+        machine.kill_main_tree_tasks()
+        task.state = TaskState.DEAD
+        halt = HaltLink(machine)
+        machine.root_entity = None
+        reinstate(machine, self.capture, value, None, halt)
+        # The reinstated snapshot's root becomes the new implicit root
+        # label (so nested whole-tree call/cc keeps working).
+        machine.root_label_link = machine.root_entity
+
+    def __repr__(self) -> str:
+        return "#<continuation (whole-tree)>"
+
+
+def callcc_primitive(machine: "Machine", task: Task, args: list[Any]) -> None:
+    """``(call/cc f)`` with the whole-tree policy."""
+    receiver = args[0]
+    root = machine.root_label_link
+    if root is None:  # pragma: no cover - machine always plants a root
+        raise ControlError("call/cc: no root label")
+    capture = capture_subtree(machine, root, task, mode="copy")
+    machine.stats["captures"] += 1
+    task.control = (APPLY, receiver, [RootContinuation(capture)])
+
+
+class LeafContinuation:
+    """A branch-local continuation captured by reference.
+
+    Sound only while its capture context is still the live context of
+    some branch; the machine raises :class:`ControlError` on the
+    incoherent uses, reproducing Section 3's failure modes instead of
+    silently corrupting the tree.
+    """
+
+    __slots__ = ("frames", "link")
+
+    def __init__(self, frames: "Frame | None", link: "Link"):
+        self.frames = frames
+        self.link = link
+
+    def machine_apply(self, machine: "Machine", task: Task, args: list[Any]) -> None:
+        check_arity("leaf continuation", len(args), 1, 1)
+        value = args[0]
+        occupant = child_of(self.link)
+        if occupant is not task:
+            if isinstance(occupant, Task):
+                # Another task currently owns the captured position:
+                # abort it (this leaf's continuation is being replaced).
+                occupant.state = TaskState.DEAD
+            elif occupant is not None and occupant is not TOMBSTONE:
+                raise ControlError(
+                    "leaf continuation: the captured branch has since "
+                    "forked or spawned; a leaf-local continuation cannot "
+                    "describe it (Section 3)"
+                )
+            if task.link is not self.link:
+                abandon_position(machine, task)
+        task.frames = self.frames
+        task.link = self.link
+        replace_child(self.link, task)
+        task.control = (VALUE, value)
+
+    def __repr__(self) -> str:
+        return "#<continuation (leaf)>"
+
+
+def callcc_leaf_primitive(machine: "Machine", task: Task, args: list[Any]) -> None:
+    """``(call/cc-leaf f)`` with the leaf policy."""
+    receiver = args[0]
+    continuation = LeafContinuation(task.frames, task.link)
+    machine.stats["captures"] += 1
+    task.control = (APPLY, receiver, [continuation])

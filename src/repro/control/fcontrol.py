@@ -1,0 +1,119 @@
+"""Felleisen's ``F`` and the prompt ``#`` — the delimited baseline.
+
+Section 3 of the paper reviews these operators and finds them wanting
+for tree-structured concurrency: the continuation captured by ``F``
+extends only to the *last* prompt (prompts shadow one another), so
+control over a larger region requires knowing every prompt in between.
+We implement them faithfully so that critique is executable:
+
+* ``(call-with-prompt thunk)`` (surface syntax ``(prompt e ...)``)
+  plants a :class:`PromptLabel` — a label that every ``F`` recognises.
+* ``(F f)`` captures the continuation up to — **not including** — the
+  nearest prompt as a *functional* (composable) continuation, aborts up
+  to the prompt (leaving the prompt in place), and applies ``f`` to the
+  captured continuation there.
+
+Invoking the functional continuation composes the captured context onto
+the current one.  Per Felleisen's semantics the reinstated context does
+*not* re-establish the prompt; the graft is sealed with a fresh
+anonymous label that neither ``F`` nor any controller recognises.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import PromptMissingError
+from repro.machine.links import ForkLink, Join, Label, LabelLink, PromptLabel
+from repro.machine.task import APPLY, Task, TaskState
+from repro.machine.tree import (
+    Capture,
+    capture_subtree,
+    find_label_link,
+    reinstate,
+)
+from repro.machine.values import check_arity
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.scheduler import Machine
+
+__all__ = [
+    "FunctionalContinuation",
+    "call_with_prompt_primitive",
+    "fcontrol_primitive",
+]
+
+
+class FunctionalContinuation:
+    """A composable continuation captured by ``F``.  Multi-shot."""
+
+    __slots__ = ("capture",)
+
+    def __init__(self, capture: Capture):
+        self.capture = capture
+
+    def machine_apply(self, machine: "Machine", task: Task, args: list[Any]) -> None:
+        check_arity("functional continuation", len(args), 1, 1)
+        value = args[0]
+        task.state = TaskState.DEAD
+        machine.stats["reinstatements"] += 1
+        reinstate(
+            machine,
+            self.capture,
+            value,
+            task.frames,
+            task.link,
+            fresh_label=Label("fk"),
+        )
+
+    def __repr__(self) -> str:
+        return "#<functional-continuation>"
+
+
+def call_with_prompt_primitive(machine: "Machine", task: Task, args: list[Any]) -> None:
+    """``(call-with-prompt thunk)``: plant a prompt, run the thunk."""
+    thunk = args[0]
+    label = PromptLabel()
+    link = LabelLink(label, task.frames, task.link, child=task)
+    from repro.machine.tree import replace_child
+
+    replace_child(task.link, link)
+    task.frames = None
+    task.link = link
+    task.control = (APPLY, thunk, [])
+
+
+def fcontrol_primitive(machine: "Machine", task: Task, args: list[Any]) -> None:
+    """``(F f)``: capture to the nearest prompt, abort to it, apply
+    ``f`` to the captured functional continuation under the prompt."""
+    receiver = args[0]
+    prompt_link = find_label_link(task, lambda label: isinstance(label, PromptLabel))
+    if prompt_link is None:
+        raise PromptMissingError("F: no enclosing prompt")
+    # Detach the region strictly below the prompt and hang it under a
+    # synthetic root so the uniform capture machinery applies.  The
+    # prompt link itself stays in the tree.
+    region = prompt_link.child
+    synthetic = LabelLink(Label("fk"), None, None, child=region)
+    _set_parent(region, synthetic)
+    capture = capture_subtree(machine, synthetic, task, mode="move")
+    machine.stats["captures"] += 1
+    successor = Task(
+        (APPLY, receiver, [FunctionalContinuation(capture)]),
+        task.env,
+        None,
+        prompt_link,
+    )
+    prompt_link.child = successor
+    machine.enqueue(successor)
+
+
+def _set_parent(entity: Any, link: LabelLink) -> None:
+    """Rewire an entity's upward pointer to ``link``."""
+    if isinstance(entity, Task):
+        entity.link = link
+    elif isinstance(entity, (LabelLink, Join)):
+        entity.cont_link = link
+    elif isinstance(entity, ForkLink):  # pragma: no cover - defensive
+        raise TypeError("fork link is not an entity")
+    # None / tombstone: nothing to rewire.

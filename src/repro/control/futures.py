@@ -1,0 +1,118 @@
+"""Multilisp-style futures in the abstract machine — Section 8's
+"forest of trees".
+
+``(future thunk)`` starts ``thunk`` as an **independent** process: a
+new tree in the forest, rooted at its own halt.  It immediately returns
+a *placeholder*.  ``(touch ph)`` yields the placeholder's value,
+blocking the touching task until the future's tree delivers it
+(``touch`` on a non-placeholder value is the identity, as in Multilisp
+where strict operations touch implicitly).  ``(placeholder? x)`` and
+``(future-done? ph)`` inspect without blocking.
+
+The Section 8 design point falls out structurally: a process controller
+can never affect another tree, because walking up from a future's task
+reaches that future's halt without ever meeting a foreign root —
+``tests/control/test_machine_futures.py`` pins this down.
+
+Future trees **survive top-level form boundaries**: a future started in
+one REPL form can be touched in a later one; the scheduler parks
+unfinished future tasks between forms.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any
+
+from repro.datum import intern
+from repro.errors import WrongTypeError
+from repro.machine.environment import GlobalEnv
+from repro.machine.links import HaltLink
+from repro.machine.task import APPLY, VALUE, Task, TaskState
+from repro.machine.values import ControlPrimitive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.scheduler import Machine
+
+__all__ = ["FuturePlaceholder", "register_future_primitives"]
+
+_ids = itertools.count()
+
+
+class FuturePlaceholder:
+    """The eventual value of a ``future``."""
+
+    __slots__ = ("uid", "resolved", "value", "waiters")
+
+    def __init__(self) -> None:
+        self.uid = next(_ids)
+        self.resolved = False
+        self.value: Any = None
+        self.waiters: list[Task] = []
+
+    def resolve(self, machine: "Machine", value: Any) -> None:
+        """Deliver the future's value; wake every still-waiting waiter
+        (a waiter whose form has since finished was marked DEAD by the
+        scheduler and must stay dead)."""
+        self.resolved = True
+        self.value = value
+        for waiter in self.waiters:
+            if waiter.state is not TaskState.WAITING:
+                continue
+            waiter.state = TaskState.RUNNABLE
+            waiter.control = (VALUE, value)
+            machine.waiting_tasks.discard(waiter)
+            machine.enqueue(waiter)
+        self.waiters.clear()
+
+    def __repr__(self) -> str:
+        state = "determined" if self.resolved else "undetermined"
+        return f"#<placeholder {self.uid} {state}>"
+
+
+def _future(machine: "Machine", task: Task, args: list[Any]) -> None:
+    thunk = args[0]
+    placeholder = FuturePlaceholder()
+    halt = HaltLink(machine, placeholder)
+    root = Task((APPLY, thunk, []), task.env, None, halt)
+    halt.child = root
+    machine.enqueue(root)
+    machine.register_future_root(root)
+    task.control = (VALUE, placeholder)
+
+
+def _touch(machine: "Machine", task: Task, args: list[Any]) -> None:
+    value = args[0]
+    if not isinstance(value, FuturePlaceholder):
+        # Multilisp: touching a non-placeholder is the identity.
+        task.control = (VALUE, value)
+        return
+    if value.resolved:
+        task.control = (VALUE, value.value)
+        return
+    task.state = TaskState.WAITING
+    value.waiters.append(task)
+    machine.waiting_tasks.add(task)
+
+
+def _is_placeholder(machine: "Machine", task: Task, args: list[Any]) -> None:
+    task.control = (VALUE, isinstance(args[0], FuturePlaceholder))
+
+
+def _future_done(machine: "Machine", task: Task, args: list[Any]) -> None:
+    placeholder = args[0]
+    if not isinstance(placeholder, FuturePlaceholder):
+        raise WrongTypeError(f"future-done?: not a placeholder: {placeholder!r}")
+    task.control = (VALUE, placeholder.resolved)
+
+
+def register_future_primitives(globals_: GlobalEnv) -> None:
+    """Bind ``future``, ``touch``, ``placeholder?``, ``future-done?``."""
+    entries = [
+        ("future", _future, 1, 1),
+        ("touch", _touch, 1, 1),
+        ("placeholder?", _is_placeholder, 1, 1),
+        ("future-done?", _future_done, 1, 1),
+    ]
+    for name, fn, low, high in entries:
+        globals_.define(intern(name), ControlPrimitive(name, fn, low, high))

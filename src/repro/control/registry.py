@@ -1,0 +1,33 @@
+"""Install the control operators into a global environment."""
+
+from __future__ import annotations
+
+from repro.datum import intern
+from repro.machine.environment import GlobalEnv
+from repro.machine.values import ControlPrimitive
+
+from repro.control.callcc import callcc_leaf_primitive, callcc_primitive
+from repro.control.fcontrol import call_with_prompt_primitive, fcontrol_primitive
+from repro.control.engines import register_engine_primitives
+from repro.control.futures import register_future_primitives
+from repro.control.spawn import spawn_primitive
+
+__all__ = ["register_control_primitives"]
+
+
+def register_control_primitives(globals_: GlobalEnv) -> None:
+    """Bind ``spawn``, the ``call/cc`` policies, ``F`` and
+    ``call-with-prompt`` in ``globals_``."""
+    entries = [
+        ("spawn", spawn_primitive, 1, 1),
+        ("call/cc", callcc_primitive, 1, 1),
+        ("call-with-current-continuation", callcc_primitive, 1, 1),
+        ("call/cc-leaf", callcc_leaf_primitive, 1, 1),
+        ("F", fcontrol_primitive, 1, 1),
+        ("fcontrol", fcontrol_primitive, 1, 1),
+        ("call-with-prompt", call_with_prompt_primitive, 1, 1),
+    ]
+    for name, fn, low, high in entries:
+        globals_.define(intern(name), ControlPrimitive(name, fn, low, high))
+    register_future_primitives(globals_)
+    register_engine_primitives(globals_)

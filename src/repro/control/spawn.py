@@ -1,0 +1,117 @@
+"""``spawn``, process controllers and process continuations.
+
+This is the paper's contribution (Sections 4, 5 and 7):
+
+* ``(spawn p)`` establishes a fresh **root** (a labeled stack boundary)
+  and invokes ``p`` with the root's **controller**.
+* ``(c f)`` — applying the controller — is valid only if the root lies
+  on the path from the application to the top of the process tree.  It
+  prunes the *smallest complete subtree containing both the root and
+  the application* (suspending any concurrently running branches of
+  that subtree), packages it as a process continuation ``k`` with the
+  application point as hole, and applies ``f`` to ``k`` in the
+  continuation above the root.
+* ``(k v)`` — applying the process continuation — grafts a fresh copy
+  of the subtree (root included, so the controller is valid again) onto
+  the current continuation and resumes all of its tasks, delivering
+  ``v`` at the hole.  It composes; it never aborts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import DeadControllerError
+from repro.machine.links import Label, LabelLink
+from repro.machine.task import APPLY, Task, TaskState
+from repro.machine.tree import capture_subtree, reinstate, replace_child
+from repro.machine.values import check_arity
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.scheduler import Machine
+
+__all__ = ["ProcessController", "ProcessContinuation", "spawn_primitive"]
+
+
+class ProcessController:
+    """The controller passed to a spawned procedure.
+
+    Applying it captures-and-aborts back to (and including) the nearest
+    live instance of its root.
+    """
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: Label):
+        self.label = label
+
+    def machine_apply(self, machine: "Machine", task: Task, args: list[Any]) -> None:
+        check_arity(f"controller {self.label.name}", len(args), 1, 1)
+        receiver = args[0]
+        link = _find_own_label(task, self.label)
+        if link is None:
+            raise DeadControllerError(
+                f"controller {self.label.name}: its root is not in the "
+                "continuation of this application (the process returned, "
+                "was aborted, or the application happened outside the "
+                "process subtree)"
+            )
+        cont_frames, cont_link = link.cont_frames, link.cont_link
+        capture = capture_subtree(machine, link, task, mode="move")
+        machine.stats["captures"] += 1
+        continuation = ProcessContinuation(capture)
+        successor = Task(
+            (APPLY, receiver, [continuation]), task.env, cont_frames, cont_link  # type: ignore[arg-type]
+        )
+        replace_child(cont_link, successor)  # type: ignore[arg-type]
+        machine.enqueue(successor)
+
+    def __repr__(self) -> str:
+        return f"#<process-controller {self.label.name}>"
+
+
+def _find_own_label(task: Task, label: Label) -> LabelLink | None:
+    from repro.machine.tree import find_label_link
+
+    return find_label_link(task, lambda candidate: candidate is label)
+
+
+class ProcessContinuation:
+    """A captured process subtree, applied as a one-argument procedure.
+
+    Multi-shot: each application grafts an independent copy (control
+    points cloned, frames shared — Section 7's cost model).
+    """
+
+    __slots__ = ("capture",)
+
+    def __init__(self, capture: Any):
+        self.capture = capture
+
+    def machine_apply(self, machine: "Machine", task: Task, args: list[Any]) -> None:
+        check_arity("process continuation", len(args), 1, 1)
+        value = args[0]
+        # The invoking task's continuation becomes the parent of the
+        # grafted subtree; the task itself is consumed by the graft.
+        task.state = TaskState.DEAD
+        machine.stats["reinstatements"] += 1
+        reinstate(machine, self.capture, value, task.frames, task.link)
+
+    def control_points(self) -> int:
+        """Labels + forks inside the captured subtree (introspection)."""
+        return self.capture.control_points()
+
+    def __repr__(self) -> str:
+        return f"#<process-continuation {self.capture.root.label.name}>"
+
+
+def spawn_primitive(machine: "Machine", task: Task, args: list[Any]) -> None:
+    """``(spawn p)``: plant a fresh root above the current point and
+    apply ``p`` to the new root's controller."""
+    procedure = args[0]
+    label = Label()
+    link = LabelLink(label, task.frames, task.link, child=task)
+    replace_child(task.link, link)
+    task.frames = None
+    task.link = link
+    task.control = (APPLY, procedure, [ProcessController(label)])

@@ -1,0 +1,70 @@
+"""Scheme datum representation.
+
+This package defines the runtime representation of every Scheme value
+used by the reader, the expander and the abstract machine:
+
+* :class:`Symbol` — interned identifiers (:func:`intern`).
+* :class:`Pair` and :data:`NIL` — mutable cons cells and the empty list.
+* :class:`Char` — characters, distinct from one-element strings.
+* :class:`MVector` — mutable vectors.
+* :data:`UNSPECIFIED` — the value of ``(set! ...)`` and friends.
+* :data:`EOF_OBJECT` — returned at end of input.
+
+Booleans, exact integers, rationals, floats and strings are represented
+directly by the corresponding Python objects (``bool``, ``int``,
+``fractions.Fraction``, ``float``, ``str``).  ``bool`` must always be
+tested *before* ``int`` since ``bool`` is a subclass of ``int``.
+
+Helpers for moving between Python lists and Scheme lists live in
+:mod:`repro.datum.pairs`; equality predicates in
+:mod:`repro.datum.equality`; the printer in :mod:`repro.datum.printer`.
+"""
+
+from repro.datum.symbols import Symbol, intern, gensym, gensym_reset
+from repro.datum.pairs import (
+    NIL,
+    Nil,
+    Pair,
+    cons,
+    from_pylist,
+    to_pylist,
+    list_length,
+    is_list,
+    improper_to_pylist,
+    scheme_append,
+    scheme_reverse,
+)
+from repro.datum.chars import Char
+from repro.datum.vectors import MVector
+from repro.datum.singletons import UNSPECIFIED, EOF_OBJECT, Unspecified, EofObject
+from repro.datum.equality import is_eq, is_eqv, is_equal
+from repro.datum.printer import scheme_repr, scheme_display
+
+__all__ = [
+    "Symbol",
+    "intern",
+    "gensym",
+    "gensym_reset",
+    "NIL",
+    "Nil",
+    "Pair",
+    "cons",
+    "from_pylist",
+    "to_pylist",
+    "list_length",
+    "is_list",
+    "improper_to_pylist",
+    "scheme_append",
+    "scheme_reverse",
+    "Char",
+    "MVector",
+    "UNSPECIFIED",
+    "EOF_OBJECT",
+    "Unspecified",
+    "EofObject",
+    "is_eq",
+    "is_eqv",
+    "is_equal",
+    "scheme_repr",
+    "scheme_display",
+]

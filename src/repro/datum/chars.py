@@ -1,0 +1,72 @@
+"""Scheme characters.
+
+Characters are distinct from one-element strings; the reader produces
+them from ``#\\a`` syntax and the printer renders named characters
+(``#\\space``, ``#\\newline``, ``#\\tab``) symbolically.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Char", "NAMED_CHARS", "CHAR_NAMES"]
+
+#: Mapping from reader names to code points.
+NAMED_CHARS: dict[str, str] = {
+    "space": " ",
+    "newline": "\n",
+    "tab": "\t",
+    "return": "\r",
+    "nul": "\0",
+    "null": "\0",
+    "altmode": "\x1b",
+    "backspace": "\x08",
+    "delete": "\x7f",
+    "escape": "\x1b",
+    "linefeed": "\n",
+    "page": "\x0c",
+    "rubout": "\x7f",
+}
+
+#: Preferred printed name per code point (inverse of NAMED_CHARS with
+#: canonical choices).
+CHAR_NAMES: dict[str, str] = {
+    " ": "space",
+    "\n": "newline",
+    "\t": "tab",
+    "\r": "return",
+    "\0": "nul",
+    "\x7f": "delete",
+    "\x1b": "escape",
+    "\x0c": "page",
+    "\x08": "backspace",
+}
+
+
+class Char:
+    """A single Scheme character wrapping a one-codepoint string."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        if len(value) != 1:
+            raise ValueError(f"Char requires exactly one code point, got {value!r}")
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Char) and other.value == self.value
+
+    def __lt__(self, other: "Char") -> bool:
+        if not isinstance(other, Char):
+            return NotImplemented
+        return self.value < other.value
+
+    def __le__(self, other: "Char") -> bool:
+        if not isinstance(other, Char):
+            return NotImplemented
+        return self.value <= other.value
+
+    def __hash__(self) -> int:
+        return hash(("Char", self.value))
+
+    def __repr__(self) -> str:
+        name = CHAR_NAMES.get(self.value)
+        return f"#\\{name}" if name else f"#\\{self.value}"

@@ -1,0 +1,94 @@
+"""The three Scheme equivalence predicates.
+
+* :func:`is_eq` — object identity (with small-value fast paths that
+  mirror how a real implementation represents immediates).
+* :func:`is_eqv` — identity plus numeric/character value equality.
+* :func:`is_equal` — structural equality over pairs, strings, vectors,
+  with a depth-bounded iterative walk so deep lists cannot overflow the
+  Python stack.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any
+
+from repro.datum.chars import Char
+from repro.datum.pairs import Pair
+from repro.datum.vectors import MVector
+
+__all__ = ["is_eq", "is_eqv", "is_equal"]
+
+_EXACT_TYPES = (int, Fraction)
+
+
+def _is_exact_number(x: Any) -> bool:
+    return not isinstance(x, bool) and isinstance(x, _EXACT_TYPES)
+
+
+def is_eq(a: Any, b: Any) -> bool:
+    """``eq?``: identity.
+
+    Like most Scheme systems, immediates (booleans, small exact
+    integers, characters, the empty list) compare by value because a
+    native system would represent them unboxed.  Symbols compare by
+    identity, which for interned symbols is spelling equality.
+    """
+    if a is b:
+        return True
+    if isinstance(a, bool) or isinstance(b, bool):
+        # bool is an int subclass; require both to be bools and equal.
+        return isinstance(a, bool) and isinstance(b, bool) and a == b
+    if isinstance(a, int) and isinstance(b, int):
+        return a == b
+    if isinstance(a, Char) and isinstance(b, Char):
+        return a.value == b.value
+    return False
+
+
+def is_eqv(a: Any, b: Any) -> bool:
+    """``eqv?``: identity extended with numeric value equality of
+    like-exactness numbers."""
+    if is_eq(a, b):
+        return True
+    if _is_exact_number(a) and _is_exact_number(b):
+        return a == b
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b or (a != a and b != b)  # NaNs are eqv? to themselves
+    return False
+
+
+def is_equal(a: Any, b: Any) -> bool:
+    """``equal?``: structural equality.
+
+    Implemented with an explicit work stack; cycles are broken with a
+    visited set of id-pairs, so ``equal?`` terminates on cyclic data
+    (returning ``True`` when the unrollings agree).
+    """
+    stack: list[tuple[Any, Any]] = [(a, b)]
+    seen: set[tuple[int, int]] = set()
+    while stack:
+        x, y = stack.pop()
+        if x is y:
+            continue
+        key = (id(x), id(y))
+        if key in seen:
+            continue
+        if isinstance(x, Pair) and isinstance(y, Pair):
+            seen.add(key)
+            stack.append((x.cdr, y.cdr))
+            stack.append((x.car, y.car))
+            continue
+        if isinstance(x, MVector) and isinstance(y, MVector):
+            if len(x) != len(y):
+                return False
+            seen.add(key)
+            stack.extend(zip(x.items, y.items))
+            continue
+        if isinstance(x, str) and isinstance(y, str):
+            if x != y:
+                return False
+            continue
+        if not is_eqv(x, y):
+            return False
+    return True

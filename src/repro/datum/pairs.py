@@ -1,0 +1,191 @@
+"""Cons cells, the empty list, and list utilities.
+
+Scheme lists are chains of mutable :class:`Pair` cells terminated by
+:data:`NIL`.  The helpers here convert between Python sequences and
+Scheme lists and implement the handful of list walks that the reader,
+expander and primitives all share.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.errors import WrongTypeError
+
+__all__ = [
+    "Nil",
+    "NIL",
+    "Pair",
+    "cons",
+    "from_pylist",
+    "to_pylist",
+    "improper_to_pylist",
+    "list_length",
+    "is_list",
+    "scheme_append",
+    "scheme_reverse",
+]
+
+
+class Nil:
+    """The empty list.  A singleton; test with ``x is NIL``."""
+
+    _instance: "Nil | None" = None
+
+    def __new__(cls) -> "Nil":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "()"
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+    def __bool__(self) -> bool:
+        # NIL is a *true* value in Scheme; only #f is false.  Guard
+        # against accidental Python truthiness tests treating () as
+        # false by making NIL truthy.
+        return True
+
+
+NIL = Nil()
+
+
+class Pair:
+    """A mutable cons cell."""
+
+    __slots__ = ("car", "cdr")
+
+    def __init__(self, car: Any, cdr: Any):
+        self.car = car
+        self.cdr = cdr
+
+    def __iter__(self) -> Iterator[Any]:
+        """Iterate the proper-list prefix of this chain.
+
+        Raises :class:`WrongTypeError` if the chain is improper, so
+        silent truncation can never hide a dotted tail.
+        """
+        node: Any = self
+        while isinstance(node, Pair):
+            yield node.car
+            node = node.cdr
+        if node is not NIL:
+            raise WrongTypeError(f"improper list tail: {node!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        from repro.datum.printer import scheme_repr
+
+        return scheme_repr(self)
+
+
+def cons(car: Any, cdr: Any) -> Pair:
+    """Allocate a fresh pair."""
+    return Pair(car, cdr)
+
+
+def from_pylist(items: Iterable[Any], tail: Any = NIL) -> Any:
+    """Build a Scheme list from a Python iterable.
+
+    ``tail`` lets callers build improper lists: ``from_pylist([a], b)``
+    is ``(a . b)``.
+    """
+    items = list(items)
+    result = tail
+    for item in reversed(items):
+        result = Pair(item, result)
+    return result
+
+
+def to_pylist(obj: Any) -> list[Any]:
+    """Convert a proper Scheme list into a Python list.
+
+    Raises :class:`WrongTypeError` on improper lists or non-lists.
+    """
+    out: list[Any] = []
+    node = obj
+    while isinstance(node, Pair):
+        out.append(node.car)
+        node = node.cdr
+    if node is not NIL:
+        raise WrongTypeError(f"expected a proper list, got tail {node!r}")
+    return out
+
+
+def improper_to_pylist(obj: Any) -> tuple[list[Any], Any]:
+    """Split a (possibly improper) list into ``(proper-prefix, tail)``.
+
+    For a proper list the tail is :data:`NIL`; for an atom the prefix is
+    empty and the tail is the atom itself.
+    """
+    out: list[Any] = []
+    node = obj
+    while isinstance(node, Pair):
+        out.append(node.car)
+        node = node.cdr
+    return out, node
+
+
+def list_length(obj: Any) -> int:
+    """Length of a proper list; :class:`WrongTypeError` otherwise."""
+    n = 0
+    node = obj
+    while isinstance(node, Pair):
+        n += 1
+        node = node.cdr
+    if node is not NIL:
+        raise WrongTypeError(f"length: improper list tail {node!r}")
+    return n
+
+
+def is_list(obj: Any) -> bool:
+    """True iff ``obj`` is a proper (finite, NIL-terminated) list.
+
+    Uses Floyd cycle detection so circular structures terminate.
+    """
+    slow = obj
+    fast = obj
+    while True:
+        if fast is NIL:
+            return True
+        if not isinstance(fast, Pair):
+            return False
+        fast = fast.cdr
+        if fast is NIL:
+            return True
+        if not isinstance(fast, Pair):
+            return False
+        fast = fast.cdr
+        slow = slow.cdr
+        if slow is fast:
+            return False  # cycle
+
+
+def scheme_append(*lists: Any) -> Any:
+    """R3RS ``append``: all but the last argument must be proper lists."""
+    if not lists:
+        return NIL
+    head = NIL
+    parts: list[list[Any]] = [to_pylist(ls) for ls in lists[:-1]]
+    result: Any = lists[-1]
+    for part in reversed(parts):
+        result = from_pylist(part, result)
+    del head
+    return result
+
+
+def scheme_reverse(ls: Any) -> Any:
+    """R3RS ``reverse`` of a proper list."""
+    result: Any = NIL
+    node = ls
+    while isinstance(node, Pair):
+        result = Pair(node.car, result)
+        node = node.cdr
+    if node is not NIL:
+        raise WrongTypeError(f"reverse: improper list tail {node!r}")
+    return result

@@ -1,0 +1,132 @@
+"""External representation of Scheme values.
+
+:func:`scheme_repr` is ``write`` (machine-readable: strings quoted,
+characters in ``#\\`` syntax); :func:`scheme_display` is ``display``
+(human-readable: strings and characters raw).  Both walk iteratively
+and render the quotation shorthands (``'x`` for ``(quote x)`` etc.).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any
+
+from repro.datum.chars import Char
+from repro.datum.pairs import NIL, Pair
+from repro.datum.singletons import EOF_OBJECT, UNSPECIFIED
+from repro.datum.symbols import Symbol
+from repro.datum.vectors import MVector
+
+__all__ = ["scheme_repr", "scheme_display"]
+
+_QUOTE_SUGAR = {
+    "quote": "'",
+    "quasiquote": "`",
+    "unquote": ",",
+    "unquote-splicing": ",@",
+}
+
+_STRING_ESCAPES = {
+    "\\": "\\\\",
+    '"': '\\"',
+    "\n": "\\n",
+    "\t": "\\t",
+    "\r": "\\r",
+}
+
+
+def _escape_string(s: str) -> str:
+    out = []
+    for ch in s:
+        out.append(_STRING_ESCAPES.get(ch, ch))
+    return "".join(out)
+
+
+def _quote_sugar(obj: Any) -> tuple[str, Any] | None:
+    """If obj is a two-element list (quote x) etc., return (prefix, x)."""
+    if (
+        isinstance(obj, Pair)
+        and isinstance(obj.car, Symbol)
+        and obj.car.interned
+        and obj.car.name in _QUOTE_SUGAR
+        and isinstance(obj.cdr, Pair)
+        and obj.cdr.cdr is NIL
+    ):
+        return _QUOTE_SUGAR[obj.car.name], obj.cdr.car
+    return None
+
+
+def _render(obj: Any, write: bool, seen: set[int], depth: int) -> str:
+    if depth > 10_000:
+        return "..."
+    if obj is NIL:
+        return "()"
+    if obj is True:
+        return "#t"
+    if obj is False:
+        return "#f"
+    if obj is UNSPECIFIED:
+        return "#<unspecified>"
+    if obj is EOF_OBJECT:
+        return "#<eof>"
+    if isinstance(obj, Symbol):
+        return obj.name
+    if isinstance(obj, bool):  # unreachable; kept for clarity
+        return "#t" if obj else "#f"
+    if isinstance(obj, int):
+        return str(obj)
+    if isinstance(obj, Fraction):
+        return f"{obj.numerator}/{obj.denominator}" if obj.denominator != 1 else str(obj.numerator)
+    if isinstance(obj, float):
+        if obj != obj:
+            return "+nan.0"
+        if obj == float("inf"):
+            return "+inf.0"
+        if obj == float("-inf"):
+            return "-inf.0"
+        text = repr(obj)
+        return text
+    if isinstance(obj, str):
+        return f'"{_escape_string(obj)}"' if write else obj
+    if isinstance(obj, Char):
+        return repr(obj) if write else obj.value
+    if isinstance(obj, Pair):
+        if id(obj) in seen:
+            return "#<cycle>"
+        sugar = _quote_sugar(obj)
+        if sugar is not None:
+            prefix, inner = sugar
+            return prefix + _render(inner, write, seen, depth + 1)
+        seen = seen | {id(obj)}
+        parts: list[str] = []
+        node: Any = obj
+        while isinstance(node, Pair):
+            parts.append(_render(node.car, write, seen, depth + 1))
+            node = node.cdr
+            if id(node) in seen:
+                parts.append(". #<cycle>")
+                node = NIL
+                break
+        if node is not NIL:
+            parts.append(".")
+            parts.append(_render(node, write, seen, depth + 1))
+        return "(" + " ".join(parts) + ")"
+    if isinstance(obj, MVector):
+        if id(obj) in seen:
+            return "#<cycle>"
+        seen = seen | {id(obj)}
+        inner = " ".join(_render(x, write, seen, depth + 1) for x in obj.items)
+        return f"#({inner})"
+    # Fall back to the object's own repr (procedures, controllers,
+    # continuations define helpful reprs of their own).
+    return repr(obj)
+
+
+def scheme_repr(obj: Any) -> str:
+    """``write``-style external representation."""
+    return _render(obj, write=True, seen=set(), depth=0)
+
+
+def scheme_display(obj: Any) -> str:
+    """``display``-style human-readable representation."""
+    return _render(obj, write=False, seen=set(), depth=0)

@@ -1,0 +1,40 @@
+"""Singleton values: the unspecified value and the EOF object."""
+
+from __future__ import annotations
+
+__all__ = ["Unspecified", "UNSPECIFIED", "EofObject", "EOF_OBJECT"]
+
+
+class Unspecified:
+    """The value of expressions whose result R3RS leaves unspecified
+    (``set!``, one-armed ``if`` misses, ``define`` at top level...)."""
+
+    _instance: "Unspecified | None" = None
+
+    def __new__(cls) -> "Unspecified":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "#<unspecified>"
+
+
+UNSPECIFIED = Unspecified()
+
+
+class EofObject:
+    """The end-of-file object returned by input primitives."""
+
+    _instance: "EofObject | None" = None
+
+    def __new__(cls) -> "EofObject":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "#<eof>"
+
+
+EOF_OBJECT = EofObject()

@@ -1,0 +1,83 @@
+"""Interned symbols and gensyms.
+
+Symbols compare by identity (``is``); :func:`intern` guarantees that two
+occurrences of the same spelling yield the same object.  :func:`gensym`
+produces symbols that are *not* interned and therefore can never collide
+with read symbols — the expander uses them for hygiene and the machine
+uses them for fresh labels in the Section 6 semantics bridge.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+__all__ = ["Symbol", "intern", "gensym", "gensym_reset"]
+
+
+class Symbol:
+    """An identifier.
+
+    Instances obtained through :func:`intern` are unique per spelling.
+    Instances obtained through :func:`gensym` are unique per call.
+    """
+
+    __slots__ = ("name", "_interned")
+
+    def __init__(self, name: str, _interned: bool = False):
+        self.name = name
+        self._interned = _interned
+
+    @property
+    def interned(self) -> bool:
+        return self._interned
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Symbol({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    # Identity semantics: do not define __eq__/__hash__ beyond object
+    # defaults.  Two interned symbols with the same spelling *are* the
+    # same object, so identity equality is spelling equality for them.
+
+
+_intern_table: dict[str, Symbol] = {}
+_intern_lock = threading.Lock()
+
+
+def intern(name: str) -> Symbol:
+    """Return the unique :class:`Symbol` for ``name``."""
+    try:
+        return _intern_table[name]
+    except KeyError:
+        with _intern_lock:
+            # Re-check under the lock: another thread may have won.
+            sym = _intern_table.get(name)
+            if sym is None:
+                sym = Symbol(name, _interned=True)
+                _intern_table[name] = sym
+            return sym
+
+
+_gensym_counter = itertools.count()
+
+
+def gensym(prefix: str = "g") -> Symbol:
+    """Return a fresh, uninterned symbol.
+
+    The printed name embeds a monotonically increasing counter purely
+    for readability; uniqueness comes from object identity.
+    """
+    return Symbol(f"{prefix}${next(_gensym_counter)}", _interned=False)
+
+
+def gensym_reset() -> None:
+    """Reset the gensym counter (test determinism only).
+
+    Existing gensyms stay unique by identity; only printed names
+    restart.
+    """
+    global _gensym_counter
+    _gensym_counter = itertools.count()

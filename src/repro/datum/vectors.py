@@ -1,0 +1,57 @@
+"""Mutable Scheme vectors.
+
+A thin wrapper over a Python list.  The wrapper exists so that the
+machine can distinguish vectors from the Python lists it uses
+internally (argument buffers, join slots and so on).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.errors import SchemeError
+
+__all__ = ["MVector"]
+
+
+class MVector:
+    """A fixed-length mutable vector of Scheme values."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Iterable[Any] = ()):
+        self.items = list(items)
+
+    @classmethod
+    def filled(cls, length: int, fill: Any) -> "MVector":
+        """``(make-vector length fill)``."""
+        if length < 0:
+            raise SchemeError(f"make-vector: negative length {length}")
+        return cls([fill] * length)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.items)
+
+    def ref(self, index: int) -> Any:
+        """``(vector-ref v index)`` with bounds checking."""
+        if not 0 <= index < len(self.items):
+            raise SchemeError(
+                f"vector-ref: index {index} out of range for vector of length {len(self.items)}"
+            )
+        return self.items[index]
+
+    def set(self, index: int, value: Any) -> None:
+        """``(vector-set! v index value)`` with bounds checking."""
+        if not 0 <= index < len(self.items):
+            raise SchemeError(
+                f"vector-set!: index {index} out of range for vector of length {len(self.items)}"
+            )
+        self.items[index] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        from repro.datum.printer import scheme_repr
+
+        return scheme_repr(self)

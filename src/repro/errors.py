@@ -1,0 +1,141 @@
+"""Exception hierarchy for the whole reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+host application can catch one type.  The hierarchy mirrors the
+subsystem structure:
+
+* :class:`ReaderError` — lexing / parsing an s-expression stream.
+* :class:`ExpandError` — macro expansion and core-form analysis.
+* :class:`MachineError` — runtime errors inside the abstract machine.
+* :class:`ControlError` — misuse of control operators; this is where
+  the paper's "invalid controller application" lives.
+* :class:`SemanticsError` — the formal rewriting system of Section 6.
+* :class:`RuntimeAPIError` — the Python-native tasklet runtime.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ReaderError",
+    "ExpandError",
+    "MachineError",
+    "SchemeError",
+    "WrongTypeError",
+    "ArityError",
+    "UnboundVariableError",
+    "ControlError",
+    "InvalidControllerError",
+    "DeadControllerError",
+    "PromptMissingError",
+    "ContinuationReusedError",
+    "SemanticsError",
+    "StuckTermError",
+    "RuntimeAPIError",
+    "StepBudgetExceeded",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class ReaderError(ReproError):
+    """Raised for malformed input text.
+
+    Carries the source location of the offending token when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class ExpandError(ReproError):
+    """Raised when a form cannot be expanded to core syntax."""
+
+
+class MachineError(ReproError):
+    """Base class for runtime errors inside the abstract machine."""
+
+
+class SchemeError(MachineError):
+    """A user-level Scheme error (raised by the ``error`` primitive)."""
+
+    def __init__(self, message: str, irritants: tuple = ()):  # type: ignore[type-arg]
+        self.irritants = irritants
+        super().__init__(message)
+
+
+class WrongTypeError(MachineError):
+    """A primitive or application received a value of the wrong type."""
+
+
+class ArityError(MachineError):
+    """A procedure was applied to the wrong number of arguments."""
+
+
+class UnboundVariableError(MachineError):
+    """Reference to a variable with no binding."""
+
+    def __init__(self, name: str):
+        self.name = name
+        super().__init__(f"unbound variable: {name}")
+
+
+class ControlError(MachineError):
+    """Base class for control-operator misuse."""
+
+
+class InvalidControllerError(ControlError):
+    """A process controller was invoked outside the dynamic extent of
+    its root.
+
+    The paper (Section 4): "Application of a controller is valid only
+    when its root is in the continuation of the application."
+    """
+
+
+class DeadControllerError(InvalidControllerError):
+    """The controller's root was removed (by normal return or by a
+    previous controller application) and has not been reinstated."""
+
+
+class PromptMissingError(ControlError):
+    """``F`` was invoked with no enclosing prompt (Section 3 baseline)."""
+
+
+class ContinuationReusedError(ControlError):
+    """A one-shot continuation (Python-native runtime) was invoked twice."""
+
+
+class SemanticsError(ReproError):
+    """Base class for errors in the Section 6 rewriting system."""
+
+
+class StuckTermError(SemanticsError):
+    """A term is neither a value nor reducible (e.g. ``e ↑ l`` with no
+    matching label in its evaluation context)."""
+
+    def __init__(self, message: str, term: object | None = None):
+        self.term = term
+        super().__init__(message)
+
+
+class RuntimeAPIError(ReproError):
+    """Misuse of the Python-native tasklet runtime."""
+
+
+class StepBudgetExceeded(ReproError):
+    """An evaluation exceeded its configured step budget.
+
+    Used by tests and benchmarks to bound runaway programs; carries the
+    number of steps executed so far.
+    """
+
+    def __init__(self, steps: int):
+        self.steps = steps
+        super().__init__(f"step budget exceeded after {steps} steps")

@@ -1,0 +1,31 @@
+"""Macro expansion: surface syntax → core IR.
+
+The entry points are :func:`expand_program` (a sequence of top-level
+forms, threading macro definitions) and :func:`expand_expr` (a single
+expression).  The expander implements:
+
+* the core forms ``quote``, ``lambda``, ``if``, ``set!``, ``begin``,
+  ``define``, ``pcall`` and ``prompt``;
+* the derived forms of R3RS used in the paper (``let`` including named
+  ``let``, ``let*``, ``letrec``, ``cond``, ``case``, ``when``,
+  ``unless``, ``and``, ``or``, ``do``, ``quasiquote``);
+* user macros via ``extend-syntax`` (the paper's macro system) and the
+  equivalent ``define-syntax`` + ``syntax-rules`` spelling;
+* internal ``define`` at the head of bodies, lowered to ``letrec``.
+
+Expansion is deliberately *non-hygienic*, matching the 1990
+``extend-syntax`` facility the paper uses.
+"""
+
+from repro.expander.env import ExpandEnv
+from repro.expander.core_forms import expand_expr, expand_program
+from repro.expander.syntax_rules import Macro, match_pattern, instantiate
+
+__all__ = [
+    "ExpandEnv",
+    "expand_expr",
+    "expand_program",
+    "Macro",
+    "match_pattern",
+    "instantiate",
+]

@@ -1,0 +1,710 @@
+"""The expander proper: core and derived forms.
+
+Dispatch order for a compound form ``(head . rest)`` where ``head`` is a
+symbol: lexical bindings shadow everything; then user macros; then core
+special forms; then the built-in derived forms; otherwise it is an
+application.  This matches how a 1990 Scheme front end treats
+``extend-syntax`` macros.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.datum import (
+    NIL,
+    Pair,
+    Symbol,
+    UNSPECIFIED,
+    from_pylist,
+    gensym,
+    improper_to_pylist,
+    intern,
+    to_pylist,
+)
+from repro.errors import ExpandError
+from repro.expander.env import ExpandEnv
+from repro.expander.quasiquote import expand_quasiquote
+from repro.expander.syntax_rules import Macro, Rule
+from repro.ir import (
+    App,
+    Const,
+    DefineTop,
+    If,
+    Lambda,
+    Node,
+    Pcall,
+    Seq,
+    SetBang,
+    Var,
+)
+
+__all__ = ["expand_expr", "expand_program", "expand_body"]
+
+# Interned form names, computed once.
+_QUOTE = intern("quote")
+_LAMBDA = intern("lambda")
+_IF = intern("if")
+_SET = intern("set!")
+_BEGIN = intern("begin")
+_DEFINE = intern("define")
+_EXTEND_SYNTAX = intern("extend-syntax")
+_DEFINE_SYNTAX = intern("define-syntax")
+_SYNTAX_RULES = intern("syntax-rules")
+_PCALL = intern("pcall")
+_PROMPT = intern("prompt")
+_LET = intern("let")
+_LET_STAR = intern("let*")
+_LETREC = intern("letrec")
+_COND = intern("cond")
+_CASE = intern("case")
+_WHEN = intern("when")
+_UNLESS = intern("unless")
+_AND = intern("and")
+_OR = intern("or")
+_DO = intern("do")
+_QUASIQUOTE = intern("quasiquote")
+_UNQUOTE = intern("unquote")
+_UNQUOTE_SPLICING = intern("unquote-splicing")
+_ELSE = intern("else")
+_ARROW = intern("=>")
+_CALL_WITH_PROMPT = intern("call-with-prompt")
+_MEMV = intern("memv")
+
+
+def _form_items(form: Pair, what: str) -> list[Any]:
+    try:
+        return to_pylist(form)
+    except Exception as exc:  # improper form
+        raise ExpandError(f"malformed {what}: {form!r}") from exc
+
+
+def _proper(datum: Any, what: str) -> list[Any]:
+    """to_pylist with expander-domain errors (improper lists in syntax
+    positions are syntax errors, not runtime type errors)."""
+    try:
+        return to_pylist(datum)
+    except Exception as exc:
+        raise ExpandError(f"malformed {what}: {datum!r}") from exc
+
+
+def expand_expr(datum: Any, env: ExpandEnv) -> Node:
+    """Expand one expression to IR."""
+    if isinstance(datum, Symbol):
+        return Var(datum)
+    if not isinstance(datum, Pair):
+        # Self-evaluating: numbers, strings, booleans, chars, vectors.
+        if datum is NIL:
+            raise ExpandError("the empty combination () is not an expression")
+        return Const(datum)
+    head = datum.car
+    if isinstance(head, Symbol) and not env.is_lexical(head):
+        macro = env.macro_for(head)
+        if macro is not None:
+            return expand_expr(macro.expand(datum), env)
+        handler = _SPECIAL_FORMS.get(head)
+        if handler is not None:
+            return handler(datum, env)
+    # Application.
+    items = _form_items(datum, "application")
+    fn = expand_expr(items[0], env)
+    args = tuple(expand_expr(arg, env) for arg in items[1:])
+    return App(fn, args)
+
+
+# ---------------------------------------------------------------------------
+# Core forms
+# ---------------------------------------------------------------------------
+
+
+def _expand_quote(form: Pair, env: ExpandEnv) -> Node:
+    items = _form_items(form, "quote")
+    if len(items) != 2:
+        raise ExpandError(f"quote takes one datum: {form!r}")
+    return Const(items[1])
+
+
+def _parse_formals(formals: Any) -> tuple[tuple[Symbol, ...], Symbol | None]:
+    if isinstance(formals, Symbol):
+        return (), formals
+    names, tail = improper_to_pylist(formals)
+    for name in names:
+        if not isinstance(name, Symbol):
+            raise ExpandError(f"formal parameter is not a symbol: {name!r}")
+    if tail is NIL:
+        rest = None
+    elif isinstance(tail, Symbol):
+        rest = tail
+    else:
+        raise ExpandError(f"bad rest parameter: {tail!r}")
+    seen: set[Symbol] = set()
+    for name in list(names) + ([rest] if rest else []):
+        if name in seen:
+            raise ExpandError(f"duplicate formal parameter: {name.name}")
+        seen.add(name)
+    return tuple(names), rest
+
+
+def _expand_lambda(form: Pair, env: ExpandEnv, name: str | None = None) -> Node:
+    items = _form_items(form, "lambda")
+    if len(items) < 3:
+        raise ExpandError(f"lambda needs formals and a body: {form!r}")
+    params, rest = _parse_formals(items[1])
+    bound = list(params) + ([rest] if rest else [])
+    body = expand_body(items[2:], env.bind(bound))
+    return Lambda(params, rest, body, name=name)
+
+
+def _expand_if(form: Pair, env: ExpandEnv) -> Node:
+    items = _form_items(form, "if")
+    if len(items) == 3:
+        return If(
+            expand_expr(items[1], env), expand_expr(items[2], env), Const(UNSPECIFIED)
+        )
+    if len(items) == 4:
+        return If(
+            expand_expr(items[1], env),
+            expand_expr(items[2], env),
+            expand_expr(items[3], env),
+        )
+    raise ExpandError(f"if takes 2 or 3 subexpressions: {form!r}")
+
+
+def _expand_set(form: Pair, env: ExpandEnv) -> Node:
+    items = _form_items(form, "set!")
+    if len(items) != 3 or not isinstance(items[1], Symbol):
+        raise ExpandError(f"malformed set!: {form!r}")
+    return SetBang(items[1], expand_expr(items[2], env))
+
+
+def _expand_begin(form: Pair, env: ExpandEnv) -> Node:
+    items = _form_items(form, "begin")
+    if len(items) < 2:
+        raise ExpandError("begin needs at least one expression")
+    if len(items) == 2:
+        return expand_expr(items[1], env)
+    return Seq(tuple(expand_expr(e, env) for e in items[1:]))
+
+
+def _expand_pcall(form: Pair, env: ExpandEnv) -> Node:
+    items = _form_items(form, "pcall")
+    if len(items) < 2:
+        raise ExpandError("pcall needs at least an operator expression")
+    return Pcall(tuple(expand_expr(e, env) for e in items[1:]))
+
+
+def _expand_prompt(form: Pair, env: ExpandEnv) -> Node:
+    """``(prompt e1 e2 ...)`` → ``(call-with-prompt (lambda () e1 e2 ...))``.
+
+    ``call-with-prompt`` is the primitive that pushes a prompt mark;
+    see :mod:`repro.control.prompt`.
+    """
+    items = _form_items(form, "prompt")
+    if len(items) < 2:
+        raise ExpandError("prompt needs a body")
+    thunk = Lambda((), None, expand_body(items[1:], env), name="prompt-body")
+    return App(Var(_CALL_WITH_PROMPT), (thunk,))
+
+
+def _expand_define(form: Pair, env: ExpandEnv) -> Node:
+    raise ExpandError(
+        "define is only allowed at top level or at the head of a body: "
+        f"{form!r}"
+    )
+
+
+def _expand_extend_syntax(form: Pair, env: ExpandEnv) -> Node:
+    raise ExpandError("extend-syntax is only allowed at top level")
+
+
+def _expand_define_syntax(form: Pair, env: ExpandEnv) -> Node:
+    raise ExpandError("define-syntax is only allowed at top level")
+
+
+# ---------------------------------------------------------------------------
+# Derived forms
+# ---------------------------------------------------------------------------
+
+
+def _parse_bindings(spec: Any, what: str) -> list[tuple[Symbol, Any]]:
+    out: list[tuple[Symbol, Any]] = []
+    for binding in _proper(spec, what):
+        parts = _proper(binding, what + " binding")
+        if len(parts) != 2 or not isinstance(parts[0], Symbol):
+            raise ExpandError(f"malformed {what} binding: {binding!r}")
+        out.append((parts[0], parts[1]))
+    return out
+
+
+def _expand_let(form: Pair, env: ExpandEnv) -> Node:
+    items = _form_items(form, "let")
+    if len(items) >= 3 and isinstance(items[1], Symbol):
+        # Named let.
+        name = items[1]
+        bindings = _parse_bindings(items[2], "named let")
+        if len(items) < 4:
+            raise ExpandError(f"named let needs a body: {form!r}")
+        loop_lambda = from_pylist(
+            [_LAMBDA, from_pylist([n for n, _ in bindings])] + items[3:]
+        )
+        rewritten = from_pylist(
+            [
+                from_pylist(
+                    [
+                        _LETREC,
+                        from_pylist([from_pylist([name, loop_lambda])]),
+                        name,
+                    ]
+                )
+            ]
+            + [v for _, v in bindings]
+        )
+        return expand_expr(rewritten, env)
+    if len(items) < 3:
+        raise ExpandError(f"let needs bindings and a body: {form!r}")
+    bindings = _parse_bindings(items[1], "let")
+    names = [n for n, _ in bindings]
+    fn = Lambda(
+        tuple(names), None, expand_body(items[2:], env.bind(names)), name="let-body"
+    )
+    return App(fn, tuple(expand_expr(v, env) for _, v in bindings))
+
+
+def _expand_let_star(form: Pair, env: ExpandEnv) -> Node:
+    items = _form_items(form, "let*")
+    if len(items) < 3:
+        raise ExpandError(f"let* needs bindings and a body: {form!r}")
+    bindings = _parse_bindings(items[1], "let*")
+    if not bindings:
+        return expand_expr(from_pylist([_LET, NIL] + items[2:]), env)
+    first, rest = bindings[0], bindings[1:]
+    inner: Any = from_pylist(
+        [_LET_STAR, from_pylist([from_pylist([n, v]) for n, v in rest])] + items[2:]
+    )
+    outer = from_pylist(
+        [_LET, from_pylist([from_pylist([first[0], first[1]])]), inner]
+    )
+    return expand_expr(outer, env)
+
+
+def _expand_letrec(form: Pair, env: ExpandEnv) -> Node:
+    items = _form_items(form, "letrec")
+    if len(items) < 3:
+        raise ExpandError(f"letrec needs bindings and a body: {form!r}")
+    bindings = _parse_bindings(items[1], "letrec")
+    names = [n for n, _ in bindings]
+    inner_env = env.bind(names)
+    assignments: list[Node] = [
+        SetBang(name, expand_expr(value, inner_env)) for name, value in bindings
+    ]
+    body = expand_body(items[2:], inner_env)
+    full_body: Node = Seq(tuple(assignments + [body])) if assignments else body
+    fn = Lambda(tuple(names), None, full_body, name="letrec-body")
+    return App(fn, tuple(Const(UNSPECIFIED) for _ in names))
+
+
+def _expand_cond(form: Pair, env: ExpandEnv) -> Node:
+    items = _form_items(form, "cond")
+    clauses = items[1:]
+    return _expand_cond_clauses(clauses, env, form)
+
+
+def _expand_cond_clauses(clauses: list[Any], env: ExpandEnv, origin: Any) -> Node:
+    if not clauses:
+        return Const(UNSPECIFIED)
+    clause = _proper(clauses[0], "cond clause")
+    if not clause:
+        raise ExpandError(f"empty cond clause in {origin!r}")
+    if isinstance(clause[0], Symbol) and clause[0] is _ELSE:
+        if len(clauses) != 1:
+            raise ExpandError("else clause must be last in cond")
+        if len(clause) < 2:
+            raise ExpandError("else clause needs a body")
+        return _body_seq(clause[1:], env)
+    test = expand_expr(clause[0], env)
+    rest = _expand_cond_clauses(clauses[1:], env, origin)
+    if len(clause) == 1:
+        # (cond [test]) returns the test value when true.
+        tmp = gensym("t")
+        return App(
+            Lambda((tmp,), None, If(Var(tmp), Var(tmp), rest), name="cond-tmp"),
+            (test,),
+        )
+    if len(clause) >= 2 and isinstance(clause[1], Symbol) and clause[1] is _ARROW:
+        if len(clause) != 3:
+            raise ExpandError(f"malformed => clause: {clauses[0]!r}")
+        tmp = gensym("t")
+        receiver = expand_expr(clause[2], env)
+        return App(
+            Lambda(
+                (tmp,),
+                None,
+                If(Var(tmp), App(receiver, (Var(tmp),)), rest),
+                name="cond-arrow",
+            ),
+            (test,),
+        )
+    return If(test, _body_seq(clause[1:], env), rest)
+
+
+def _expand_case(form: Pair, env: ExpandEnv) -> Node:
+    items = _form_items(form, "case")
+    if len(items) < 3:
+        raise ExpandError(f"case needs a key and clauses: {form!r}")
+    key = expand_expr(items[1], env)
+    tmp = gensym("key")
+    inner_env = env.bind([tmp])
+
+    def build(clauses: list[Any]) -> Node:
+        if not clauses:
+            return Const(UNSPECIFIED)
+        clause = _proper(clauses[0], "case clause")
+        if not clause or len(clause) < 2:
+            raise ExpandError(f"malformed case clause: {clauses[0]!r}")
+        if isinstance(clause[0], Symbol) and clause[0] is _ELSE:
+            if len(clauses) != 1:
+                raise ExpandError("else clause must be last in case")
+            return _body_seq(clause[1:], inner_env)
+        data = clause[0]
+        test = App(Var(_MEMV), (Var(tmp), Const(data)))
+        return If(test, _body_seq(clause[1:], inner_env), build(clauses[1:]))
+
+    return App(Lambda((tmp,), None, build(items[2:]), name="case-key"), (key,))
+
+
+def _expand_when(form: Pair, env: ExpandEnv) -> Node:
+    items = _form_items(form, "when")
+    if len(items) < 3:
+        raise ExpandError(f"when needs a test and a body: {form!r}")
+    return If(expand_expr(items[1], env), _body_seq(items[2:], env), Const(UNSPECIFIED))
+
+
+def _expand_unless(form: Pair, env: ExpandEnv) -> Node:
+    items = _form_items(form, "unless")
+    if len(items) < 3:
+        raise ExpandError(f"unless needs a test and a body: {form!r}")
+    return If(expand_expr(items[1], env), Const(UNSPECIFIED), _body_seq(items[2:], env))
+
+
+def _expand_and(form: Pair, env: ExpandEnv) -> Node:
+    items = _form_items(form, "and")
+    exprs = items[1:]
+    if not exprs:
+        return Const(True)
+    if len(exprs) == 1:
+        return expand_expr(exprs[0], env)
+    rest = from_pylist([_AND] + exprs[1:])
+    return If(expand_expr(exprs[0], env), expand_expr(rest, env), Const(False))
+
+
+def _expand_or(form: Pair, env: ExpandEnv) -> Node:
+    items = _form_items(form, "or")
+    exprs = items[1:]
+    if not exprs:
+        return Const(False)
+    if len(exprs) == 1:
+        return expand_expr(exprs[0], env)
+    tmp = gensym("t")
+    rest = from_pylist([_OR] + exprs[1:])
+    return App(
+        Lambda(
+            (tmp,),
+            None,
+            If(Var(tmp), Var(tmp), expand_expr(rest, env)),
+            name="or-tmp",
+        ),
+        (expand_expr(exprs[0], env),),
+    )
+
+
+def _expand_do(form: Pair, env: ExpandEnv) -> Node:
+    """``(do ([var init step] ...) (test result ...) command ...)``."""
+    items = _form_items(form, "do")
+    if len(items) < 3:
+        raise ExpandError(f"malformed do: {form!r}")
+    specs: list[tuple[Symbol, Any, Any]] = []
+    for spec in _proper(items[1], "do bindings"):
+        parts = _proper(spec, "do binding")
+        if len(parts) == 2:
+            name, init = parts
+            step: Any = name
+        elif len(parts) == 3:
+            name, init, step = parts
+        else:
+            raise ExpandError(f"malformed do binding: {spec!r}")
+        if not isinstance(name, Symbol):
+            raise ExpandError(f"do variable is not a symbol: {name!r}")
+        specs.append((name, init, step))
+    exit_clause = _proper(items[2], "do exit clause")
+    if not exit_clause:
+        raise ExpandError("do needs a (test result ...) clause")
+    loop = gensym("do-loop")
+    test = exit_clause[0]
+    results = exit_clause[1:]
+    result_expr: Any
+    if results:
+        result_expr = from_pylist([_BEGIN] + results) if len(results) > 1 else results[0]
+    else:
+        result_expr = from_pylist([_QUOTE, UNSPECIFIED])
+    commands = items[3:]
+    recurse = from_pylist([loop] + [step for _, _, step in specs])
+    body: Any = from_pylist(
+        [_IF, test, result_expr, from_pylist([_BEGIN] + commands + [recurse])]
+        if commands
+        else [_IF, test, result_expr, recurse]
+    )
+    rewritten = from_pylist(
+        [
+            _LET,
+            loop,
+            from_pylist([from_pylist([n, i]) for n, i, _ in specs]),
+            body,
+        ]
+    )
+    return expand_expr(rewritten, env)
+
+
+def _expand_quasiquote_form(form: Pair, env: ExpandEnv) -> Node:
+    items = _form_items(form, "quasiquote")
+    if len(items) != 2:
+        raise ExpandError(f"quasiquote takes one template: {form!r}")
+    return expand_expr(expand_quasiquote(items[1]), env)
+
+
+def _expand_unquote_error(form: Pair, env: ExpandEnv) -> Node:
+    raise ExpandError(f"unquote outside quasiquote: {form!r}")
+
+
+_SPECIAL_FORMS: dict[Symbol, Callable[[Pair, ExpandEnv], Node]] = {
+    _QUOTE: _expand_quote,
+    _LAMBDA: _expand_lambda,
+    _IF: _expand_if,
+    _SET: _expand_set,
+    _BEGIN: _expand_begin,
+    _DEFINE: _expand_define,
+    _EXTEND_SYNTAX: _expand_extend_syntax,
+    _DEFINE_SYNTAX: _expand_define_syntax,
+    _PCALL: _expand_pcall,
+    _PROMPT: _expand_prompt,
+    _LET: _expand_let,
+    _LET_STAR: _expand_let_star,
+    _LETREC: _expand_letrec,
+    _COND: _expand_cond,
+    _CASE: _expand_case,
+    _WHEN: _expand_when,
+    _UNLESS: _expand_unless,
+    _AND: _expand_and,
+    _OR: _expand_or,
+    _DO: _expand_do,
+    _QUASIQUOTE: _expand_quasiquote_form,
+    _UNQUOTE: _expand_unquote_error,
+    _UNQUOTE_SPLICING: _expand_unquote_error,
+}
+
+
+# ---------------------------------------------------------------------------
+# Bodies and internal defines
+# ---------------------------------------------------------------------------
+
+
+def _normalize_define(form: Pair) -> tuple[Symbol, Any]:
+    """Split a ``define`` form into (name, value-expression)."""
+    items = _form_items(form, "define")
+    if len(items) < 2:
+        raise ExpandError(f"malformed define: {form!r}")
+    target = items[1]
+    if isinstance(target, Symbol):
+        if len(items) == 2:
+            return target, from_pylist([_QUOTE, UNSPECIFIED])
+        if len(items) != 3:
+            raise ExpandError(f"define takes one value expression: {form!r}")
+        return target, items[2]
+    if isinstance(target, Pair):
+        # (define (name . formals) body ...)
+        name = target.car
+        if not isinstance(name, Symbol):
+            raise ExpandError(f"bad procedure-define name: {name!r}")
+        if len(items) < 3:
+            raise ExpandError(f"procedure define needs a body: {form!r}")
+        lam = from_pylist([_LAMBDA, target.cdr] + items[2:])
+        return name, lam
+    raise ExpandError(f"malformed define target: {target!r}")
+
+
+def _is_form(datum: Any, name: Symbol, env: ExpandEnv) -> bool:
+    return (
+        isinstance(datum, Pair)
+        and isinstance(datum.car, Symbol)
+        and datum.car is name
+        and not env.is_lexical(datum.car)
+    )
+
+
+def _splice_defines(forms: list[Any], env: ExpandEnv) -> tuple[list[tuple[Symbol, Any]], list[Any]]:
+    """Collect the leading run of internal defines of a body.
+
+    Macro uses in head position are expanded so macros may produce
+    defines; ``begin`` at the head is spliced.
+    """
+    defines: list[tuple[Symbol, Any]] = []
+    index = 0
+    work = list(forms)
+    while index < len(work):
+        form = work[index]
+        # Expand macros that may reveal a define.
+        while (
+            isinstance(form, Pair)
+            and isinstance(form.car, Symbol)
+            and env.macro_for(form.car) is not None
+        ):
+            form = env.macro_for(form.car).expand(form)  # type: ignore[union-attr]
+        if _is_form(form, _BEGIN, env):
+            work[index : index + 1] = _proper(form, "begin")[1:]
+            continue
+        if _is_form(form, _DEFINE, env):
+            defines.append(_normalize_define(form))
+            index += 1
+            continue
+        break
+    return defines, work[index:]
+
+
+def expand_body(forms: list[Any], env: ExpandEnv) -> Node:
+    """Expand a lambda/let body, handling internal defines."""
+    if not forms:
+        raise ExpandError("empty body")
+    defines, rest = _splice_defines(forms, env)
+    if defines:
+        if not rest:
+            raise ExpandError("body consists only of definitions")
+        names = [n for n, _ in defines]
+        inner_env = env.bind(names)
+        assignments = [
+            SetBang(
+                name,
+                _name_lambda(expand_expr(value, inner_env), name),
+            )
+            for name, value in defines
+        ]
+        body = _body_seq(rest, inner_env)
+        fn = Lambda(
+            tuple(names),
+            None,
+            Seq(tuple(assignments + [body])),
+            name="internal-defines",
+        )
+        return App(fn, tuple(Const(UNSPECIFIED) for _ in names))
+    return _body_seq(forms, env)
+
+
+def _name_lambda(node: Node, name: Symbol) -> Node:
+    if isinstance(node, Lambda) and node.name is None:
+        return Lambda(node.params, node.rest, node.body, name=name.name)
+    return node
+
+
+def _body_seq(forms: list[Any], env: ExpandEnv) -> Node:
+    exprs = tuple(expand_expr(form, env) for form in forms)
+    return exprs[0] if len(exprs) == 1 else Seq(exprs)
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+
+def _parse_extend_syntax(form: Pair) -> Macro:
+    """``(extend-syntax (name key ...) [pattern template] ...)``."""
+    items = _form_items(form, "extend-syntax")
+    if len(items) < 2:
+        raise ExpandError(f"malformed extend-syntax: {form!r}")
+    header = _proper(items[1], "extend-syntax header")
+    if not header or not all(isinstance(s, Symbol) for s in header):
+        raise ExpandError(f"malformed extend-syntax header: {items[1]!r}")
+    name = header[0]
+    keywords = frozenset(header[1:])
+    rules: list[Rule] = []
+    for clause in items[2:]:
+        parts = _proper(clause, "extend-syntax clause")
+        if len(parts) == 2:
+            rules.append(Rule(parts[0], parts[1]))
+        elif len(parts) == 3:
+            raise ExpandError(
+                "extend-syntax fenders are not supported in this reproduction"
+            )
+        else:
+            raise ExpandError(f"malformed extend-syntax clause: {clause!r}")
+    if not rules:
+        raise ExpandError("extend-syntax needs at least one clause")
+    return Macro(name, keywords, rules)
+
+
+def _parse_define_syntax(form: Pair) -> Macro:
+    """``(define-syntax name (syntax-rules (lit ...) [pattern template] ...))``."""
+    items = _form_items(form, "define-syntax")
+    if len(items) != 3 or not isinstance(items[1], Symbol):
+        raise ExpandError(f"malformed define-syntax: {form!r}")
+    name = items[1]
+    spec = items[2]
+    if not (_is_head(spec, _SYNTAX_RULES)):
+        raise ExpandError("define-syntax requires a syntax-rules transformer")
+    spec_items = _proper(spec, "syntax-rules")
+    if len(spec_items) < 2:
+        raise ExpandError(f"malformed syntax-rules: {spec!r}")
+    literals = _proper(spec_items[1], "syntax-rules literals")
+    if not all(isinstance(s, Symbol) for s in literals):
+        raise ExpandError(f"syntax-rules literals must be symbols: {spec_items[1]!r}")
+    rules: list[Rule] = []
+    for clause in spec_items[2:]:
+        parts = _proper(clause, "syntax-rules clause")
+        if len(parts) != 2:
+            raise ExpandError(f"malformed syntax-rules clause: {clause!r}")
+        rules.append(Rule(parts[0], parts[1]))
+    if not rules:
+        raise ExpandError("syntax-rules needs at least one clause")
+    return Macro(name, frozenset(literals), rules)
+
+
+def _is_head(datum: Any, name: Symbol) -> bool:
+    return isinstance(datum, Pair) and datum.car is name
+
+
+def expand_program(forms: list[Any], env: ExpandEnv | None = None) -> list[Node]:
+    """Expand a whole program (a list of top-level forms).
+
+    ``extend-syntax``/``define-syntax`` forms register macros in ``env``
+    and produce no IR; ``define`` forms become :class:`DefineTop`;
+    top-level ``begin`` splices.
+    """
+    if env is None:
+        env = ExpandEnv()
+    out: list[Node] = []
+    work = list(forms)
+    index = 0
+    while index < len(work):
+        form = work[index]
+        index += 1
+        # Macro-expand head position so macros can produce definitions.
+        while (
+            isinstance(form, Pair)
+            and isinstance(form.car, Symbol)
+            and env.macro_for(form.car) is not None
+        ):
+            form = env.macro_for(form.car).expand(form)  # type: ignore[union-attr]
+        if _is_form(form, _BEGIN, env):
+            work[index:index] = _proper(form, "begin")[1:]
+            continue
+        if _is_form(form, _EXTEND_SYNTAX, env):
+            macro = _parse_extend_syntax(form)
+            env.define_macro(macro.name, macro)
+            continue
+        if _is_form(form, _DEFINE_SYNTAX, env):
+            macro = _parse_define_syntax(form)
+            env.define_macro(macro.name, macro)
+            continue
+        if _is_form(form, _DEFINE, env):
+            name, value = _normalize_define(form)
+            out.append(DefineTop(name, _name_lambda(expand_expr(value, env), name)))
+            continue
+        out.append(expand_expr(form, env))
+    return out

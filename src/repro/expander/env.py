@@ -1,0 +1,53 @@
+"""Compile-time environment for the expander.
+
+Tracks two things:
+
+* the set of lexically bound identifiers (a binding for ``if`` shadows
+  the special form, as in real Scheme);
+* the table of user macros, shared by reference across the whole
+  program so a top-level ``extend-syntax`` is visible to later forms.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.datum import Symbol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.expander.syntax_rules import Macro
+
+__all__ = ["ExpandEnv"]
+
+
+class ExpandEnv:
+    """Expander environment: lexical scope + macro table."""
+
+    __slots__ = ("macros", "lexical")
+
+    def __init__(
+        self,
+        macros: dict[Symbol, "Macro"] | None = None,
+        lexical: frozenset[Symbol] = frozenset(),
+    ):
+        self.macros: dict[Symbol, "Macro"] = macros if macros is not None else {}
+        self.lexical = lexical
+
+    def bind(self, names: Iterable[Symbol]) -> "ExpandEnv":
+        """A child environment with ``names`` lexically bound.
+
+        The macro table is shared (macros are program-global), but a
+        lexical binding shadows a macro or core form of the same name.
+        """
+        return ExpandEnv(self.macros, self.lexical | frozenset(names))
+
+    def is_lexical(self, name: Symbol) -> bool:
+        return name in self.lexical
+
+    def macro_for(self, name: Symbol) -> "Macro | None":
+        if name in self.lexical:
+            return None
+        return self.macros.get(name)
+
+    def define_macro(self, name: Symbol, macro: "Macro") -> None:
+        self.macros[name] = macro

@@ -1,0 +1,83 @@
+"""Quasiquote expansion.
+
+``(quasiquote t)`` lowers into calls to ``cons``, ``append``,
+``list->vector`` and quoted constants, with correct handling of nested
+quasiquotes and of ``unquote-splicing``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.datum import NIL, MVector, Pair, Symbol, from_pylist, intern
+from repro.errors import ExpandError
+
+__all__ = ["expand_quasiquote"]
+
+_QUASIQUOTE = intern("quasiquote")
+_UNQUOTE = intern("unquote")
+_UNQUOTE_SPLICING = intern("unquote-splicing")
+_QUOTE = intern("quote")
+_CONS = intern("cons")
+_APPEND = intern("append")
+_LIST_TO_VECTOR = intern("list->vector")
+
+
+def _is_tagged(form: Any, tag: Symbol) -> bool:
+    return (
+        isinstance(form, Pair)
+        and form.car is tag
+        and isinstance(form.cdr, Pair)
+        and form.cdr.cdr is NIL
+    )
+
+
+def _quote(datum: Any) -> Any:
+    return from_pylist([_QUOTE, datum])
+
+
+def expand_quasiquote(template: Any, depth: int = 1) -> Any:
+    """Rewrite a quasiquote template (already stripped of the
+    ``quasiquote`` head) into ordinary expression syntax."""
+    if _is_tagged(template, _UNQUOTE):
+        inner = template.cdr.car
+        if depth == 1:
+            return inner
+        return from_pylist(
+            [_CONS, _quote(_UNQUOTE), expand_quasiquote(from_pylist([inner]), depth - 1)]
+        )
+    if _is_tagged(template, _QUASIQUOTE):
+        inner = template.cdr.car
+        return from_pylist(
+            [_CONS, _quote(_QUASIQUOTE), expand_quasiquote(from_pylist([inner]), depth + 1)]
+        )
+    if isinstance(template, Pair):
+        head = template.car
+        if _is_tagged(head, _UNQUOTE_SPLICING):
+            spliced = head.cdr.car
+            if depth == 1:
+                return from_pylist(
+                    [_APPEND, spliced, expand_quasiquote(template.cdr, depth)]
+                )
+            rebuilt = from_pylist(
+                [
+                    _CONS,
+                    _quote(_UNQUOTE_SPLICING),
+                    expand_quasiquote(from_pylist([spliced]), depth - 1),
+                ]
+            )
+            return from_pylist([_CONS, rebuilt, expand_quasiquote(template.cdr, depth)])
+        if head is _UNQUOTE_SPLICING:
+            raise ExpandError("unquote-splicing in non-list position")
+        return from_pylist(
+            [
+                _CONS,
+                expand_quasiquote(head, depth),
+                expand_quasiquote(template.cdr, depth),
+            ]
+        )
+    if isinstance(template, MVector):
+        as_list = from_pylist(list(template.items))
+        return from_pylist([_LIST_TO_VECTOR, expand_quasiquote(as_list, depth)])
+    # Atoms (symbols included) are constants.
+    return _quote(template)

@@ -1,0 +1,257 @@
+"""Pattern-matching macros: ``extend-syntax`` / ``syntax-rules``.
+
+The matcher supports the pattern language the paper relies on:
+
+* literal keywords (the extra names in ``(extend-syntax (name key ...)``
+  or the literals list of ``syntax-rules``);
+* pattern variables (any other symbol);
+* ``...`` ellipsis following a subpattern, matching zero or more
+  occurrences, at any nesting depth;
+* nested list and dotted-pair patterns, and constant patterns
+  (numbers, strings, booleans, characters).
+
+Templates substitute pattern variables and expand ellipses; a template
+ellipsis iterates over the sequences captured by the pattern variables
+appearing inside it.  Expansion is non-hygienic, like the historical
+``extend-syntax``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.datum import NIL, Pair, Symbol, from_pylist, intern, is_equal
+from repro.errors import ExpandError
+
+__all__ = ["Macro", "Rule", "match_pattern", "instantiate", "ELLIPSIS"]
+
+ELLIPSIS = intern("...")
+_UNDERSCORE = intern("_")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One ``[pattern template]`` clause."""
+
+    pattern: Any
+    template: Any
+
+
+class Macro:
+    """A pattern macro with an ordered list of rules."""
+
+    __slots__ = ("name", "keywords", "rules")
+
+    def __init__(self, name: Symbol, keywords: frozenset[Symbol], rules: list[Rule]):
+        self.name = name
+        self.keywords = keywords
+        self.rules = rules
+
+    def expand(self, form: Any) -> Any:
+        """Expand one use of the macro; raises ExpandError if no rule
+        matches."""
+        for rule in self.rules:
+            bindings: dict[Symbol, Any] = {}
+            if match_pattern(rule.pattern, form, self.keywords, bindings, self.name):
+                return instantiate(rule.template, bindings)
+        raise ExpandError(f"no {self.name.name} rule matches: {form!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"#<macro {self.name.name}>"
+
+
+class _EllipsisMatch:
+    """Marker wrapper: the value bound to a pattern variable under an
+    ellipsis is a list of per-iteration values."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: list[Any]):
+        self.items = items
+
+
+def pattern_variables(pattern: Any, keywords: frozenset[Symbol]) -> set[Symbol]:
+    """All pattern variables occurring in ``pattern``."""
+    out: set[Symbol] = set()
+    stack = [pattern]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Symbol):
+            if node not in keywords and node is not ELLIPSIS and node is not _UNDERSCORE:
+                out.add(node)
+        elif isinstance(node, Pair):
+            stack.append(node.car)
+            stack.append(node.cdr)
+    return out
+
+
+def match_pattern(
+    pattern: Any,
+    form: Any,
+    keywords: frozenset[Symbol],
+    bindings: dict[Symbol, Any],
+    macro_name: Symbol | None = None,
+) -> bool:
+    """Try to match ``form`` against ``pattern``, extending ``bindings``.
+
+    The head position of the top-level pattern is treated as the macro
+    keyword itself (matched against anything), mirroring
+    ``extend-syntax`` where the pattern's first element is the macro
+    name.
+    """
+    if isinstance(pattern, Symbol):
+        if pattern is _UNDERSCORE:
+            return True
+        if pattern in keywords or pattern is macro_name:
+            return isinstance(form, Symbol) and form is pattern or form is pattern
+        bindings[pattern] = form
+        return True
+    if isinstance(pattern, Pair):
+        # Ellipsis pattern: (sub ... . rest)
+        if isinstance(pattern.cdr, Pair) and pattern.cdr.car is ELLIPSIS:
+            sub = pattern.car
+            rest_pattern = pattern.cdr.cdr
+            # Count minimum forms required by the rest pattern.
+            min_rest = _min_length(rest_pattern)
+            items: list[Any] = []
+            node = form
+            while isinstance(node, Pair):
+                items.append(node.car)
+                node = node.cdr
+            tail = node
+            if len(items) < min_rest:
+                return False
+            n_repeat = len(items) - min_rest
+            repeated, remainder = items[:n_repeat], items[n_repeat:]
+            per_var: dict[Symbol, list[Any]] = {
+                v: [] for v in pattern_variables(sub, keywords)
+            }
+            for item in repeated:
+                sub_bind: dict[Symbol, Any] = {}
+                if not match_pattern(sub, item, keywords, sub_bind, macro_name):
+                    return False
+                for var in per_var:
+                    per_var[var].append(sub_bind.get(var))
+            for var, vals in per_var.items():
+                bindings[var] = _EllipsisMatch(vals)
+            return match_pattern(
+                rest_pattern, from_pylist(remainder, tail), keywords, bindings, macro_name
+            )
+        if not isinstance(form, Pair):
+            return False
+        return match_pattern(
+            pattern.car, form.car, keywords, bindings, macro_name
+        ) and match_pattern(pattern.cdr, form.cdr, keywords, bindings, macro_name)
+    if pattern is NIL:
+        return form is NIL
+    # Constant pattern.
+    return is_equal(pattern, form)
+
+
+def _min_length(pattern: Any) -> int:
+    """Number of list elements a rest-pattern necessarily consumes."""
+    n = 0
+    node = pattern
+    while isinstance(node, Pair):
+        if isinstance(node.cdr, Pair) and node.cdr.car is ELLIPSIS:
+            node = node.cdr.cdr
+            continue
+        n += 1
+        node = node.cdr
+    return n
+
+
+def instantiate(
+    template: Any, bindings: dict[Symbol, Any], allow_nested: bool = False
+) -> Any:
+    """Fill ``template`` with ``bindings``.
+
+    ``allow_nested`` is set while expanding the body of a template
+    ellipsis that is followed by further ellipses (``a ... ...``): a
+    pattern variable still holding a nested match then renders as the
+    list of its items, so the outer ellipses can splice it flat.
+    """
+    if isinstance(template, Symbol):
+        if template in bindings:
+            value = bindings[template]
+            if isinstance(value, _EllipsisMatch):
+                if allow_nested:
+                    return _match_to_datum(value)
+                raise ExpandError(
+                    f"pattern variable {template.name} used without ellipsis"
+                )
+            return value
+        return template
+    if isinstance(template, Pair):
+        # (... ...) escape: a literal ellipsis.
+        if (
+            template.car is ELLIPSIS
+            and isinstance(template.cdr, Pair)
+            and template.cdr.cdr is NIL
+        ):
+            return _strip_ellipsis_escape(template.cdr.car)
+        if isinstance(template.cdr, Pair) and template.cdr.car is ELLIPSIS:
+            sub = template.car
+            rest = template.cdr.cdr
+            # Extra ellipses after the first splice the iterations flat.
+            extra = 0
+            while isinstance(rest, Pair) and rest.car is ELLIPSIS:
+                extra += 1
+                rest = rest.cdr
+            vars_in_sub = [v for v in _template_vars(sub) if isinstance(bindings.get(v), _EllipsisMatch)]
+            if not vars_in_sub:
+                raise ExpandError("ellipsis template with no ellipsis variables")
+            lengths = {len(bindings[v].items) for v in vars_in_sub}
+            if len(lengths) > 1:
+                raise ExpandError(
+                    "ellipsis variables matched different lengths: "
+                    + ", ".join(v.name for v in vars_in_sub)
+                )
+            (length,) = lengths
+            expansions: list[Any] = []
+            for index in range(length):
+                iter_bindings = dict(bindings)
+                for var in vars_in_sub:
+                    iter_bindings[var] = bindings[var].items[index]
+                expansions.append(instantiate(sub, iter_bindings, extra > 0))
+            for _ in range(extra):
+                flattened: list[Any] = []
+                for piece in expansions:
+                    node = piece
+                    while isinstance(node, Pair):
+                        flattened.append(node.car)
+                        node = node.cdr
+                expansions = flattened
+            return from_pylist(expansions, instantiate(rest, bindings, allow_nested))
+        return Pair(
+            instantiate(template.car, bindings, allow_nested),
+            instantiate(template.cdr, bindings, allow_nested),
+        )
+    return template
+
+
+def _match_to_datum(match: "_EllipsisMatch") -> Any:
+    """Render a (possibly nested) ellipsis match as a Scheme list."""
+    return from_pylist(
+        [_match_to_datum(x) if isinstance(x, _EllipsisMatch) else x for x in match.items]
+    )
+
+
+def _template_vars(template: Any) -> set[Symbol]:
+    out: set[Symbol] = set()
+    stack = [template]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Symbol):
+            if node is not ELLIPSIS:
+                out.add(node)
+        elif isinstance(node, Pair):
+            stack.append(node.car)
+            stack.append(node.cdr)
+    return out
+
+
+def _strip_ellipsis_escape(template: Any) -> Any:
+    """Return template verbatim (the ``(... template)`` escape)."""
+    return template

@@ -1,0 +1,36 @@
+"""Core intermediate representation.
+
+The expander lowers every surface form into the eight node types defined
+in :mod:`repro.ir.nodes`.  The abstract machine evaluates exactly this
+IR; nothing downstream ever sees surface syntax or macros.
+"""
+
+from repro.ir.nodes import (
+    Node,
+    Const,
+    Var,
+    Lambda,
+    App,
+    If,
+    SetBang,
+    Seq,
+    DefineTop,
+    Pcall,
+)
+from repro.ir.free_vars import free_variables
+from repro.ir.pretty import pretty
+
+__all__ = [
+    "Node",
+    "Const",
+    "Var",
+    "Lambda",
+    "App",
+    "If",
+    "SetBang",
+    "Seq",
+    "DefineTop",
+    "Pcall",
+    "free_variables",
+    "pretty",
+]

@@ -1,0 +1,69 @@
+"""Free-variable analysis over the IR.
+
+Used by tests (to check expander output), by the pretty printer, and by
+the Section 6 bridge when translating IR into λ-calculus terms.
+"""
+
+from __future__ import annotations
+
+from repro.datum import Symbol
+from repro.ir.nodes import (
+    App,
+    Const,
+    DefineTop,
+    If,
+    Lambda,
+    Node,
+    Pcall,
+    Seq,
+    SetBang,
+    Var,
+)
+
+__all__ = ["free_variables"]
+
+
+def free_variables(node: Node) -> frozenset[Symbol]:
+    """The set of variables referenced but not bound within ``node``."""
+    out: set[Symbol] = set()
+    # Explicit stack of (node, bound-set) to stay safe on deep IR.
+    stack: list[tuple[Node, frozenset[Symbol]]] = [(node, frozenset())]
+    while stack:
+        current, bound = stack.pop()
+        if isinstance(current, Const):
+            continue
+        if isinstance(current, Var):
+            if current.name not in bound:
+                out.add(current.name)
+            continue
+        if isinstance(current, Lambda):
+            inner = bound | set(current.params)
+            if current.rest is not None:
+                inner = inner | {current.rest}
+            stack.append((current.body, frozenset(inner)))
+            continue
+        if isinstance(current, App):
+            stack.append((current.fn, bound))
+            stack.extend((arg, bound) for arg in current.args)
+            continue
+        if isinstance(current, If):
+            stack.append((current.test, bound))
+            stack.append((current.then, bound))
+            stack.append((current.els, bound))
+            continue
+        if isinstance(current, SetBang):
+            if current.name not in bound:
+                out.add(current.name)
+            stack.append((current.expr, bound))
+            continue
+        if isinstance(current, Seq):
+            stack.extend((e, bound) for e in current.exprs)
+            continue
+        if isinstance(current, DefineTop):
+            stack.append((current.expr, bound))
+            continue
+        if isinstance(current, Pcall):
+            stack.extend((e, bound) for e in current.exprs)
+            continue
+        raise TypeError(f"unknown IR node: {current!r}")
+    return frozenset(out)

@@ -1,0 +1,127 @@
+"""IR node definitions.
+
+All nodes are immutable.  ``Pcall`` is the tree-structured concurrency
+form from the paper (Multilisp's ``pcall``): all subexpressions —
+operator included — are evaluated in parallel branches of the process
+tree, then the operator value is applied to the argument values as in a
+normal call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.datum import Symbol
+
+__all__ = [
+    "Node",
+    "Const",
+    "Var",
+    "Lambda",
+    "App",
+    "If",
+    "SetBang",
+    "Seq",
+    "DefineTop",
+    "Pcall",
+]
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base class for IR nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Const(Node):
+    """A self-evaluating constant (also the result of ``quote``)."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class Var(Node):
+    """A variable reference, resolved at run time against the
+    environment chain (lexical frames, then the global table)."""
+
+    name: Symbol
+
+    def __repr__(self) -> str:
+        return f"Var({self.name.name})"
+
+
+@dataclass(frozen=True)
+class Lambda(Node):
+    """A procedure abstraction.
+
+    ``params`` are the required formals; ``rest`` (if not None) collects
+    extra arguments into a list, covering both ``(lambda (a . r) ...)``
+    and ``(lambda args ...)`` (empty params, rest = args).
+    ``name`` is a debug label filled in by ``define``/``let`` when the
+    procedure has an obvious name.
+    """
+
+    params: tuple[Symbol, ...]
+    rest: Symbol | None
+    body: Node
+    name: str | None = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class App(Node):
+    """Procedure application with left-to-right evaluation."""
+
+    fn: Node
+    args: tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class If(Node):
+    """Two- or one-armed conditional (missing alternative becomes
+    ``Const(UNSPECIFIED)`` in the expander)."""
+
+    test: Node
+    then: Node
+    els: Node
+
+
+@dataclass(frozen=True)
+class SetBang(Node):
+    """Assignment to an existing binding."""
+
+    name: Symbol
+    expr: Node
+
+
+@dataclass(frozen=True)
+class Seq(Node):
+    """``begin``: evaluate in order, yield the last value.
+
+    The expander guarantees ``exprs`` is non-empty.
+    """
+
+    exprs: tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class DefineTop(Node):
+    """A top-level definition.  Only legal at program top level; the
+    expander rewrites internal defines into ``letrec``."""
+
+    name: Symbol
+    expr: Node
+
+
+@dataclass(frozen=True)
+class Pcall(Node):
+    """Tree-structured parallel call.
+
+    ``exprs[0]`` is the operator expression, ``exprs[1:]`` the argument
+    expressions; all are evaluated concurrently (one process-tree branch
+    each) and joined into an ordinary application.
+    """
+
+    exprs: tuple[Node, ...]

@@ -1,0 +1,60 @@
+"""Render IR back into readable s-expression text (for debugging and
+for golden tests on the expander)."""
+
+from __future__ import annotations
+
+from repro.datum import scheme_repr
+from repro.ir.nodes import (
+    App,
+    Const,
+    DefineTop,
+    If,
+    Lambda,
+    Node,
+    Pcall,
+    Seq,
+    SetBang,
+    Var,
+)
+
+__all__ = ["pretty"]
+
+
+def pretty(node: Node) -> str:
+    """One-line s-expression rendering of an IR tree."""
+    if isinstance(node, Const):
+        value = node.value
+        rendered = scheme_repr(value)
+        # Symbols and lists must be quoted to read back as constants.
+        from repro.datum import NIL, Pair, Symbol
+
+        if isinstance(value, (Symbol, Pair)) or value is NIL:
+            return f"'{rendered}"
+        return rendered
+    if isinstance(node, Var):
+        return node.name.name
+    if isinstance(node, Lambda):
+        params = [p.name for p in node.params]
+        if node.rest is not None:
+            formals = (
+                "(" + " ".join(params) + " . " + node.rest.name + ")"
+                if params
+                else node.rest.name
+            )
+        else:
+            formals = "(" + " ".join(params) + ")"
+        return f"(lambda {formals} {pretty(node.body)})"
+    if isinstance(node, App):
+        inner = " ".join([pretty(node.fn)] + [pretty(a) for a in node.args])
+        return f"({inner})"
+    if isinstance(node, If):
+        return f"(if {pretty(node.test)} {pretty(node.then)} {pretty(node.els)})"
+    if isinstance(node, SetBang):
+        return f"(set! {node.name.name} {pretty(node.expr)})"
+    if isinstance(node, Seq):
+        return "(begin " + " ".join(pretty(e) for e in node.exprs) + ")"
+    if isinstance(node, DefineTop):
+        return f"(define {node.name.name} {pretty(node.expr)})"
+    if isinstance(node, Pcall):
+        return "(pcall " + " ".join(pretty(e) for e in node.exprs) + ")"
+    raise TypeError(f"unknown IR node: {node!r}")

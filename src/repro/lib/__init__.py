@@ -1,0 +1,14 @@
+"""Scheme-level library code.
+
+* :data:`repro.lib.prelude.PRELUDE` — list/higher-order utilities and
+  the binary-tree helpers the paper's ``parallel-search`` assumes,
+  written in the embedded Scheme and loaded into every interpreter.
+* :mod:`repro.lib.paper_examples` — every program that appears in the
+  paper, verbatim modulo subscripts, as named source strings.
+"""
+
+from repro.lib.prelude import PRELUDE
+from repro.lib import paper_examples
+from repro.lib.derived import LIBRARIES
+
+__all__ = ["PRELUDE", "paper_examples", "LIBRARIES"]

@@ -1,0 +1,167 @@
+"""Every program that appears in the paper, as named Scheme sources.
+
+Subscripted names (``product₀``) are spelled with ASCII (``product0``);
+everything else is verbatim.  Tests in ``tests/lib`` and the benchmark
+harness load these rather than re-typing the programs, so the repo has
+exactly one copy of each paper figure.
+"""
+
+# Section 2 — make-cell (first-class procedures demonstration).
+MAKE_CELL = r"""
+(define make-cell
+  (lambda (x)
+    (cons (lambda () x)
+          (lambda (v) (set! x v)))))
+"""
+
+# Section 3 — product with an escape continuation.
+PRODUCT0 = r"""
+(define product0
+  (lambda (ls exit)
+    (cond
+      [(null? ls) 1]
+      [(= (car ls) 0) (exit 0)]
+      [else (* (car ls) (product0 (cdr ls) exit))])))
+"""
+
+PRODUCT_CALLCC = r"""
+(define product
+  (lambda (ls)
+    (call/cc
+      (lambda (exit)
+        (product0 ls exit)))))
+"""
+
+# The same, with the leaf policy, for use inside pcall branches.
+PRODUCT_CALLCC_LEAF = r"""
+(define product-leaf
+  (lambda (ls)
+    (call/cc-leaf
+      (lambda (exit)
+        (product0 ls exit)))))
+"""
+
+# Section 3 — the shared-exit product of two lists (sequential).
+PRODUCT_OF_PRODUCTS_CALLCC = r"""
+(define (product-of-products ls1 ls2)
+  (call/cc
+    (lambda (k)
+      (* (product0 ls1 k)
+         (product0 ls2 k)))))
+"""
+
+# Section 5 — spawn/exit: the general-purpose nonlocal exit.
+SPAWN_EXIT = r"""
+(define spawn/exit
+  (lambda (proc)
+    (spawn
+      (lambda (controller)
+        (proc (lambda (exit-value)
+                (controller (lambda (ignored-continuation) exit-value))))))))
+"""
+
+# Section 5 — sum of concurrently computed products (branch-local exits).
+SUM_OF_PRODUCTS = r"""
+(define (sum-of-products ls1 ls2)
+  (pcall +
+         (spawn/exit (lambda (exit) (product0 ls1 exit)))
+         (spawn/exit (lambda (exit) (product0 ls2 exit)))))
+"""
+
+# Section 5 — product of concurrently computed products (subtree abort).
+PRODUCT_OF_PRODUCTS_SPAWN = r"""
+(define (product-of-products/spawn ls1 ls2)
+  (spawn/exit
+    (lambda (exit)
+      (pcall * (product0 ls1 exit) (product0 ls2 exit)))))
+"""
+
+# Section 5 — first-true and parallel-or.  If neither branch exits,
+# the operator branch yields the identity procedure and the argument
+# branch yields #f, so the pcall "returns an identity procedure applied
+# to a false value" exactly as the paper describes.
+FIRST_TRUE = r"""
+(define first-true
+  (lambda (proc1 proc2)
+    (spawn/exit
+      (lambda (exit)
+        (pcall
+          (let ([v (proc1)]) (when v (exit v)) (lambda (x) x))
+          (let ([v (proc2)]) (when v (exit v)) #f))))))
+"""
+
+PARALLEL_OR = r"""
+(extend-syntax (parallel-or)
+  [(parallel-or e1 e2)
+   (first-true (lambda () e1) (lambda () e2))])
+"""
+
+# Section 5 — parallel-search: suspend on a hit, resume on demand.
+PARALLEL_SEARCH = r"""
+(define parallel-search
+  (lambda (tree predicate?)
+    (spawn
+      (lambda (c)
+        (define search
+          (lambda (tree)
+            (unless (empty? tree)
+              (pcall
+                (lambda (x y z) #f)
+                (when (predicate? (node tree))
+                  (c (lambda (k)
+                       (cons (node tree)
+                             (lambda ()
+                               (k #f))))))
+                (search (left tree))
+                (search (right tree))))))
+        (search tree)
+        #f))))
+"""
+
+SEARCH_ALL = r"""
+(define search-all
+  (lambda (tree predicate?)
+    (let loop ([result (parallel-search tree predicate?)])
+      (if (pair? result)
+          (cons (car result) (loop ((cdr result))))
+          '()))))
+"""
+
+# Section 4 — the three controller-validity examples, as expressions.
+INVALID_AFTER_RETURN = r"""
+((spawn (lambda (c) c)) (lambda (k) k))
+"""
+
+INVALID_AFTER_USE = r"""
+(spawn
+  (lambda (c)
+    (c (lambda (k)
+         (c (lambda (k2) k2))))))
+"""
+
+VALID_AFTER_REINSTATEMENT = r"""
+(spawn (lambda (c)
+         (c (c (lambda (k)
+                 (k (lambda (k)
+                      (k (lambda (k) k)))))))))
+"""
+
+#: Everything a loader needs: name -> (source, kind) where kind is
+#: "definitions" (top-level defines/macros) or "expression".
+ALL = {
+    "make-cell": (MAKE_CELL, "definitions"),
+    "product0": (PRODUCT0, "definitions"),
+    "product-callcc": (PRODUCT_CALLCC, "definitions"),
+    "product-callcc-leaf": (PRODUCT_CALLCC_LEAF, "definitions"),
+    "product-of-products-callcc": (PRODUCT_OF_PRODUCTS_CALLCC, "definitions"),
+    "spawn/exit": (SPAWN_EXIT, "definitions"),
+    "sum-of-products": (SUM_OF_PRODUCTS, "definitions"),
+    "product-of-products-spawn": (PRODUCT_OF_PRODUCTS_SPAWN, "definitions"),
+    "first-true": (FIRST_TRUE, "definitions"),
+    "parallel-or": (PARALLEL_OR, "definitions"),
+    "parallel-search": (PARALLEL_SEARCH, "definitions"),
+    "search-all": (SEARCH_ALL, "definitions"),
+    "invalid-after-return": (INVALID_AFTER_RETURN, "expression"),
+    "invalid-after-use": (INVALID_AFTER_USE, "expression"),
+    "valid-after-reinstatement": (VALID_AFTER_REINSTATEMENT, "expression"),
+}

@@ -1,0 +1,165 @@
+"""The Scheme prelude, loaded into every interpreter.
+
+Everything here is ordinary Scheme over the primitives — exercising the
+expander and machine on real library code.  The binary-tree helpers
+(``make-tree``/``empty?``/``node``/``left``/``right``) provide the
+representation Section 5's ``parallel-search`` example presumes.
+"""
+
+PRELUDE = r"""
+;; ------------------------------------------------------------------
+;; Higher-order list utilities
+;; ------------------------------------------------------------------
+
+(define (map f ls . more)
+  (define (map1 ls)
+    (if (null? ls)
+        '()
+        (cons (f (car ls)) (map1 (cdr ls)))))
+  (define (any-null? lss)
+    (cond
+      [(null? lss) #f]
+      [(null? (car lss)) #t]
+      [else (any-null? (cdr lss))]))
+  (define (cars lss)
+    (if (null? lss) '() (cons (car (car lss)) (cars (cdr lss)))))
+  (define (cdrs lss)
+    (if (null? lss) '() (cons (cdr (car lss)) (cdrs (cdr lss)))))
+  (define (mapn lss)
+    (if (any-null? lss)
+        '()
+        (cons (apply f (cars lss)) (mapn (cdrs lss)))))
+  (if (null? more)
+      (map1 ls)
+      (mapn (cons ls more))))
+
+(define (for-each f ls . more)
+  (if (null? more)
+      (let loop ([ls ls])
+        (unless (null? ls)
+          (f (car ls))
+          (loop (cdr ls))))
+      (let loop ([lss (cons ls more)])
+        (unless (memv '() lss)
+          (apply f (map car lss))
+          (loop (map cdr lss))))))
+
+(define (filter keep? ls)
+  (cond
+    [(null? ls) '()]
+    [(keep? (car ls)) (cons (car ls) (filter keep? (cdr ls)))]
+    [else (filter keep? (cdr ls))]))
+
+(define (fold-left f init ls)
+  (if (null? ls)
+      init
+      (fold-left f (f init (car ls)) (cdr ls))))
+
+(define (fold-right f init ls)
+  (if (null? ls)
+      init
+      (f (car ls) (fold-right f init (cdr ls)))))
+
+(define (reduce f init ls)
+  (if (null? ls) init (fold-left f (car ls) (cdr ls))))
+
+(define (remove x ls)
+  (filter (lambda (y) (not (equal? x y))) ls))
+
+(define (list-copy ls)
+  (if (null? ls) '() (cons (car ls) (list-copy (cdr ls)))))
+
+(define (list-index pred? ls)
+  (let loop ([ls ls] [i 0])
+    (cond
+      [(null? ls) #f]
+      [(pred? (car ls)) i]
+      [else (loop (cdr ls) (+ i 1))])))
+
+(define (count pred? ls)
+  (fold-left (lambda (n x) (if (pred? x) (+ n 1) n)) 0 ls))
+
+(define (andmap pred? ls)
+  (cond
+    [(null? ls) #t]
+    [(pred? (car ls)) (andmap pred? (cdr ls))]
+    [else #f]))
+
+(define (ormap pred? ls)
+  (cond
+    [(null? ls) #f]
+    [(pred? (car ls)) #t]
+    [else (ormap pred? (cdr ls))]))
+
+;; ------------------------------------------------------------------
+;; Binary trees (the representation Section 5's examples assume)
+;; ------------------------------------------------------------------
+
+;; A tree is either '() (empty) or (vector node-value left right).
+
+(define the-empty-tree '())
+
+(define (empty? tree) (null? tree))
+
+(define (make-tree value left right) (vector value left right))
+
+(define (leaf value) (make-tree value '() '()))
+
+(define (node tree) (vector-ref tree 0))
+(define (left tree) (vector-ref tree 1))
+(define (right tree) (vector-ref tree 2))
+
+(define (tree-insert tree value)
+  ;; Binary-search-tree insertion; used by tests and benches to build
+  ;; deterministic trees.
+  (if (empty? tree)
+      (leaf value)
+      (if (< value (node tree))
+          (make-tree (node tree) (tree-insert (left tree) value) (right tree))
+          (make-tree (node tree) (left tree) (tree-insert (right tree) value)))))
+
+(define (list->tree ls)
+  (fold-left tree-insert the-empty-tree ls))
+
+(define (tree-size tree)
+  (if (empty? tree)
+      0
+      (+ 1 (tree-size (left tree)) (tree-size (right tree)))))
+
+(define (tree->list tree)
+  ;; In-order walk.
+  (if (empty? tree)
+      '()
+      (append (tree->list (left tree))
+              (cons (node tree) (tree->list (right tree))))))
+
+;; ------------------------------------------------------------------
+;; Promises (R3RS delay/force, memoized)
+;; ------------------------------------------------------------------
+
+(define (make-promise thunk)
+  (let ([done #f] [value #f])
+    (lambda ()
+      (unless done
+        (let ([v (thunk)])
+          ;; Re-check: the thunk may have forced this promise itself.
+          (unless done
+            (set! value v)
+            (set! done #t))))
+      value)))
+
+(extend-syntax (delay)
+  [(delay e) (make-promise (lambda () e))])
+
+(define (force promise) (promise))
+
+;; ------------------------------------------------------------------
+;; Miscellany
+;; ------------------------------------------------------------------
+
+(define (compose f g) (lambda args (f (apply g args))))
+
+(define (identity x) x)
+
+(define (constantly x) (lambda args x))
+"""

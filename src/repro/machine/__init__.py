@@ -1,0 +1,86 @@
+"""The abstract machine.
+
+A running program is a **process tree** (Section 7 of the paper): a tree
+of *labeled stacks*.  The leaves are :class:`~repro.machine.task.Task`
+objects — each holds a control (the expression or value being worked
+on), an environment, and a **segment**: an immutable chain of
+continuation frames.  Interior nodes are **control points**:
+
+* :class:`~repro.machine.links.LabelLink` — a process root created by
+  ``spawn`` (or a prompt, which is a label no controller knows);
+* :class:`~repro.machine.links.Join` — a fork created by ``pcall``.
+
+Frames are persistent (never mutated after creation), so capturing a
+subtree of the computation — the core operation behind process
+continuations — moves or clones only the *control points*, giving the
+paper's complexity bound: **linear in labels + forks, independent of
+continuation size**.
+
+:class:`~repro.machine.scheduler.Machine` drives everything with a
+deterministic interleaving scheduler.
+"""
+
+from repro.machine.values import Closure, Primitive, ControlPrimitive
+from repro.machine.environment import Environment, GlobalEnv
+from repro.machine.frames import (
+    Frame,
+    AppFrame,
+    IfFrame,
+    SeqFrame,
+    SetFrame,
+    DefineFrame,
+)
+from repro.machine.links import (
+    Label,
+    PromptLabel,
+    HaltLink,
+    LabelLink,
+    ForkLink,
+    Join,
+    TOMBSTONE,
+)
+from repro.machine.task import Task, TaskState
+from repro.machine.tree import (
+    replace_child,
+    child_of,
+    parent_of,
+    find_label_link,
+    collect_subtree,
+    capture_subtree,
+    reinstate,
+    Capture,
+)
+from repro.machine.scheduler import Machine, SchedulerPolicy
+
+__all__ = [
+    "Closure",
+    "Primitive",
+    "ControlPrimitive",
+    "Environment",
+    "GlobalEnv",
+    "Frame",
+    "AppFrame",
+    "IfFrame",
+    "SeqFrame",
+    "SetFrame",
+    "DefineFrame",
+    "Label",
+    "PromptLabel",
+    "HaltLink",
+    "LabelLink",
+    "ForkLink",
+    "Join",
+    "TOMBSTONE",
+    "Task",
+    "TaskState",
+    "replace_child",
+    "child_of",
+    "parent_of",
+    "find_label_link",
+    "collect_subtree",
+    "capture_subtree",
+    "reinstate",
+    "Capture",
+    "Machine",
+    "SchedulerPolicy",
+]

@@ -1,0 +1,93 @@
+"""Lexical environments and the global table.
+
+Environments form a parent chain of small dicts (one rib per procedure
+application).  The *store* is deliberately shared, never captured:
+reinstating a process continuation twice sees any side effects made in
+between, exactly as in Scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.datum import Symbol
+from repro.errors import UnboundVariableError
+
+__all__ = ["Environment", "GlobalEnv"]
+
+
+class GlobalEnv:
+    """The top-level binding table."""
+
+    __slots__ = ("table",)
+
+    def __init__(self) -> None:
+        self.table: dict[Symbol, Any] = {}
+
+    def lookup(self, name: Symbol) -> Any:
+        try:
+            return self.table[name]
+        except KeyError:
+            raise UnboundVariableError(name.name) from None
+
+    def define(self, name: Symbol, value: Any) -> None:
+        self.table[name] = value
+
+    def assign(self, name: Symbol, value: Any) -> None:
+        if name not in self.table:
+            raise UnboundVariableError(name.name)
+        self.table[name] = value
+
+    def __contains__(self, name: Symbol) -> bool:
+        return name in self.table
+
+    def __iter__(self) -> Iterator[Symbol]:
+        return iter(self.table)
+
+
+class Environment:
+    """One lexical rib: ``names -> boxes`` plus a parent pointer.
+
+    Bindings are stored directly in the dict; ``set!`` mutates in
+    place.  Closures capture the Environment object, so mutation is
+    visible to every closure sharing the rib (required for ``letrec``
+    and the internal-define lowering).
+    """
+
+    __slots__ = ("bindings", "parent", "globals")
+
+    def __init__(
+        self,
+        bindings: dict[Symbol, Any],
+        parent: "Environment | None",
+        globals_: GlobalEnv,
+    ):
+        self.bindings = bindings
+        self.parent = parent
+        self.globals = globals_
+
+    @classmethod
+    def toplevel(cls, globals_: GlobalEnv) -> "Environment":
+        return cls({}, None, globals_)
+
+    def extend(self, names: tuple[Symbol, ...], values: list[Any]) -> "Environment":
+        """A child rib binding ``names`` to ``values`` pairwise."""
+        return Environment(dict(zip(names, values)), self, self.globals)
+
+    def lookup(self, name: Symbol) -> Any:
+        env: Environment | None = self
+        while env is not None:
+            bindings = env.bindings
+            if name in bindings:
+                return bindings[name]
+            env = env.parent
+        return self.globals.lookup(name)
+
+    def assign(self, name: Symbol, value: Any) -> None:
+        env: Environment | None = self
+        while env is not None:
+            if name in env.bindings:
+                env.bindings[name] = value
+                return
+            env = env.parent
+        self.globals.assign(name, value)

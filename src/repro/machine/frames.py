@@ -1,0 +1,133 @@
+"""Continuation frames.
+
+A *segment* is an immutable singly linked chain of frames: each frame
+holds all the information needed to continue when a value arrives, plus
+``next`` — the frame below it (``None`` means the segment bottom, where
+the task's link takes over).
+
+Frames are **never mutated after creation**.  This is the property the
+whole capture machinery relies on: a captured segment is just a pointer
+to its top frame, shared freely between the live tree and any number of
+process continuations (Section 7's "linear in control points" claim).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.datum import Symbol
+    from repro.ir import Node
+    from repro.machine.environment import Environment
+
+__all__ = [
+    "Frame",
+    "AppFrame",
+    "IfFrame",
+    "SeqFrame",
+    "SetFrame",
+    "DefineFrame",
+    "frame_chain_length",
+]
+
+
+class Frame:
+    """Base class for frames; only here for isinstance checks."""
+
+    __slots__ = ("next",)
+
+    next: "Frame | None"
+
+
+class AppFrame(Frame):
+    """An application in progress.
+
+    ``done`` holds the values computed so far (operator first);
+    ``pending`` the argument expressions still to evaluate.  When a
+    value arrives it is appended to ``done`` in a *new* frame; when
+    ``pending`` is empty the application fires.
+    """
+
+    __slots__ = ("done", "pending", "env")
+
+    def __init__(
+        self,
+        done: tuple[Any, ...],
+        pending: tuple["Node", ...],
+        env: "Environment",
+        next_: "Frame | None",
+    ):
+        self.done = done
+        self.pending = pending
+        self.env = env
+        self.next = next_
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"#<app-frame done={len(self.done)} pending={len(self.pending)}>"
+
+
+class IfFrame(Frame):
+    """Waiting for the test of an ``if``."""
+
+    __slots__ = ("then", "els", "env")
+
+    def __init__(self, then: "Node", els: "Node", env: "Environment", next_: "Frame | None"):
+        self.then = then
+        self.els = els
+        self.env = env
+        self.next = next_
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "#<if-frame>"
+
+
+class SeqFrame(Frame):
+    """Discard the incoming value, continue with the remaining
+    expressions of a ``begin``."""
+
+    __slots__ = ("remaining", "env")
+
+    def __init__(self, remaining: tuple["Node", ...], env: "Environment", next_: "Frame | None"):
+        self.remaining = remaining
+        self.env = env
+        self.next = next_
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"#<seq-frame remaining={len(self.remaining)}>"
+
+
+class SetFrame(Frame):
+    """Assign the incoming value to a lexical/global binding."""
+
+    __slots__ = ("name", "env")
+
+    def __init__(self, name: "Symbol", env: "Environment", next_: "Frame | None"):
+        self.name = name
+        self.env = env
+        self.next = next_
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"#<set!-frame {self.name.name}>"
+
+
+class DefineFrame(Frame):
+    """Bind the incoming value at top level."""
+
+    __slots__ = ("name", "env")
+
+    def __init__(self, name: "Symbol", env: "Environment", next_: "Frame | None"):
+        self.name = name
+        self.env = env
+        self.next = next_
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"#<define-frame {self.name.name}>"
+
+
+def frame_chain_length(frame: Frame | None) -> int:
+    """Length of a segment (test/bench helper)."""
+    n = 0
+    while frame is not None:
+        n += 1
+        frame = frame.next
+    return n

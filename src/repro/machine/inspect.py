@@ -1,0 +1,91 @@
+"""Process-tree introspection.
+
+:func:`render_tree` draws the live process tree as indented ASCII —
+used by tests asserting on tree *structure* (who is under which label,
+which branches a capture suspended) and handy when debugging control
+operators.  :func:`tree_summary` returns the same information as data.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.machine.frames import frame_chain_length
+from repro.machine.links import TOMBSTONE, Join, LabelLink, PromptLabel
+from repro.machine.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.scheduler import Machine
+
+__all__ = ["render_tree", "tree_summary", "render_entity"]
+
+
+def render_entity(entity: Any, indent: int = 0) -> list[str]:
+    """Recursive ASCII rendering of a subtree."""
+    pad = "  " * indent
+    if entity is None:
+        return [f"{pad}(empty)"]
+    if entity is TOMBSTONE:
+        return [f"{pad}(tombstone)"]
+    if isinstance(entity, Task):
+        tag = entity.control[0] if entity.control else "?"
+        return [
+            f"{pad}task#{entity.uid} [{entity.state.value}] control={tag} "
+            f"frames={frame_chain_length(entity.frames)}"
+        ]
+    if isinstance(entity, LabelLink):
+        kind = "prompt" if isinstance(entity.label, PromptLabel) else "label"
+        lines = [
+            f"{pad}{kind} {entity.label.name} "
+            f"(frames-above={frame_chain_length(entity.cont_frames)})"
+        ]
+        lines.extend(render_entity(entity.child, indent + 1))
+        return lines
+    if isinstance(entity, Join):
+        done = len(entity.slots) - entity.remaining
+        lines = [f"{pad}join {done}/{len(entity.slots)} delivered"]
+        for index, child in enumerate(entity.children):
+            lines.append(f"{pad}  branch {index}:")
+            lines.extend(render_entity(child, indent + 2))
+        return lines
+    return [f"{pad}?{entity!r}"]
+
+
+def render_tree(machine: "Machine") -> str:
+    """The whole live tree of ``machine`` as text."""
+    return "\n".join(render_entity(machine.root_entity))
+
+
+def tree_summary(entity: Any) -> dict[str, int]:
+    """Counts of labels, prompts, joins, tasks (by state) in a subtree."""
+    out = {
+        "labels": 0,
+        "prompts": 0,
+        "joins": 0,
+        "tasks": 0,
+        "runnable": 0,
+        "suspended": 0,
+        "tombstones": 0,
+    }
+    stack = [entity]
+    while stack:
+        node = stack.pop()
+        if node is None:
+            continue
+        if node is TOMBSTONE:
+            out["tombstones"] += 1
+        elif isinstance(node, Task):
+            out["tasks"] += 1
+            key = node.state.value
+            if key in out:
+                out[key] += 1
+        elif isinstance(node, LabelLink):
+            if isinstance(node.label, PromptLabel):
+                out["prompts"] += 1
+            else:
+                out["labels"] += 1
+            stack.append(node.child)
+        elif isinstance(node, Join):
+            out["joins"] += 1
+            stack.extend(node.children)
+    return out

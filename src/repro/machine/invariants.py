@@ -1,0 +1,145 @@
+"""Process-tree invariant checking.
+
+The capture/reinstate algebra maintains a bidirectional tree (upward
+links, downward child slots).  :func:`check_tree` walks the live tree
+of a machine and verifies every structural invariant; tests install it
+as a trace hook so *every* machine step of a whole test run is checked.
+
+Invariants:
+
+I1  child/parent coherence — for every entity `e` in the tree, the
+    child slot of `parent_of(e)` holds `e`.
+I2  join accounting — a join's `remaining` equals the number of
+    branches that are neither delivered nor tombstoned, and delivered
+    branches have empty child slots.
+I3  task states — every tree-resident task is RUNNABLE or WAITING on
+    a future placeholder (SUSPENDED and DEAD tasks must not be
+    reachable from the root).
+I4  frame sanity — every frame chain is finite and ends in None.
+I5  single residence — no entity appears twice in the tree.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.machine.frames import Frame
+from repro.machine.links import TOMBSTONE, ForkLink, Join, LabelLink
+from repro.machine.task import Task, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.scheduler import Machine
+
+__all__ = ["InvariantViolation", "check_tree", "install_checker"]
+
+
+class InvariantViolation(AssertionError):
+    """A process-tree invariant failed (always a machine bug)."""
+
+
+def _check_frames(frames: Frame | None, where: str) -> None:
+    seen: set[int] = set()
+    node = frames
+    while node is not None:
+        if id(node) in seen:
+            raise InvariantViolation(f"I4: cyclic frame chain at {where}")
+        seen.add(id(node))
+        if len(seen) > 1_000_000:  # pragma: no cover - safety valve
+            raise InvariantViolation(f"I4: frame chain too long at {where}")
+        node = node.next
+
+
+def check_tree(machine: "Machine") -> int:
+    """Verify all invariants on the live tree; returns the number of
+    entities visited.  Raises :class:`InvariantViolation` on failure.
+    """
+    root = machine.root_entity
+    if root is None or root is TOMBSTONE:
+        return 0
+    visited: set[int] = set()
+    count = 0
+    # Each stack entry: (entity, expected_parent_link)
+    stack: list[tuple[Any, Any]] = [(root, None)]
+    while stack:
+        entity, expected_parent = stack.pop()
+        if entity is None or entity is TOMBSTONE:
+            continue
+        if id(entity) in visited:
+            raise InvariantViolation(f"I5: entity appears twice: {entity!r}")
+        visited.add(id(entity))
+        count += 1
+        if isinstance(entity, Task):
+            if expected_parent is not None and entity.link is not expected_parent:
+                raise InvariantViolation(
+                    f"I1: task {entity!r} link does not point at its parent"
+                )
+            if entity.state not in (TaskState.RUNNABLE, TaskState.WAITING):
+                raise InvariantViolation(
+                    f"I3: non-runnable task in live tree: {entity!r}"
+                )
+            _check_frames(entity.frames, repr(entity))
+            continue
+        if isinstance(entity, LabelLink):
+            if expected_parent is not None and entity.cont_link is not expected_parent:
+                raise InvariantViolation(
+                    f"I1: label {entity!r} cont_link does not point at its parent"
+                )
+            _check_frames(entity.cont_frames, repr(entity))
+            stack.append((entity.child, entity))
+            continue
+        if isinstance(entity, Join):
+            if expected_parent is not None and entity.cont_link is not expected_parent:
+                raise InvariantViolation(
+                    f"I1: join {entity!r} cont_link does not point at its parent"
+                )
+            _check_frames(entity.cont_frames, repr(entity))
+            live = 0
+            for index, child in enumerate(entity.children):
+                if entity.delivered[index]:
+                    if child is not None:
+                        raise InvariantViolation(
+                            f"I2: delivered branch {index} of {entity!r} still "
+                            "has a child"
+                        )
+                    continue
+                if child is TOMBSTONE:
+                    continue
+                if child is None:
+                    raise InvariantViolation(
+                        f"I2: undelivered branch {index} of {entity!r} has no "
+                        "child and no tombstone"
+                    )
+                live += 1
+                # Child's upward pointer must be a ForkLink back to us.
+                up = child.link if isinstance(child, Task) else child.cont_link
+                if not (
+                    isinstance(up, ForkLink)
+                    and up.join is entity
+                    and up.index == index
+                ):
+                    raise InvariantViolation(
+                        f"I1: branch {index} of {entity!r} has a bad upward link"
+                    )
+                stack.append((child, up))
+            delivered = sum(1 for d in entity.delivered if d)
+            if entity.remaining != len(entity.slots) - delivered:
+                raise InvariantViolation(
+                    f"I2: join {entity!r} remaining={entity.remaining} but "
+                    f"{delivered}/{len(entity.slots)} delivered"
+                )
+            continue
+        raise InvariantViolation(f"unknown tree entity: {entity!r}")
+    return count
+
+
+def install_checker(machine: "Machine", every: int = 1) -> None:
+    """Install :func:`check_tree` as the machine's trace hook, checking
+    every ``every``-th step."""
+    counter = {"n": 0}
+
+    def hook(m: "Machine", task: Task) -> None:
+        counter["n"] += 1
+        if counter["n"] % every == 0:
+            check_tree(m)
+
+    machine.trace_hook = hook

@@ -1,0 +1,198 @@
+"""Links and control points: the interior structure of the process tree.
+
+A task's segment bottoms out in a **link**, which says where the value
+goes when the segment is exhausted:
+
+* :class:`HaltLink` — this is the root task of the machine; the value
+  is the program's answer.
+* :class:`LabelLink` — a process root created by ``spawn`` (the paper's
+  *labeled stack* boundary).  Returning through it removes the root.
+* :class:`ForkLink` — this segment is branch *i* of a ``pcall``
+  :class:`Join`; the value fills slot *i*.
+
+``LabelLink`` and ``Join`` are the tree's interior nodes — the paper's
+**control points**.  Both know their parent (``cont_frames`` +
+``cont_link``: the continuation *above* them) and their children, so
+subtrees can be collected downward in time linear in control points.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.frames import Frame
+    from repro.machine.task import Task
+
+__all__ = [
+    "Label",
+    "PromptLabel",
+    "HaltLink",
+    "LabelLink",
+    "ForkLink",
+    "Join",
+    "Link",
+    "Entity",
+    "TOMBSTONE",
+]
+
+_label_ids = itertools.count()
+
+
+class Label:
+    """The identity of a process root.
+
+    Each ``spawn`` creates exactly one Label; its controller refers to
+    it forever.  Several ``LabelLink`` instances may share one Label
+    when a process continuation has been reinstated more than once —
+    controller application then finds the *nearest* instance.
+    """
+
+    __slots__ = ("uid", "name")
+
+    def __init__(self, name: str | None = None):
+        self.uid = next(_label_ids)
+        self.name = name or f"l{self.uid}"
+
+    def __repr__(self) -> str:
+        return f"#<label {self.name}>"
+
+
+class PromptLabel(Label):
+    """A label created by ``call-with-prompt``.
+
+    ``F`` searches for the nearest link whose label is a
+    :class:`PromptLabel` of *any* identity — this is exactly the
+    paper's remark that prompts are "shadowed" because there is only
+    one recognizer for all of them, whereas every ``spawn`` root gets
+    its own.
+    """
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(name=None)
+        self.name = f"#{self.uid}"
+
+    def __repr__(self) -> str:
+        return f"#<prompt {self.name}>"
+
+
+class _Tombstone:
+    """Marks a child slot whose occupant abandoned its position (an
+    abortive traditional continuation left the branch).  A tombstoned
+    fork branch can never complete — faithfully modelling the orphaned
+    branch of Section 3."""
+
+    _instance: "_Tombstone | None" = None
+
+    def __new__(cls) -> "_Tombstone":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "#<tombstone>"
+
+
+TOMBSTONE = _Tombstone()
+
+
+class HaltLink:
+    """Bottom of a tree root's segment.
+
+    With ``placeholder=None`` this is the *main* tree: the arriving
+    value is the machine's answer.  With a placeholder it is the root
+    of an independent **future** tree (Section 8's forest): the value
+    resolves the placeholder and wakes its waiters.
+    """
+
+    __slots__ = ("machine", "placeholder", "child")
+
+    def __init__(self, machine: Any, placeholder: Any = None):
+        self.machine = machine
+        self.placeholder = placeholder
+        # For future trees the halt itself tracks its child; the main
+        # tree's child is machine.root_entity.
+        self.child: Any = None
+
+    def __repr__(self) -> str:
+        return "#<halt>" if self.placeholder is None else "#<future-halt>"
+
+
+class LabelLink:
+    """A process root in the tree.
+
+    ``cont_frames``/``cont_link`` form the continuation *above* the
+    root (what runs after the process returns, or after a controller
+    aborts to here).  ``child`` is the entity directly below: the task
+    running the process body, or a nested control point.
+    """
+
+    __slots__ = ("label", "cont_frames", "cont_link", "child")
+
+    def __init__(
+        self,
+        label: Label,
+        cont_frames: "Frame | None",
+        cont_link: "Link | None",
+        child: "Entity | _Tombstone | None" = None,
+    ):
+        self.label = label
+        self.cont_frames = cont_frames
+        self.cont_link = cont_link
+        self.child = child
+
+    def __repr__(self) -> str:
+        return f"#<label-link {self.label.name}>"
+
+
+class ForkLink:
+    """Upward pointer from a branch segment to its join."""
+
+    __slots__ = ("join", "index")
+
+    def __init__(self, join: "Join", index: int):
+        self.join = join
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"#<fork-link branch={self.index}>"
+
+
+class Join:
+    """A ``pcall`` in progress.
+
+    ``slots[i]`` receives the value of branch ``i`` (operator is branch
+    0); ``children[i]`` is the live entity of branch ``i`` or ``None``
+    once the branch has delivered (or :data:`TOMBSTONE` if abandoned).
+    When ``remaining`` hits zero the join fires: ``slots[0]`` is applied
+    to ``slots[1:]`` in the continuation above the join.
+    """
+
+    __slots__ = ("slots", "delivered", "remaining", "children", "cont_frames", "cont_link")
+
+    def __init__(
+        self,
+        nbranches: int,
+        cont_frames: "Frame | None",
+        cont_link: "Link | None",
+    ):
+        self.slots: list[Any] = [None] * nbranches
+        self.delivered: list[bool] = [False] * nbranches
+        self.remaining = nbranches
+        self.children: list["Entity | _Tombstone | None"] = [None] * nbranches
+        self.cont_frames = cont_frames
+        self.cont_link = cont_link
+
+    def __repr__(self) -> str:
+        return f"#<join {len(self.slots) - self.remaining}/{len(self.slots)}>"
+
+
+# A link is what a task's segment bottoms out in.
+Link = Union[HaltLink, LabelLink, ForkLink]
+
+# An entity is a node of the process tree: a leaf task or a control point.
+# (Task is defined in task.py; the union is documented here for readers.)
+Entity = Any

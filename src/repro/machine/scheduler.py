@@ -1,0 +1,280 @@
+"""The machine: a deterministic interleaving scheduler over the
+process tree.
+
+``pcall`` branches run as separate tasks; the scheduler steps runnable
+tasks in quanta, giving the concurrency semantics of the paper without
+physical parallelism (which is orthogonal to every claim reproduced —
+see DESIGN.md).  Three policies are provided:
+
+* ``round-robin`` (default): fair FIFO, fully deterministic;
+* ``random``: seeded random task choice, for property tests that
+  assert schedule-independence of results;
+* ``serial``: run each task until it blocks or dies before starting
+  the next — the degenerate "sequential elaboration" useful for
+  differential tests against the Section 6 rewriting semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import deque
+from typing import Any, Callable
+
+from repro.errors import MachineError, StepBudgetExceeded
+from repro.ir import Node
+from repro.machine.environment import Environment, GlobalEnv
+from repro.machine.links import HaltLink, Join, Label, LabelLink
+from repro.machine.step import step
+from repro.machine.task import EVAL, Task, TaskState
+
+__all__ = ["Machine", "SchedulerPolicy"]
+
+
+class SchedulerPolicy(enum.Enum):
+    ROUND_ROBIN = "round-robin"
+    RANDOM = "random"
+    SERIAL = "serial"
+
+
+class _NoHalt:
+    def __repr__(self) -> str:  # pragma: no cover
+        return "#<no-halt>"
+
+
+_NO_HALT = _NoHalt()
+
+
+class Machine:
+    """Evaluates IR programs over a shared global environment.
+
+    One :class:`Machine` may evaluate many top-level forms in sequence;
+    each form gets a fresh process tree rooted at an implicit label
+    (the ``root label``), which is what the whole-tree ``call/cc``
+    policy captures against.
+    """
+
+    def __init__(
+        self,
+        globals_: GlobalEnv | None = None,
+        policy: SchedulerPolicy | str = SchedulerPolicy.ROUND_ROBIN,
+        seed: int | None = None,
+        quantum: int = 16,
+        max_steps: int | None = None,
+    ):
+        self.globals = globals_ if globals_ is not None else GlobalEnv()
+        self.policy = SchedulerPolicy(policy)
+        self.quantum = max(1, quantum)
+        self.max_steps = max_steps
+        self.rng = random.Random(seed)
+        self.toplevel_env = Environment.toplevel(self.globals)
+
+        # Per-evaluation state.
+        self.root_entity: Any = None
+        self.root_label_link: LabelLink | None = None
+        self.queue: deque[Task] = deque()
+        self.halt_value: Any = _NO_HALT
+        self.steps_total = 0
+
+        # Future trees (Section 8 forest) surviving across top-level
+        # forms: runnable future-tree tasks parked between evals, and
+        # the set of tasks currently blocked on placeholders.
+        self.parked_futures: list[Task] = []
+        self.waiting_tasks: set[Task] = set()
+
+        # Lifetime counters (introspection / benchmarks).
+        self.stats: dict[str, int] = {
+            "forks": 0,
+            "label_pops": 0,
+            "join_fires": 0,
+            "captures": 0,
+            "reinstatements": 0,
+            "tasks_created": 0,
+        }
+        # Optional step hook for tracing: fn(machine, task) before each step.
+        self.trace_hook: Callable[["Machine", Task], None] | None = None
+
+    # -- scheduler interface used by step/tree/control ----------------------
+
+    def enqueue(self, task: Task) -> None:
+        self.stats["tasks_created"] += 1
+        self.queue.append(task)
+
+    def halt(self, value: Any) -> None:
+        self.halt_value = value
+
+    def notify_fork(self, join: Join) -> None:
+        self.stats["forks"] += 1
+
+    def notify_label_pop(self, link: LabelLink) -> None:
+        self.stats["label_pops"] += 1
+
+    def notify_join_fire(self, join: Join) -> None:
+        self.stats["join_fires"] += 1
+
+    def register_future_root(self, task: Task) -> None:
+        self.stats["futures"] = self.stats.get("futures", 0) + 1
+
+    def kill_main_tree_tasks(self) -> None:
+        """Abort every task of the *main* tree only (whole-tree
+        abortive continuations must not touch independent future
+        trees — Section 8's isolation)."""
+        survivors: list[Task] = []
+        for task in self.queue:
+            if task.state is not TaskState.RUNNABLE:
+                continue
+            root = self._tree_root(task)
+            if isinstance(root, HaltLink) and root.placeholder is not None:
+                survivors.append(task)
+            else:
+                task.state = TaskState.DEAD
+        self.queue.clear()
+        self.queue.extend(survivors)
+
+    def _tree_root(self, task: Task) -> Any:
+        """The HaltLink at the base of the tree containing ``task``,
+        or None if the task sits in a detached (captured) subtree."""
+        link: Any = task.link
+        while True:
+            if isinstance(link, HaltLink):
+                return link
+            if isinstance(link, LabelLink):
+                link = link.cont_link
+            elif link is None:
+                return None
+            else:  # ForkLink
+                link = link.join.cont_link
+
+    def _park_surviving_futures(self) -> None:
+        """At the end of a top-level form: future-tree tasks survive
+        into the next form; main-tree tasks die, and main-tree waiters
+        are detached from their placeholders so a later resolve cannot
+        wake a task of a finished form."""
+        survivors: list[Task] = []
+        for task in self.queue:
+            if task.state is not TaskState.RUNNABLE:
+                continue
+            root = self._tree_root(task)
+            if isinstance(root, HaltLink) and root.placeholder is not None:
+                survivors.append(task)
+            else:
+                task.state = TaskState.DEAD
+        self.queue.clear()
+        self.parked_futures = survivors
+        for task in list(self.waiting_tasks):
+            root = self._tree_root(task)
+            if not (isinstance(root, HaltLink) and root.placeholder is not None):
+                task.state = TaskState.DEAD
+                self.waiting_tasks.discard(task)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def begin_eval(self, node: Node, env: Environment | None = None) -> None:
+        """Set up a fresh tree for ``node`` without running it.
+
+        Drive it with :meth:`step_n` (incremental — engines use this)
+        or :meth:`finish` (run to completion).
+        """
+        env = env if env is not None else self.toplevel_env
+        root_task = Task((EVAL, node), env, None, None)  # type: ignore[arg-type]
+        self._install_root(root_task)
+
+    def begin_apply(self, fn: Any, args: list[Any]) -> None:
+        """Like :meth:`begin_eval`, but the root task applies ``fn`` to
+        ``args`` (used to run an existing closure, e.g. an engine's
+        thunk)."""
+        from repro.machine.task import APPLY
+
+        root_task = Task((APPLY, fn, args), self.toplevel_env, None, None)  # type: ignore[arg-type]
+        self._install_root(root_task)
+
+    def _install_root(self, root_task: Task) -> None:
+        halt = HaltLink(self)
+        root_label = LabelLink(Label("root"), None, halt)
+        self.root_entity = root_label
+        self.root_label_link = root_label
+        self.queue = deque()
+        self.halt_value = _NO_HALT
+        root_task.link = root_label
+        root_label.child = root_task
+        self.enqueue(root_task)
+        # Future trees parked at the end of the previous form resume.
+        for survivor in self.parked_futures:
+            self.enqueue(survivor)
+        self.parked_futures = []
+
+    def finish(self) -> Any:
+        """Run the current tree to completion and return its value."""
+        while not self.step_n(4096):
+            pass
+        self._park_surviving_futures()
+        return self.halt_value
+
+    def eval_node(self, node: Node, env: Environment | None = None) -> Any:
+        """Evaluate one top-level IR node to a value."""
+        self.begin_eval(node, env)
+        return self.finish()
+
+    def run(self, nodes: list[Node]) -> list[Any]:
+        """Evaluate a program (list of top-level nodes) in order."""
+        return [self.eval_node(node) for node in nodes]
+
+    # -- the loop ------------------------------------------------------------
+
+    def _pick(self) -> Task | None:
+        """Pop the next runnable task per policy; None if none left."""
+        queue = self.queue
+        if self.policy is SchedulerPolicy.RANDOM:
+            # Lazy-skip dead/suspended entries, then random choice among
+            # runnable ones.
+            runnable = [t for t in queue if t.state is TaskState.RUNNABLE]
+            if not runnable:
+                queue.clear()
+                return None
+            choice = self.rng.choice(runnable)
+            queue.remove(choice)
+            return choice
+        while queue:
+            task = queue.popleft()
+            if task.state is TaskState.RUNNABLE:
+                return task
+        return None
+
+    def step_n(self, n: int) -> bool:
+        """Run up to ``n`` machine steps; True iff the current tree has
+        produced its value.  Raises on deadlock or budget exhaustion.
+        """
+        serial = self.policy is SchedulerPolicy.SERIAL
+        remaining = n
+        while remaining > 0 and self.halt_value is _NO_HALT:
+            task = self._pick()
+            if task is None:
+                if self.waiting_tasks:
+                    raise MachineError(
+                        "deadlock: every runnable task is blocked on an "
+                        "unresolved future placeholder whose tree can no "
+                        "longer run"
+                    )
+                raise MachineError(
+                    "deadlock: no runnable tasks but the program has not "
+                    "produced a value (an abandoned pcall branch or a "
+                    "dropped process continuation holds the only path to "
+                    "the root)"
+                )
+            budget = remaining if serial else min(self.quantum, remaining)
+            while task.state is TaskState.RUNNABLE:
+                if self.trace_hook is not None:
+                    self.trace_hook(self, task)
+                step(self, task)
+                self.steps_total += 1
+                remaining -= 1
+                if self.max_steps is not None and self.steps_total > self.max_steps:
+                    raise StepBudgetExceeded(self.steps_total)
+                if self.halt_value is not _NO_HALT:
+                    break
+                budget -= 1
+                if budget <= 0:
+                    break
+            if task.state is TaskState.RUNNABLE and self.halt_value is _NO_HALT:
+                self.queue.append(task)
+        return self.halt_value is not _NO_HALT

@@ -1,0 +1,76 @@
+"""Leaf tasks of the process tree.
+
+A task is a unit of sequential execution: a control, an environment, a
+segment of frames and the link at the segment's bottom.  The scheduler
+steps runnable tasks; capture operations suspend them; joins and halts
+kill them.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.environment import Environment
+    from repro.machine.frames import Frame
+    from repro.machine.links import Link
+
+__all__ = ["Task", "TaskState", "EVAL", "VALUE", "APPLY", "HOLE"]
+
+
+class TaskState(enum.Enum):
+    RUNNABLE = "runnable"
+    SUSPENDED = "suspended"  # captured inside a process continuation
+    WAITING = "waiting"  # blocked on an unresolved future placeholder
+    DEAD = "dead"  # delivered its value, or abandoned
+
+
+# Control tags.  A task's ``control`` is a tuple whose first element is
+# one of these:
+#   (EVAL, node)        evaluate IR node in self.env
+#   (VALUE, v)          deliver v to the topmost frame / the link
+#   (APPLY, fn, args)   apply fn to args (list)
+#   (HOLE,)             the hole of a captured continuation; filled with
+#                       (VALUE, v) when the continuation is reinstated
+EVAL = "eval"
+VALUE = "value"
+APPLY = "apply"
+HOLE = "hole"
+
+_task_ids = itertools.count()
+
+
+class Task:
+    """A leaf of the process tree."""
+
+    __slots__ = ("uid", "control", "env", "frames", "link", "state", "steps")
+
+    def __init__(
+        self,
+        control: tuple[Any, ...],
+        env: "Environment",
+        frames: "Frame | None",
+        link: "Link",
+    ):
+        self.uid = next(_task_ids)
+        self.control = control
+        self.env = env
+        self.frames = frames
+        self.link = link
+        self.state = TaskState.RUNNABLE
+        self.steps = 0  # steps executed by this task (introspection)
+
+    def clone(self) -> "Task":
+        """A shallow copy sharing frames/env (used by subtree cloning).
+
+        The clone starts RUNNABLE; the caller adjusts state and link.
+        """
+        copy = Task(self.control, self.env, self.frames, self.link)
+        copy.state = TaskState.RUNNABLE
+        return copy
+
+    def __repr__(self) -> str:
+        tag = self.control[0] if self.control else "?"
+        return f"#<task {self.uid} {tag} {self.state.value}>"

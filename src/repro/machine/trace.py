@@ -1,0 +1,131 @@
+"""Structured execution tracing.
+
+:class:`Tracer` records the control-relevant events of a run — forks,
+joins firing, spawns, label pops, captures, reinstatements, task
+lifecycle — as typed records, and renders them as a readable timeline.
+It exists for three consumers: debugging control operators, the
+teaching examples, and tests that assert on *event sequences* rather
+than just final values.
+
+Usage::
+
+    interp = Interpreter()
+    with Tracer(interp.machine) as tracer:
+        interp.eval("(spawn (lambda (c) (c (lambda (k) (k 1)))))")
+    print(tracer.render())
+    tracer.events_of_kind("capture")   # -> [TraceEvent(...)]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.machine.links import Join, LabelLink, PromptLabel
+from repro.machine.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.scheduler import Machine
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    step: int
+    kind: str  # fork | join-fire | spawn | label-pop | prompt-pop |
+    #            capture | reinstate | task-switch
+    detail: str
+
+
+class Tracer:
+    """Hooks a machine's notification points and records events.
+
+    The machine already calls ``notify_fork`` / ``notify_label_pop`` /
+    ``notify_join_fire`` and bumps capture/reinstatement stats; the
+    tracer wraps those and the trace hook, restoring everything on
+    exit.
+    """
+
+    def __init__(self, machine: "Machine", record_switches: bool = False):
+        self.machine = machine
+        self.record_switches = record_switches
+        self.events: list[TraceEvent] = []
+        self._saved: dict[str, Any] = {}
+        self._last_task_uid: int | None = None
+
+    # -- context manager -----------------------------------------------------
+
+    def __enter__(self) -> "Tracer":
+        machine = self.machine
+        self._saved = {
+            "notify_fork": machine.notify_fork,
+            "notify_label_pop": machine.notify_label_pop,
+            "notify_join_fire": machine.notify_join_fire,
+            "trace_hook": machine.trace_hook,
+            "stats_capture": machine.stats["captures"],
+            "stats_reinstate": machine.stats["reinstatements"],
+        }
+
+        def on_fork(join: Join) -> None:
+            self._saved["notify_fork"](join)
+            self._emit("fork", f"{len(join.slots)} branches")
+
+        def on_label_pop(link: LabelLink) -> None:
+            self._saved["notify_label_pop"](link)
+            kind = "prompt-pop" if isinstance(link.label, PromptLabel) else "label-pop"
+            self._emit(kind, link.label.name)
+
+        def on_join_fire(join: Join) -> None:
+            self._saved["notify_join_fire"](join)
+            self._emit("join-fire", f"{len(join.slots)} values")
+
+        def hook(machine_: "Machine", task: Task) -> None:
+            previous = self._saved["trace_hook"]
+            if previous is not None:
+                previous(machine_, task)
+            # Captures/reinstatements have no notify point; detect them
+            # through the stats counters.
+            if machine_.stats["captures"] > self._saved["stats_capture"]:
+                self._saved["stats_capture"] = machine_.stats["captures"]
+                self._emit("capture", f"by task {task.uid}")
+            if machine_.stats["reinstatements"] > self._saved["stats_reinstate"]:
+                self._saved["stats_reinstate"] = machine_.stats["reinstatements"]
+                self._emit("reinstate", f"by task {task.uid}")
+            if self.record_switches and task.uid != self._last_task_uid:
+                self._last_task_uid = task.uid
+                self._emit("task-switch", f"-> task {task.uid}")
+
+        machine.notify_fork = on_fork  # type: ignore[method-assign]
+        machine.notify_label_pop = on_label_pop  # type: ignore[method-assign]
+        machine.notify_join_fire = on_join_fire  # type: ignore[method-assign]
+        machine.trace_hook = hook
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        machine = self.machine
+        machine.notify_fork = self._saved["notify_fork"]  # type: ignore[method-assign]
+        machine.notify_label_pop = self._saved["notify_label_pop"]  # type: ignore[method-assign]
+        machine.notify_join_fire = self._saved["notify_join_fire"]  # type: ignore[method-assign]
+        machine.trace_hook = self._saved["trace_hook"]
+
+    # -- recording and queries -------------------------------------------------
+
+    def _emit(self, kind: str, detail: str) -> None:
+        self.events.append(TraceEvent(self.machine.steps_total, kind, detail))
+
+    def events_of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def kinds(self) -> list[str]:
+        """The event-kind sequence (for order assertions)."""
+        return [e.kind for e in self.events]
+
+    def render(self) -> str:
+        """A readable timeline."""
+        lines = [f"{'step':>7s}  event"]
+        for event in self.events:
+            lines.append(f"{event.step:7d}  {event.kind:12s} {event.detail}")
+        return "\n".join(lines)

@@ -1,0 +1,310 @@
+"""The process-tree algebra: capture, clone, reinstate.
+
+This module is the direct realisation of Section 7 of the paper:
+
+* the running computation is a tree of labeled stacks (here: tasks with
+  immutable frame segments, joined by :class:`LabelLink` and
+  :class:`Join` control points);
+* invoking a process controller **prunes** the subtree rooted at the
+  nearest instance of its label and packages it into a process
+  continuation (:func:`capture_subtree`, mode ``"move"``);
+* invoking a process continuation **grafts** a copy of the saved
+  subtree onto the current tree (:func:`reinstate`).
+
+Every operation here touches only *control points* (labels, joins) and
+leaf tasks — never the frames inside segments — so its cost is linear
+in the number of control points of the continuation and independent of
+the continuation's size.  ``benchmarks/bench_e9_capture_cost.py``
+measures exactly this property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import ControlError
+from repro.machine.links import (
+    TOMBSTONE,
+    ForkLink,
+    HaltLink,
+    Join,
+    Label,
+    LabelLink,
+)
+from repro.machine.task import HOLE, VALUE, Task, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.frames import Frame
+    from repro.machine.links import Link
+    from repro.machine.scheduler import Machine
+
+__all__ = [
+    "parent_of",
+    "child_of",
+    "replace_child",
+    "find_label_link",
+    "collect_subtree",
+    "Capture",
+    "capture_subtree",
+    "reinstate",
+    "abandon_position",
+    "count_control_points",
+]
+
+
+def parent_of(entity: Any) -> "Link":
+    """The upward link of a tree entity."""
+    if isinstance(entity, Task):
+        return entity.link
+    if isinstance(entity, (LabelLink, Join)):
+        link = entity.cont_link
+        if link is None:
+            raise ControlError("entity is detached from the tree")
+        return link
+    raise TypeError(f"not a tree entity: {entity!r}")
+
+
+def child_of(link: "Link") -> Any:
+    """The entity occupying the child slot of ``link``."""
+    if isinstance(link, HaltLink):
+        return link.child if link.placeholder is not None else link.machine.root_entity
+    if isinstance(link, LabelLink):
+        return link.child
+    if isinstance(link, ForkLink):
+        return link.join.children[link.index]
+    raise TypeError(f"not a link: {link!r}")
+
+
+def replace_child(link: "Link", new: Any) -> None:
+    """Install ``new`` in the child slot of ``link``."""
+    if isinstance(link, HaltLink):
+        if link.placeholder is not None:
+            link.child = new
+        else:
+            link.machine.root_entity = new
+    elif isinstance(link, LabelLink):
+        link.child = new
+    elif isinstance(link, ForkLink):
+        link.join.children[link.index] = new
+    else:
+        raise TypeError(f"not a link: {link!r}")
+
+
+def find_label_link(
+    task: Task, predicate: Callable[[Label], bool]
+) -> LabelLink | None:
+    """Walk upward from ``task`` to the nearest :class:`LabelLink`
+    whose label satisfies ``predicate``.
+
+    This implements the paper's validity rule: a controller application
+    is valid only if its root lies on the path from the application to
+    the tree root, and the *nearest* (topmost) instance wins when the
+    label occurs more than once.
+    """
+    link: Any = task.link
+    while True:
+        if isinstance(link, HaltLink):
+            return None
+        if isinstance(link, LabelLink):
+            if predicate(link.label):
+                return link
+            link = link.cont_link
+        elif isinstance(link, ForkLink):
+            link = link.join.cont_link
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"not a link: {link!r}")
+
+
+def collect_subtree(root: Any) -> tuple[list[Any], list[Task]]:
+    """All control points and leaf tasks of the subtree at ``root``
+    (root included), via downward child pointers."""
+    control_points: list[Any] = []
+    tasks: list[Task] = []
+    stack = [root]
+    while stack:
+        entity = stack.pop()
+        if entity is None or entity is TOMBSTONE:
+            continue
+        if isinstance(entity, Task):
+            tasks.append(entity)
+        elif isinstance(entity, LabelLink):
+            control_points.append(entity)
+            stack.append(entity.child)
+        elif isinstance(entity, Join):
+            control_points.append(entity)
+            stack.extend(entity.children)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"not a tree entity: {entity!r}")
+    return control_points, tasks
+
+
+def count_control_points(root: Any) -> int:
+    """Number of labels + forks in a subtree (bench instrumentation)."""
+    control_points, _ = collect_subtree(root)
+    return len(control_points)
+
+
+@dataclass
+class Capture:
+    """A packaged subtree: the representation of a process continuation.
+
+    ``root`` is a detached :class:`LabelLink`; ``hole`` the task whose
+    pending operation (the controller application) becomes the hole
+    that a reinstating value fills.  The package is immutable by
+    convention: :func:`reinstate` always works on a fresh clone, so one
+    Capture supports any number of reinstatements.
+    """
+
+    root: LabelLink
+    hole: Task
+
+    def control_points(self) -> int:
+        return count_control_points(self.root)
+
+    def task_count(self) -> int:
+        _, tasks = collect_subtree(self.root)
+        return len(tasks)
+
+
+def _clone_tree(
+    entity: Any, new_link: "Link", task_map: dict[int, Task]
+) -> Any:
+    """Deep-copy the control points and tasks of a subtree.
+
+    Frames and environments are shared (immutable / store-like
+    respectively); join slots are copied so each reinstatement has
+    independent join progress.  ``task_map`` records old-id → clone for
+    hole tracking.
+    """
+    if entity is None or entity is TOMBSTONE:
+        return entity
+    if isinstance(entity, Task):
+        clone = Task(entity.control, entity.env, entity.frames, new_link)
+        clone.state = TaskState.SUSPENDED
+        task_map[id(entity)] = clone
+        return clone
+    if isinstance(entity, LabelLink):
+        clone = LabelLink(entity.label, entity.cont_frames, new_link)
+        clone.child = _clone_tree(entity.child, clone, task_map)
+        return clone
+    if isinstance(entity, Join):
+        clone = Join(len(entity.slots), entity.cont_frames, new_link)
+        clone.slots = list(entity.slots)
+        clone.delivered = list(entity.delivered)
+        clone.remaining = entity.remaining
+        for index, child in enumerate(entity.children):
+            clone.children[index] = _clone_tree(
+                child, ForkLink(clone, index), task_map
+            )
+        return clone
+    raise TypeError(f"not a tree entity: {entity!r}")
+
+
+def clone_capture(capture: Capture) -> Capture:
+    """Clone a package exactly as :func:`reinstate` does internally —
+    fresh control points and task shells, shared frames.
+
+    Exposed for benchmarks (E9): its cost is the paper's Section 7
+    bound, O(control points), independent of segment depth.
+    """
+    task_map: dict[int, Task] = {}
+    root_clone = LabelLink(capture.root.label, None, None)  # type: ignore[arg-type]
+    root_clone.child = _clone_tree(capture.root.child, root_clone, task_map)
+    hole_clone = task_map.get(id(capture.hole))
+    if hole_clone is None:
+        raise ControlError("corrupt capture: hole not found during clone")
+    return Capture(root=root_clone, hole=hole_clone)
+
+
+def capture_subtree(
+    machine: "Machine",
+    label_link: LabelLink,
+    hole_task: Task,
+    mode: str = "move",
+) -> Capture:
+    """Package the subtree rooted at ``label_link`` with a hole at
+    ``hole_task``.
+
+    ``mode="move"`` (controllers, ``F``): the subtree is pruned from
+    the live tree; all its tasks are suspended; the caller installs a
+    replacement at the old position.  The hole task's pending control
+    is discarded — the value passed at reinstatement takes its place.
+
+    ``mode="copy"`` (traditional ``call/cc`` baselines): the live tree
+    is left running and the package holds an immediate clone.
+    """
+    if mode == "move":
+        _, tasks = collect_subtree(label_link)
+        for task in tasks:
+            task.state = TaskState.SUSPENDED
+        hole_task.control = (HOLE,)
+        # Detach: the caller rewires the old position; null the upward
+        # pointer so stale traversals fail fast.
+        label_link.cont_frames = None
+        label_link.cont_link = None
+        return Capture(root=label_link, hole=hole_task)
+    if mode == "copy":
+        task_map: dict[int, Task] = {}
+        root_clone = LabelLink(label_link.label, None, None)  # type: ignore[arg-type]
+        root_clone.child = _clone_tree(label_link.child, root_clone, task_map)
+        hole_clone = task_map.get(id(hole_task))
+        if hole_clone is None:
+            raise ControlError("hole task is not inside the captured subtree")
+        hole_clone.control = (HOLE,)
+        return Capture(root=root_clone, hole=hole_clone)
+    raise ValueError(f"unknown capture mode: {mode!r}")
+
+
+def reinstate(
+    machine: "Machine",
+    capture: Capture,
+    value: Any,
+    at_frames: "Frame | None",
+    at_link: "Link",
+    fresh_label: Label | None = None,
+) -> None:
+    """Graft a clone of ``capture`` onto the tree at ``(at_frames,
+    at_link)`` and fill the hole with ``value``.
+
+    The subtree **composes** with the current continuation: when the
+    reinstated process eventually returns normally, its value flows
+    into ``at_frames`` and onward through ``at_link``.  The root label
+    is re-established, so the associated controller becomes valid again
+    — unless ``fresh_label`` is given (functional continuations use an
+    anonymous label so nothing can re-capture at the seam).
+
+    Every cloned task is enqueued runnable; the hole clone resumes with
+    ``value``.
+    """
+    task_map: dict[int, Task] = {}
+    label = fresh_label if fresh_label is not None else capture.root.label
+    root_clone = LabelLink(label, at_frames, at_link)
+    root_clone.child = _clone_tree(capture.root.child, root_clone, task_map)
+    hole_clone = task_map.get(id(capture.hole))
+    if hole_clone is None:
+        raise ControlError("corrupt capture: hole not found during reinstatement")
+    replace_child(at_link, root_clone)
+    hole_clone.control = (VALUE, value)
+    for clone in task_map.values():
+        clone.state = TaskState.RUNNABLE
+        machine.enqueue(clone)
+
+
+def abandon_position(machine: "Machine", task: Task) -> None:
+    """Tombstone ``task``'s current slot in the tree.
+
+    Used when an abortive (traditional) continuation rips a task out of
+    its branch: the branch is left permanently incomplete, which is the
+    honest rendering of Section 3's observation that traditional
+    continuations "do not in general make sense" across branches.
+    """
+    link = task.link
+    if isinstance(link, HaltLink):
+        link.machine.root_entity = TOMBSTONE
+    elif isinstance(link, LabelLink):
+        link.child = TOMBSTONE
+    elif isinstance(link, ForkLink):
+        link.join.children[link.index] = TOMBSTONE
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"not a link: {link!r}")

@@ -1,0 +1,118 @@
+"""Applicable machine values: closures and primitives.
+
+The control values (controllers, process continuations, traditional
+continuations, functional continuations) live in :mod:`repro.control`;
+this module holds the two ordinary procedure kinds plus the shared
+arity-checking helper.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.datum import Symbol
+from repro.errors import ArityError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir import Node
+    from repro.machine.environment import Environment
+    from repro.machine.scheduler import Machine
+    from repro.machine.task import Task
+
+__all__ = ["Closure", "Primitive", "ControlPrimitive", "check_arity"]
+
+
+def check_arity(name: str, count: int, low: int, high: int | None) -> None:
+    """Raise :class:`ArityError` unless ``low <= count <= high``
+    (``high is None`` means unbounded)."""
+    if count < low or (high is not None and count > high):
+        if high == low:
+            expect = str(low)
+        elif high is None:
+            expect = f"at least {low}"
+        else:
+            expect = f"{low} to {high}"
+        raise ArityError(f"{name}: expected {expect} argument(s), got {count}")
+
+
+class Closure:
+    """A user procedure: formals + body + captured environment."""
+
+    __slots__ = ("params", "rest", "body", "env", "name")
+
+    def __init__(
+        self,
+        params: tuple[Symbol, ...],
+        rest: Symbol | None,
+        body: "Node",
+        env: "Environment",
+        name: str | None = None,
+    ):
+        self.params = params
+        self.rest = rest
+        self.body = body
+        self.env = env
+        self.name = name
+
+    def check_arity(self, count: int) -> None:
+        low = len(self.params)
+        high = None if self.rest is not None else low
+        check_arity(self.name or "#<procedure>", count, low, high)
+
+    def __repr__(self) -> str:
+        label = self.name or "anonymous"
+        return f"#<procedure {label}>"
+
+
+class Primitive:
+    """A pure primitive: ``fn(*args) -> value``.
+
+    The machine applies it directly and delivers the Python return
+    value as the result.
+    """
+
+    __slots__ = ("name", "fn", "low", "high")
+
+    def __init__(self, name: str, fn: Callable[..., Any], low: int, high: int | None):
+        self.name = name
+        self.fn = fn
+        self.low = low
+        self.high = high
+
+    def apply(self, args: list[Any]) -> Any:
+        check_arity(self.name, len(args), self.low, self.high)
+        return self.fn(*args)
+
+    def __repr__(self) -> str:
+        return f"#<primitive {self.name}>"
+
+
+class ControlPrimitive:
+    """A primitive that manipulates the machine itself.
+
+    ``fn(machine, task, args)`` performs arbitrary surgery on the
+    process tree (this is how ``spawn``, ``call/cc``, ``F`` and
+    ``call-with-prompt`` are wired in) and is responsible for leaving
+    ``task`` — or its successors — in a consistent state.
+    """
+
+    __slots__ = ("name", "fn", "low", "high")
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[["Machine", "Task", list[Any]], None],
+        low: int,
+        high: int | None,
+    ):
+        self.name = name
+        self.fn = fn
+        self.low = low
+        self.high = high
+
+    def apply(self, machine: "Machine", task: "Task", args: list[Any]) -> None:
+        check_arity(self.name, len(args), self.low, self.high)
+        self.fn(machine, task, args)
+
+    def __repr__(self) -> str:
+        return f"#<primitive {self.name}>"

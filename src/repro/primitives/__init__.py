@@ -1,0 +1,11 @@
+"""The primitive procedure library.
+
+:func:`install_primitives` populates a :class:`GlobalEnv` with every
+primitive the paper's programs (and a reasonable R3RS subset) need.
+Output primitives write to the machine-independent
+:class:`OutputBuffer` so tests can capture ``display`` output.
+"""
+
+from repro.primitives.registry import install_primitives, OutputBuffer
+
+__all__ = ["install_primitives", "OutputBuffer"]

@@ -1,0 +1,186 @@
+"""Pair and list primitives."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.datum import (
+    NIL,
+    Pair,
+    cons,
+    from_pylist,
+    is_eq,
+    is_eqv,
+    is_equal,
+    list_length,
+    scheme_append,
+    scheme_reverse,
+    to_pylist,
+)
+from repro.errors import SchemeError, WrongTypeError
+
+__all__ = ["LIST_PRIMITIVES"]
+
+
+def _check_pair(name: str, x: Any) -> Pair:
+    if not isinstance(x, Pair):
+        raise WrongTypeError(f"{name}: not a pair: {x!r}")
+    return x
+
+
+def prim_cons(a: Any, b: Any) -> Pair:
+    return cons(a, b)
+
+
+def prim_car(p: Any) -> Any:
+    return _check_pair("car", p).car
+
+
+def prim_cdr(p: Any) -> Any:
+    return _check_pair("cdr", p).cdr
+
+
+def _cxr(path: str) -> Callable[[Any], Any]:
+    """Build ``caar``..``cddddr`` accessors; path applies right-to-left."""
+
+    name = "c" + path + "r"
+
+    def access(p: Any) -> Any:
+        value = p
+        for direction in reversed(path):
+            pair = _check_pair(name, value)
+            value = pair.car if direction == "a" else pair.cdr
+        return value
+
+    access.__name__ = f"prim_{name}"
+    return access
+
+
+def prim_set_car(p: Any, v: Any) -> Any:
+    _check_pair("set-car!", p).car = v
+    from repro.datum import UNSPECIFIED
+
+    return UNSPECIFIED
+
+
+def prim_set_cdr(p: Any, v: Any) -> Any:
+    _check_pair("set-cdr!", p).cdr = v
+    from repro.datum import UNSPECIFIED
+
+    return UNSPECIFIED
+
+
+def prim_list(*args: Any) -> Any:
+    return from_pylist(list(args))
+
+
+def prim_length(ls: Any) -> int:
+    return list_length(ls)
+
+
+def prim_append(*lists: Any) -> Any:
+    return scheme_append(*lists)
+
+
+def prim_reverse(ls: Any) -> Any:
+    return scheme_reverse(ls)
+
+
+def prim_list_tail(ls: Any, k: Any) -> Any:
+    node = ls
+    for _ in range(k):
+        node = _check_pair("list-tail", node).cdr
+    return node
+
+
+def prim_list_ref(ls: Any, k: Any) -> Any:
+    return _check_pair("list-ref", prim_list_tail(ls, k)).car
+
+
+def _member(name: str, eq: Callable[[Any, Any], bool]) -> Callable[[Any, Any], Any]:
+    def member(x: Any, ls: Any) -> Any:
+        node = ls
+        while isinstance(node, Pair):
+            if eq(node.car, x):
+                return node
+            node = node.cdr
+        if node is not NIL:
+            raise WrongTypeError(f"{name}: improper list")
+        return False
+
+    member.__name__ = f"prim_{name}"
+    return member
+
+
+def _assoc(name: str, eq: Callable[[Any, Any], bool]) -> Callable[[Any, Any], Any]:
+    def assoc(x: Any, ls: Any) -> Any:
+        node = ls
+        while isinstance(node, Pair):
+            entry = node.car
+            if isinstance(entry, Pair) and eq(entry.car, x):
+                return entry
+            node = node.cdr
+        if node is not NIL:
+            raise WrongTypeError(f"{name}: improper list")
+        return False
+
+    assoc.__name__ = f"prim_{name}"
+    return assoc
+
+
+def prim_list_to_vector(ls: Any) -> Any:
+    from repro.datum import MVector
+
+    return MVector(to_pylist(ls))
+
+
+def prim_vector_to_list(v: Any) -> Any:
+    from repro.datum import MVector
+
+    if not isinstance(v, MVector):
+        raise WrongTypeError(f"vector->list: not a vector: {v!r}")
+    return from_pylist(v.items)
+
+
+def prim_last_pair(ls: Any) -> Any:
+    pair = _check_pair("last-pair", ls)
+    while isinstance(pair.cdr, Pair):
+        pair = pair.cdr
+    return pair
+
+
+def prim_iota(n: Any, *rest: Any) -> Any:
+    """``(iota n [start [step]])`` — handy for benchmarks."""
+    if isinstance(n, bool) or not isinstance(n, int) or n < 0:
+        raise SchemeError(f"iota: bad count {n!r}")
+    start = rest[0] if rest else 0
+    step = rest[1] if len(rest) > 1 else 1
+    return from_pylist([start + i * step for i in range(n)])
+
+
+LIST_PRIMITIVES: dict[str, tuple[Callable[..., Any], int, int | None]] = {
+    "cons": (prim_cons, 2, 2),
+    "car": (prim_car, 1, 1),
+    "cdr": (prim_cdr, 1, 1),
+    "set-car!": (prim_set_car, 2, 2),
+    "set-cdr!": (prim_set_cdr, 2, 2),
+    "list": (prim_list, 0, None),
+    "length": (prim_length, 1, 1),
+    "append": (prim_append, 0, None),
+    "reverse": (prim_reverse, 1, 1),
+    "list-tail": (prim_list_tail, 2, 2),
+    "list-ref": (prim_list_ref, 2, 2),
+    "memq": (_member("memq", is_eq), 2, 2),
+    "memv": (_member("memv", is_eqv), 2, 2),
+    "member": (_member("member", is_equal), 2, 2),
+    "assq": (_assoc("assq", is_eq), 2, 2),
+    "assv": (_assoc("assv", is_eqv), 2, 2),
+    "assoc": (_assoc("assoc", is_equal), 2, 2),
+    "list->vector": (prim_list_to_vector, 1, 1),
+    "vector->list": (prim_vector_to_list, 1, 1),
+    "last-pair": (prim_last_pair, 1, 1),
+    "iota": (prim_iota, 1, 3),
+}
+
+for _path in ("aa", "ad", "da", "dd", "aaa", "aad", "ada", "add", "daa", "dad", "dda", "ddd"):
+    LIST_PRIMITIVES["c" + _path + "r"] = (_cxr(_path), 1, 1)

@@ -1,0 +1,116 @@
+"""Type predicates and the equivalence procedures."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Callable
+
+from repro.datum import (
+    NIL,
+    Char,
+    MVector,
+    Pair,
+    Symbol,
+    is_eq,
+    is_eqv,
+    is_equal,
+    is_list,
+)
+from repro.machine.values import Closure, ControlPrimitive, Primitive
+
+__all__ = ["PREDICATE_PRIMITIVES"]
+
+
+def prim_is_pair(x: Any) -> bool:
+    return isinstance(x, Pair)
+
+
+def prim_is_null(x: Any) -> bool:
+    return x is NIL
+
+
+def prim_is_list(x: Any) -> bool:
+    return is_list(x)
+
+
+def prim_is_symbol(x: Any) -> bool:
+    return isinstance(x, Symbol)
+
+
+def prim_is_number(x: Any) -> bool:
+    return not isinstance(x, bool) and isinstance(x, (int, float, Fraction))
+
+
+def prim_is_integer(x: Any) -> bool:
+    if isinstance(x, bool):
+        return False
+    if isinstance(x, int):
+        return True
+    if isinstance(x, float):
+        return x == int(x) if x == x and abs(x) != float("inf") else False
+    return False
+
+
+def prim_is_rational(x: Any) -> bool:
+    return not isinstance(x, bool) and isinstance(x, (int, Fraction))
+
+
+def prim_is_real(x: Any) -> bool:
+    return prim_is_number(x)
+
+
+def prim_is_exact(x: Any) -> bool:
+    return not isinstance(x, bool) and isinstance(x, (int, Fraction))
+
+
+def prim_is_inexact(x: Any) -> bool:
+    return isinstance(x, float)
+
+
+def prim_is_string(x: Any) -> bool:
+    return isinstance(x, str)
+
+
+def prim_is_char(x: Any) -> bool:
+    return isinstance(x, Char)
+
+
+def prim_is_vector(x: Any) -> bool:
+    return isinstance(x, MVector)
+
+
+def prim_is_boolean(x: Any) -> bool:
+    return isinstance(x, bool)
+
+
+def prim_is_procedure(x: Any) -> bool:
+    return isinstance(x, (Closure, Primitive, ControlPrimitive)) or hasattr(
+        x, "machine_apply"
+    )
+
+
+def prim_not(x: Any) -> bool:
+    return x is False
+
+
+PREDICATE_PRIMITIVES: dict[str, tuple[Callable[..., Any], int, int | None]] = {
+    "pair?": (prim_is_pair, 1, 1),
+    "null?": (prim_is_null, 1, 1),
+    "list?": (prim_is_list, 1, 1),
+    "symbol?": (prim_is_symbol, 1, 1),
+    "number?": (prim_is_number, 1, 1),
+    "integer?": (prim_is_integer, 1, 1),
+    "rational?": (prim_is_rational, 1, 1),
+    "real?": (prim_is_real, 1, 1),
+    "exact?": (prim_is_exact, 1, 1),
+    "inexact?": (prim_is_inexact, 1, 1),
+    "string?": (prim_is_string, 1, 1),
+    "char?": (prim_is_char, 1, 1),
+    "vector?": (prim_is_vector, 1, 1),
+    "boolean?": (prim_is_boolean, 1, 1),
+    "procedure?": (prim_is_procedure, 1, 1),
+    "not": (prim_not, 1, 1),
+    "eq?": (is_eq, 2, 2),
+    "eqv?": (is_eqv, 2, 2),
+    "equal?": (is_equal, 2, 2),
+}

@@ -1,0 +1,119 @@
+"""Primitive registration and output capture.
+
+:class:`OutputBuffer` stands in for the current output port; the API
+layer exposes its contents so tests and examples can assert on
+``display`` output without touching real stdout (unless asked to echo).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.datum import (
+    UNSPECIFIED,
+    scheme_display,
+    scheme_repr,
+    to_pylist,
+)
+from repro.errors import SchemeError, WrongTypeError
+from repro.machine.environment import GlobalEnv
+from repro.machine.task import APPLY, Task
+from repro.machine.values import ControlPrimitive, Primitive
+
+from repro.primitives.lists import LIST_PRIMITIVES
+from repro.primitives.numeric import NUMERIC_PRIMITIVES
+from repro.primitives.predicates import PREDICATE_PRIMITIVES
+from repro.primitives.strings_ import STRING_PRIMITIVES
+from repro.primitives.vectors_ import VECTOR_PRIMITIVES
+
+__all__ = ["OutputBuffer", "install_primitives"]
+
+
+class OutputBuffer:
+    """Captures ``display``/``write``/``newline`` output."""
+
+    def __init__(self, echo: bool = False):
+        self.parts: list[str] = []
+        self.echo = echo
+
+    def write(self, text: str) -> None:
+        self.parts.append(text)
+        if self.echo:
+            print(text, end="")
+
+    def getvalue(self) -> str:
+        return "".join(self.parts)
+
+    def clear(self) -> None:
+        self.parts.clear()
+
+
+def _io_primitives(buffer: OutputBuffer) -> dict[str, tuple[Callable[..., Any], int, int | None]]:
+    def prim_display(x: Any) -> Any:
+        buffer.write(scheme_display(x))
+        return UNSPECIFIED
+
+    def prim_write(x: Any) -> Any:
+        buffer.write(scheme_repr(x))
+        return UNSPECIFIED
+
+    def prim_newline() -> Any:
+        buffer.write("\n")
+        return UNSPECIFIED
+
+    return {
+        "display": (prim_display, 1, 1),
+        "write": (prim_write, 1, 1),
+        "newline": (prim_newline, 0, 0),
+    }
+
+
+def prim_error(message: Any, *irritants: Any) -> Any:
+    text = message if isinstance(message, str) else scheme_display(message)
+    if irritants:
+        text = text + " " + " ".join(scheme_repr(x) for x in irritants)
+    raise SchemeError(text, irritants)
+
+
+def prim_void(*_args: Any) -> Any:
+    return UNSPECIFIED
+
+
+def _apply_primitive(machine: Any, task: Task, args: list[Any]) -> None:
+    """``(apply f a b ... last-list)``: the machine-level apply."""
+    if len(args) < 2:
+        raise WrongTypeError("apply: expected a procedure and an argument list")
+    fn = args[0]
+    spread = list(args[1:-1]) + to_pylist(args[-1])
+    task.control = (APPLY, fn, spread)
+
+
+def install_primitives(
+    globals_: GlobalEnv, buffer: OutputBuffer | None = None
+) -> OutputBuffer:
+    """Install every primitive into ``globals_``.
+
+    Returns the output buffer in use (a fresh one if none given).
+    Control operators are installed separately by
+    :func:`repro.control.register_control_primitives`.
+    """
+    from repro.datum import intern
+
+    buffer = buffer if buffer is not None else OutputBuffer()
+    tables = [
+        NUMERIC_PRIMITIVES,
+        LIST_PRIMITIVES,
+        PREDICATE_PRIMITIVES,
+        STRING_PRIMITIVES,
+        VECTOR_PRIMITIVES,
+        _io_primitives(buffer),
+        {
+            "error": (prim_error, 1, None),
+            "void": (prim_void, 0, None),
+        },
+    ]
+    for table in tables:
+        for name, (fn, low, high) in table.items():
+            globals_.define(intern(name), Primitive(name, fn, low, high))
+    globals_.define(intern("apply"), ControlPrimitive("apply", _apply_primitive, 2, None))
+    return buffer

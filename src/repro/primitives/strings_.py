@@ -1,0 +1,176 @@
+"""String, character and symbol primitives.
+
+Strings are immutable Python ``str`` values (the paper's programs never
+mutate strings, so ``string-set!`` is intentionally absent — a
+:class:`SchemeError` names the restriction if something asks for it by
+building one).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.datum import Char, Symbol, from_pylist, intern, to_pylist
+from repro.errors import SchemeError, WrongTypeError
+
+__all__ = ["STRING_PRIMITIVES"]
+
+
+def _check_string(name: str, s: Any) -> str:
+    if not isinstance(s, str):
+        raise WrongTypeError(f"{name}: not a string: {s!r}")
+    return s
+
+
+def _check_char(name: str, c: Any) -> Char:
+    if not isinstance(c, Char):
+        raise WrongTypeError(f"{name}: not a character: {c!r}")
+    return c
+
+
+def prim_string_length(s: Any) -> int:
+    return len(_check_string("string-length", s))
+
+
+def prim_string_ref(s: Any, k: Any) -> Char:
+    text = _check_string("string-ref", s)
+    if not 0 <= k < len(text):
+        raise SchemeError(f"string-ref: index {k} out of range")
+    return Char(text[k])
+
+
+def prim_substring(s: Any, start: Any, end: Any) -> str:
+    text = _check_string("substring", s)
+    if not (0 <= start <= end <= len(text)):
+        raise SchemeError(f"substring: bad range [{start}, {end}) for length {len(text)}")
+    return text[start:end]
+
+
+def prim_string_append(*parts: Any) -> str:
+    return "".join(_check_string("string-append", p) for p in parts)
+
+
+def prim_string_to_symbol(s: Any) -> Symbol:
+    return intern(_check_string("string->symbol", s))
+
+
+def prim_symbol_to_string(sym: Any) -> str:
+    if not isinstance(sym, Symbol):
+        raise WrongTypeError(f"symbol->string: not a symbol: {sym!r}")
+    return sym.name
+
+
+def prim_string_to_list(s: Any) -> Any:
+    return from_pylist([Char(c) for c in _check_string("string->list", s)])
+
+
+def prim_list_to_string(ls: Any) -> str:
+    chars = to_pylist(ls)
+    return "".join(_check_char("list->string", c).value for c in chars)
+
+
+def prim_string(*chars: Any) -> str:
+    return "".join(_check_char("string", c).value for c in chars)
+
+
+def _string_compare(name: str, op: Callable[[str, str], bool]) -> Callable[..., bool]:
+    def compare(first: Any, *rest: Any) -> bool:
+        previous = _check_string(name, first)
+        for s in rest:
+            current = _check_string(name, s)
+            if not op(previous, current):
+                return False
+            previous = current
+        return True
+
+    compare.__name__ = f"prim_{name}"
+    return compare
+
+
+def _char_compare(name: str, op: Callable[[str, str], bool]) -> Callable[..., bool]:
+    def compare(first: Any, *rest: Any) -> bool:
+        previous = _check_char(name, first).value
+        for c in rest:
+            current = _check_char(name, c).value
+            if not op(previous, current):
+                return False
+            previous = current
+        return True
+
+    compare.__name__ = f"prim_{name}"
+    return compare
+
+
+def prim_char_to_integer(c: Any) -> int:
+    return ord(_check_char("char->integer", c).value)
+
+
+def prim_integer_to_char(n: Any) -> Char:
+    if isinstance(n, bool) or not isinstance(n, int):
+        raise WrongTypeError(f"integer->char: not an integer: {n!r}")
+    try:
+        return Char(chr(n))
+    except (ValueError, OverflowError):
+        raise SchemeError(f"integer->char: bad code point {n}")
+
+
+def prim_char_upcase(c: Any) -> Char:
+    return Char(_check_char("char-upcase", c).value.upper())
+
+
+def prim_char_downcase(c: Any) -> Char:
+    return Char(_check_char("char-downcase", c).value.lower())
+
+
+def prim_char_alphabetic(c: Any) -> bool:
+    return _check_char("char-alphabetic?", c).value.isalpha()
+
+
+def prim_char_numeric(c: Any) -> bool:
+    return _check_char("char-numeric?", c).value.isdigit()
+
+
+def prim_char_whitespace(c: Any) -> bool:
+    return _check_char("char-whitespace?", c).value.isspace()
+
+
+def prim_gensym(*args: Any) -> Symbol:
+    from repro.datum import gensym
+
+    prefix = args[0] if args else "g"
+    if isinstance(prefix, Symbol):
+        prefix = prefix.name
+    if not isinstance(prefix, str):
+        raise WrongTypeError(f"gensym: bad prefix {prefix!r}")
+    return gensym(prefix)
+
+
+STRING_PRIMITIVES: dict[str, tuple[Callable[..., Any], int, int | None]] = {
+    "string-length": (prim_string_length, 1, 1),
+    "string-ref": (prim_string_ref, 2, 2),
+    "substring": (prim_substring, 3, 3),
+    "string-append": (prim_string_append, 0, None),
+    "string->symbol": (prim_string_to_symbol, 1, 1),
+    "symbol->string": (prim_symbol_to_string, 1, 1),
+    "string->list": (prim_string_to_list, 1, 1),
+    "list->string": (prim_list_to_string, 1, 1),
+    "string": (prim_string, 0, None),
+    "string=?": (_string_compare("string=?", lambda a, b: a == b), 1, None),
+    "string<?": (_string_compare("string<?", lambda a, b: a < b), 1, None),
+    "string>?": (_string_compare("string>?", lambda a, b: a > b), 1, None),
+    "string<=?": (_string_compare("string<=?", lambda a, b: a <= b), 1, None),
+    "string>=?": (_string_compare("string>=?", lambda a, b: a >= b), 1, None),
+    "char=?": (_char_compare("char=?", lambda a, b: a == b), 1, None),
+    "char<?": (_char_compare("char<?", lambda a, b: a < b), 1, None),
+    "char>?": (_char_compare("char>?", lambda a, b: a > b), 1, None),
+    "char<=?": (_char_compare("char<=?", lambda a, b: a <= b), 1, None),
+    "char>=?": (_char_compare("char>=?", lambda a, b: a >= b), 1, None),
+    "char->integer": (prim_char_to_integer, 1, 1),
+    "integer->char": (prim_integer_to_char, 1, 1),
+    "char-upcase": (prim_char_upcase, 1, 1),
+    "char-downcase": (prim_char_downcase, 1, 1),
+    "char-alphabetic?": (prim_char_alphabetic, 1, 1),
+    "char-numeric?": (prim_char_numeric, 1, 1),
+    "char-whitespace?": (prim_char_whitespace, 1, 1),
+    "gensym": (prim_gensym, 0, 1),
+}

@@ -1,0 +1,62 @@
+"""Vector primitives."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.datum import MVector, UNSPECIFIED
+from repro.errors import WrongTypeError
+
+__all__ = ["VECTOR_PRIMITIVES"]
+
+
+def _check_vector(name: str, v: Any) -> MVector:
+    if not isinstance(v, MVector):
+        raise WrongTypeError(f"{name}: not a vector: {v!r}")
+    return v
+
+
+def prim_make_vector(length: Any, *rest: Any) -> MVector:
+    if isinstance(length, bool) or not isinstance(length, int):
+        raise WrongTypeError(f"make-vector: bad length {length!r}")
+    fill = rest[0] if rest else UNSPECIFIED
+    return MVector.filled(length, fill)
+
+
+def prim_vector(*items: Any) -> MVector:
+    return MVector(items)
+
+
+def prim_vector_length(v: Any) -> int:
+    return len(_check_vector("vector-length", v))
+
+
+def prim_vector_ref(v: Any, k: Any) -> Any:
+    return _check_vector("vector-ref", v).ref(k)
+
+
+def prim_vector_set(v: Any, k: Any, value: Any) -> Any:
+    _check_vector("vector-set!", v).set(k, value)
+    return UNSPECIFIED
+
+
+def prim_vector_fill(v: Any, value: Any) -> Any:
+    vec = _check_vector("vector-fill!", v)
+    for index in range(len(vec)):
+        vec.items[index] = value
+    return UNSPECIFIED
+
+
+def prim_vector_copy(v: Any) -> MVector:
+    return MVector(list(_check_vector("vector-copy", v).items))
+
+
+VECTOR_PRIMITIVES: dict[str, tuple[Callable[..., Any], int, int | None]] = {
+    "make-vector": (prim_make_vector, 1, 2),
+    "vector": (prim_vector, 0, None),
+    "vector-length": (prim_vector_length, 1, 1),
+    "vector-ref": (prim_vector_ref, 2, 2),
+    "vector-set!": (prim_vector_set, 3, 3),
+    "vector-fill!": (prim_vector_fill, 2, 2),
+    "vector-copy": (prim_vector_copy, 1, 1),
+}

@@ -1,0 +1,21 @@
+"""S-expression reader.
+
+:func:`read_all` turns program text into a list of Scheme data;
+:func:`read_one` reads a single datum.  The reader supports the full
+surface syntax used in the paper: lists, dotted pairs, vectors,
+booleans, characters, strings, exact and inexact numbers, and the
+quotation shorthands.
+"""
+
+from repro.reader.lexer import Lexer, Token, TokenKind, tokenize
+from repro.reader.parser import Parser, read_all, read_one
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "Parser",
+    "read_all",
+    "read_one",
+]

@@ -1,0 +1,303 @@
+"""Tokenizer for Scheme surface syntax.
+
+Produces a stream of :class:`Token` objects with line/column
+information.  Handles:
+
+* parentheses and brackets (``[`` and ``]`` are interchangeable with
+  parens, as in the paper's examples);
+* the quotation prefixes ``'``, `````, ``,``, ``,@``;
+* ``#t`` / ``#f`` booleans, ``#\\x`` characters, ``#(`` vector-open;
+* strings with escape sequences;
+* line comments ``;`` and block comments ``#| ... |#`` (nested);
+* datum comments ``#;``;
+* numbers: exact integers, rationals ``a/b``, decimals and exponent
+  floats, with sign prefixes.
+
+Anything else that looks like an identifier becomes a symbol token.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Iterator
+
+from repro.datum.chars import NAMED_CHARS, Char
+from repro.errors import ReaderError
+
+__all__ = ["TokenKind", "Token", "Lexer", "tokenize"]
+
+
+class TokenKind(enum.Enum):
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    VECTOR_OPEN = "vector-open"
+    QUOTE = "quote"
+    QUASIQUOTE = "quasiquote"
+    UNQUOTE = "unquote"
+    UNQUOTE_SPLICING = "unquote-splicing"
+    DOT = "dot"
+    BOOLEAN = "boolean"
+    NUMBER = "number"
+    STRING = "string"
+    CHAR = "char"
+    SYMBOL = "symbol"
+    DATUM_COMMENT = "datum-comment"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    value: Any
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.value}, {self.value!r}, {self.line}:{self.column})"
+
+
+_DELIMITERS = set("()[]\"; \t\n\r")
+
+_STRING_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "\\": "\\",
+    '"': '"',
+    "a": "\a",
+    "b": "\b",
+    "0": "\0",
+}
+
+
+def _parse_number(text: str) -> Any | None:
+    """Parse ``text`` as a Scheme number, or None if it is not one."""
+    if not text:
+        return None
+    special = {
+        "+inf.0": float("inf"),
+        "-inf.0": float("-inf"),
+        "+nan.0": float("nan"),
+        "-nan.0": float("nan"),
+    }
+    if text in special:
+        return special[text]
+    body = text
+    sign = 1
+    if body[0] in "+-":
+        if len(body) == 1:
+            return None
+        if body[0] == "-":
+            sign = -1
+        body = body[1:]
+    def _ascii_digits(text_: str) -> bool:
+        # str.isdigit() accepts Unicode digits that int() rejects
+        # (e.g. superscripts); require ASCII.
+        return bool(text_) and text_.isascii() and text_.isdigit()
+
+    if "/" in body:
+        num, _, den = body.partition("/")
+        if _ascii_digits(num) and _ascii_digits(den) and int(den) != 0:
+            frac = Fraction(sign * int(num), int(den))
+            if frac.denominator == 1:
+                return frac.numerator
+            return frac
+        return None
+    if _ascii_digits(body):
+        return sign * int(body)
+    # Float forms: need a digit somewhere, plus '.' or exponent.
+    if (
+        body.isascii()
+        and any(c.isdigit() for c in body)
+        and ("." in body or "e" in body or "E" in body)
+    ):
+        try:
+            value = sign * float(body)
+        except ValueError:
+            return None
+        return value
+    return None
+
+
+class Lexer:
+    """A character-at-a-time tokenizer with one token of lookahead."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.text[idx] if idx < len(self.text) else ""
+
+    def _advance(self) -> str:
+        ch = self.text[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return ch
+
+    def _error(self, message: str) -> ReaderError:
+        return ReaderError(message, self.line, self.column)
+
+    def _skip_atmosphere(self) -> None:
+        """Skip whitespace and comments (line and nested block)."""
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch in " \t\n\r\f":
+                self._advance()
+            elif ch == ";":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "#" and self._peek(1) == "|":
+                start_line, start_col = self.line, self.column
+                self._advance()
+                self._advance()
+                depth = 1
+                while depth > 0:
+                    if self.pos >= len(self.text):
+                        raise ReaderError(
+                            "unterminated block comment", start_line, start_col
+                        )
+                    if self._peek() == "#" and self._peek(1) == "|":
+                        self._advance(), self._advance()
+                        depth += 1
+                    elif self._peek() == "|" and self._peek(1) == "#":
+                        self._advance(), self._advance()
+                        depth -= 1
+                    else:
+                        self._advance()
+            else:
+                return
+
+    def _read_string(self, line: int, column: int) -> Token:
+        chars: list[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise ReaderError("unterminated string literal", line, column)
+            ch = self._advance()
+            if ch == '"':
+                return Token(TokenKind.STRING, "".join(chars), line, column)
+            if ch == "\\":
+                if self.pos >= len(self.text):
+                    raise ReaderError("unterminated escape in string", line, column)
+                esc = self._advance()
+                if esc in _STRING_ESCAPES:
+                    chars.append(_STRING_ESCAPES[esc])
+                elif esc == "x":
+                    hex_digits = []
+                    while self._peek() and self._peek() != ";":
+                        hex_digits.append(self._advance())
+                    if self._peek() == ";":
+                        self._advance()
+                    try:
+                        chars.append(chr(int("".join(hex_digits), 16)))
+                    except ValueError:
+                        raise self._error(f"bad hex escape \\x{''.join(hex_digits)}")
+                else:
+                    raise self._error(f"unknown string escape \\{esc}")
+            else:
+                chars.append(ch)
+
+    def _read_char(self, line: int, column: int) -> Token:
+        if self.pos >= len(self.text):
+            raise ReaderError("unterminated character literal", line, column)
+        first = self._advance()
+        # A named character continues with letters; a single char ends
+        # at a delimiter.
+        if first.isalpha():
+            name = [first]
+            while self._peek() and self._peek() not in _DELIMITERS:
+                name.append(self._advance())
+            text = "".join(name)
+            if len(text) == 1:
+                return Token(TokenKind.CHAR, Char(text), line, column)
+            lowered = text.lower()
+            if lowered in NAMED_CHARS:
+                return Token(TokenKind.CHAR, Char(NAMED_CHARS[lowered]), line, column)
+            if lowered.startswith("x") and len(lowered) > 1:
+                try:
+                    return Token(
+                        TokenKind.CHAR, Char(chr(int(lowered[1:], 16))), line, column
+                    )
+                except (ValueError, OverflowError):
+                    pass
+            raise ReaderError(f"unknown character name #\\{text}", line, column)
+        return Token(TokenKind.CHAR, Char(first), line, column)
+
+    def _read_atom(self, line: int, column: int) -> Token:
+        chars: list[str] = []
+        while self.pos < len(self.text) and self._peek() not in _DELIMITERS:
+            chars.append(self._advance())
+        text = "".join(chars)
+        if text == ".":
+            return Token(TokenKind.DOT, ".", line, column)
+        number = _parse_number(text)
+        if number is not None:
+            return Token(TokenKind.NUMBER, number, line, column)
+        return Token(TokenKind.SYMBOL, text, line, column)
+
+    def next_token(self) -> Token:
+        self._skip_atmosphere()
+        line, column = self.line, self.column
+        if self.pos >= len(self.text):
+            return Token(TokenKind.EOF, None, line, column)
+        ch = self._advance()
+        if ch in "([":
+            return Token(TokenKind.LPAREN, ch, line, column)
+        if ch in ")]":
+            return Token(TokenKind.RPAREN, ch, line, column)
+        if ch == "'":
+            return Token(TokenKind.QUOTE, "'", line, column)
+        if ch == "`":
+            return Token(TokenKind.QUASIQUOTE, "`", line, column)
+        if ch == ",":
+            if self._peek() == "@":
+                self._advance()
+                return Token(TokenKind.UNQUOTE_SPLICING, ",@", line, column)
+            return Token(TokenKind.UNQUOTE, ",", line, column)
+        if ch == '"':
+            return self._read_string(line, column)
+        if ch == "#":
+            nxt = self._peek()
+            # NB: nxt may be "" at end of input; "" is a substring of
+            # anything, so every membership test below guards on nxt.
+            if nxt and nxt in "([":
+                self._advance()
+                return Token(TokenKind.VECTOR_OPEN, "#(", line, column)
+            if nxt in ("t", "f") and (
+                self._peek(1) == "" or self._peek(1) in _DELIMITERS
+            ):
+                self._advance()
+                return Token(TokenKind.BOOLEAN, nxt == "t", line, column)
+            if nxt == "\\":
+                self._advance()
+                return self._read_char(line, column)
+            if nxt == ";":
+                self._advance()
+                return Token(TokenKind.DATUM_COMMENT, "#;", line, column)
+            raise ReaderError(f"unknown # syntax: #{nxt or '<eof>'}", line, column)
+        # Fall through: part of an atom (symbol or number).  Rewind one
+        # character so _read_atom sees it.
+        self.pos -= 1
+        self.column -= 1
+        return self._read_atom(line, column)
+
+    def __iter__(self) -> Iterator[Token]:
+        while True:
+            token = self.next_token()
+            yield token
+            if token.kind is TokenKind.EOF:
+                return
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text`` completely (including the trailing EOF token)."""
+    return list(Lexer(text))

@@ -1,0 +1,211 @@
+"""Parser from token streams to Scheme data.
+
+The parser is **iterative** (an explicit builder stack rather than
+recursive descent), so arbitrarily deep nesting parses without
+touching Python's recursion limit.  Quotation shorthands expand to
+their list forms (``'x`` → ``(quote x)``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.datum import NIL, MVector, from_pylist, intern
+from repro.errors import ReaderError
+from repro.reader.lexer import Lexer, Token, TokenKind
+
+__all__ = ["Parser", "read_all", "read_one"]
+
+_PREFIX_NAMES = {
+    TokenKind.QUOTE: "quote",
+    TokenKind.QUASIQUOTE: "quasiquote",
+    TokenKind.UNQUOTE: "unquote",
+    TokenKind.UNQUOTE_SPLICING: "unquote-splicing",
+}
+
+_ATOM_KINDS = (
+    TokenKind.NUMBER,
+    TokenKind.STRING,
+    TokenKind.CHAR,
+    TokenKind.BOOLEAN,
+)
+
+
+class _ListBuilder:
+    """Accumulates a list; handles the dotted tail protocol."""
+
+    __slots__ = ("open_token", "items", "tail", "state")
+
+    def __init__(self, open_token: Token):
+        self.open_token = open_token
+        self.items: list[Any] = []
+        self.tail: Any = NIL
+        # state: "items" -> "tail" (after dot) -> "closed" (tail seen)
+        self.state = "items"
+
+    def add(self, value: Any, token: Token) -> None:
+        if self.state == "items":
+            self.items.append(value)
+        elif self.state == "tail":
+            self.tail = value
+            self.state = "closed"
+        else:
+            raise ReaderError("expected ) after dotted tail", token.line, token.column)
+
+    def saw_dot(self, token: Token) -> None:
+        if self.state != "items" or not self.items:
+            raise ReaderError("misplaced dot in list", token.line, token.column)
+        self.state = "tail"
+
+    def finish(self, token: Token) -> Any:
+        if self.state == "tail":
+            raise ReaderError("dot with no following datum", token.line, token.column)
+        return from_pylist(self.items, self.tail)
+
+
+class _VectorBuilder:
+    __slots__ = ("open_token", "items")
+
+    def __init__(self, open_token: Token):
+        self.open_token = open_token
+        self.items: list[Any] = []
+
+    def add(self, value: Any, token: Token) -> None:
+        self.items.append(value)
+
+    def saw_dot(self, token: Token) -> None:
+        raise ReaderError("dot inside vector", token.line, token.column)
+
+    def finish(self, token: Token) -> Any:
+        return MVector(self.items)
+
+
+class _PrefixBuilder:
+    """``'x`` and friends: wraps the next datum."""
+
+    __slots__ = ("name", "token")
+
+    def __init__(self, name: str, token: Token):
+        self.name = name
+        self.token = token
+
+
+class _DiscardBuilder:
+    """``#;``: swallows the next datum."""
+
+    __slots__ = ("token",)
+
+    def __init__(self, token: Token):
+        self.token = token
+
+
+class Parser:
+    """Reads data from a lexer, one complete datum per :meth:`read`."""
+
+    def __init__(self, text: str):
+        self.lexer = Lexer(text)
+
+    def _next(self) -> Token:
+        return self.lexer.next_token()
+
+    def read(self) -> tuple[bool, Any]:
+        """Read one datum.
+
+        Returns ``(True, datum)`` or ``(False, None)`` at end of input.
+        """
+        stack: list[Any] = []
+        while True:
+            token = self._next()
+            kind = token.kind
+
+            if kind is TokenKind.EOF:
+                if stack:
+                    top = stack[-1]  # innermost incomplete construct
+                    if isinstance(top, _DiscardBuilder):
+                        raise ReaderError(
+                            "#; with no following datum",
+                            top.token.line,
+                            top.token.column,
+                        )
+                    if isinstance(top, _PrefixBuilder):
+                        raise ReaderError(
+                            f"{top.name} with no following datum",
+                            top.token.line,
+                            top.token.column,
+                        )
+                    what = "vector" if isinstance(top, _VectorBuilder) else "list"
+                    raise ReaderError(
+                        f"unterminated {what}",
+                        top.open_token.line,
+                        top.open_token.column,
+                    )
+                return False, None
+
+            if kind is TokenKind.DATUM_COMMENT:
+                stack.append(_DiscardBuilder(token))
+                continue
+            if kind is TokenKind.LPAREN:
+                stack.append(_ListBuilder(token))
+                continue
+            if kind is TokenKind.VECTOR_OPEN:
+                stack.append(_VectorBuilder(token))
+                continue
+            if kind in _PREFIX_NAMES:
+                stack.append(_PrefixBuilder(_PREFIX_NAMES[kind], token))
+                continue
+            if kind is TokenKind.DOT:
+                if stack and isinstance(stack[-1], (_ListBuilder, _VectorBuilder)):
+                    stack[-1].saw_dot(token)
+                    continue
+                raise ReaderError("unexpected .", token.line, token.column)
+
+            if kind is TokenKind.RPAREN:
+                if not stack or not isinstance(
+                    stack[-1], (_ListBuilder, _VectorBuilder)
+                ):
+                    raise ReaderError("unexpected )", token.line, token.column)
+                builder = stack.pop()
+                completed = builder.finish(token)
+            elif kind in _ATOM_KINDS:
+                completed = token.value
+            elif kind is TokenKind.SYMBOL:
+                completed = intern(token.value)
+            else:  # pragma: no cover - all kinds covered above
+                raise ReaderError(
+                    f"unexpected token {kind.value}", token.line, token.column
+                )
+
+            # Feed the completed datum upward through prefix/discard
+            # builders until it lands in a container or is the answer.
+            while True:
+                if not stack:
+                    return True, completed
+                top = stack[-1]
+                if isinstance(top, _DiscardBuilder):
+                    stack.pop()
+                    break  # datum swallowed; keep reading
+                if isinstance(top, _PrefixBuilder):
+                    stack.pop()
+                    completed = from_pylist([intern(top.name), completed])
+                    continue
+                top.add(completed, token)
+                break
+
+
+def read_all(text: str) -> list[Any]:
+    """Read every datum in ``text``."""
+    parser = Parser(text)
+    out: list[Any] = []
+    while True:
+        ok, datum = parser.read()
+        if not ok:
+            return out
+        out.append(datum)
+
+
+def read_one(text: str) -> Any:
+    """Read exactly one datum; error if there are zero or several."""
+    data = read_all(text)
+    if len(data) != 1:
+        raise ReaderError(f"expected exactly one datum, found {len(data)}")
+    return data[0]

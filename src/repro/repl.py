@@ -1,0 +1,229 @@
+"""Interactive REPL and command-line interface.
+
+    python -m repro                   # interactive REPL
+    python -m repro program.ss        # run a file
+    python -m repro -e "(+ 1 2)"      # evaluate and print
+    python -m repro --examples        # list the paper's programs
+
+REPL meta-commands:
+
+    ,help            this message
+    ,load <name>     load a paper example by name (,load sum-of-products)
+    ,examples        list paper example names
+    ,stats           machine counters (forks, captures, ...)
+    ,tree            render the last process-tree statistics
+    ,trace <expr>    evaluate with a control-event trace
+    ,analyze <expr>  controller escape analysis of the spawn sites
+    ,quit            exit
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any
+
+from repro.api import Interpreter
+from repro.datum import UNSPECIFIED, scheme_repr
+from repro.errors import ReproError
+from repro.lib import paper_examples
+
+__all__ = ["main", "Repl"]
+
+_BANNER = """repro — Continuations and Concurrency (Hieb & Dybvig, PPoPP 1990)
+Scheme with spawn / controllers / process continuations / pcall.
+Type ,help for meta-commands, ,quit to exit.
+"""
+
+
+class Repl:
+    """A line-oriented REPL with multi-line form buffering."""
+
+    def __init__(self, interp: Interpreter | None = None, out: Any = None):
+        self.interp = interp if interp is not None else Interpreter(echo_output=False)
+        self.out = out if out is not None else sys.stdout
+        self.buffer = ""
+
+    # -- plumbing --------------------------------------------------------
+
+    def _print(self, text: str = "") -> None:
+        print(text, file=self.out)
+
+    def _balanced(self, text: str) -> bool:
+        """Cheap paren balance check for multi-line entry (strings and
+        comments handled)."""
+        depth = 0
+        in_string = False
+        index = 0
+        while index < len(text):
+            ch = text[index]
+            if in_string:
+                if ch == "\\":
+                    index += 1
+                elif ch == '"':
+                    in_string = False
+            elif ch == '"':
+                in_string = True
+            elif ch == ";":
+                while index < len(text) and text[index] != "\n":
+                    index += 1
+            elif ch in "([":
+                depth += 1
+            elif ch in ")]":
+                depth -= 1
+            index += 1
+        return depth <= 0 and not in_string
+
+    # -- commands ---------------------------------------------------------
+
+    def handle_meta(self, line: str) -> bool:
+        """Process a ,command; returns False when the REPL should exit."""
+        parts = line[1:].split(None, 1)
+        command = parts[0] if parts else "help"
+        argument = parts[1].strip() if len(parts) > 1 else ""
+        if command in ("quit", "q", "exit"):
+            return False
+        if command == "help":
+            self._print(__doc__ or "")
+        elif command == "examples":
+            for name, (_, kind) in paper_examples.ALL.items():
+                self._print(f"  {name:32s} ({kind})")
+        elif command == "load":
+            if not argument:
+                self._print("usage: ,load <example-name>")
+            else:
+                try:
+                    self.interp.load_paper_example(argument)
+                    self._print(f"loaded {argument}")
+                except KeyError:
+                    self._print(f"unknown example: {argument} (try ,examples)")
+                except ValueError as exc:
+                    self._print(str(exc))
+        elif command == "stats":
+            for key, value in self.interp.stats.items():
+                self._print(f"  {key:16s} {value}")
+        elif command == "tree":
+            from repro.machine.inspect import tree_summary
+
+            summary = tree_summary(self.interp.machine.root_entity)
+            for key, value in summary.items():
+                self._print(f"  {key:12s} {value}")
+        elif command == "trace":
+            if not argument:
+                self._print("usage: ,trace <expression>")
+            else:
+                from repro.machine.trace import Tracer
+
+                with Tracer(self.interp.machine) as tracer:
+                    self.eval_and_print(argument)
+                self._print(tracer.render())
+        elif command == "analyze":
+            if not argument:
+                self._print("usage: ,analyze <expression-with-spawn>")
+            else:
+                from repro.analysis import spawn_report
+
+                try:
+                    self._print(spawn_report(argument))
+                except ReproError as exc:
+                    self._print(f"error: {exc}")
+        else:
+            self._print(f"unknown command ,{command} (try ,help)")
+        return True
+
+    def eval_and_print(self, source: str) -> None:
+        try:
+            values = self.interp.run(source)
+        except ReproError as exc:
+            self._print(f"error: {exc}")
+            return
+        except RecursionError:
+            self._print("error: expansion recursion limit")
+            return
+        output = self.interp.output_text()
+        if output:
+            self._print(output.rstrip("\n"))
+            self.interp.clear_output()
+        for value in values:
+            if value is not UNSPECIFIED and value is not None:
+                self._print(scheme_repr(value))
+
+    # -- loop --------------------------------------------------------------
+
+    def feed_line(self, line: str) -> bool:
+        """Feed one input line; returns False when the REPL should exit."""
+        if not self.buffer and line.strip().startswith(","):
+            return self.handle_meta(line.strip())
+        self.buffer += line + "\n"
+        if self._balanced(self.buffer):
+            source, self.buffer = self.buffer, ""
+            if source.strip():
+                self.eval_and_print(source)
+        return True
+
+    def prompt(self) -> str:
+        return "... " if self.buffer else ">>> "
+
+    def run_interactive(self) -> None:  # pragma: no cover - terminal loop
+        self._print(_BANNER)
+        while True:
+            try:
+                line = input(self.prompt())
+            except EOFError:
+                self._print()
+                return
+            except KeyboardInterrupt:
+                self._print("\n(interrupted; buffer cleared)")
+                self.buffer = ""
+                continue
+            if not self.feed_line(line):
+                return
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scheme with process continuations (Hieb & Dybvig 1990)",
+    )
+    parser.add_argument("file", nargs="?", help="Scheme file to run")
+    parser.add_argument("-e", "--eval", dest="expr", help="evaluate and print")
+    parser.add_argument("--examples", action="store_true", help="list paper examples")
+    parser.add_argument(
+        "--policy",
+        default="round-robin",
+        choices=["round-robin", "random", "serial"],
+        help="pcall scheduling policy",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="random-policy seed")
+    parser.add_argument(
+        "--max-steps", type=int, default=None, help="machine step budget"
+    )
+    args = parser.parse_args(argv)
+
+    if args.examples:
+        for name, (_, kind) in paper_examples.ALL.items():
+            print(f"  {name:32s} ({kind})")
+        return 0
+
+    interp = Interpreter(
+        policy=args.policy,
+        seed=args.seed,
+        max_steps=args.max_steps,
+        echo_output=False,
+    )
+    repl = Repl(interp)
+
+    if args.expr is not None:
+        repl.eval_and_print(args.expr)
+        return 0
+    if args.file is not None:
+        with open(args.file) as handle:
+            source = handle.read()
+        repl.eval_and_print(source)
+        return 0
+    repl.run_interactive()  # pragma: no cover - terminal loop
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Python-native process trees.
+
+The tasklet runtime gives plain Python code the paper's control
+algebra — ``spawn``, process controllers, subtree capture, ``pcall``,
+plus Multilisp-style ``future``/``touch`` (the Section 8 "forest of
+trees").  User code is written as generator functions that ``yield``
+effect requests:
+
+    from repro.runtime import Runtime, Spawn, Pcall, Invoke, Resume, Call
+
+    def main():
+        def process(ctrl):
+            value = yield Invoke(ctrl, lambda k: ("suspended", k))
+            return value * 10
+        tag, k = yield Spawn(process)
+        result = yield Resume(k, 4)      # -> 40
+        return result
+
+    Runtime().run(main)                  # => 40
+
+Because Python generators cannot be cloned, process continuations here
+are **one-shot**: a second ``Resume`` raises
+:class:`~repro.errors.ContinuationReusedError`.  The multi-shot
+algebra lives in the Scheme machine (:mod:`repro.machine`); this
+runtime shares its tree discipline, not its persistence.
+
+Derived abstractions built on top:
+:func:`repro.runtime.highlevel.spawn_exit`,
+:func:`repro.runtime.highlevel.first_true`,
+:class:`repro.runtime.engines.Engine`,
+:class:`repro.runtime.coroutines.Coroutine`.
+"""
+
+from repro.runtime.effects import (
+    Effect,
+    Call,
+    Spawn,
+    Pcall,
+    Invoke,
+    Resume,
+    MakeFuture,
+    Touch,
+    Controller,
+    SubContinuation,
+    Placeholder,
+)
+from repro.runtime.tasklets import Runtime
+from repro.runtime.highlevel import spawn_exit, first_true, parallel_map
+from repro.runtime.engines import Engine, make_engine
+from repro.runtime.coroutines import Coroutine
+
+__all__ = [
+    "Effect",
+    "Call",
+    "Spawn",
+    "Pcall",
+    "Invoke",
+    "Resume",
+    "MakeFuture",
+    "Touch",
+    "Controller",
+    "SubContinuation",
+    "Placeholder",
+    "Runtime",
+    "spawn_exit",
+    "first_true",
+    "parallel_map",
+    "Engine",
+    "make_engine",
+    "Coroutine",
+]

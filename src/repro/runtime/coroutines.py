@@ -1,0 +1,110 @@
+"""Coroutines from process continuations.
+
+Friedman, Haynes & Wand (the paper's reference [11]) obtain coroutines
+from continuations; with ``spawn`` the derivation is local and needs no
+global control: a coroutine is a spawned process whose ``suspend``
+invokes the process controller, handing the caller a subcontinuation
+to resume with.
+
+    def numbers(suspend):
+        for n in range(3):
+            yield suspend(n)          # suspend, yielding n to the caller
+        return "done"
+
+    co = Coroutine(numbers)
+    co.resume()   # -> (yielded) 0
+    co.resume()   # -> 1
+    ...
+
+Each suspension crosses the process boundary exactly as in the paper's
+``parallel-search`` example: the controller packages ``(value, rest)``
+and the caller resumes ``rest`` on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import RuntimeAPIError
+from repro.runtime.effects import Call, Invoke, Resume, Spawn
+from repro.runtime.tasklets import Runtime
+
+__all__ = ["Coroutine", "CoroutineResult"]
+
+
+class CoroutineResult:
+    """What a :meth:`Coroutine.resume` returns."""
+
+    __slots__ = ("done", "value")
+
+    def __init__(self, done: bool, value: Any):
+        self.done = done
+        self.value = value
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "yielded"
+        return f"<coroutine-result {state} {self.value!r}>"
+
+
+class Coroutine:
+    """A suspendable computation built on ``spawn``.
+
+    ``fn`` is a tasklet function receiving ``suspend``; yielding
+    ``suspend(value)`` pauses the coroutine, delivering ``value`` to
+    the resumer; the ``yield``'s result is whatever the next
+    ``resume(value)`` passes in.
+    """
+
+    def __init__(self, fn: Callable[[Callable[[Any], Any]], Any], quantum: int = 8):
+        self._fn = fn
+        self._runtime = Runtime(quantum=quantum)
+        self._continuation: Any = None
+        self._started = False
+        self._finished = False
+
+    def resume(self, value: Any = None) -> CoroutineResult:
+        """Run the coroutine until its next suspension or completion."""
+        if self._finished:
+            raise RuntimeAPIError("coroutine already completed")
+        if not self._started:
+            self._started = True
+            outcome = self._run_main(self._initial_main)
+        else:
+            continuation = self._continuation
+            self._continuation = None
+
+            def resume_main():
+                result = yield Resume(continuation, value)
+                return result
+
+            outcome = self._run_main(resume_main)
+        tag = outcome[0]
+        if tag == "yield":
+            self._continuation = outcome[2]
+            return CoroutineResult(done=False, value=outcome[1])
+        self._finished = True
+        return CoroutineResult(done=True, value=outcome[1])
+
+    def _initial_main(self):
+        fn = self._fn
+
+        def process(controller):
+            def suspend(value: Any):
+                return Invoke(controller, lambda k: ("yield", value, k))
+
+            result = yield Call(fn, suspend)
+            return ("done", result)
+
+        outcome = yield Spawn(process)
+        return outcome
+
+    def _run_main(self, main: Callable[[], Any]) -> Any:
+        self._runtime.start(main)
+        while not self._runtime.halted:
+            self._runtime.step_n(1024)
+        result = self._runtime.result
+        if not (isinstance(result, tuple) and result and result[0] in ("yield", "done")):
+            # The coroutine body aborted through some other control
+            # path; report it as a completion.
+            return ("done", result)
+        return result

@@ -1,0 +1,165 @@
+"""Effect requests and handle objects for the tasklet runtime.
+
+A tasklet is a generator; every ``yield`` hands the scheduler one of
+the effect objects below and receives the effect's result when the
+tasklet is resumed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = [
+    "Effect",
+    "Call",
+    "Spawn",
+    "Pcall",
+    "Invoke",
+    "Resume",
+    "MakeFuture",
+    "Touch",
+    "Controller",
+    "SubContinuation",
+    "Placeholder",
+]
+
+
+class Effect:
+    """Base class of all yieldable requests."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Call(Effect):
+    """Call another tasklet function (or plain callable) with ``args``;
+    the result becomes the value of the ``yield``.
+
+    Generator results run as nested segment frames — this is how deep
+    tasklet call stacks are built.
+    """
+
+    fn: Callable[..., Any]
+    args: tuple[Any, ...] = ()
+
+    def __init__(self, fn: Callable[..., Any], *args: Any):
+        object.__setattr__(self, "fn", fn)
+        object.__setattr__(self, "args", args)
+
+
+@dataclass(frozen=True)
+class Spawn(Effect):
+    """Run ``proc`` as a process: a fresh root is planted here and
+    ``proc`` is called with the root's :class:`Controller`.
+
+    The value of the ``yield`` is the process's normal return value, or
+    whatever a controller receiver aborts with.
+    """
+
+    proc: Callable[["Controller"], Any]
+
+
+@dataclass(frozen=True)
+class Pcall(Effect):
+    """Evaluate ``branches`` concurrently (each a zero-argument tasklet
+    function), then apply plain callable ``combine`` to their values.
+    """
+
+    combine: Callable[..., Any]
+    branches: tuple[Callable[[], Any], ...]
+
+    def __init__(self, combine: Callable[..., Any], *branches: Callable[[], Any]):
+        object.__setattr__(self, "combine", combine)
+        object.__setattr__(self, "branches", branches)
+
+
+@dataclass(frozen=True)
+class Invoke(Effect):
+    """Apply a process controller.
+
+    Captures-and-aborts back to the controller's root and calls
+    ``receiver`` (plain callable or tasklet function) with the captured
+    :class:`SubContinuation` in the context above the root.
+    """
+
+    controller: "Controller"
+    receiver: Callable[["SubContinuation"], Any]
+
+
+@dataclass(frozen=True)
+class Resume(Effect):
+    """Reinstate a captured subtree, delivering ``value`` at its hole.
+    Composes with the current continuation.  One-shot."""
+
+    continuation: "SubContinuation"
+    value: Any = None
+
+
+@dataclass(frozen=True)
+class MakeFuture(Effect):
+    """Start ``fn`` as an *independent* process (its own tree in the
+    forest — Section 8); yields a :class:`Placeholder` immediately."""
+
+    fn: Callable[[], Any]
+    args: tuple[Any, ...] = ()
+
+    def __init__(self, fn: Callable[..., Any], *args: Any):
+        object.__setattr__(self, "fn", fn)
+        object.__setattr__(self, "args", args)
+
+
+@dataclass(frozen=True)
+class Touch(Effect):
+    """Wait for a placeholder's value (blocks this task only)."""
+
+    placeholder: "Placeholder"
+
+
+_ids = itertools.count()
+
+
+class Controller:
+    """Handle for a process root (opaque; used in :class:`Invoke`)."""
+
+    __slots__ = ("uid", "name")
+
+    def __init__(self, name: str | None = None):
+        self.uid = next(_ids)
+        self.name = name or f"c{self.uid}"
+
+    def __repr__(self) -> str:
+        return f"<controller {self.name}>"
+
+
+class SubContinuation:
+    """A captured subtree (one-shot).  ``used`` flips on first Resume."""
+
+    __slots__ = ("uid", "subtree", "hole", "used")
+
+    def __init__(self, subtree: Any, hole: Any):
+        self.uid = next(_ids)
+        self.subtree = subtree
+        self.hole = hole
+        self.used = False
+
+    def __repr__(self) -> str:
+        state = "used" if self.used else "ready"
+        return f"<subcontinuation {self.uid} {state}>"
+
+
+class Placeholder:
+    """A Multilisp-style future's eventual value."""
+
+    __slots__ = ("uid", "resolved", "value", "waiters")
+
+    def __init__(self) -> None:
+        self.uid = next(_ids)
+        self.resolved = False
+        self.value: Any = None
+        self.waiters: list[Any] = []
+
+    def __repr__(self) -> str:
+        state = f"= {self.value!r}" if self.resolved else "pending"
+        return f"<placeholder {self.uid} {state}>"

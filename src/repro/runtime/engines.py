@@ -1,0 +1,100 @@
+"""Engines — timed preemption from process continuations.
+
+Dybvig & Hieb, "Engines from Continuations" (the paper's reference
+[6]), derive engines from first-class continuations; here they fall out
+of the tasklet runtime's suspension machinery.  An engine is a
+computation that runs for a bounded amount of *fuel* (scheduler steps)
+and either completes — yielding its value and the unused fuel — or
+expires — yielding a fresh engine for the rest of the computation.
+
+    engine = make_engine(worker_tasklet)
+    outcome = engine.run(100)
+    if outcome.done:
+        print(outcome.value, outcome.remaining_fuel)
+    else:
+        engine = outcome.engine      # the rest of the computation
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import RuntimeAPIError
+from repro.runtime.tasklets import Runtime
+
+__all__ = ["Engine", "EngineOutcome", "make_engine"]
+
+
+@dataclass(frozen=True)
+class EngineOutcome:
+    """Result of :meth:`Engine.run`."""
+
+    done: bool
+    value: Any = None
+    remaining_fuel: int = 0
+    engine: "Engine | None" = None
+
+
+class Engine:
+    """A resumable bounded computation.
+
+    Engines are linear: once run to expiry, continue with the outcome's
+    ``engine`` (which happens to be the same object, re-armed); running
+    a completed engine raises.
+    """
+
+    def __init__(self, runtime: Runtime):
+        self._runtime = runtime
+        self._spent = False
+
+    def run(self, fuel: int) -> EngineOutcome:
+        """Burn up to ``fuel`` scheduler steps."""
+        if fuel <= 0:
+            raise RuntimeAPIError("engine fuel must be positive")
+        if self._spent:
+            raise RuntimeAPIError("engine already completed")
+        runtime = self._runtime
+        start = runtime.steps
+        halted = runtime.step_n(fuel)
+        used = runtime.steps - start
+        if halted:
+            self._spent = True
+            return EngineOutcome(
+                done=True, value=runtime.result, remaining_fuel=fuel - used
+            )
+        return EngineOutcome(done=False, engine=self)
+
+    @property
+    def mileage(self) -> int:
+        """Total steps this engine has consumed so far."""
+        return self._runtime.steps
+
+
+def make_engine(fn: Callable[..., Any], *args: Any, quantum: int = 8) -> Engine:
+    """Wrap tasklet function ``fn`` as an engine."""
+    runtime = Runtime(quantum=quantum)
+    runtime.start(fn, *args)
+    return Engine(runtime)
+
+
+def round_robin(engines: list[Engine], fuel_each: int, max_rounds: int = 10_000) -> list[Any]:
+    """Run engines round-robin until all complete; returns values in
+    the order the engines were given.  A simple fair scheduler built
+    from engines, as in reference [6]."""
+    results: dict[int, Any] = {}
+    live = list(enumerate(engines))
+    rounds = 0
+    while live:
+        rounds += 1
+        if rounds > max_rounds:
+            raise RuntimeAPIError("round_robin: exceeded max_rounds")
+        still_live: list[tuple[int, Engine]] = []
+        for index, engine in live:
+            outcome = engine.run(fuel_each)
+            if outcome.done:
+                results[index] = outcome.value
+            else:
+                still_live.append((index, outcome.engine))  # type: ignore[arg-type]
+        live = still_live
+    return [results[i] for i in range(len(engines))]

@@ -1,0 +1,82 @@
+"""Derived combinators over the tasklet runtime.
+
+Python-level twins of the paper's Section 5 derivations: nonlocal exit
+(``spawn/exit``), ``first-true`` and a ``parallel-map`` built on
+``pcall``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.runtime.effects import Call, Invoke, Pcall, Spawn
+
+__all__ = ["spawn_exit", "first_true", "parallel_map"]
+
+
+def spawn_exit(proc: Callable[[Callable[[Any], Any]], Any]):
+    """Tasklet: run ``proc`` with a one-argument ``exit`` effect-maker.
+
+    ``proc`` receives ``exit``; yielding ``exit(value)`` aborts the
+    whole ``spawn_exit`` computation with ``value`` — the paper's
+    ``spawn/exit`` with the controller hidden behind a restricted
+    interface.
+
+    Usage::
+
+        def body(exit):
+            for item in items:
+                if bad(item):
+                    yield exit("bad!")
+            return "ok"
+
+        result = yield Call(spawn_exit, body)
+    """
+
+    def process(controller):
+        def exit(value: Any):
+            # Receiver discards the captured subtree: pure abort.
+            return Invoke(controller, lambda _continuation: value)
+
+        result = yield Call(proc, exit)
+        return result
+
+    result = yield Spawn(process)
+    return result
+
+
+def first_true(*procs: Callable[[], Any]):
+    """Tasklet: run ``procs`` concurrently; the first truthy result
+    aborts the rest and wins; falsy if none are truthy."""
+
+    def body(exit):
+        def make_branch(proc: Callable[[], Any]):
+            def run():
+                value = yield Call(proc)
+                if value:
+                    yield exit(value)
+                return value
+
+            return run
+
+        yield Pcall(lambda *values: False, *[make_branch(p) for p in procs])
+        return False
+
+    result = yield Call(spawn_exit, body)
+    return result
+
+
+def parallel_map(fn: Callable[[Any], Any], items: Iterable[Any]):
+    """Tasklet: apply tasklet function ``fn`` to every item as parallel
+    ``pcall`` branches; returns the list of results in order."""
+    items = list(items)
+
+    def make_branch(item: Any):
+        def run():
+            value = yield Call(fn, item)
+            return value
+
+        return run
+
+    results = yield Pcall(lambda *values: list(values), *[make_branch(x) for x in items])
+    return results

@@ -1,0 +1,491 @@
+"""The tasklet scheduler: process trees over Python generators.
+
+Mirrors the abstract machine's tree discipline
+(:mod:`repro.machine.tree`) with generator stacks as segments.  Because
+generators cannot be cloned, captures are *moves* and resumptions are
+one-shot; everything else — validity by structural walk-up, smallest
+complete subtree, composition on reinstatement — matches the machine.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections import deque
+from typing import Any, Callable
+
+from repro.errors import (
+    ContinuationReusedError,
+    DeadControllerError,
+    RuntimeAPIError,
+    StepBudgetExceeded,
+)
+from repro.runtime.effects import (
+    Call,
+    Controller,
+    Invoke,
+    MakeFuture,
+    Pcall,
+    Placeholder,
+    Resume,
+    Spawn,
+    SubContinuation,
+    Touch,
+)
+
+__all__ = ["Runtime", "RTask", "RTaskState"]
+
+
+class RTaskState(enum.Enum):
+    RUNNABLE = "runnable"
+    SUSPENDED = "suspended"
+    WAITING = "waiting"
+    DEAD = "dead"
+
+
+_ids = itertools.count()
+
+
+class RTask:
+    """A leaf: a stack of generator frames plus a link."""
+
+    __slots__ = ("uid", "stack", "inject", "link", "state")
+
+    def __init__(self, stack: list[Any], link: Any):
+        self.uid = next(_ids)
+        self.stack = stack
+        self.inject: tuple[str, Any] = ("value", None)
+        self.link = link
+        self.state = RTaskState.RUNNABLE
+
+    def __repr__(self) -> str:
+        return f"<rtask {self.uid} depth={len(self.stack)} {self.state.value}>"
+
+
+class _RHalt:
+    """Root of a tree in the forest: the main tree or a future."""
+
+    __slots__ = ("runtime", "placeholder")
+
+    def __init__(self, runtime: "Runtime", placeholder: Placeholder | None = None):
+        self.runtime = runtime
+        self.placeholder = placeholder
+
+
+class _RLabel:
+    """A process root (spawn boundary)."""
+
+    __slots__ = ("controller", "cont_stack", "cont_link", "child")
+
+    def __init__(self, controller: Controller, cont_stack: list[Any], cont_link: Any):
+        self.controller = controller
+        self.cont_stack = cont_stack
+        self.cont_link = cont_link
+        self.child: Any = None
+
+
+class _RFork:
+    __slots__ = ("join", "index")
+
+    def __init__(self, join: "_RJoin", index: int):
+        self.join = join
+        self.index = index
+
+
+class _RJoin:
+    __slots__ = ("combine", "slots", "remaining", "children", "cont_stack", "cont_link")
+
+    def __init__(
+        self,
+        combine: Callable[..., Any],
+        nbranches: int,
+        cont_stack: list[Any],
+        cont_link: Any,
+    ):
+        self.combine = combine
+        self.slots: list[Any] = [None] * nbranches
+        self.remaining = nbranches
+        self.children: list[Any] = [None] * nbranches
+        self.cont_stack = cont_stack
+        self.cont_link = cont_link
+
+
+def _is_generator(obj: Any) -> bool:
+    return hasattr(obj, "send") and hasattr(obj, "throw")
+
+
+class _PoisonedValue:
+    """A placeholder value recording that its future raised."""
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException):
+        self.error = error
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<poisoned {self.error!r}>"
+
+
+class Runtime:
+    """Schedules tasklets over a forest of process trees.
+
+    Typical use::
+
+        result = Runtime().run(main_tasklet)
+
+    For engines and coroutines the incremental interface is exposed:
+    :meth:`start`, :meth:`step_n`, :attr:`halted`, :attr:`result`.
+    ``quantum`` is the number of scheduler steps a task gets before
+    rotation (round-robin, deterministic).
+    """
+
+    def __init__(self, quantum: int = 8, max_steps: int | None = None):
+        self.quantum = max(1, quantum)
+        self.max_steps = max_steps
+        self.queue: deque[RTask] = deque()
+        self.main_root: Any = None
+        self.halted = False
+        self.result: Any = None
+        self.steps = 0
+        self.stats = {"spawns": 0, "forks": 0, "captures": 0, "resumes": 0, "futures": 0}
+
+    # -- public entry points ------------------------------------------------
+
+    def run(self, fn: Callable[..., Any], *args: Any) -> Any:
+        """Run ``fn`` (a tasklet function) to completion."""
+        self.start(fn, *args)
+        while not self.halted:
+            if not self.step_n(1024):
+                continue
+        return self.result
+
+    def start(self, fn: Callable[..., Any], *args: Any) -> None:
+        """Arrange for ``fn(*args)`` to run as the main tree."""
+        halt = _RHalt(self)
+        task = RTask([], halt)
+        self.main_root = task
+        self.halted = False
+        self.result = None
+        self._begin_call(task, fn, args)
+        self.enqueue(task)
+
+    def step_n(self, n: int) -> bool:
+        """Run up to ``n`` scheduler steps; True iff the main tree
+        halted.  Raises on deadlock."""
+        remaining = n
+        while remaining > 0 and not self.halted:
+            task = self._pick()
+            if task is None:
+                self._raise_deadlock()
+            budget = min(self.quantum, remaining)
+            while budget > 0 and task.state is RTaskState.RUNNABLE and not self.halted:
+                self._step(task)
+                self.steps += 1
+                remaining -= 1
+                budget -= 1
+                if self.max_steps is not None and self.steps > self.max_steps:
+                    raise StepBudgetExceeded(self.steps)
+            if task.state is RTaskState.RUNNABLE and not self.halted:
+                self.queue.append(task)
+        return self.halted
+
+    def enqueue(self, task: RTask) -> None:
+        self.queue.append(task)
+
+    # -- internals ------------------------------------------------------------
+
+    def _pick(self) -> RTask | None:
+        while self.queue:
+            task = self.queue.popleft()
+            if task.state is RTaskState.RUNNABLE:
+                return task
+        return None
+
+    def _raise_deadlock(self) -> None:
+        raise RuntimeAPIError(
+            "deadlock: no runnable tasks (a Touch on a placeholder whose "
+            "future can no longer run, or a dropped subcontinuation held "
+            "the only path to the root)"
+        )
+
+    def _begin_call(self, task: RTask, fn: Callable[..., Any], args: tuple) -> None:
+        """Invoke fn; push a generator frame or deliver a plain value."""
+        outcome = fn(*args)
+        if _is_generator(outcome):
+            task.stack.append(outcome)
+            task.inject = ("value", None)
+        else:
+            task.inject = ("value", outcome)
+
+    def _step(self, task: RTask) -> None:
+        if not task.stack:
+            kind, payload = task.inject
+            if kind == "error":
+                self._deliver_error_through_link(task, payload)
+            else:
+                self._deliver_through_link(task, payload)
+            return
+        generator = task.stack[-1]
+        kind, payload = task.inject
+        task.inject = ("value", None)
+        try:
+            if kind == "value":
+                effect = generator.send(payload)
+            else:
+                effect = generator.throw(payload)
+        except StopIteration as stop:
+            task.stack.pop()
+            task.inject = ("value", stop.value)
+            return
+        except Exception as exc:  # propagate into the caller frame
+            task.stack.pop()
+            task.inject = ("error", exc)
+            return
+        self._handle_effect(task, effect)
+
+    # -- effect handlers -------------------------------------------------------
+
+    def _handle_effect(self, task: RTask, effect: Any) -> None:
+        if isinstance(effect, Call):
+            self._begin_call(task, effect.fn, effect.args)
+        elif isinstance(effect, Spawn):
+            self._do_spawn(task, effect)
+        elif isinstance(effect, Pcall):
+            self._do_pcall(task, effect)
+        elif isinstance(effect, Invoke):
+            self._do_invoke(task, effect)
+        elif isinstance(effect, Resume):
+            self._do_resume(task, effect)
+        elif isinstance(effect, MakeFuture):
+            self._do_future(task, effect)
+        elif isinstance(effect, Touch):
+            self._do_touch(task, effect)
+        else:
+            task.inject = (
+                "error",
+                RuntimeAPIError(f"tasklet yielded a non-effect: {effect!r}"),
+            )
+
+    def _do_spawn(self, task: RTask, effect: Spawn) -> None:
+        self.stats["spawns"] += 1
+        controller = Controller()
+        label = _RLabel(controller, task.stack, task.link)
+        self._replace_child(task.link, label)
+        label.child = task
+        task.stack = []
+        task.link = label
+        self._begin_call(task, effect.proc, (controller,))
+
+    def _do_pcall(self, task: RTask, effect: Pcall) -> None:
+        self.stats["forks"] += 1
+        branches = effect.branches
+        join = _RJoin(effect.combine, len(branches), task.stack, task.link)
+        self._replace_child(task.link, join)
+        task.state = RTaskState.DEAD
+        for index, branch in enumerate(branches):
+            child = RTask([], _RFork(join, index))
+            join.children[index] = child
+            self._begin_call(child, branch, ())
+            self.enqueue(child)
+        if not branches:
+            self._fire_join(join)
+
+    def _do_invoke(self, task: RTask, effect: Invoke) -> None:
+        label = self._find_label(task, effect.controller)
+        if label is None:
+            task.inject = (
+                "error",
+                DeadControllerError(
+                    f"{effect.controller!r}: its root is not in the "
+                    "continuation of this application"
+                ),
+            )
+            return
+        self.stats["captures"] += 1
+        for subtree_task in self._subtree_tasks(label):
+            subtree_task.state = RTaskState.SUSPENDED
+        continuation = SubContinuation(subtree=label, hole=task)
+        cont_stack, cont_link = label.cont_stack, label.cont_link
+        label.cont_stack, label.cont_link = [], None
+        successor = RTask(cont_stack, cont_link)
+        self._replace_child(cont_link, successor)
+        self._begin_call(successor, effect.receiver, (continuation,))
+        self.enqueue(successor)
+
+    def _do_resume(self, task: RTask, effect: Resume) -> None:
+        continuation = effect.continuation
+        if continuation.used:
+            task.inject = (
+                "error",
+                ContinuationReusedError(
+                    "subcontinuations in the Python runtime are one-shot "
+                    "(generators cannot be cloned); use the Scheme machine "
+                    "for multi-shot process continuations"
+                ),
+            )
+            return
+        continuation.used = True
+        self.stats["resumes"] += 1
+        label: _RLabel = continuation.subtree
+        hole: RTask = continuation.hole
+        # Compose: the invoking task's continuation becomes the parent.
+        label.cont_stack = task.stack
+        label.cont_link = task.link
+        self._replace_child(task.link, label)
+        task.state = RTaskState.DEAD
+        for subtree_task in self._subtree_tasks(label):
+            subtree_task.state = RTaskState.RUNNABLE
+            self.enqueue(subtree_task)
+        hole.inject = ("value", effect.value)
+
+    def _do_future(self, task: RTask, effect: MakeFuture) -> None:
+        self.stats["futures"] += 1
+        placeholder = Placeholder()
+        root = RTask([], _RHalt(self, placeholder))
+        self._begin_call(root, effect.fn, effect.args)
+        self.enqueue(root)
+        task.inject = ("value", placeholder)
+
+    def _do_touch(self, task: RTask, effect: Touch) -> None:
+        placeholder = effect.placeholder
+        if placeholder.resolved:
+            if isinstance(placeholder.value, _PoisonedValue):
+                task.inject = ("error", placeholder.value.error)
+            else:
+                task.inject = ("value", placeholder.value)
+            return
+        task.state = RTaskState.WAITING
+        placeholder.waiters.append(task)
+
+    # -- tree plumbing ----------------------------------------------------------
+
+    def _replace_child(self, link: Any, new: Any) -> None:
+        if isinstance(link, _RHalt):
+            if link.placeholder is None:
+                self.main_root = new
+            # Future roots are not tracked individually; nothing to do.
+        elif isinstance(link, _RLabel):
+            link.child = new
+        elif isinstance(link, _RFork):
+            link.join.children[link.index] = new
+        elif link is None:
+            raise RuntimeAPIError("entity is detached from the tree")
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"not a link: {link!r}")
+
+    def _find_label(self, task: RTask, controller: Controller) -> _RLabel | None:
+        link = task.link
+        while True:
+            if isinstance(link, _RHalt) or link is None:
+                return None
+            if isinstance(link, _RLabel):
+                if link.controller is controller:
+                    return link
+                link = link.cont_link
+            elif isinstance(link, _RFork):
+                link = link.join.cont_link
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"not a link: {link!r}")
+
+    def _subtree_tasks(self, root: Any) -> list[RTask]:
+        tasks: list[RTask] = []
+        stack = [root]
+        while stack:
+            entity = stack.pop()
+            if entity is None:
+                continue
+            if isinstance(entity, RTask):
+                tasks.append(entity)
+            elif isinstance(entity, _RLabel):
+                stack.append(entity.child)
+            elif isinstance(entity, _RJoin):
+                stack.extend(entity.children)
+        return tasks
+
+    def _deliver_through_link(self, task: RTask, value: Any) -> None:
+        link = task.link
+        if isinstance(link, _RHalt):
+            task.state = RTaskState.DEAD
+            if link.placeholder is None:
+                self.halted = True
+                self.result = value
+            else:
+                placeholder = link.placeholder
+                placeholder.resolved = True
+                placeholder.value = value
+                for waiter in placeholder.waiters:
+                    waiter.state = RTaskState.RUNNABLE
+                    waiter.inject = ("value", value)
+                    self.enqueue(waiter)
+                placeholder.waiters.clear()
+            return
+        if isinstance(link, _RLabel):
+            task.stack = link.cont_stack
+            task.link = link.cont_link
+            self._replace_child(task.link, task)
+            task.inject = ("value", value)
+            return
+        if isinstance(link, _RFork):
+            join = link.join
+            join.slots[link.index] = value
+            join.children[link.index] = None
+            join.remaining -= 1
+            task.state = RTaskState.DEAD
+            if join.remaining == 0:
+                self._fire_join(join)
+            return
+        raise TypeError(f"not a link: {link!r}")  # pragma: no cover
+
+    def _deliver_error_through_link(self, task: RTask, error: BaseException) -> None:
+        """Propagate an exception outward through the task's link.
+
+        * Through a spawn label: the parent frame sees the exception at
+          its ``yield Spawn`` — ordinary try/except applies.
+        * Through a fork: the first failing branch wins; sibling
+          branches are abandoned and the exception continues at the
+          join's continuation (the ``yield Pcall``).
+        * At a tree root: the main tree re-raises from :meth:`run`; a
+          future tree poisons its placeholder so every toucher
+          re-raises.
+        """
+        link = task.link
+        if isinstance(link, _RHalt):
+            task.state = RTaskState.DEAD
+            if link.placeholder is None:
+                raise error
+            placeholder = link.placeholder
+            placeholder.resolved = True
+            placeholder.value = _PoisonedValue(error)
+            for waiter in placeholder.waiters:
+                waiter.state = RTaskState.RUNNABLE
+                waiter.inject = ("error", error)
+                self.enqueue(waiter)
+            placeholder.waiters.clear()
+            return
+        if isinstance(link, _RLabel):
+            task.stack = link.cont_stack
+            task.link = link.cont_link
+            self._replace_child(task.link, task)
+            task.inject = ("error", error)
+            return
+        if isinstance(link, _RFork):
+            join = link.join
+            for child in join.children:
+                if child is None:
+                    continue
+                for sibling in self._subtree_tasks(child):
+                    if sibling is not task:
+                        sibling.state = RTaskState.DEAD
+            task.state = RTaskState.DEAD
+            successor = RTask(join.cont_stack, join.cont_link)
+            self._replace_child(join.cont_link, successor)
+            successor.inject = ("error", error)
+            self.enqueue(successor)
+            return
+        raise error  # pragma: no cover - detached task
+
+    def _fire_join(self, join: _RJoin) -> None:
+        successor = RTask(join.cont_stack, join.cont_link)
+        self._replace_child(join.cont_link, successor)
+        self._begin_call(successor, join.combine, tuple(join.slots))
+        self.enqueue(successor)

@@ -1,0 +1,83 @@
+"""The operational semantics of Section 6, executable.
+
+A direct implementation of the paper's rewriting machine for the
+λ-calculus extended with labeled expressions ``l : e`` and control
+expressions ``e ↑ l``:
+
+    C[(λx. e) v]        ⇒ C[e[x ← v]]                        (1)
+    C[l : v]            ⇒ C[v]                               (2)
+    C1[l : C2[e ↑ l]]   ⇒ C1[e (λx. l : C2[x])]              (3)
+                          if l does not label C2
+    C[spawn v]          ⇒ C[l : v (λx. x ↑ l)]               (spawn)
+                          where l ∉ labels(C[v])
+
+Two standard extensions make the language rich enough to express the
+paper's example programs (the paper itself notes the semantics
+"can be extended naturally to more complete languages"): δ-rules for
+primitive constants (`+`, `*`, `zero?`, ...) and a call-by-value
+``if``.  Both are orthogonal to the control rules.
+
+:mod:`repro.semantics.machine_equiv` compiles the sequential fragment
+of the core IR into terms so the rewriting system and the abstract
+machine can be run differentially over the same programs.
+"""
+
+from repro.semantics.terms import (
+    Term,
+    Const,
+    Var,
+    Lam,
+    App,
+    If,
+    Labeled,
+    Control,
+    SPAWN,
+    PrimOp,
+    is_value,
+    labels_of,
+    free_vars,
+    substitute,
+    term_to_str,
+)
+from repro.semantics.rewrite import (
+    decompose,
+    plug,
+    step as rewrite_step,
+    run as rewrite_run,
+    RewriteResult,
+)
+from repro.semantics.machine_equiv import (
+    compile_ir,
+    compile_source,
+    run_both,
+    values_agree,
+    SEM_PRIMS,
+)
+
+__all__ = [
+    "Term",
+    "Const",
+    "Var",
+    "Lam",
+    "App",
+    "If",
+    "Labeled",
+    "Control",
+    "SPAWN",
+    "PrimOp",
+    "is_value",
+    "labels_of",
+    "free_vars",
+    "substitute",
+    "term_to_str",
+    "decompose",
+    "plug",
+    "rewrite_step",
+    "rewrite_run",
+    "RewriteResult",
+    "compile_ir",
+    "compile_source",
+    "SEM_PRIMS",
+    "run_both",
+    "values_agree",
+]

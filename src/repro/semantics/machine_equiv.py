@@ -1,0 +1,182 @@
+"""Differential bridge: run the same program on the Section 6 rewriting
+system and on the abstract machine, then compare answers.
+
+The bridge covers the sequential fragment: constants, variables,
+(multi-parameter, rest-free) lambdas, applications, ``if``, ``begin``,
+the binary numeric primitives, and ``spawn``/controllers/process
+continuations.  ``pcall``, ``set!`` and traditional ``call/cc`` are out
+of scope — the formal semantics of Section 6 is sequential and
+store-free by design.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.datum import UNSPECIFIED, Symbol
+from repro.errors import SemanticsError
+from repro.expander import ExpandEnv, expand_program
+from repro.ir import App as IrApp
+from repro.ir import Const as IrConst
+from repro.ir import If as IrIf
+from repro.ir import Lambda as IrLambda
+from repro.ir import Node
+from repro.ir import Seq as IrSeq
+from repro.ir import Var as IrVar
+from repro.reader import read_all
+from repro.semantics.rewrite import RunResult, run as rewrite_run
+from repro.semantics.terms import (
+    App,
+    Const,
+    If,
+    Lam,
+    PrimOp,
+    SPAWN,
+    Term,
+    Var,
+    fresh_var,
+)
+
+__all__ = ["compile_ir", "compile_source", "run_both", "values_agree", "SEM_PRIMS"]
+
+_UNIT = Const("unit")
+
+
+def _prim(name: str, arity: int, fn: Callable[..., Any]) -> PrimOp:
+    return PrimOp(name, arity, fn)
+
+
+def _num(name: str, fn: Callable[..., Any]) -> Callable[..., Any]:
+    """δ is undefined on non-numbers: raise StuckTermError, mirroring
+    the machine's WrongTypeError on the same programs."""
+
+    def checked(*args: Any) -> Any:
+        for arg in args:
+            if isinstance(arg, bool) or not isinstance(arg, (int, float)):
+                raise SemanticsError(f"δ({name}): not a number: {arg!r}")
+        return fn(*args)
+
+    return checked
+
+
+#: Primitives available in the semantics world (all fixed-arity).
+SEM_PRIMS: dict[str, PrimOp] = {
+    "+": _prim("+", 2, _num("+", lambda a, b: a + b)),
+    "-": _prim("-", 2, _num("-", lambda a, b: a - b)),
+    "*": _prim("*", 2, _num("*", lambda a, b: a * b)),
+    "=": _prim("=", 2, _num("=", lambda a, b: a == b)),
+    "<": _prim("<", 2, _num("<", lambda a, b: a < b)),
+    ">": _prim(">", 2, _num(">", lambda a, b: a > b)),
+    "<=": _prim("<=", 2, _num("<=", lambda a, b: a <= b)),
+    ">=": _prim(">=", 2, _num(">=", lambda a, b: a >= b)),
+    "zero?": _prim("zero?", 1, _num("zero?", lambda a: a == 0)),
+    "not": _prim("not", 1, lambda a: a is False),
+    "add1": _prim("add1", 1, _num("add1", lambda a: a + 1)),
+    "sub1": _prim("sub1", 1, _num("sub1", lambda a: a - 1)),
+}
+
+
+def compile_ir(node: Node) -> Term:
+    """Translate the sequential IR fragment into a Section 6 term."""
+    if isinstance(node, IrConst):
+        value = node.value
+        if value is UNSPECIFIED:
+            return _UNIT
+        if isinstance(value, (bool, int, float, str)):
+            return Const(value)
+        if isinstance(value, Symbol):
+            return Const(value.name)
+        raise SemanticsError(f"constant not expressible in the semantics: {value!r}")
+    if isinstance(node, IrVar):
+        name = node.name.name
+        if name == "spawn":
+            return SPAWN
+        if name in SEM_PRIMS:
+            return SEM_PRIMS[name]
+        return Var(name)
+    if isinstance(node, IrLambda):
+        if node.rest is not None:
+            raise SemanticsError("rest parameters are not in the semantics fragment")
+        body = compile_ir(node.body)
+        if not node.params:
+            return Lam(fresh_var("unit"), body)
+        term = body
+        for param in reversed(node.params):
+            term = Lam(param.name, term)
+        return term
+    if isinstance(node, IrApp):
+        fn = compile_ir(node.fn)
+        if not node.args:
+            return App(fn, _UNIT)
+        term = fn
+        for arg in node.args:
+            term = App(term, compile_ir(arg))
+        return term
+    if isinstance(node, IrIf):
+        return If(compile_ir(node.test), compile_ir(node.then), compile_ir(node.els))
+    if isinstance(node, IrSeq):
+        term = compile_ir(node.exprs[-1])
+        for expr in reversed(node.exprs[:-1]):
+            ignored = fresh_var("seq")
+            term = App(Lam(ignored, term), compile_ir(expr))
+        return term
+    raise SemanticsError(
+        f"IR node outside the sequential semantics fragment: {type(node).__name__}"
+    )
+
+
+def compile_source(source: str) -> Term:
+    """Read + expand a single expression and compile it to a term.
+
+    A top-level ``begin`` splices into several nodes; they are sequenced
+    back together (the value is the last node's).
+    """
+    forms = read_all(source)
+    nodes = expand_program(forms, ExpandEnv())
+    if not nodes:
+        raise SemanticsError("compile_source expects an expression")
+    term = compile_ir(nodes[-1])
+    for node in reversed(nodes[:-1]):
+        term = App(Lam(fresh_var("top"), term), compile_ir(node))
+    return term
+
+
+def run_both(
+    source: str, max_steps: int = 200_000
+) -> tuple[RunResult, Any]:
+    """Run ``source`` through the rewriting system and through a fresh
+    serial-policy machine; return ``(rewrite_result, machine_value)``."""
+    from repro.api import Interpreter
+
+    term = compile_source(source)
+    rewrite_result = rewrite_run(term, max_steps=max_steps)
+    interp = Interpreter(policy="serial", prelude=False, max_steps=max_steps)
+    machine_value = interp.eval(source)
+    return rewrite_result, machine_value
+
+
+def values_agree(term_value: Term, machine_value: Any) -> bool:
+    """Do a semantics value and a machine value denote the same answer?
+
+    Ground constants compare by value; procedures (λ-abstractions vs
+    closures/continuations) agree with any applicable machine value —
+    the systems represent them differently by construction.
+    """
+    if isinstance(term_value, Const):
+        if term_value is _UNIT:
+            return machine_value is UNSPECIFIED
+        value = term_value.value
+        if isinstance(machine_value, Symbol):
+            # Symbols compile to their names (the semantics world has
+            # only opaque constants).
+            return value == machine_value.name
+        if isinstance(value, bool) or isinstance(machine_value, bool):
+            return value is machine_value
+        return value == machine_value
+    if isinstance(term_value, (Lam, PrimOp)):
+        from repro.machine.values import Closure, ControlPrimitive, Primitive
+
+        return isinstance(machine_value, (Closure, Primitive, ControlPrimitive)) or hasattr(
+            machine_value, "machine_apply"
+        )
+    return False

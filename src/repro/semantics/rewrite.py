@@ -1,0 +1,211 @@
+"""Decomposition and the rewrite rules of Section 6.
+
+A program is rewritten by (a) decomposing it into an evaluation context
+and a redex, (b) contracting the redex, (c) plugging the result back.
+Rule 3 (control) and the spawn rule need the context / whole program,
+so contraction happens inside :func:`step` rather than on the redex
+alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.errors import StepBudgetExceeded, StuckTermError
+from repro.semantics.terms import (
+    App,
+    Const,
+    Control,
+    If,
+    Labeled,
+    Lam,
+    PrimOp,
+    Spawn,
+    Term,
+    Var,
+    fresh_var,
+    is_value,
+    labels_of,
+    substitute,
+    term_to_str,
+)
+
+__all__ = ["decompose", "plug", "step", "run", "RewriteResult", "RunResult"]
+
+# Context frames (outermost first in the context list):
+#   ("app-fn", arg_term)     C e
+#   ("app-arg", fn_value)    v C
+#   ("if", then, els)        if C e e      (extension)
+#   ("label", l)             l : C
+Frame = tuple
+
+
+def decompose(term: Term) -> tuple[list[Frame], Term | None]:
+    """Split ``term`` into (evaluation context, redex).
+
+    Returns ``(ctx, None)`` when the term is a value (nothing to do)
+    and raises :class:`StuckTermError` on free variables.
+    """
+    ctx: list[Frame] = []
+    node = term
+    while True:
+        if isinstance(node, App):
+            if not is_value(node.fn):
+                ctx.append(("app-fn", node.arg))
+                node = node.fn
+                continue
+            if not is_value(node.arg):
+                ctx.append(("app-arg", node.fn))
+                node = node.arg
+                continue
+            return ctx, node
+        if isinstance(node, If):
+            if not is_value(node.test):
+                ctx.append(("if", node.then, node.els))
+                node = node.test
+                continue
+            return ctx, node
+        if isinstance(node, Labeled):
+            if not is_value(node.expr):
+                ctx.append(("label", node.label))
+                node = node.expr
+                continue
+            return ctx, node
+        if isinstance(node, Control):
+            return ctx, node
+        if isinstance(node, Var):
+            raise StuckTermError(f"free variable: {node.name}", node)
+        if is_value(node):
+            if ctx:  # pragma: no cover - descent never enters values
+                raise StuckTermError("value in context during decomposition", node)
+            return ctx, None
+        raise StuckTermError(f"unknown term form: {node!r}", node)
+
+
+def plug(ctx: list[Frame], term: Term) -> Term:
+    """Fill the hole of ``ctx`` with ``term``."""
+    node = term
+    for frame in reversed(ctx):
+        tag = frame[0]
+        if tag == "app-fn":
+            node = App(node, frame[1])
+        elif tag == "app-arg":
+            node = App(frame[1], node)
+        elif tag == "if":
+            node = If(node, frame[1], frame[2])
+        elif tag == "label":
+            node = Labeled(frame[1], node)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown frame: {frame!r}")
+    return node
+
+
+@dataclass(frozen=True)
+class RewriteResult:
+    """One rewriting step: the new program and the rule that fired."""
+
+    term: Term
+    rule: str
+
+
+def step(term: Term) -> RewriteResult | None:
+    """Perform one rewriting step; ``None`` if ``term`` is a value."""
+    ctx, redex = decompose(term)
+    if redex is None:
+        return None
+
+    if isinstance(redex, App):
+        fn, arg = redex.fn, redex.arg
+        if isinstance(fn, Lam):  # rule (1)
+            return RewriteResult(plug(ctx, substitute(fn.body, fn.param, arg)), "beta")
+        if isinstance(fn, Spawn):  # spawn rule
+            used = labels_of(term)
+            label = (max(used) + 1) if used else 0
+            x = fresh_var("x")
+            controller = Lam(x, Control(Var(x), label))
+            return RewriteResult(
+                plug(ctx, Labeled(label, App(arg, controller))), "spawn"
+            )
+        if isinstance(fn, PrimOp):  # δ-rule
+            return RewriteResult(plug(ctx, _delta(fn, arg)), "delta")
+        raise StuckTermError(
+            f"cannot apply non-procedure value: {term_to_str(fn)}", redex
+        )
+
+    if isinstance(redex, Labeled):  # rule (2): l : v  ⇒  v
+        return RewriteResult(plug(ctx, redex.expr), "label-return")
+
+    if isinstance(redex, Control):  # rule (3)
+        label = redex.label
+        # Innermost enclosing matching label (so l does not label C2).
+        split = None
+        for index in range(len(ctx) - 1, -1, -1):
+            frame = ctx[index]
+            if frame[0] == "label" and frame[1] == label:
+                split = index
+                break
+        if split is None:
+            raise StuckTermError(
+                f"control expression ↑{label} with no matching label in "
+                "its evaluation context (the paper's invalid-controller "
+                "condition)",
+                redex,
+            )
+        outer, inner = ctx[:split], ctx[split + 1 :]
+        x = fresh_var("k")
+        captured = Lam(x, Labeled(label, plug(inner, Var(x))))
+        return RewriteResult(plug(outer, App(redex.expr, captured)), "control")
+
+    if isinstance(redex, If):  # extension
+        chosen = redex.els if _is_false(redex.test) else redex.then
+        return RewriteResult(plug(ctx, chosen), "if")
+
+    raise StuckTermError(f"unknown redex: {redex!r}", redex)  # pragma: no cover
+
+
+def _is_false(value: Term) -> bool:
+    return isinstance(value, Const) and value.value is False
+
+
+def _delta(prim: PrimOp, arg: Term) -> Term:
+    """Apply one argument to a primitive, firing when saturated."""
+    if not isinstance(arg, Const):
+        raise StuckTermError(
+            f"primitive {prim.name} applied to a non-constant: {term_to_str(arg)}",
+            arg,
+        )
+    collected = prim.collected + (arg.value,)
+    if len(collected) == prim.arity:
+        return Const(prim.fn(*collected))
+    return PrimOp(prim.name, prim.arity, prim.fn, collected)
+
+
+@dataclass
+class RunResult:
+    """Outcome of :func:`run`."""
+
+    value: Term
+    steps: int
+    rule_counts: dict[str, int]
+    trace: list[Term] | None = None
+
+
+def run(term: Term, max_steps: int = 100_000, keep_trace: bool = False) -> RunResult:
+    """Rewrite ``term`` to a value.
+
+    Raises :class:`StuckTermError` on stuck terms and
+    :class:`StepBudgetExceeded` past ``max_steps``.
+    """
+    steps = 0
+    rule_counts: dict[str, int] = {}
+    trace: list[Term] | None = [term] if keep_trace else None
+    while True:
+        result = step(term)
+        if result is None:
+            return RunResult(term, steps, rule_counts, trace)
+        term = result.term
+        steps += 1
+        rule_counts[result.rule] = rule_counts.get(result.rule, 0) + 1
+        if trace is not None:
+            trace.append(term)
+        if steps > max_steps:
+            raise StepBudgetExceeded(steps)

@@ -1,0 +1,250 @@
+"""Terms of the Section 6 language, with capture-avoiding substitution.
+
+Terms are immutable.  Variables are plain strings; labels are plain
+integers (the paper only requires a countable set).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = [
+    "Term",
+    "Const",
+    "Var",
+    "Lam",
+    "App",
+    "If",
+    "Labeled",
+    "Control",
+    "Spawn",
+    "SPAWN",
+    "PrimOp",
+    "is_value",
+    "labels_of",
+    "free_vars",
+    "substitute",
+    "fresh_var",
+    "term_to_str",
+    "term_size",
+]
+
+
+@dataclass(frozen=True)
+class Term:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Const(Term):
+    """A constant: numbers, booleans, or any opaque Python value."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    name: str
+
+
+@dataclass(frozen=True)
+class Lam(Term):
+    param: str
+    body: Term
+
+
+@dataclass(frozen=True)
+class App(Term):
+    fn: Term
+    arg: Term
+
+
+@dataclass(frozen=True)
+class If(Term):
+    """Call-by-value conditional (standard extension)."""
+
+    test: Term
+    then: Term
+    els: Term
+
+
+@dataclass(frozen=True)
+class Labeled(Term):
+    """``l : e``"""
+
+    label: int
+    expr: Term
+
+
+@dataclass(frozen=True)
+class Control(Term):
+    """``e ↑ l``"""
+
+    expr: Term
+    label: int
+
+
+@dataclass(frozen=True)
+class Spawn(Term):
+    """The ``spawn`` operator as a first-class constant."""
+
+
+SPAWN = Spawn()
+
+
+@dataclass(frozen=True)
+class PrimOp(Term):
+    """A (possibly partially applied) primitive — the δ-rule carrier.
+
+    ``collected`` holds arguments received so far; when it reaches
+    ``arity`` the next application fires ``fn``.
+    """
+
+    name: str
+    arity: int
+    fn: Callable[..., Any]
+    collected: tuple[Any, ...] = ()
+
+    def __repr__(self) -> str:
+        return f"PrimOp({self.name}, {len(self.collected)}/{self.arity})"
+
+
+def is_value(term: Term) -> bool:
+    """Values: constants, abstractions, spawn, primitives (possibly
+    partially applied).  The continuation abstractions built by rule 3
+    are ordinary ``Lam`` values."""
+    return isinstance(term, (Const, Lam, Spawn, PrimOp))
+
+
+def labels_of(term: Term) -> frozenset[int]:
+    """All labels occurring in a term (for the spawn freshness side
+    condition)."""
+    out: set[int] = set()
+    stack = [term]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Labeled):
+            out.add(node.label)
+            stack.append(node.expr)
+        elif isinstance(node, Control):
+            out.add(node.label)
+            stack.append(node.expr)
+        elif isinstance(node, App):
+            stack.append(node.fn)
+            stack.append(node.arg)
+        elif isinstance(node, Lam):
+            stack.append(node.body)
+        elif isinstance(node, If):
+            stack.extend((node.test, node.then, node.els))
+    return frozenset(out)
+
+
+def free_vars(term: Term) -> frozenset[str]:
+    out: set[str] = set()
+    stack: list[tuple[Term, frozenset[str]]] = [(term, frozenset())]
+    while stack:
+        node, bound = stack.pop()
+        if isinstance(node, Var):
+            if node.name not in bound:
+                out.add(node.name)
+        elif isinstance(node, Lam):
+            stack.append((node.body, bound | {node.param}))
+        elif isinstance(node, App):
+            stack.append((node.fn, bound))
+            stack.append((node.arg, bound))
+        elif isinstance(node, If):
+            stack.extend(((node.test, bound), (node.then, bound), (node.els, bound)))
+        elif isinstance(node, Labeled):
+            stack.append((node.expr, bound))
+        elif isinstance(node, Control):
+            stack.append((node.expr, bound))
+    return frozenset(out)
+
+
+_fresh_counter = itertools.count()
+
+
+def fresh_var(base: str = "x") -> str:
+    """A variable name guaranteed fresh (the '%' prefix cannot be
+    produced by the compiler or written by hand)."""
+    return f"%{base}{next(_fresh_counter)}"
+
+
+def substitute(term: Term, name: str, value: Term) -> Term:
+    """Capture-avoiding ``term[name ← value]``.
+
+    α-renames binders that would capture free variables of ``value``.
+    """
+    value_frees = free_vars(value)
+
+    def go(node: Term) -> Term:
+        if isinstance(node, Var):
+            return value if node.name == name else node
+        if isinstance(node, (Const, Spawn, PrimOp)):
+            return node
+        if isinstance(node, Lam):
+            if node.param == name:
+                return node
+            if node.param in value_frees:
+                renamed = fresh_var(node.param.lstrip("%"))
+                body = substitute(node.body, node.param, Var(renamed))
+                return Lam(renamed, go(body))
+            return Lam(node.param, go(node.body))
+        if isinstance(node, App):
+            return App(go(node.fn), go(node.arg))
+        if isinstance(node, If):
+            return If(go(node.test), go(node.then), go(node.els))
+        if isinstance(node, Labeled):
+            return Labeled(node.label, go(node.expr))
+        if isinstance(node, Control):
+            return Control(go(node.expr), node.label)
+        raise TypeError(f"unknown term: {node!r}")
+
+    return go(term)
+
+
+def term_size(term: Term) -> int:
+    """Node count (bench instrumentation)."""
+    n = 0
+    stack = [term]
+    while stack:
+        node = stack.pop()
+        n += 1
+        if isinstance(node, Lam):
+            stack.append(node.body)
+        elif isinstance(node, App):
+            stack.extend((node.fn, node.arg))
+        elif isinstance(node, If):
+            stack.extend((node.test, node.then, node.els))
+        elif isinstance(node, (Labeled, Control)):
+            stack.append(node.expr)
+    return n
+
+
+def term_to_str(term: Term) -> str:
+    """Readable rendering using the paper's notation."""
+    if isinstance(term, Const):
+        return repr(term.value)
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, Lam):
+        return f"(λ{term.param}. {term_to_str(term.body)})"
+    if isinstance(term, App):
+        return f"({term_to_str(term.fn)} {term_to_str(term.arg)})"
+    if isinstance(term, If):
+        return (
+            f"(if {term_to_str(term.test)} {term_to_str(term.then)} "
+            f"{term_to_str(term.els)})"
+        )
+    if isinstance(term, Labeled):
+        return f"({term.label} : {term_to_str(term.expr)})"
+    if isinstance(term, Control):
+        return f"({term_to_str(term.expr)} ↑ {term.label})"
+    if isinstance(term, Spawn):
+        return "spawn"
+    if isinstance(term, PrimOp):
+        inner = " ".join(repr(v) for v in term.collected)
+        return f"#{term.name}[{inner}]" if inner else f"#{term.name}"
+    raise TypeError(f"unknown term: {term!r}")

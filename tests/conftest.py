@@ -1,0 +1,48 @@
+"""Shared fixtures.
+
+``interp`` gives each test a fresh interpreter with the prelude loaded;
+``bare_interp`` skips the prelude (faster, for machine-level tests);
+``paper_interp`` pre-loads every paper definition.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Interpreter
+
+
+@pytest.fixture
+def interp() -> Interpreter:
+    return Interpreter()
+
+
+@pytest.fixture
+def bare_interp() -> Interpreter:
+    return Interpreter(prelude=False)
+
+
+@pytest.fixture
+def serial_interp() -> Interpreter:
+    return Interpreter(policy="serial")
+
+
+@pytest.fixture
+def paper_interp() -> Interpreter:
+    i = Interpreter()
+    for name in (
+        "make-cell",
+        "product0",
+        "product-callcc",
+        "product-callcc-leaf",
+        "product-of-products-callcc",
+        "spawn/exit",
+        "sum-of-products",
+        "product-of-products-spawn",
+        "first-true",
+        "parallel-or",
+        "parallel-search",
+        "search-all",
+    ):
+        i.load_paper_example(name)
+    return i

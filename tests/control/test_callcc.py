@@ -1,0 +1,120 @@
+"""Traditional call/cc in sequential programs (whole-tree policy =
+classic R3RS behaviour)."""
+
+import pytest
+
+
+def test_callcc_escape(interp):
+    assert interp.eval("(call/cc (lambda (k) (+ (k 0) 1)))") == 0
+
+
+def test_callcc_no_escape(interp):
+    assert interp.eval("(call/cc (lambda (k) 42))") == 42
+
+
+def test_callcc_in_context(interp):
+    assert interp.eval("(+ 1 (call/cc (lambda (k) (+ (k 10) 100))))") == 11
+
+
+def test_callcc_continuation_is_abortive(interp):
+    # Invoking k discards the pending (* 1000 _).
+    assert interp.eval("(+ 1 (call/cc (lambda (k) (* 1000 (k 1)))))") == 2
+
+
+def test_callcc_multi_shot(interp):
+    """The generator-style classic: store k, re-enter later."""
+    interp.run(
+        """
+        (define saved #f)
+        (define count 0)
+        (define result
+          (+ 1 (call/cc (lambda (k) (set! saved k) 0))))
+        """
+    )
+    # Re-entering adds 1 each time to the value passed.
+    interp.run("(set! count (+ count 1))")
+    assert interp.eval("result") == 1
+    # Re-enter the captured continuation: this *restarts* the top-level
+    # form (define result ...), rebinding result.
+    interp.eval("(if (< count 3) (saved 10) 'stop)")
+    assert interp.eval("result") == 11
+
+
+def test_callcc_loop_via_continuation(interp):
+    """A loop implemented purely with call/cc + set! (one top-level
+    form: like a REPL, each top-level form has its own continuation)."""
+    interp.run(
+        """
+        (define total 0)
+        (let ([resume #f])
+          (let ([i (call/cc (lambda (k) (set! resume k) 0))])
+            (set! total (+ total i))
+            (if (< i 4) (resume (+ i 1)) 'done)))
+        """
+    )
+    assert interp.eval("total") == 10  # 0+1+2+3+4
+
+
+def test_callcc_top_level_forms_have_independent_continuations(interp):
+    """Invoking a continuation captured in an earlier top-level form
+    re-enters *that form only* — the later forms are not part of it
+    (standard REPL semantics)."""
+    interp.run("(define k3 #f)")
+    interp.run("(define witness (call/cc (lambda (k) (set! k3 k) 'first)))")
+    interp.run("(define ran-after 0)")
+    interp.eval("(if (eq? witness 'first) (k3 'second) 'stop)")
+    assert interp.eval("witness").name == "second"
+    assert interp.eval("ran-after") == 0  # later form did not re-run
+
+
+def test_paper_product_callcc(paper_interp):
+    assert paper_interp.eval("(product '(1 2 3 4))") == 24
+    assert paper_interp.eval("(product '(1 0 3 4))") == 0
+
+
+def test_paper_product_avoids_multiplications(paper_interp):
+    """With a zero up front, exit fires before any multiplication —
+    observable because multiplying a symbol would crash."""
+    assert paper_interp.eval("(product '(0 not-a-number))") == 0
+
+
+def test_paper_product_of_products_shared_exit(paper_interp):
+    """Section 3: one escape continuation shared by two sequential
+    traversals — a zero in either list aborts the whole thing."""
+    assert paper_interp.eval("(product-of-products '(1 2) '(3 4))") == 24
+    assert paper_interp.eval("(product-of-products '(1 0) '(x y))") == 0
+    assert paper_interp.eval("(product-of-products '(1 2) '(0 y))") == 0
+
+
+def test_callcc_leaf_sequential_behaves_classically(interp):
+    assert interp.eval("(+ 1 (call/cc-leaf (lambda (k) (* 1000 (k 1)))))") == 2
+
+
+def test_callcc_leaf_inside_single_branch(paper_interp):
+    """Leaf-policy continuations are exactly right for branch-local
+    exits: the paper's first concurrent product example."""
+    assert (
+        paper_interp.eval(
+            "(pcall + (product-leaf '(1 0 3)) (product-leaf '(2 2)))"
+        )
+        == 4
+    )
+
+
+def test_call_with_current_continuation_alias(interp):
+    assert interp.eval("(call-with-current-continuation (lambda (k) (k 7)))") == 7
+
+
+def test_callcc_arity(interp):
+    from repro.errors import ArityError
+
+    with pytest.raises(ArityError):
+        interp.eval("(call/cc (lambda (k) (k)))")
+
+
+def test_callcc_k_escapes_upward(interp):
+    """k survives its dynamic extent (classic)."""
+    interp.run("(define k2 (call/cc (lambda (k) k)))")
+    # k2 is the continuation of the define; invoking it re-defines k2.
+    interp.eval("(if (procedure? k2) (k2 99) 'done)")
+    assert interp.eval("k2") == 99

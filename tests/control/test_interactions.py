@@ -1,0 +1,165 @@
+"""Interactions between control operators and the rest of the system."""
+
+import pytest
+
+from repro import Interpreter
+
+
+def test_spawn_inside_callcc(interp):
+    assert (
+        interp.eval(
+            """
+            (call/cc (lambda (k)
+                       (spawn (lambda (c)
+                                (+ 1 (c (lambda (kk) 10)))))))
+            """
+        )
+        == 10
+    )
+
+
+def test_callcc_inside_spawn_escapes_whole_tree(interp):
+    # Whole-tree call/cc from inside a process escapes everything,
+    # including the spawn label.
+    assert (
+        interp.eval(
+            """
+            (+ 1 (spawn (lambda (c)
+                          (+ 10 (call/cc (lambda (k) (k 100)))))))
+            """
+        )
+        == 111
+    )
+
+
+def test_controller_through_closure_boundary(interp):
+    """Controllers are first-class: pass them through closures and data
+    structures, then invoke far from the spawn point."""
+    assert (
+        interp.eval(
+            """
+            (define (make-escaper c) (lambda (v) (c (lambda (k) v))))
+            (spawn (lambda (c)
+                     (let ([escape (make-escaper c)])
+                       (+ 1 (escape 'out)))))
+            """
+        ).name
+        == "out"
+    )
+
+
+def test_two_controllers_interleaved_capture(interp):
+    """Capture with the outer controller while the inner label is live:
+    the inner label is part of the captured subtree, so the inner
+    controller is valid again after reinstatement."""
+    interp.run(
+        """
+        (define k-outer
+          (spawn (lambda (outer)
+                   (* 2 (spawn (lambda (inner)
+                                 (+ 1 (outer (lambda (k) k)))))))))
+        """
+    )
+    # k-outer = <outer: (* 2 <inner: (+ 1 [])>)>
+    assert interp.eval("(k-outer 10)") == 22
+
+
+def test_capture_with_pending_primitive_args(interp):
+    # Capture mid-way through evaluating a primitive's arguments.
+    interp.run(
+        """
+        (define k
+          (spawn (lambda (c)
+                   (list 'a (c (lambda (k) k)) 'b))))
+        """
+    )
+    assert interp.eval_to_string("(k 'mid)") == "(a mid b)"
+
+
+def test_spawned_process_defining_globals(interp):
+    interp.run("(define glob-probe #f)")
+    interp.eval("(spawn (lambda (c) (set! glob-probe 'set)))")
+    assert interp.eval("glob-probe").name == "set"
+
+
+def test_reinstatement_inside_pcall_branch(interp):
+    """Reinstate a process continuation inside one branch of a pcall:
+    the graft composes with that branch only."""
+    interp.run("(define k (spawn (lambda (c) (+ 1 (c (lambda (kk) kk))))))")
+    assert interp.eval("(pcall list (k 10) (k 20))") is not None
+    assert interp.eval_to_string("(pcall list (k 10) (k 20))") == "(11 21)"
+
+
+def test_engine_like_stepping_with_controllers(interp):
+    """A mini cooperative scheduler in Scheme: a process suspends
+    itself via its controller; the driver resumes it repeatedly —
+    the essence of the paper's engines/coroutines claim."""
+    interp.run(
+        """
+        (define (make-task)
+          (spawn (lambda (c)
+                   (define (suspend v)
+                     (c (lambda (k) (cons v (lambda (x) (k x))))))
+                   (suspend 1)
+                   (suspend 2)
+                   (suspend 3)
+                   'finished)))
+        """
+    )
+    assert (
+        interp.eval(
+            """
+            (let loop ([r (make-task)] [acc '()])
+              (if (pair? r)
+                  (loop ((cdr r) 'ignored) (cons (car r) acc))
+                  (cons r acc)))
+            """
+        )
+        is not None
+    )
+    out = interp.eval_to_string(
+        """
+        (let loop ([r (make-task)] [acc '()])
+          (if (pair? r)
+              (loop ((cdr r) 'ignored) (cons (car r) acc))
+              (reverse acc)))
+        """
+    )
+    assert out == "(1 2 3)"
+
+
+def test_prompt_inside_pcall_branch(interp):
+    assert (
+        interp.eval(
+            """
+            (pcall +
+                   (prompt (+ 10 (F (lambda (k) 1))))
+                   (prompt (+ 20 (F (lambda (k) (k 2))))))
+            """
+        )
+        == 23
+    )
+
+
+def test_spawn_in_macro_generated_code(interp):
+    interp.run(
+        """
+        (extend-syntax (with-exit)
+          [(with-exit name body ...)
+           (spawn (lambda (c)
+                    (let ([name (lambda (v) (c (lambda (k) v)))])
+                      body ...)))])
+        """
+    )
+    assert interp.eval("(with-exit out (+ 1 (out 5)))") == 5
+    assert interp.eval("(with-exit out 'normal)").name == "normal"
+
+
+def test_step_budget_applies_across_branches():
+    from repro.errors import StepBudgetExceeded
+
+    interp = Interpreter(max_steps=5_000)
+    with pytest.raises(StepBudgetExceeded):
+        interp.eval(
+            "(pcall + (let a ([i 0]) (a i)) (let b ([i 0]) (b i)))"
+        )

@@ -1,0 +1,167 @@
+"""Process continuations: capture, composition, concurrency capture."""
+
+import pytest
+
+from repro import Interpreter
+from repro.errors import MachineError
+
+
+def test_capture_includes_pending_work(interp):
+    # The captured subtree contains (* 2 _) inside the process.
+    interp.run("(define k (spawn (lambda (c) (* 2 (c (lambda (k) k))))))")
+    assert interp.eval("(k 21)") == 42
+
+
+def test_capture_is_delimited(interp):
+    # Work *outside* the spawn is NOT captured: (+ 100 _) around the
+    # spawn runs only once even though k runs twice.
+    interp.run(
+        """
+        (define k #f)
+        (define first-result
+          (+ 100 (spawn (lambda (c) (* 2 (c (lambda (kk) (set! k kk) 1)))))))
+        """
+    )
+    assert interp.eval("first-result") == 101
+    assert interp.eval("(k 3)") == 6  # no +100 here
+
+
+def test_multi_shot_reinstatement(interp):
+    interp.run("(define k (spawn (lambda (c) (+ 1 (c (lambda (k) k))))))")
+    assert interp.eval("(k 0)") == 1
+    assert interp.eval("(k 10)") == 11
+    assert interp.eval("(k 100)") == 101
+
+
+def test_values_already_computed_are_captured(interp):
+    """Call-by-value: an argument evaluated *before* the capture is a
+    value inside the captured frame, so later assignments to its source
+    variable are invisible."""
+    interp.run(
+        """
+        (define x 1)
+        (define k (spawn (lambda (c) (+ x (c (lambda (k) k))))))
+        """
+    )
+    assert interp.eval("(k 0)") == 1
+    interp.run("(set! x 50)")
+    assert interp.eval("(k 0)") == 1  # x was already read
+
+
+def test_reinstatement_sees_current_store(interp):
+    """The store is shared, not captured: a variable read *inside* the
+    continuation (after the hole) sees the current value on every
+    reinstatement."""
+    interp.run(
+        """
+        (define x 1)
+        (define k (spawn (lambda (c) (+ (c (lambda (k) k)) x))))
+        """
+    )
+    assert interp.eval("(k 0)") == 1
+    interp.run("(set! x 50)")
+    assert interp.eval("(k 0)") == 50
+
+
+def test_capture_subtree_with_running_sibling():
+    """Capturing a subtree containing an active pcall suspends the
+    sibling branch; reinstating resumes it.  The sibling's progress is
+    preserved across the suspension."""
+    interp = Interpreter(quantum=1)
+    interp.run(
+        """
+        (define progress 0)
+        (define k
+          (spawn (lambda (c)
+                   (pcall +
+                          (c (lambda (kk) kk))  ; capture from branch 1
+                          ;; branch 2 counts; suspended mid-count
+                          (let loop ([i 0])
+                            (set! progress i)
+                            (if (= i 1000) i (loop (+ i 1))))))))
+        """
+    )
+    suspended_at = interp.eval("progress")
+    assert suspended_at < 1000  # suspended mid-flight
+    # Reinstate: branch 1's hole receives 7; branch 2 resumes and
+    # finishes; join computes 7 + 1000.
+    assert interp.eval("(k 7)") == 1007
+    assert interp.eval("progress") == 1000
+
+
+def test_multi_shot_with_concurrency():
+    """Each reinstatement clones join progress: running k twice redoes
+    only the suspended branch's remaining work, independently."""
+    interp = Interpreter(quantum=4)
+    interp.run(
+        """
+        (define k
+          (spawn (lambda (c)
+                   (pcall list
+                          (c (lambda (kk) kk))
+                          'sibling))))
+        """
+    )
+    assert interp.eval_to_string("(k 1)") == "(1 sibling)"
+    assert interp.eval_to_string("(k 2)") == "(2 sibling)"
+
+
+def test_dropping_continuation_abandons_subtree(interp):
+    """If the receiver drops the continuation, the captured subtree
+    (including its suspended branches) simply never runs again."""
+    assert (
+        interp.eval(
+            """
+            (spawn (lambda (c)
+                     (pcall +
+                            (c (lambda (kk) 'dropped))
+                            (error "this branch must never finish"))))
+            """
+        ).name
+        == "dropped"
+    )
+
+
+def test_controller_abort_cannot_deadlock(interp):
+    """Structurally, a controller receiver always runs in the live
+    context above the captured root, so pure controller use can never
+    strand the halt path — even when receivers drop continuations and
+    spawn again.  (Contrast with leaf call/cc, which can deadlock a
+    join: see tests/control/test_callcc_concurrent.py.)"""
+    assert (
+        interp.eval(
+            """
+            (pcall +
+                   1
+                   (spawn (lambda (c)
+                            (c (lambda (kk)
+                                 (spawn (lambda (c2)
+                                          (c2 (lambda (kk2) 10)))))))))
+            """
+        )
+        == 11
+    )
+
+
+def test_capture_during_operator_branch(interp):
+    """The operator position of pcall is a branch too: capture from it."""
+    assert (
+        interp.eval(
+            """
+            (spawn (lambda (c)
+                     (pcall (c (lambda (kk) (lambda (a b) (list 'escaped a b))))
+                            1 2)))
+            """
+        )
+        is not None
+    )
+
+
+def test_process_continuation_repr(interp):
+    k = interp.eval("(spawn (lambda (c) (c (lambda (k) k))))")
+    assert "process-continuation" in repr(k)
+
+
+def test_controller_repr(interp):
+    c = interp.eval("(spawn (lambda (c) c))")
+    assert "process-controller" in repr(c)

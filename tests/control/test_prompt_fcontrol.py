@@ -1,0 +1,134 @@
+"""Felleisen prompt/F — the delimited baseline of Section 3."""
+
+import pytest
+
+from repro.control.fcontrol import FunctionalContinuation
+from repro.errors import PromptMissingError
+
+
+def test_prompt_transparent_for_normal_values(interp):
+    assert interp.eval("(prompt 42)") == 42
+    assert interp.eval("(+ 1 (prompt (+ 2 3)))") == 6
+
+
+def test_prompt_multi_expression_body(interp):
+    assert interp.eval("(prompt 1 2 3)") == 3
+
+
+def test_f_aborts_to_prompt(interp):
+    assert interp.eval("(prompt (+ 10 (F (lambda (k) 0))))") == 0
+
+
+def test_f_abort_leaves_prompt_in_place(interp):
+    # After F aborts, the receiver's value falls through the prompt.
+    assert interp.eval("(+ 1 (prompt (+ 10 (F (lambda (k) 100)))))") == 101
+
+
+def test_f_captures_functional_continuation(interp):
+    k = interp.eval("(prompt (+ 10 (F (lambda (k) k))))")
+    assert isinstance(k, FunctionalContinuation)
+
+
+def test_functional_continuation_composes(interp):
+    # k = (+ 10 _); (k 5) = 15 — composed, not abortive.
+    assert interp.eval("(prompt (+ 10 (F (lambda (k) (k 5)))))") == 15
+
+
+def test_functional_continuation_composes_twice(interp):
+    assert interp.eval("(prompt (+ 10 (F (lambda (k) (k (k 0))))))") == 20
+
+
+def test_functional_continuation_multi_shot_outside(interp):
+    interp.run("(define fk (prompt (* 3 (F (lambda (k) k)))))")
+    assert interp.eval("(fk 2)") == 6
+    assert interp.eval("(fk 10)") == 30
+    assert interp.eval("(+ 1 (fk 5))") == 16  # composes with the caller
+
+
+def test_no_reinstated_prompt(interp):
+    """Per Felleisen, the functional continuation does not reinstall
+    the prompt: an F inside a resumed continuation must not find one."""
+    interp.run("(define fk (prompt (+ 1 (F (lambda (k) k)))))")
+    with pytest.raises(PromptMissingError):
+        interp.eval("(fk (F (lambda (k2) 0)))")
+
+
+def test_f_without_prompt_raises(interp):
+    with pytest.raises(PromptMissingError):
+        interp.eval("(F (lambda (k) k))")
+
+
+def test_prompts_shadow_nearest_wins(interp):
+    """Section 3's core critique: F sees only the *last* prompt."""
+    assert interp.eval("(prompt (+ 1 (prompt (+ 10 (F (lambda (k) 0))))))") == 1
+    # The outer (+ 1 _) was NOT captured or aborted: only the inner
+    # prompt delimits.  The receiver's 0 falls through the inner
+    # prompt into (+ 1 _).
+
+
+def test_prompt_shadowing_blocks_outer_control(interp):
+    """There is no way for F to reach past an intervening prompt — the
+    'captures too little' problem motivating spawn."""
+    captured_size = interp.eval(
+        """
+        (prompt (* 2 (prompt (* 3 (F (lambda (k) (k 1)))))))
+        """
+    )
+    # k = (* 3 _) only; (k 1) = 3, falls through inner prompt, then
+    # outer (* 2 _) applies: 6.  If F could capture to the outer
+    # prompt, k would have been (* 2 (* 3 _)).
+    assert captured_size == 6
+
+
+def test_f_under_nested_prompts_independent(interp):
+    interp.run("(define fk (prompt (* 5 (F (lambda (k) k)))))")
+    # Using fk under a fresh prompt: composition is local.
+    assert interp.eval("(prompt (+ 1 (fk 2)))") == 11
+
+
+def test_fcontrol_alias(interp):
+    assert interp.eval("(prompt (fcontrol (lambda (k) 9)))") == 9
+
+
+def test_spawn_as_prompt_generator(interp):
+    """The paper: 'One can think of spawn as a version of # that
+    creates a new F each time it is used.'  A controller reaches its
+    own root even past an intervening prompt — which F cannot do."""
+    assert (
+        interp.eval(
+            """
+            (spawn (lambda (c)
+                     (+ 1 (prompt (+ 10 (c (lambda (k) 0)))))))
+            """
+        )
+        == 0
+    )  # the controller aborts past the prompt to its root
+
+
+def test_f_inside_spawn_respects_prompt_only(interp):
+    """Dual: F under a spawn + prompt reaches only the prompt."""
+    assert (
+        interp.eval(
+            """
+            (spawn (lambda (c)
+                     (+ 1 (prompt (+ 10 (F (lambda (k) 0)))))))
+            """
+        )
+        == 1
+    )
+
+
+def test_f_captures_spawn_label_inside_region(interp):
+    """If a spawn label sits between F's application and the prompt,
+    it is captured as part of the functional continuation; resuming
+    re-validates the controller inside."""
+    assert (
+        interp.eval(
+            """
+            (prompt
+              (+ 1 (spawn (lambda (c)
+                            (+ 10 (F (lambda (k) (k 0))))))))
+            """
+        )
+        == 11
+    )

@@ -1,0 +1,125 @@
+"""spawn and controllers: Section 4 semantics."""
+
+import pytest
+
+from repro.control.spawn import ProcessContinuation, ProcessController
+from repro.errors import ArityError, DeadControllerError
+
+
+def test_spawn_normal_return(interp):
+    assert interp.eval("(spawn (lambda (c) 42))") == 42
+
+
+def test_spawn_passes_controller(interp):
+    controller = interp.eval("(spawn (lambda (c) c))")
+    assert isinstance(controller, ProcessController)
+
+
+def test_controller_abort_discarding_continuation(interp):
+    # Receiver ignores the continuation: pure nonlocal exit.
+    assert interp.eval("(spawn (lambda (c) (+ 1 (c (lambda (k) 99)))))") == 99
+
+
+def test_controller_value_flows_above_label(interp):
+    # (c f)'s receiver result becomes the spawn's value, bypassing the
+    # +1 pending inside the process.
+    assert interp.eval("(* 2 (spawn (lambda (c) (+ 1 (c (lambda (k) 10))))))") == 20
+
+
+def test_controller_capture_produces_process_continuation(interp):
+    k = interp.eval("(spawn (lambda (c) (+ 1 (c (lambda (k) k)))))")
+    assert isinstance(k, ProcessContinuation)
+
+
+def test_reinstatement_composes(interp):
+    # k = <spawn-label: (+ 1 [])>; (k 10) grafts it here: 1 + 10 = 11.
+    assert interp.eval("((spawn (lambda (c) (+ 1 (c (lambda (k) k))))) 10)") == 11
+
+
+def test_reinstatement_composes_with_current_continuation(interp):
+    # The graft composes: the result of the subtree flows into (* 3 _).
+    assert (
+        interp.eval("(* 3 ((spawn (lambda (c) (+ 1 (c (lambda (k) k))))) 10))") == 33
+    )
+
+
+def test_nested_spawns_independent_controllers(interp):
+    assert (
+        interp.eval(
+            """
+            (spawn (lambda (outer)
+                     (+ 1 (spawn (lambda (inner)
+                                   (+ 10 (inner (lambda (k) 100))))))))
+            """
+        )
+        == 101
+    )
+
+
+def test_inner_exit_through_outer_controller(interp):
+    # Inner code aborts through the *outer* controller: both pending
+    # additions are discarded.
+    assert (
+        interp.eval(
+            """
+            (spawn (lambda (outer)
+                     (+ 1 (spawn (lambda (inner)
+                                   (+ 10 (outer (lambda (k) 100))))))))
+            """
+        )
+        == 100
+    )
+
+
+def test_spawn_requires_procedure(interp):
+    from repro.errors import WrongTypeError
+
+    with pytest.raises(WrongTypeError):
+        interp.eval("(spawn 5)")
+
+
+def test_controller_takes_one_argument(interp):
+    with pytest.raises(ArityError):
+        interp.eval("(spawn (lambda (c) (c)))")
+
+
+def test_process_continuation_takes_one_argument(interp):
+    with pytest.raises(ArityError):
+        interp.eval("((spawn (lambda (c) (c (lambda (k) k)))))")
+
+
+def test_controller_receiver_can_be_any_procedure(interp):
+    # Receiver gets the continuation and can use primitives on it.
+    assert interp.eval("(spawn (lambda (c) (c procedure?)))") is True
+
+
+def test_spawn_stats(interp):
+    before = interp.stats["captures"]
+    interp.eval("(spawn (lambda (c) (c (lambda (k) 1))))")
+    assert interp.stats["captures"] == before + 1
+
+
+def test_reinstatement_counts(interp):
+    before = interp.stats["reinstatements"]
+    interp.eval("((spawn (lambda (c) (c (lambda (k) k)))) 5)")
+    assert interp.stats["reinstatements"] == before + 1
+
+
+def test_spawn_return_value_is_body_value(interp):
+    assert interp.eval("(spawn (lambda (c) (* 6 7)))") == 42
+
+
+def test_controller_escapes_as_value(interp):
+    """The controller can be stored and used later while the process is
+    still active."""
+    assert (
+        interp.eval(
+            """
+            (define stash #f)
+            (spawn (lambda (c)
+                     (set! stash c)
+                     (+ 1 (stash (lambda (k) 7)))))
+            """
+        )
+        == 7
+    )

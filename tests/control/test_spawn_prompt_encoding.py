@@ -1,0 +1,141 @@
+"""Section 4's encoding remark, executable.
+
+The paper: "One can think of spawn as a version of # that creates a
+new F each time it is used... we could define spawn approximately as
+(λp. #ᵢ (p Fᵢ)).  **However, this definition does not accurately
+reflect when application of the controller Fᵢ is valid.**  F captures a
+continuation only up to a # application; the # application itself is
+left as part of the continuation of the F application.  If, instead, F
+captured a continuation up to and including a # application, the
+approximate definition would be more accurate."
+
+We define the encoding with our (single) prompt/F pair and exhibit the
+exact divergences the paper predicts — plus the cases where the
+encoding *does* coincide.
+"""
+
+import pytest
+
+from repro import Interpreter
+from repro.errors import DeadControllerError, PromptMissingError
+
+ENCODING = """
+;; spawn≈: the paper's approximate definition (λp. #(p F-as-controller)).
+(define (spawn# p)
+  (prompt (p (lambda (f) (F f)))))
+"""
+
+
+@pytest.fixture
+def interp():
+    i = Interpreter()
+    i.run(ENCODING)
+    return i
+
+
+class TestWhereTheEncodingAgrees:
+    def test_normal_return(self, interp):
+        assert interp.eval("(spawn# (lambda (c) 42))") == interp.eval(
+            "(spawn (lambda (c) 42))"
+        )
+
+    def test_simple_abort(self, interp):
+        real = interp.eval("(spawn (lambda (c) (+ 1 (c (lambda (k) 9)))))")
+        encoded = interp.eval("(spawn# (lambda (c) (+ 1 (c (lambda (k) 9)))))")
+        assert real == encoded == 9
+
+    def test_single_resume_value(self, interp):
+        real = interp.eval("(spawn (lambda (c) (+ 1 (c (lambda (k) (k 10))))))")
+        encoded = interp.eval("(spawn# (lambda (c) (+ 1 (c (lambda (k) (k 10))))))")
+        assert real == encoded == 11
+
+
+class TestWhereTheEncodingDiverges:
+    def test_resume_inside_receiver_happens_to_agree(self, interp):
+        """Resuming *within the receiver's dynamic extent* masks the
+        difference: F leaves the prompt in place, so a second use still
+        finds it.  (This is why the paper calls the encoding merely
+        'approximate' rather than wrong everywhere.)"""
+        program_template = """
+        ({spawn} (lambda (c)
+                   (let ([x (c (lambda (k) (k 'resumed)))])
+                     (c (lambda (k2) (list 'second-ok x))))))
+        """
+        for spawn in ("spawn", "spawn#"):
+            assert (
+                interp.eval_to_string(program_template.format(spawn=spawn))
+                == "(second-ok resumed)"
+            )
+
+    def test_validity_after_reinstatement_outside_the_prompt(self, interp):
+        """THE divergence the paper's remark pinpoints: F's captured
+        continuation excludes the label (# application), so resuming it
+        elsewhere does not re-establish anything.  Real spawn's process
+        continuation *includes* the root: the controller is valid again
+        wherever the continuation is reinstated."""
+        body = """(lambda (c)
+                     (let ([x (c (lambda (k) k))])
+                       (c (lambda (k2) (list 'second-ok x)))))"""
+        interp.run(f"(define k-real (spawn {body}))")
+        # Resume at top level: the root travels with the continuation.
+        assert interp.eval_to_string("(k-real 'v)") == "(second-ok v)"
+
+        interp.run(f"(define k-enc (spawn# {body}))")
+        with pytest.raises(PromptMissingError):
+            interp.eval("(k-enc 'v)")  # no prompt came along; second use dies
+
+    def test_prompts_shadow_but_roots_do_not(self, interp):
+        """Nested spawns: inner code can reach the *outer* root with
+        the outer controller.  Nested spawn#s: the inner prompt shadows
+        — the outer 'controller' captures only to the inner prompt."""
+        real = interp.eval(
+            """
+            (spawn (lambda (outer)
+                     (+ 1 (spawn (lambda (inner)
+                                   (+ 10 (outer (lambda (k) 100))))))))
+            """
+        )
+        assert real == 100  # both pending additions discarded
+        encoded = interp.eval(
+            """
+            (spawn# (lambda (outer)
+                      (+ 1 (spawn# (lambda (inner)
+                                     (+ 10 (outer (lambda (k) 100))))))))
+            """
+        )
+        # The outer F is shadowed by the inner prompt: it aborts only
+        # (+ 10 _), so the outer (+ 1 _) still applies.
+        assert encoded == 101
+
+    def test_use_after_return_differs(self, interp):
+        """Real spawn: a controller used after its process returned is
+        a clean DeadControllerError.  Encoding: the F closure just
+        looks for *any* enclosing prompt — used inside someone else's
+        prompt it silently captures the wrong extent."""
+        interp.run("(define leak (vector #f))")
+        with pytest.raises(DeadControllerError):
+            interp.eval(
+                """
+                (begin
+                  (spawn (lambda (c) (vector-set! leak 0 c) 'done))
+                  ((vector-ref leak 0) (lambda (k) 'late)))
+                """
+            )
+        interp.run(
+            """
+            (spawn# (lambda (c) (vector-set! leak 0 c) 'done))
+            """
+        )
+        # The leaked encoded controller, applied under an unrelated
+        # prompt, hijacks that prompt instead of erroring:
+        hijacked = interp.eval(
+            "(prompt (+ 1 ((vector-ref leak 0) (lambda (k) 'hijacked))))"
+        )
+        assert hijacked.name == "hijacked"  # silently wrong extent
+
+
+def test_encoding_definition_matches_paper_shape(interp):
+    """spawn# really is (λp. #(p F)): check the pieces."""
+    assert interp.eval("(procedure? spawn#)") is True
+    # Its normal-return path goes through a prompt (falls through):
+    assert interp.eval("(spawn# (lambda (c) 7))") == 7

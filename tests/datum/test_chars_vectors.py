@@ -1,0 +1,66 @@
+"""Char and MVector behaviour."""
+
+import pytest
+
+from repro.datum import Char, MVector
+from repro.errors import SchemeError
+
+
+def test_char_requires_single_codepoint():
+    with pytest.raises(ValueError):
+        Char("ab")
+    with pytest.raises(ValueError):
+        Char("")
+
+
+def test_char_equality_and_hash():
+    assert Char("a") == Char("a")
+    assert Char("a") != Char("b")
+    assert hash(Char("a")) == hash(Char("a"))
+    assert Char("a") != "a"
+
+
+def test_char_ordering():
+    assert Char("a") < Char("b")
+    assert Char("a") <= Char("a")
+
+
+def test_vector_basic():
+    v = MVector([1, 2, 3])
+    assert len(v) == 3
+    assert list(v) == [1, 2, 3]
+    assert v.ref(1) == 2
+
+
+def test_vector_set():
+    v = MVector([1, 2])
+    v.set(0, 9)
+    assert v.ref(0) == 9
+
+
+def test_vector_bounds():
+    v = MVector([1])
+    with pytest.raises(SchemeError):
+        v.ref(1)
+    with pytest.raises(SchemeError):
+        v.ref(-1)
+    with pytest.raises(SchemeError):
+        v.set(5, 0)
+
+
+def test_vector_filled():
+    v = MVector.filled(3, "x")
+    assert list(v) == ["x", "x", "x"]
+
+
+def test_vector_filled_negative():
+    with pytest.raises(SchemeError):
+        MVector.filled(-1, 0)
+
+
+def test_singletons():
+    from repro.datum.singletons import EofObject, Unspecified, EOF_OBJECT, UNSPECIFIED
+
+    assert Unspecified() is UNSPECIFIED
+    assert EofObject() is EOF_OBJECT
+    assert repr(EOF_OBJECT) == "#<eof>"

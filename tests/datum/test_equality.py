@@ -1,0 +1,103 @@
+"""eq? / eqv? / equal? semantics."""
+
+from fractions import Fraction
+
+from repro.datum import (
+    NIL,
+    Char,
+    MVector,
+    cons,
+    from_pylist,
+    intern,
+    is_eq,
+    is_eqv,
+    is_equal,
+)
+
+
+def test_eq_symbols():
+    assert is_eq(intern("a"), intern("a"))
+    assert not is_eq(intern("a"), intern("b"))
+
+
+def test_eq_small_ints():
+    assert is_eq(5, 5)
+    assert not is_eq(5, 6)
+
+
+def test_eq_booleans_not_ints():
+    # #t is not 1, despite Python's bool subclassing int.
+    assert not is_eq(True, 1)
+    assert not is_eq(False, 0)
+    assert is_eq(True, True)
+
+
+def test_eq_chars():
+    assert is_eq(Char("a"), Char("a"))
+    assert not is_eq(Char("a"), Char("b"))
+
+
+def test_eq_pairs_identity():
+    p = cons(1, 2)
+    assert is_eq(p, p)
+    assert not is_eq(p, cons(1, 2))
+
+
+def test_eqv_exact_numbers():
+    assert is_eqv(Fraction(1, 2), Fraction(2, 4))
+    assert is_eqv(3, 3)
+
+
+def test_eqv_exactness_distinguished():
+    assert not is_eqv(1, 1.0)
+
+
+def test_eqv_floats():
+    assert is_eqv(1.5, 1.5)
+    assert is_eqv(float("nan"), float("nan"))
+
+
+def test_equal_structural_lists():
+    a = from_pylist([1, from_pylist([2, 3]), "x"])
+    b = from_pylist([1, from_pylist([2, 3]), "x"])
+    assert is_equal(a, b)
+
+
+def test_equal_different_lists():
+    assert not is_equal(from_pylist([1, 2]), from_pylist([1, 3]))
+    assert not is_equal(from_pylist([1, 2]), from_pylist([1, 2, 3]))
+
+
+def test_equal_strings():
+    assert is_equal("abc", "abc")
+    assert not is_equal("abc", "abd")
+
+
+def test_equal_vectors():
+    assert is_equal(MVector([1, 2]), MVector([1, 2]))
+    assert not is_equal(MVector([1, 2]), MVector([1, 2, 3]))
+
+
+def test_equal_mixed_types_false():
+    assert not is_equal(from_pylist([1]), MVector([1]))
+    assert not is_equal("1", 1)
+
+
+def test_equal_nil():
+    assert is_equal(NIL, NIL)
+    assert not is_equal(NIL, from_pylist([1]))
+
+
+def test_equal_cyclic_terminates():
+    a = cons(1, NIL)
+    a.cdr = a
+    b = cons(1, NIL)
+    b.cdr = b
+    # Unrollings agree; must terminate and say True.
+    assert is_equal(a, b)
+
+
+def test_equal_deep_list_no_recursion_error():
+    deep_a = from_pylist(list(range(50_000)))
+    deep_b = from_pylist(list(range(50_000)))
+    assert is_equal(deep_a, deep_b)

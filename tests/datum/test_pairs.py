@@ -1,0 +1,127 @@
+"""Pairs and list utilities."""
+
+import pytest
+
+from repro.datum import (
+    NIL,
+    Pair,
+    cons,
+    from_pylist,
+    improper_to_pylist,
+    is_list,
+    list_length,
+    scheme_append,
+    scheme_reverse,
+    to_pylist,
+)
+from repro.errors import WrongTypeError
+
+
+def test_nil_singleton():
+    from repro.datum.pairs import Nil
+
+    assert Nil() is NIL
+
+
+def test_nil_is_truthy():
+    # Only #f is false in Scheme; NIL must not accidentally be falsy.
+    assert bool(NIL)
+
+
+def test_cons_car_cdr():
+    p = cons(1, 2)
+    assert p.car == 1 and p.cdr == 2
+
+
+def test_from_to_pylist_roundtrip():
+    items = [1, "two", cons(3, 4)]
+    assert to_pylist(from_pylist(items)) == items
+
+
+def test_from_pylist_empty():
+    assert from_pylist([]) is NIL
+
+
+def test_from_pylist_improper_tail():
+    p = from_pylist([1], tail=2)
+    assert p.car == 1 and p.cdr == 2
+
+
+def test_to_pylist_rejects_improper():
+    with pytest.raises(WrongTypeError):
+        to_pylist(cons(1, 2))
+
+
+def test_improper_to_pylist():
+    prefix, tail = improper_to_pylist(from_pylist([1, 2], tail=3))
+    assert prefix == [1, 2] and tail == 3
+
+
+def test_improper_to_pylist_atom():
+    prefix, tail = improper_to_pylist(42)
+    assert prefix == [] and tail == 42
+
+
+def test_list_length():
+    assert list_length(from_pylist([1, 2, 3])) == 3
+    assert list_length(NIL) == 0
+
+
+def test_list_length_improper_raises():
+    with pytest.raises(WrongTypeError):
+        list_length(cons(1, 2))
+
+
+def test_is_list_proper():
+    assert is_list(NIL)
+    assert is_list(from_pylist([1, 2, 3]))
+
+
+def test_is_list_improper():
+    assert not is_list(cons(1, 2))
+    assert not is_list(42)
+
+
+def test_is_list_cyclic_terminates():
+    p = cons(1, NIL)
+    p.cdr = p
+    assert not is_list(p)
+
+
+def test_pair_iteration():
+    assert list(from_pylist([1, 2, 3])) == [1, 2, 3]
+
+
+def test_pair_iteration_improper_raises():
+    with pytest.raises(WrongTypeError):
+        list(cons(1, 2))
+
+
+def test_append_empty():
+    assert scheme_append() is NIL
+
+
+def test_append_lists():
+    result = scheme_append(from_pylist([1]), from_pylist([2, 3]), from_pylist([4]))
+    assert to_pylist(result) == [1, 2, 3, 4]
+
+
+def test_append_last_may_be_atom():
+    result = scheme_append(from_pylist([1]), 2)
+    assert result.car == 1 and result.cdr == 2
+
+
+def test_append_shares_last_list():
+    tail = from_pylist([9])
+    result = scheme_append(from_pylist([1]), tail)
+    assert result.cdr is tail
+
+
+def test_reverse():
+    assert to_pylist(scheme_reverse(from_pylist([1, 2, 3]))) == [3, 2, 1]
+    assert scheme_reverse(NIL) is NIL
+
+
+def test_reverse_improper_raises():
+    with pytest.raises(WrongTypeError):
+        scheme_reverse(cons(1, 2))

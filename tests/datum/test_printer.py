@@ -1,0 +1,99 @@
+"""External representations (write and display)."""
+
+from fractions import Fraction
+
+from repro.datum import (
+    NIL,
+    Char,
+    MVector,
+    UNSPECIFIED,
+    cons,
+    from_pylist,
+    intern,
+    scheme_display,
+    scheme_repr,
+)
+
+
+def test_atoms():
+    assert scheme_repr(42) == "42"
+    assert scheme_repr(True) == "#t"
+    assert scheme_repr(False) == "#f"
+    assert scheme_repr(intern("abc")) == "abc"
+    assert scheme_repr(NIL) == "()"
+
+
+def test_fraction():
+    assert scheme_repr(Fraction(1, 3)) == "1/3"
+    assert scheme_repr(Fraction(4, 2)) == "2"
+
+
+def test_float_specials():
+    assert scheme_repr(float("inf")) == "+inf.0"
+    assert scheme_repr(float("-inf")) == "-inf.0"
+    assert scheme_repr(float("nan")) == "+nan.0"
+
+
+def test_string_write_vs_display():
+    assert scheme_repr('a"b\n') == '"a\\"b\\n"'
+    assert scheme_display('a"b\n') == 'a"b\n'
+
+
+def test_char_write_vs_display():
+    assert scheme_repr(Char("x")) == "#\\x"
+    assert scheme_repr(Char(" ")) == "#\\space"
+    assert scheme_repr(Char("\n")) == "#\\newline"
+    assert scheme_display(Char("x")) == "x"
+
+
+def test_proper_list():
+    assert scheme_repr(from_pylist([1, 2, 3])) == "(1 2 3)"
+
+
+def test_dotted_pair():
+    assert scheme_repr(cons(1, 2)) == "(1 . 2)"
+    assert scheme_repr(from_pylist([1, 2], tail=3)) == "(1 2 . 3)"
+
+
+def test_nested():
+    inner = from_pylist([2, 3])
+    assert scheme_repr(from_pylist([1, inner])) == "(1 (2 3))"
+
+
+def test_vector():
+    assert scheme_repr(MVector([1, intern("a")])) == "#(1 a)"
+    assert scheme_repr(MVector([])) == "#()"
+
+
+def test_quote_sugar():
+    quoted = from_pylist([intern("quote"), intern("x")])
+    assert scheme_repr(quoted) == "'x"
+    qq = from_pylist([intern("quasiquote"), from_pylist([intern("unquote"), intern("y")])])
+    assert scheme_repr(qq) == "`,y"
+
+
+def test_unspecified():
+    assert scheme_repr(UNSPECIFIED) == "#<unspecified>"
+
+
+def test_cyclic_list_renders():
+    p = cons(1, NIL)
+    p.cdr = p
+    text = scheme_repr(p)
+    assert "cycle" in text
+
+
+def test_cyclic_vector_renders():
+    v = MVector([1])
+    v.items[0] = v
+    assert "cycle" in scheme_repr(v)
+
+
+def test_print_read_roundtrip():
+    from repro.reader import read_one
+    from repro.datum import is_equal
+
+    original = from_pylist(
+        [1, Fraction(1, 2), "s", Char("q"), MVector([intern("v")]), cons(1, 2)]
+    )
+    assert is_equal(read_one(scheme_repr(original)), original)

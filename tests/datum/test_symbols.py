@@ -1,0 +1,46 @@
+"""Symbols: interning, gensyms, identity semantics."""
+
+from repro.datum import Symbol, gensym, gensym_reset, intern
+
+
+def test_intern_returns_same_object():
+    assert intern("foo") is intern("foo")
+
+
+def test_intern_distinct_spellings():
+    assert intern("foo") is not intern("bar")
+
+
+def test_interned_flag():
+    assert intern("foo").interned
+    assert not gensym().interned
+
+
+def test_gensym_unique():
+    assert gensym() is not gensym()
+
+
+def test_gensym_never_collides_with_interned():
+    g = gensym("foo")
+    assert g is not intern(g.name)
+
+
+def test_gensym_prefix_in_name():
+    assert gensym("tmp").name.startswith("tmp")
+
+
+def test_symbol_str_is_name():
+    assert str(intern("hello")) == "hello"
+
+
+def test_gensym_reset_restarts_counter_names():
+    gensym_reset()
+    first = gensym("a")
+    gensym_reset()
+    second = gensym("a")
+    assert first.name == second.name
+    assert first is not second
+
+
+def test_symbol_repr_mentions_name():
+    assert "hello" in repr(intern("hello"))

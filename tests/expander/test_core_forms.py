@@ -1,0 +1,193 @@
+"""Core form expansion: quote, lambda, if, set!, begin, define, pcall."""
+
+import pytest
+
+from repro.datum import UNSPECIFIED, intern
+from repro.errors import ExpandError
+from repro.expander import ExpandEnv, expand_program
+from repro.ir import (
+    App,
+    Const,
+    DefineTop,
+    If,
+    Lambda,
+    Pcall,
+    Seq,
+    SetBang,
+    Var,
+)
+from repro.reader import read_all
+
+
+def expand1(source):
+    nodes = expand_program(read_all(source), ExpandEnv())
+    assert len(nodes) == 1
+    return nodes[0]
+
+
+def test_self_evaluating_constants():
+    assert expand1("42") == Const(42)
+    assert expand1("#t") == Const(True)
+    assert expand1('"hi"') == Const("hi")
+
+
+def test_variable():
+    assert expand1("x") == Var(intern("x"))
+
+
+def test_quote():
+    node = expand1("'abc")
+    assert isinstance(node, Const)
+    assert node.value is intern("abc")
+
+
+def test_quote_arity():
+    with pytest.raises(ExpandError):
+        expand1("(quote a b)")
+
+
+def test_empty_combination_rejected():
+    with pytest.raises(ExpandError):
+        expand1("()")
+
+
+def test_lambda_fixed():
+    node = expand1("(lambda (a b) a)")
+    assert isinstance(node, Lambda)
+    assert [p.name for p in node.params] == ["a", "b"]
+    assert node.rest is None
+
+
+def test_lambda_rest_only():
+    node = expand1("(lambda args args)")
+    assert node.params == ()
+    assert node.rest is intern("args")
+
+
+def test_lambda_dotted():
+    node = expand1("(lambda (a . rest) a)")
+    assert [p.name for p in node.params] == ["a"]
+    assert node.rest is intern("rest")
+
+
+def test_lambda_multi_body_becomes_seq():
+    node = expand1("(lambda () 1 2)")
+    assert isinstance(node.body, Seq)
+
+
+def test_lambda_duplicate_params():
+    with pytest.raises(ExpandError):
+        expand1("(lambda (a a) a)")
+
+
+def test_lambda_needs_body():
+    with pytest.raises(ExpandError):
+        expand1("(lambda (a))")
+
+
+def test_if_two_armed():
+    node = expand1("(if 1 2 3)")
+    assert node == If(Const(1), Const(2), Const(3))
+
+
+def test_if_one_armed():
+    node = expand1("(if 1 2)")
+    assert node.els == Const(UNSPECIFIED)
+
+
+def test_if_arity():
+    with pytest.raises(ExpandError):
+        expand1("(if 1)")
+    with pytest.raises(ExpandError):
+        expand1("(if 1 2 3 4)")
+
+
+def test_set_bang():
+    node = expand1("(set! x 1)")
+    assert node == SetBang(intern("x"), Const(1))
+
+
+def test_set_bang_malformed():
+    with pytest.raises(ExpandError):
+        expand1("(set! (x) 1)")
+    with pytest.raises(ExpandError):
+        expand1("(set! x)")
+
+
+def test_begin_single_collapses():
+    assert expand1("(begin 1)") == Const(1)
+
+
+def test_begin_multi_splices_at_top_level():
+    nodes = expand_program(read_all("(begin 1 2 3)"), ExpandEnv())
+    assert nodes == [Const(1), Const(2), Const(3)]
+
+
+def test_begin_multi_is_seq_in_expression_position():
+    node = expand1("(if #t (begin 1 2 3) 0)")
+    assert isinstance(node.then, Seq)
+    assert len(node.then.exprs) == 3
+
+
+def test_application():
+    node = expand1("(f 1 2)")
+    assert isinstance(node, App)
+    assert node.fn == Var(intern("f"))
+    assert node.args == (Const(1), Const(2))
+
+
+def test_define_top_level_value():
+    nodes = expand_program(read_all("(define x 1)"), ExpandEnv())
+    assert nodes == [DefineTop(intern("x"), Const(1))]
+
+
+def test_define_procedure_shorthand():
+    node = expand_program(read_all("(define (f a) a)"), ExpandEnv())[0]
+    assert isinstance(node, DefineTop)
+    assert isinstance(node.expr, Lambda)
+    assert node.expr.name == "f"
+
+
+def test_define_procedure_dotted():
+    node = expand_program(read_all("(define (f a . r) r)"), ExpandEnv())[0]
+    assert node.expr.rest is intern("r")
+
+
+def test_define_illegal_in_expression_position():
+    with pytest.raises(ExpandError):
+        expand1("(if (define x 1) 2 3)")
+
+
+def test_top_level_begin_splices():
+    nodes = expand_program(read_all("(begin (define x 1) (define y 2))"), ExpandEnv())
+    assert len(nodes) == 2
+    assert all(isinstance(n, DefineTop) for n in nodes)
+
+
+def test_pcall():
+    node = expand1("(pcall + 1 2)")
+    assert isinstance(node, Pcall)
+    assert len(node.exprs) == 3
+
+
+def test_pcall_needs_operator():
+    with pytest.raises(ExpandError):
+        expand1("(pcall)")
+
+
+def test_prompt_lowers_to_call_with_prompt():
+    node = expand1("(prompt 1 2)")
+    assert isinstance(node, App)
+    assert node.fn == Var(intern("call-with-prompt"))
+    assert isinstance(node.args[0], Lambda)
+
+
+def test_lexical_shadowing_of_special_form():
+    # A lambda-bound `if` is a variable, not syntax.
+    node = expand1("(lambda (if) (if 1 2 3))")
+    assert isinstance(node.body, App)
+
+
+def test_unquote_outside_quasiquote():
+    with pytest.raises(ExpandError):
+        expand1(",x")

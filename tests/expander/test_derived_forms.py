@@ -1,0 +1,174 @@
+"""Derived forms, tested by evaluating them end to end."""
+
+import pytest
+
+from repro.datum import UNSPECIFIED
+from repro.errors import ExpandError
+from repro.expander import ExpandEnv, expand_program
+from repro.reader import read_all
+
+
+def test_let(interp):
+    assert interp.eval("(let ([x 1] [y 2]) (+ x y))") == 3
+
+
+def test_let_empty_bindings(interp):
+    assert interp.eval("(let () 5)") == 5
+
+
+def test_let_body_sequence(interp):
+    assert interp.eval("(let ([x 1]) (set! x 2) x)") == 2
+
+
+def test_let_is_parallel_binding(interp):
+    assert interp.eval("(let ([x 1]) (let ([x 2] [y x]) y))") == 1
+
+
+def test_named_let_loop(interp):
+    assert interp.eval("(let loop ([i 0] [acc 0]) (if (= i 5) acc (loop (+ i 1) (+ acc i))))") == 10
+
+
+def test_let_star(interp):
+    assert interp.eval("(let* ([x 1] [y (+ x 1)]) y)") == 2
+
+
+def test_let_star_empty(interp):
+    assert interp.eval("(let* () 7)") == 7
+
+
+def test_letrec_mutual_recursion(interp):
+    assert (
+        interp.eval(
+            """
+            (letrec ([even? (lambda (n) (if (= n 0) #t (odd? (- n 1))))]
+                     [odd?  (lambda (n) (if (= n 0) #f (even? (- n 1))))])
+              (even? 10))
+            """
+        )
+        is True
+    )
+
+
+def test_cond_basic(interp):
+    assert interp.eval("(cond [#f 1] [#t 2] [else 3])") == 2
+
+
+def test_cond_else(interp):
+    assert interp.eval("(cond [#f 1] [else 3])") == 3
+
+
+def test_cond_no_match_unspecified(interp):
+    assert interp.eval("(cond [#f 1])") is UNSPECIFIED
+
+
+def test_cond_test_only_clause_returns_test(interp):
+    assert interp.eval("(cond [#f] [42])") == 42
+
+
+def test_cond_arrow(interp):
+    assert interp.eval("(cond [(memv 2 '(1 2 3)) => car] [else 'no])") == 2
+
+
+def test_cond_multi_expression_body(interp):
+    assert interp.eval("(cond [#t 1 2 3])") == 3
+
+
+def test_cond_else_not_last_rejected():
+    with pytest.raises(ExpandError):
+        expand_program(read_all("(cond [else 1] [#t 2])"), ExpandEnv())
+
+
+def test_case(interp):
+    assert interp.eval("(case 2 [(1) 'one] [(2 3) 'two-or-three] [else 'other])").name == "two-or-three"
+
+
+def test_case_else(interp):
+    assert interp.eval("(case 9 [(1) 'one] [else 'other])").name == "other"
+
+
+def test_case_no_match_unspecified(interp):
+    assert interp.eval("(case 9 [(1) 'one])") is UNSPECIFIED
+
+
+def test_case_key_evaluated_once(interp):
+    interp.run("(define hits 0)")
+    interp.eval("(case (begin (set! hits (+ hits 1)) 2) [(1) 'a] [(2) 'b] [else 'c])")
+    assert interp.eval("hits") == 1
+
+
+def test_when_true(interp):
+    assert interp.eval("(when #t 1 2)") == 2
+
+
+def test_when_false(interp):
+    assert interp.eval("(when #f 1 2)") is UNSPECIFIED
+
+
+def test_unless(interp):
+    assert interp.eval("(unless #f 'ran)").name == "ran"
+    assert interp.eval("(unless #t 'ran)") is UNSPECIFIED
+
+
+def test_and(interp):
+    assert interp.eval("(and)") is True
+    assert interp.eval("(and 1 2 3)") == 3
+    assert interp.eval("(and 1 #f 3)") is False
+
+
+def test_and_short_circuits(interp):
+    interp.run("(define hits 0)")
+    interp.eval("(and #f (begin (set! hits 1) #t))")
+    assert interp.eval("hits") == 0
+
+
+def test_or(interp):
+    assert interp.eval("(or)") is False
+    assert interp.eval("(or #f 2 3)") == 2
+    assert interp.eval("(or #f #f)") is False
+
+
+def test_or_short_circuits(interp):
+    interp.run("(define hits 0)")
+    assert interp.eval("(or 1 (begin (set! hits 1) 2))") == 1
+    assert interp.eval("hits") == 0
+
+
+def test_or_evaluates_test_once(interp):
+    interp.run("(define hits 0)")
+    interp.eval("(or (begin (set! hits (+ hits 1)) #f) 2)")
+    assert interp.eval("hits") == 1
+
+
+def test_do_loop(interp):
+    assert (
+        interp.eval("(do ([i 0 (+ i 1)] [acc 1 (* acc 2)]) ((= i 4) acc))") == 16
+    )
+
+
+def test_do_with_body_commands(interp):
+    interp.run("(define total 0)")
+    interp.eval("(do ([i 0 (+ i 1)]) ((= i 3)) (set! total (+ total i)))")
+    assert interp.eval("total") == 3
+
+
+def test_do_variable_without_step(interp):
+    assert interp.eval("(do ([i 0 (+ i 1)] [x 9]) ((= i 2) x))") == 9
+
+
+def test_do_empty_result_is_unspecified(interp):
+    assert interp.eval("(do ([i 0 (+ i 1)]) ((= i 1)))") is UNSPECIFIED
+
+
+def test_nested_derived_forms(interp):
+    assert (
+        interp.eval(
+            """
+            (let loop ([n 10] [acc '()])
+              (cond
+                [(zero? n) acc]
+                [(even? n) (loop (- n 1) (cons n acc))]
+                [else (loop (- n 1) acc)]))
+            """
+        ).car
+        == 2
+    )

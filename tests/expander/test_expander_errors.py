@@ -1,0 +1,86 @@
+"""Error reporting in the expander: malformed forms fail loudly and
+specifically, never silently."""
+
+import pytest
+
+from repro.errors import ExpandError
+from repro.expander import ExpandEnv, expand_program
+from repro.reader import read_all
+
+
+def expand(source):
+    return expand_program(read_all(source), ExpandEnv())
+
+
+BAD_FORMS = [
+    # (source, match fragment)
+    ("(lambda)", "lambda"),
+    ("(lambda (x))", "body"),
+    ("(lambda (1) x)", "formal"),
+    ("(lambda (x . 1) x)", "rest"),
+    ("(if)", "if"),
+    ("(set!)", "set!"),
+    ("(set! 1 2)", "set!"),
+    ("(if #t (begin) 2)", "begin"),  # empty begin in expression position
+    ("(quote)", "quote"),
+    ("(quote a b)", "quote"),
+    ("(let)", "let"),
+    ("(let x)", "let"),
+    ("(let ((x)) x)", "binding"),
+    ("(let ((1 2)) 3)", "binding"),
+    ("(let* ((x)) x)", "binding"),
+    ("(letrec ((x)) x)", "binding"),
+    ("(cond ())", "cond"),
+    ("(cond (else 1) (2 3))", "else"),
+    ("(cond (1 => f g))", "=>"),
+    ("(case)", "case"),
+    ("(case 1 ((2)))", "case"),
+    ("(case 1 (else 2) ((3) 4))", "else"),
+    ("(when 1)", "when"),
+    ("(unless 1)", "unless"),
+    ("(do)", "do"),
+    ("(do ((x 1 2 3)) (#t))", "do"),
+    ("(do ((x 1)))", "do"),
+    ("(pcall)", "pcall"),
+    ("(prompt)", "prompt"),
+    ("(define)", "define"),
+    ("(define 1 2)", "define"),
+    ("(define (1 x) x)", "define"),
+    ("(define ((f)) 1)", "define"),
+    ("(define x 1 2)", "define"),
+    ("(extend-syntax)", "extend-syntax"),
+    ("(extend-syntax (1) ((p) t))", "extend-syntax"),
+    ("(extend-syntax (m))", "clause"),
+    ("(define-syntax)", "define-syntax"),
+    ("(define-syntax m (lambda (x) x))", "syntax-rules"),
+    ("(define-syntax m (syntax-rules))", "syntax-rules"),
+    ("(define-syntax m (syntax-rules (1) ((p) t)))", "literals"),
+    ("(quasiquote)", "quasiquote"),
+    (",x", "unquote"),
+    (",@x", "unquote"),
+    ("()", "combination"),
+]
+
+
+@pytest.mark.parametrize("source,fragment", BAD_FORMS, ids=[s for s, _ in BAD_FORMS])
+def test_malformed_form_raises_with_context(source, fragment):
+    with pytest.raises(ExpandError) as excinfo:
+        expand(source)
+    assert fragment.lower() in str(excinfo.value).lower()
+
+
+def test_improper_application_rejected():
+    with pytest.raises(ExpandError):
+        expand("(f 1 . 2)")
+
+
+def test_deep_error_inside_nested_form():
+    with pytest.raises(ExpandError):
+        expand("(let ([x 1]) (cond (else 1) (2 3)))")
+
+
+def test_good_forms_near_bad_ones_still_work(interp):
+    # An error in one run leaves the interpreter usable.
+    with pytest.raises(ExpandError):
+        interp.run("(lambda)")
+    assert interp.eval("(+ 1 2)") == 3

@@ -1,0 +1,89 @@
+"""Internal defines at the head of bodies."""
+
+import pytest
+
+from repro.errors import ExpandError
+
+
+def test_single_internal_define(interp):
+    assert interp.eval("((lambda () (define x 5) (+ x 1)))") == 6
+
+
+def test_internal_define_procedure_shorthand(interp):
+    assert interp.eval("((lambda () (define (f a) (* a 2)) (f 4)))") == 8
+
+
+def test_mutually_recursive_internal_defines(interp):
+    assert (
+        interp.eval(
+            """
+            ((lambda ()
+               (define (even? n) (if (= n 0) #t (odd? (- n 1))))
+               (define (odd? n) (if (= n 0) #f (even? (- n 1))))
+               (even? 9)))
+            """
+        )
+        is False
+    )
+
+
+def test_internal_define_in_let_body(interp):
+    assert interp.eval("(let ([a 1]) (define b 2) (+ a b))") == 3
+
+
+def test_paper_parallel_search_shape(interp):
+    """The paper's parallel-search defines `search` inside a lambda body
+    and calls it after — exactly this shape must work."""
+    assert (
+        interp.eval(
+            """
+            ((lambda (n)
+               (define count
+                 (lambda (k) (if (= k 0) 0 (+ 1 (count (- k 1))))))
+               (count n))
+             7)
+            """
+        )
+        == 7
+    )
+
+
+def test_defines_must_precede_expressions(interp):
+    # A define after an expression is not part of the body prefix.
+    with pytest.raises(ExpandError):
+        interp.eval("((lambda () 1 (define x 2) x))")
+
+
+def test_body_of_only_defines_rejected(interp):
+    with pytest.raises(ExpandError):
+        interp.eval("((lambda () (define x 1)))")
+
+
+def test_begin_splices_defines_in_body(interp):
+    assert (
+        interp.eval(
+            """
+            ((lambda ()
+               (begin (define a 1) (define b 2))
+               (+ a b)))
+            """
+        )
+        == 3
+    )
+
+
+def test_macro_expanding_to_internal_define(interp):
+    interp.run("(extend-syntax (defzero) [(defzero n) (define n 0)])")
+    assert interp.eval("((lambda () (defzero z) z))") == 0
+
+
+def test_internal_define_shadows_global(interp):
+    interp.run("(define x 100)")
+    assert interp.eval("((lambda () (define x 1) x))") == 1
+    assert interp.eval("x") == 100
+
+
+def test_define_without_value_is_unspecified(interp):
+    from repro.datum import UNSPECIFIED
+
+    assert interp.eval("((lambda () (define x) x))") is UNSPECIFIED

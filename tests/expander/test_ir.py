@@ -1,0 +1,111 @@
+"""The IR layer: free variables and the pretty printer."""
+
+from repro.datum import UNSPECIFIED, intern
+from repro.expander import ExpandEnv, expand_program
+from repro.ir import (
+    App,
+    Const,
+    If,
+    Lambda,
+    Pcall,
+    Seq,
+    SetBang,
+    Var,
+    free_variables,
+    pretty,
+)
+from repro.reader import read_all
+
+
+def expand1(source):
+    nodes = expand_program(read_all(source), ExpandEnv())
+    assert len(nodes) == 1
+    return nodes[0]
+
+
+class TestFreeVariables:
+    def test_constant_has_none(self):
+        assert free_variables(Const(1)) == frozenset()
+
+    def test_variable_is_free(self):
+        assert free_variables(Var(intern("x"))) == {intern("x")}
+
+    def test_lambda_binds(self):
+        node = expand1("(lambda (x) (x y))")
+        assert free_variables(node) == {intern("y")}
+
+    def test_rest_parameter_binds(self):
+        node = expand1("(lambda (a . rest) (cons a rest))")
+        assert free_variables(node) == {intern("cons")}
+
+    def test_set_target_is_free(self):
+        node = expand1("(set! x 1)")
+        assert intern("x") in free_variables(node)
+
+    def test_set_target_bound_by_lambda(self):
+        node = expand1("(lambda (x) (set! x 1))")
+        assert free_variables(node) == frozenset()
+
+    def test_if_and_seq(self):
+        node = expand1("(if a (begin b c) d)")
+        assert free_variables(node) == {intern(n) for n in "abcd"}
+
+    def test_pcall_subexpressions(self):
+        node = expand1("(pcall f x y)")
+        assert free_variables(node) == {intern("f"), intern("x"), intern("y")}
+
+    def test_let_lowering_binds(self):
+        node = expand1("(let ([x 1]) (+ x y))")
+        assert free_variables(node) == {intern("+"), intern("y")}
+
+    def test_deep_ir_no_recursion_error(self):
+        node = expand1("(+ " + " ".join(["x"] * 5000) + ")")
+        assert free_variables(node) == {intern("+"), intern("x")}
+
+
+class TestPretty:
+    def test_atoms(self):
+        assert pretty(Const(42)) == "42"
+        assert pretty(Var(intern("v"))) == "v"
+        assert pretty(Const(UNSPECIFIED)) == "#<unspecified>"
+
+    def test_quoted_constants(self):
+        node = expand1("'(a b)")
+        assert pretty(node) == "'(a b)"
+        assert pretty(expand1("'sym")) == "'sym"
+
+    def test_lambda_formals(self):
+        assert pretty(expand1("(lambda (a b) a)")) == "(lambda (a b) a)"
+        assert pretty(expand1("(lambda args args)")) == "(lambda args args)"
+        assert pretty(expand1("(lambda (a . r) r)")) == "(lambda (a . r) r)"
+
+    def test_roundtrip_through_reader(self):
+        """pretty output re-reads and re-expands to the same IR."""
+        for source in [
+            "(lambda (x) (if x 1 2))",
+            "((lambda (f) (f 1 2)) +)",
+            "(pcall + 1 (begin 2 3))",
+            "(set! x (lambda () 9))",
+        ]:
+            node = expand1(source)
+            again = expand1(pretty(node))
+            assert pretty(again) == pretty(node)
+
+    def test_seq_and_pcall_forms(self):
+        assert pretty(expand1("(if #t (begin 1 2) 3)")) == "(if #t (begin 1 2) 3)"
+        assert pretty(expand1("(pcall f 1)")) == "(pcall f 1)"
+
+    def test_define_top(self):
+        node = expand_program(read_all("(define x 1)"), ExpandEnv())[0]
+        assert pretty(node) == "(define x 1)"
+
+
+class TestNodeEquality:
+    def test_structural_equality(self):
+        assert expand1("(+ 1 2)") == expand1("(+ 1 2)")
+        assert expand1("(+ 1 2)") != expand1("(+ 1 3)")
+
+    def test_lambda_name_not_part_of_identity(self):
+        named = Lambda((intern("x"),), None, Var(intern("x")), name="f")
+        anonymous = Lambda((intern("x"),), None, Var(intern("x")))
+        assert named == anonymous  # name is compare=False metadata

@@ -1,0 +1,54 @@
+"""Quasiquote expansion semantics."""
+
+
+def test_plain_template(interp):
+    assert interp.eval_to_string("`(1 2 3)") == "(1 2 3)"
+
+
+def test_unquote(interp):
+    assert interp.eval_to_string("(let ([x 5]) `(1 ,x 3))") == "(1 5 3)"
+
+
+def test_unquote_splicing(interp):
+    assert interp.eval_to_string("(let ([xs '(2 3)]) `(1 ,@xs 4))") == "(1 2 3 4)"
+
+
+def test_unquote_splicing_at_end(interp):
+    assert interp.eval_to_string("(let ([xs '(2 3)]) `(1 ,@xs))") == "(1 2 3)"
+
+
+def test_unquote_in_car_position(interp):
+    assert interp.eval_to_string("(let ([x 1]) `(,x . 2))") == "(1 . 2)"
+
+
+def test_nested_structure(interp):
+    assert interp.eval_to_string("(let ([x 9]) `(a (b ,x) c))") == "(a (b 9) c)"
+
+
+def test_symbols_stay_quoted(interp):
+    assert interp.eval_to_string("`(a b)") == "(a b)"
+
+
+def test_nested_quasiquote_shields_unquote(interp):
+    assert interp.eval_to_string("(let ([x 5]) ``(a ,x))") == "`(a ,x)"
+
+
+def test_nested_quasiquote_double_unquote(interp):
+    assert interp.eval_to_string("(let ([x 5]) ``(a ,,x))") == "`(a ,5)"
+
+
+def test_vector_template(interp):
+    assert interp.eval_to_string("(let ([x 7]) `#(1 ,x))") == "#(1 7)"
+
+
+def test_quasiquote_atom(interp):
+    assert interp.eval("`5") == 5
+
+
+def test_splicing_empty_list(interp):
+    assert interp.eval_to_string("`(1 ,@'() 2)") == "(1 2)"
+
+
+def test_quasiquote_builds_fresh_structure(interp):
+    interp.run("(define (build x) `(1 ,x))")
+    assert interp.eval("(eq? (build 2) (build 2))") is False

@@ -1,0 +1,191 @@
+"""extend-syntax / define-syntax pattern macros."""
+
+import pytest
+
+from repro.errors import ExpandError
+
+
+def test_simple_macro(interp):
+    interp.run(
+        """
+        (extend-syntax (my-if)
+          [(my-if c t e) (cond [c t] [else e])])
+        """
+    )
+    assert interp.eval("(my-if #t 1 2)") == 1
+    assert interp.eval("(my-if #f 1 2)") == 2
+
+
+def test_macro_with_keyword(interp):
+    interp.run(
+        """
+        (extend-syntax (for in)
+          [(for x in ls body) (map (lambda (x) body) ls)])
+        """
+    )
+    assert interp.eval_to_string("(for x in '(1 2 3) (* x 10))") == "(10 20 30)"
+
+
+def test_ellipsis_splicing(interp):
+    interp.run(
+        """
+        (extend-syntax (my-list)
+          [(my-list e ...) (list e ...)])
+        """
+    )
+    assert interp.eval_to_string("(my-list 1 2 3)") == "(1 2 3)"
+    assert interp.eval_to_string("(my-list)") == "()"
+
+
+def test_ellipsis_with_structure(interp):
+    interp.run(
+        """
+        (extend-syntax (my-let)
+          [(my-let ([name value] ...) body ...)
+           ((lambda (name ...) body ...) value ...)])
+        """
+    )
+    assert interp.eval("(my-let ([a 1] [b 2]) (+ a b))") == 3
+
+
+def test_ellipsis_tail_pattern(interp):
+    interp.run(
+        """
+        (extend-syntax (all-but-last)
+          [(all-but-last x ... y) (list x ...)])
+        """
+    )
+    assert interp.eval_to_string("(all-but-last 1 2 3)") == "(1 2)"
+
+
+def test_multiple_rules_first_match_wins(interp):
+    interp.run(
+        """
+        (extend-syntax (my-or)
+          [(my-or) #f]
+          [(my-or e) e]
+          [(my-or e1 e2 ...) (let ([t e1]) (if t t (my-or e2 ...)))])
+        """
+    )
+    assert interp.eval("(my-or)") is False
+    assert interp.eval("(my-or 7)") == 7
+    assert interp.eval("(my-or #f #f 9)") == 9
+
+
+def test_recursive_macro(interp):
+    interp.run(
+        """
+        (extend-syntax (my-and)
+          [(my-and) #t]
+          [(my-and e) e]
+          [(my-and e1 e2 ...) (if e1 (my-and e2 ...) #f)])
+        """
+    )
+    assert interp.eval("(my-and 1 2 3)") == 3
+
+
+def test_no_matching_rule_raises(interp):
+    interp.run("(extend-syntax (pairwise) [(pairwise a b) (list a b)])")
+    with pytest.raises(ExpandError):
+        interp.eval("(pairwise 1)")
+
+
+def test_constant_pattern(interp):
+    interp.run(
+        """
+        (extend-syntax (classify)
+          [(classify 0) 'zero]
+          [(classify n) 'nonzero])
+        """
+    )
+    assert interp.eval("(classify 0)").name == "zero"
+    assert interp.eval("(classify 5)").name == "nonzero"
+
+
+def test_define_syntax_syntax_rules(interp):
+    interp.run(
+        """
+        (define-syntax swap!
+          (syntax-rules ()
+            [(swap! a b) (let ([tmp a]) (set! a b) (set! b tmp))]))
+        """
+    )
+    interp.run("(define p 1) (define q 2) (swap! p q)")
+    assert interp.eval("p") == 2
+    assert interp.eval("q") == 1
+
+
+def test_define_syntax_literals(interp):
+    interp.run(
+        """
+        (define-syntax arrow-test
+          (syntax-rules (=>)
+            [(arrow-test a => b) (list a b)]))
+        """
+    )
+    assert interp.eval_to_string("(arrow-test 1 => 2)") == "(1 2)"
+
+
+def test_macro_producing_define(interp):
+    interp.run(
+        """
+        (extend-syntax (define-constant)
+          [(define-constant name value) (define name value)])
+        (define-constant answer 42)
+        """
+    )
+    assert interp.eval("answer") == 42
+
+
+def test_lexical_binding_shadows_macro(interp):
+    interp.run("(extend-syntax (m) [(m x) (list x x)])")
+    assert interp.eval("(let ([m (lambda (x) x)]) (m 5))") == 5
+
+
+def test_nested_ellipsis(interp):
+    interp.run(
+        """
+        (extend-syntax (flatten2)
+          [(flatten2 (a ...) ...) (list a ... ...)])
+        """
+    )
+    assert interp.eval_to_string("(flatten2 (1 2) (3) ())") == "(1 2 3)"
+
+
+def test_underscore_wildcard(interp):
+    interp.run("(extend-syntax (second-of) [(second-of _ b) b])")
+    assert interp.eval("(second-of 1 2)") == 2
+
+
+def test_extend_syntax_fenders_rejected(interp):
+    with pytest.raises(ExpandError):
+        interp.run("(extend-syntax (m) [(m a) (number? a) a])")
+
+
+def test_extend_syntax_only_top_level(interp):
+    with pytest.raises(ExpandError):
+        interp.eval("(let ([x 1]) (extend-syntax (m) [(m) 1]) x)")
+
+
+def test_mismatched_ellipsis_lengths_rejected(interp):
+    interp.run(
+        """
+        (extend-syntax (zip2)
+          [(zip2 (a ...) (b ...)) (list (list a b) ...)])
+        """
+    )
+    with pytest.raises(ExpandError):
+        interp.eval("(zip2 (1 2) (3))")
+
+
+def test_paper_parallel_or_definition(interp):
+    """The exact extend-syntax from the paper's Section 5."""
+    interp.run("(define (first-true p1 p2) (or (p1) (p2)))")  # stand-in
+    interp.run(
+        """
+        (extend-syntax (parallel-or)
+          [(parallel-or e1 e2)
+           (first-true (lambda () e1) (lambda () e2))])
+        """
+    )
+    assert interp.eval("(parallel-or #f 5)") == 5

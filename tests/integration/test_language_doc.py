@@ -1,0 +1,105 @@
+"""docs/LANGUAGE.md must not drift from the implementation: every
+procedure name it lists exists, and the loadable libraries define what
+it says they define."""
+
+from pathlib import Path
+
+import pytest
+
+from repro import Interpreter
+from repro.datum import intern
+
+DOC = Path(__file__).parent.parent.parent / "docs" / "LANGUAGE.md"
+
+PRIMITIVES_LISTED = """
++ - * / = < > <= >= quotient remainder modulo abs min max gcd lcm expt
+sqrt floor ceiling truncate round exact->inexact inexact->exact
+number->string string->number zero? positive? negative? odd? even?
+add1 sub1 1+ 1-
+cons car cdr set-car! set-cdr! list length append reverse list-tail
+list-ref memq memv member assq assv assoc list->vector vector->list
+last-pair iota caar cadr cdar cddr caaar caadr cadar caddr cdaar cdadr
+cddar cdddr
+pair? null? list? symbol? number? integer? rational? real? exact?
+inexact? string? char? vector? boolean? procedure? not eq? eqv? equal?
+string-length string-ref substring string-append string->symbol
+symbol->string string->list list->string string string=? string<?
+string>? string<=? string>=? char=? char<? char>? char<=? char>=?
+char->integer integer->char char-upcase char-downcase char-alphabetic?
+char-numeric? char-whitespace? gensym
+make-vector vector vector-length vector-ref vector-set! vector-fill!
+vector-copy
+apply display write newline error void
+spawn call/cc call-with-current-continuation call/cc-leaf F fcontrol
+call-with-prompt future touch placeholder? future-done?
+make-engine engine-run engine? engine-mileage
+""".split()
+
+PRELUDE_LISTED = """
+map for-each filter fold-left fold-right reduce remove list-copy
+list-index count andmap ormap empty? make-tree leaf node left right
+tree-insert list->tree tree-size tree->list make-promise force compose
+identity constantly
+""".split()
+
+LIBRARY_EXPORTS = {
+    "exceptions": ["with-handler", "guard-else"],
+    "generators": ["make-generator", "generator->list", "tree-generator"],
+    "coroutines": [
+        "make-coroutine",
+        "resume",
+        "coroutine-yielded?",
+        "coroutine-done?",
+        "coroutine-value",
+    ],
+    "parallel": ["par-map", "race"],
+    "amb": ["amb-solve", "amb-solve-all"],
+    "engines-util": ["with-timeout", "run-engines-fairly", "first-to-finish"],
+}
+
+
+def test_doc_exists():
+    assert DOC.exists()
+    text = DOC.read_text()
+    assert "pcall" in text and "spawn" in text
+
+
+def test_every_listed_primitive_exists():
+    interp = Interpreter()
+    missing = [
+        name
+        for name in PRIMITIVES_LISTED
+        if intern(name) not in interp.globals
+    ]
+    assert not missing, f"documented but missing: {missing}"
+
+
+def test_every_listed_prelude_binding_exists():
+    interp = Interpreter()
+    missing = [
+        name for name in PRELUDE_LISTED if intern(name) not in interp.globals
+    ]
+    assert not missing, f"documented but missing from prelude: {missing}"
+
+
+@pytest.mark.parametrize("library", sorted(LIBRARY_EXPORTS))
+def test_library_exports_exist(library):
+    interp = Interpreter()
+    interp.load_library(library)
+    for name in LIBRARY_EXPORTS[library]:
+        assert intern(name) in interp.globals, f"{library} should define {name}"
+
+
+def test_parallel_and_macro_exists():
+    interp = Interpreter()
+    interp.load_library("parallel")
+    assert interp.eval("(parallel-and 1 2)") == 2  # macro, so eval-test
+
+
+def test_every_paper_example_name_in_doc():
+    from repro.lib import paper_examples
+
+    text = DOC.read_text()
+    for name, (_, kind) in paper_examples.ALL.items():
+        if kind == "definitions":
+            assert name in text, f"paper example {name} missing from LANGUAGE.md"

@@ -1,0 +1,97 @@
+"""N-queens through the amb library — a substantial program exercising
+backtracking with controller-based early exit."""
+
+import pytest
+
+from repro import Interpreter
+
+
+@pytest.fixture
+def queens_interp():
+    interp = Interpreter()
+    interp.load_library("amb")
+    interp.run(
+        """
+        ;; A placement is a list of column indices, one per row.
+        (define (safe? placement)
+          (define (ok? col others dist)
+            (cond
+              [(null? others) #t]
+              [(= col (car others)) #f]
+              [(= (abs (- col (car others))) dist) #f]
+              [else (ok? col (cdr others) (+ dist 1))]))
+          (let loop ([ps placement])
+            (cond
+              [(null? ps) #t]
+              [(ok? (car ps) (cdr ps) 1) (loop (cdr ps))]
+              [else #f])))
+
+        (define (queens n)
+          (let ([cols (iota n)])
+            (amb-solve (map (lambda (i) cols) cols) safe?)))
+
+        (define (queens-all n)
+          (let ([cols (iota n)])
+            (amb-solve-all (map (lambda (i) cols) cols) safe?)))
+        """
+    )
+    return interp
+
+
+def as_list(interp, text):
+    if text == "#f":
+        return None
+    return [int(x) for x in text.strip("()").split()]
+
+
+def check_solution(placement):
+    n = len(placement)
+    for row_a in range(n):
+        for row_b in range(row_a + 1, n):
+            assert placement[row_a] != placement[row_b]
+            assert abs(placement[row_a] - placement[row_b]) != row_b - row_a
+
+
+def test_four_queens(queens_interp):
+    text = queens_interp.eval_to_string("(queens 4)")
+    solution = as_list(queens_interp, text)
+    assert solution is not None and len(solution) == 4
+    check_solution(solution)
+
+
+def test_five_queens(queens_interp):
+    solution = as_list(queens_interp, queens_interp.eval_to_string("(queens 5)"))
+    assert solution is not None
+    check_solution(solution)
+
+
+def test_six_queens(queens_interp):
+    solution = as_list(queens_interp, queens_interp.eval_to_string("(queens 6)"))
+    assert solution is not None
+    check_solution(solution)
+
+
+def test_three_queens_impossible(queens_interp):
+    assert queens_interp.eval("(queens 3)") is False
+    assert queens_interp.eval("(queens 2)") is False
+
+
+def test_four_queens_all_solutions(queens_interp):
+    assert queens_interp.eval("(length (queens-all 4))") == 2
+
+
+def test_five_queens_solution_count(queens_interp):
+    assert queens_interp.eval("(length (queens-all 5))") == 10
+
+
+def test_early_exit_saves_work(queens_interp):
+    """The first-solution search stops early: it must cost a fraction
+    of the all-solutions enumeration."""
+    machine = queens_interp.machine
+    before = machine.steps_total
+    queens_interp.eval("(queens 5)")
+    first_cost = machine.steps_total - before
+    before = machine.steps_total
+    queens_interp.eval("(queens-all 5)")
+    all_cost = machine.steps_total - before
+    assert first_cost < all_cost / 2

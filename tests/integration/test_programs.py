@@ -1,0 +1,318 @@
+"""Larger programs exercising the whole stack: control abstractions the
+paper says `spawn` subsumes, built in the embedded Scheme."""
+
+import pytest
+
+from repro import Interpreter
+
+
+@pytest.fixture
+def interp():
+    return Interpreter()
+
+
+class TestExceptionSystem:
+    """An exception system with handlers, built on spawn (the paper's
+    Section 1 motivation: 'exception handling facilities')."""
+
+    SOURCE = """
+    (define (with-handler handler thunk)
+      (spawn (lambda (c)
+               (define (raise-exn e)
+                 (c (lambda (k) (handler e))))
+               (thunk raise-exn))))
+    """
+
+    def test_no_exception(self, interp):
+        interp.run(self.SOURCE)
+        assert (
+            interp.eval("(with-handler (lambda (e) 'handled) (lambda (raise) 42))")
+            == 42
+        )
+
+    def test_exception_reaches_handler(self, interp):
+        interp.run(self.SOURCE)
+        assert (
+            interp.eval_to_string(
+                """
+                (with-handler (lambda (e) (list 'caught e))
+                              (lambda (raise) (+ 1 (raise 'oops))))
+                """
+            )
+            == "(caught oops)"
+        )
+
+    def test_nested_handlers_inner_wins(self, interp):
+        interp.run(self.SOURCE)
+        assert (
+            interp.eval_to_string(
+                """
+                (with-handler (lambda (e) (list 'outer e))
+                  (lambda (raise-outer)
+                    (with-handler (lambda (e) (list 'inner e))
+                      (lambda (raise-inner)
+                        (raise-inner 'boom)))))
+                """
+            )
+            == "(inner boom)"
+        )
+
+    def test_inner_code_can_target_outer_handler(self, interp):
+        interp.run(self.SOURCE)
+        assert (
+            interp.eval_to_string(
+                """
+                (with-handler (lambda (e) (list 'outer e))
+                  (lambda (raise-outer)
+                    (with-handler (lambda (e) (list 'inner e))
+                      (lambda (raise-inner)
+                        (raise-outer 'boom)))))
+                """
+            )
+            == "(outer boom)"
+        )
+
+    def test_exception_propagates_out_of_pcall(self, interp):
+        interp.run(self.SOURCE)
+        assert (
+            interp.eval_to_string(
+                """
+                (with-handler (lambda (e) (list 'caught e))
+                  (lambda (raise)
+                    (pcall + 1 (raise 'from-branch))))
+                """
+            )
+            == "(caught from-branch)"
+        )
+
+
+class TestGenerators:
+    """Lazy generators from process continuations."""
+
+    SOURCE = """
+    (define (make-generator producer)
+      ;; Returns a thunk; each call yields the next value, or 'done.
+      (define resume-point #f)
+      (define (emit-to c v)
+        (c (lambda (k) (set! resume-point k) v)))
+      (lambda ()
+        (if resume-point
+            (resume-point 'ignored)
+            (spawn (lambda (c)
+                     (producer (lambda (v) (emit-to c v)))
+                     'done)))))
+    """
+
+    def test_generator_produces_sequence(self, interp):
+        interp.run(self.SOURCE)
+        interp.run(
+            """
+            (define gen
+              (make-generator
+                (lambda (emit) (emit 1) (emit 2) (emit 3))))
+            """
+        )
+        assert interp.eval("(gen)") == 1
+        assert interp.eval("(gen)") == 2
+        assert interp.eval("(gen)") == 3
+        assert interp.eval("(gen)").name == "done"
+
+    def test_generator_over_tree(self, interp):
+        interp.run(self.SOURCE)
+        interp.run(
+            """
+            (define (tree-gen tree)
+              (make-generator
+                (lambda (emit)
+                  (let walk ([t tree])
+                    (unless (empty? t)
+                      (walk (left t))
+                      (emit (node t))
+                      (walk (right t)))))))
+            (define g (tree-gen (list->tree '(4 2 6 1 3))))
+            """
+        )
+        values = [interp.eval("(g)") for _ in range(5)]
+        assert values == [1, 2, 3, 4, 6]
+
+
+class TestBacktracking:
+    """amb-style backtracking — McCarthy's operator, cited in the
+    paper's Section 1 as a tree-structured concurrency example.  Here
+    implemented depth-first with spawn providing the escape."""
+
+    SOURCE = """
+    (define (amb-solve choices-list pred?)
+      ;; Try every combination of one element per choice list;
+      ;; return the first (list ...) satisfying pred?, else #f.
+      (spawn (lambda (c)
+               (define (try chosen rest)
+                 (if (null? rest)
+                     (when (pred? (reverse chosen))
+                       (c (lambda (k) (reverse chosen))))
+                     (for-each
+                       (lambda (choice) (try (cons choice chosen) (cdr rest)))
+                       (car rest))))
+               (try '() choices-list)
+               #f)))
+    """
+
+    def test_finds_solution(self, interp):
+        interp.run(self.SOURCE)
+        assert (
+            interp.eval_to_string(
+                """
+                (amb-solve (list '(1 2 3) '(4 5 6))
+                           (lambda (xs) (= (+ (car xs) (cadr xs)) 8)))
+                """
+            )
+            == "(2 6)"
+        )
+
+    def test_no_solution(self, interp):
+        interp.run(self.SOURCE)
+        assert (
+            interp.eval(
+                """
+                (amb-solve (list '(1 2) '(1 2))
+                           (lambda (xs) (= (+ (car xs) (cadr xs)) 100)))
+                """
+            )
+            is False
+        )
+
+    def test_pythagorean_triple(self, interp):
+        interp.run(self.SOURCE)
+        result = interp.eval_to_string(
+            """
+            (let ([ns '(1 2 3 4 5 6 7 8 9 10 11 12 13)])
+              (amb-solve (list ns ns ns)
+                         (lambda (xs)
+                           (let ([a (car xs)] [b (cadr xs)] [c (caddr xs)])
+                             (and (< a b) (= (* c c) (+ (* a a) (* b b))))))))
+            """
+        )
+        assert result == "(3 4 5)"
+
+
+class TestDivideAndConquer:
+    def test_parallel_mergesort(self, interp):
+        interp.run(
+            """
+            (define (merge a b)
+              (cond
+                [(null? a) b]
+                [(null? b) a]
+                [(< (car a) (car b)) (cons (car a) (merge (cdr a) b))]
+                [else (cons (car b) (merge a (cdr b)))]))
+            (define (take ls n)
+              (if (= n 0) '() (cons (car ls) (take (cdr ls) (- n 1)))))
+            (define (psort ls)
+              (let ([n (length ls)])
+                (if (< n 2)
+                    ls
+                    (let ([half (quotient n 2)])
+                      (pcall merge
+                             (psort (take ls half))
+                             (psort (list-tail ls half)))))))
+            """
+        )
+        assert (
+            interp.eval_to_string("(psort '(5 2 9 1 7 3 8 6 4))")
+            == "(1 2 3 4 5 6 7 8 9)"
+        )
+
+    def test_parallel_fib(self, interp):
+        interp.run(
+            """
+            (define (pfib n)
+              (if (< n 2) n (pcall + (pfib (- n 1)) (pfib (- n 2)))))
+            """
+        )
+        assert interp.eval("(pfib 12)") == 144
+
+
+class TestTimedExit:
+    def test_cooperative_timeout_via_spawn(self, interp):
+        """A watchdog pattern: a pcall races work against a countdown;
+        whichever finishes first exits the spawn."""
+        interp.load_paper_example("spawn/exit")
+        assert (
+            interp.eval(
+                """
+                (spawn/exit
+                  (lambda (exit)
+                    (pcall (lambda (a b) a)
+                           (let work ([i 0])
+                             (if (= i 100000) (exit 'work-done) (work (+ i 1))))
+                           (let tick ([i 0])
+                             (if (= i 50) (exit 'timeout) (tick (+ i 1)))))))
+                """
+            ).name
+            == "timeout"
+        )
+
+
+class TestContinuationQueues:
+    """The frontier-of-paused-processes construction behind
+    examples/breadth_first.py: traversal order is the driver's queue
+    discipline over process continuations."""
+
+    WALKER = """
+    (define (make-walker t)
+      (if (empty? t)
+          #f
+          (spawn (lambda (c)
+                   (c (lambda (k) k))
+                   (list (node t)
+                         (make-walker (left t))
+                         (make-walker (right t)))))))
+    (define (kids r) (filter (lambda (x) x) (cdr r)))
+    (define (traverse tree meld)
+      (let loop ([frontier (let ([w (make-walker tree)]) (if w (list w) '()))]
+                 [acc '()])
+        (if (null? frontier)
+            (reverse acc)
+            (let ([r ((car frontier) 'go)])
+              (loop (meld (cdr frontier) (kids r))
+                    (cons (car r) acc))))))
+    (define (bfs tree) (traverse tree (lambda (rest new) (append rest new))))
+    (define (dfs tree) (traverse tree (lambda (rest new) (append new rest))))
+    (define t (list->tree '(8 4 12 2 6 10 14 1 3 5 7 9 11 13 15)))
+    """
+
+    def test_fifo_is_level_order(self, interp):
+        interp.run(self.WALKER)
+        assert (
+            interp.eval_to_string("(bfs t)")
+            == "(8 4 12 2 6 10 14 1 3 5 7 9 11 13 15)"
+        )
+
+    def test_lifo_is_preorder(self, interp):
+        interp.run(self.WALKER)
+        assert (
+            interp.eval_to_string("(dfs t)")
+            == "(8 4 2 1 3 6 5 7 12 10 9 11 14 13 15)"
+        )
+
+    def test_empty_tree(self, interp):
+        interp.run(self.WALKER)
+        assert interp.eval_to_string("(bfs '())") == "()"
+
+    def test_bounded_traversal_leaves_frontier_untouched(self, interp):
+        interp.run(self.WALKER)
+        interp.run(
+            """
+            (define (bfs-take tree n)
+              (let loop ([frontier (let ([w (make-walker tree)])
+                                     (if w (list w) '()))]
+                         [n n] [acc '()])
+                (if (or (zero? n) (null? frontier))
+                    (reverse acc)
+                    (let ([r ((car frontier) 'go)])
+                      (loop (append (cdr frontier) (kids r))
+                            (- n 1)
+                            (cons (car r) acc))))))
+            """
+        )
+        assert interp.eval_to_string("(bfs-take t 3)") == "(8 4 12)"

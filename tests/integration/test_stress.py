@@ -1,0 +1,110 @@
+"""Stress tests: scale limits a downstream user will actually hit."""
+
+import pytest
+
+from repro import Interpreter
+
+
+def test_deep_non_tail_recursion_100k(interp):
+    interp.run("(define (count ls) (if (null? ls) 0 (+ 1 (count (cdr ls)))))")
+    assert interp.eval("(count (iota 100000))") == 100000
+
+
+def test_tail_loop_one_million(interp):
+    assert (
+        interp.eval("(let loop ([i 0]) (if (= i 1000000) i (loop (+ i 1))))")
+        == 1_000_000
+    )
+
+
+def test_wide_pcall_500_branches(interp):
+    branches = " ".join(str(i) for i in range(500))
+    assert interp.eval(f"(pcall + {branches})") == sum(range(500))
+
+
+def test_many_sequential_captures(interp):
+    """10k capture/abort cycles: no leak of labels or tasks."""
+    interp.run(
+        """
+        (define (exit-loop n)
+          (if (zero? n)
+              'done
+              (begin
+                (spawn (lambda (c) (+ 1 (c (lambda (k) 0)))))
+                (exit-loop (- n 1)))))
+        """
+    )
+    assert interp.eval("(exit-loop 10000)").name == "done"
+
+
+def test_many_reinstatements_one_continuation(interp):
+    interp.run("(define k (spawn (lambda (c) (+ 1 (c (lambda (kk) kk))))))")
+    interp.run(
+        """
+        (define (drive n acc)
+          (if (zero? n) acc (drive (- n 1) (+ acc (k 1)))))
+        """
+    )
+    assert interp.eval("(drive 5000 0)") == 10000  # 5000 × (1+1)
+
+
+def test_deeply_nested_spawn_chain(interp):
+    interp.run(
+        """
+        (define (nest n)
+          (if (zero? n) 'bottom (spawn (lambda (c) (nest (- n 1))))))
+        """
+    )
+    assert interp.eval("(nest 2000)").name == "bottom"
+
+
+def test_capture_through_deep_label_chain(interp):
+    """Abort through 1000 intervening labels in one controller use."""
+    interp.run(
+        """
+        (define (dig n c0)
+          (if (zero? n)
+              (c0 (lambda (k) 'surfaced))
+              (spawn (lambda (ci) (dig (- n 1) c0)))))
+        """
+    )
+    assert interp.eval("(spawn (lambda (c0) (dig 1000 c0)))").name == "surfaced"
+
+
+def test_parallel_search_larger_tree():
+    interp = Interpreter(quantum=32)
+    interp.load_paper_example("search-all")
+
+    def balanced(lo, hi):
+        if lo > hi:
+            return []
+        mid = (lo + hi) // 2
+        return [mid] + balanced(lo, mid - 1) + balanced(mid + 1, hi)
+
+    order = " ".join(str(x) for x in balanced(1, 511))
+    interp.run(f"(define t (list->tree '({order})))")
+    assert interp.eval("(length (search-all t (lambda (x) (= 0 (modulo x 7)))))") == 73
+
+
+def test_macro_expansion_depth(interp):
+    """A recursive macro expanding hundreds of levels."""
+    interp.run(
+        """
+        (extend-syntax (plus)
+          [(plus) 0]
+          [(plus a b ...) (+ a (plus b ...))])
+        """
+    )
+    nums = " ".join("1" for _ in range(300))
+    assert interp.eval(f"(plus {nums})") == 300
+
+
+def test_huge_quoted_literal(interp):
+    data = "(" + " ".join(str(i) for i in range(20_000)) + ")"
+    assert interp.eval(f"(length '{data})") == 20_000
+
+
+def test_long_output_capture(interp):
+    interp.run("(define (emit n) (unless (zero? n) (display n) (emit (- n 1))))")
+    interp.eval("(emit 5000)")
+    assert len(interp.output_text()) > 10_000

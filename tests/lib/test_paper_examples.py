@@ -1,0 +1,152 @@
+"""Every Section 2–5 program from the paper, run end to end."""
+
+import pytest
+
+
+class TestSection2:
+    def test_make_cell(self, paper_interp):
+        paper_interp.run("(define cell (make-cell 0))")
+        assert paper_interp.eval("((car cell))") == 0
+        paper_interp.eval("((cdr cell) 1)")
+        assert paper_interp.eval("((car cell))") == 1
+
+    def test_paper_let_example(self, paper_interp):
+        assert (
+            paper_interp.eval("(let ([x (make-cell 0)]) ((cdr x) 1) ((car x)))") == 1
+        )
+
+
+class TestSection3:
+    def test_product0_with_exit_procedure(self, paper_interp):
+        # product0 works with any exit, even a plain procedure.
+        assert paper_interp.eval("(product0 '(2 3 4) (lambda (v) v))") == 24
+
+    def test_product(self, paper_interp):
+        assert paper_interp.eval("(product '(1 2 3 4 5))") == 120
+        assert paper_interp.eval("(product '())") == 1
+        assert paper_interp.eval("(product '(1 2 0 4 5))") == 0
+
+    def test_sum_of_sequential_products(self, paper_interp):
+        assert paper_interp.eval("(+ (product '(1 2)) (product '(3 4)))") == 14
+
+    def test_product_of_products_shared_exit(self, paper_interp):
+        assert paper_interp.eval("(product-of-products '(2 3) '(4 5))") == 120
+        # Zero in the SECOND list aborts before multiplying garbage:
+        assert paper_interp.eval("(product-of-products '(2 3) '(0 oops))") == 0
+
+
+class TestSection5:
+    def test_spawn_exit_levels(self, paper_interp):
+        # "a computation may exit from any level"
+        assert (
+            paper_interp.eval(
+                """
+                (spawn/exit (lambda (outer)
+                  (+ 1 (spawn/exit (lambda (inner)
+                          (+ 10 (outer 'both-levels)))))))
+                """
+            ).name
+            == "both-levels"
+        )
+
+    def test_spawn_exit_invalid_after_return(self, paper_interp):
+        from repro.errors import DeadControllerError
+
+        paper_interp.run("(define leaked #f)")
+        paper_interp.eval(
+            "(spawn/exit (lambda (exit) (set! leaked exit) 'done))"
+        )
+        with pytest.raises(DeadControllerError):
+            paper_interp.eval("(leaked 1)")
+
+    def test_sum_of_products_concurrent(self, paper_interp):
+        assert paper_interp.eval("(sum-of-products '(1 2 3) '(4 5))") == 26
+        assert paper_interp.eval("(sum-of-products '(0 x) '(4 5))") == 20
+        assert paper_interp.eval("(sum-of-products '(2 3) '(0 x))") == 6
+        assert paper_interp.eval("(sum-of-products '(0 x) '(0 y))") == 0
+
+    def test_product_of_products_spawn(self, paper_interp):
+        assert paper_interp.eval("(product-of-products/spawn '(2 3) '(4 5))") == 120
+        assert paper_interp.eval("(product-of-products/spawn '(0 x) '(4 5))") == 0
+        assert paper_interp.eval("(product-of-products/spawn '(2 3) '(0 y))") == 0
+
+    def test_first_true(self, paper_interp):
+        assert (
+            paper_interp.eval(
+                "(first-true (lambda () #f) (lambda () 'second))"
+            ).name
+            == "second"
+        )
+        assert (
+            paper_interp.eval(
+                "(first-true (lambda () 'first) (lambda () #f))"
+            ).name
+            == "first"
+        )
+        assert (
+            paper_interp.eval("(first-true (lambda () #f) (lambda () #f))") is False
+        )
+
+    def test_parallel_or_macro(self, paper_interp):
+        assert paper_interp.eval("(parallel-or #f 17)") == 17
+        assert paper_interp.eval("(parallel-or 23 #f)") == 23
+        assert paper_interp.eval("(parallel-or #f #f)") is False
+
+    def test_parallel_or_winner_aborts_loser(self, paper_interp):
+        """The losing branch is abandoned: its infinite loop must not
+        prevent the answer.  (Bound the machine so a regression fails
+        fast instead of spinning.)"""
+        from repro import Interpreter
+
+        interp = Interpreter(quantum=1, max_steps=500_000)
+        for name in ("product0", "spawn/exit", "first-true", "parallel-or"):
+            interp.load_paper_example(name)
+        assert (
+            interp.eval(
+                """
+                (parallel-or 'fast
+                             (let loop () (loop)))
+                """
+            ).name
+            == "fast"
+        )
+
+    def test_parallel_search_first_hit(self, paper_interp):
+        paper_interp.run("(define t (list->tree '(4 2 6 1 3 5 7)))")
+        result = paper_interp.eval("(parallel-search t even?)")
+        # A pair: (node . resume-thunk)
+        assert paper_interp.eval("(pair? (parallel-search t even?))") is True
+
+    def test_parallel_search_no_hit_returns_false(self, paper_interp):
+        paper_interp.run("(define t2 (list->tree '(1 3 5)))")
+        assert paper_interp.eval("(parallel-search t2 even?)") is False
+
+    def test_parallel_search_resume(self, paper_interp):
+        paper_interp.run("(define t3 (list->tree '(2 4)))")
+        paper_interp.run("(define hit1 (parallel-search t3 even?))")
+        paper_interp.run("(define hit2 ((cdr hit1)))")
+        assert paper_interp.eval("(pair? hit2)") is True
+        assert paper_interp.eval("(car hit1)") != paper_interp.eval("(car hit2)")
+        # Third resume exhausts the tree.
+        assert paper_interp.eval("((cdr hit2))") is False
+
+    def test_search_all_finds_everything(self, paper_interp):
+        paper_interp.run("(define big (list->tree '(8 4 12 2 6 10 14 1 3 5 7)))")
+        found = paper_interp.eval_to_string("(search-all big even?)")
+        values = sorted(int(x) for x in found.strip("()").split())
+        assert values == [2, 4, 6, 8, 10, 12, 14]
+
+    def test_search_all_empty_tree(self, paper_interp):
+        assert paper_interp.eval_to_string("(search-all '() even?)") == "()"
+
+    def test_search_all_predicate_order_independent(self, paper_interp):
+        """search-all must find all matches under any scheduling."""
+        from repro import Interpreter
+
+        for seed in range(3):
+            interp = Interpreter(policy="random", seed=seed)
+            interp.load_paper_example("search-all")
+            interp.run("(define t (list->tree '(5 3 8 1 4 7 9)))")
+            found = interp.eval_to_string("(search-all t odd?)")
+            values = sorted(int(x) for x in found.strip("()").split())
+            assert values == [1, 3, 5, 7, 9]

@@ -1,0 +1,119 @@
+"""The Scheme prelude."""
+
+
+def test_map_single_list(interp):
+    assert interp.eval_to_string("(map add1 '(1 2 3))") == "(2 3 4)"
+
+
+def test_map_multi_list(interp):
+    assert interp.eval_to_string("(map + '(1 2) '(10 20))") == "(11 22)"
+
+
+def test_map_stops_at_shortest(interp):
+    assert interp.eval_to_string("(map + '(1 2 3) '(10 20))") == "(11 22)"
+
+
+def test_for_each_order(interp):
+    interp.run("(define acc '())")
+    interp.eval("(for-each (lambda (x) (set! acc (cons x acc))) '(1 2 3))")
+    assert interp.eval_to_string("acc") == "(3 2 1)"
+
+
+def test_for_each_multi(interp):
+    interp.run("(define acc '())")
+    interp.eval("(for-each (lambda (a b) (set! acc (cons (+ a b) acc))) '(1 2) '(10 20))")
+    assert interp.eval_to_string("acc") == "(22 11)"
+
+
+def test_filter(interp):
+    assert interp.eval_to_string("(filter even? '(1 2 3 4 5 6))") == "(2 4 6)"
+    assert interp.eval_to_string("(filter even? '())") == "()"
+
+
+def test_folds(interp):
+    assert interp.eval("(fold-left + 0 '(1 2 3))") == 6
+    assert interp.eval("(fold-left - 10 '(1 2))") == 7  # (10-1)-2
+    assert interp.eval("(fold-right - 0 '(1 2 3))") == 2  # 1-(2-(3-0))
+    assert interp.eval("(reduce + 0 '(1 2 3))") == 6
+    assert interp.eval("(reduce + 99 '())") == 99
+
+
+def test_remove(interp):
+    assert interp.eval_to_string("(remove 2 '(1 2 3 2))") == "(1 3)"
+
+
+def test_list_copy_is_fresh(interp):
+    interp.run("(define a '(1 2)) (define b (list-copy a))")
+    assert interp.eval("(equal? a b)") is True
+    assert interp.eval("(eq? a b)") is False
+
+
+def test_list_index(interp):
+    assert interp.eval("(list-index even? '(1 3 4 5))") == 2
+    assert interp.eval("(list-index even? '(1 3 5))") is False
+
+
+def test_count(interp):
+    assert interp.eval("(count odd? '(1 2 3 4 5))") == 3
+
+
+def test_andmap_ormap(interp):
+    assert interp.eval("(andmap even? '(2 4))") is True
+    assert interp.eval("(andmap even? '(2 3))") is False
+    assert interp.eval("(andmap even? '())") is True
+    assert interp.eval("(ormap even? '(1 2))") is True
+    assert interp.eval("(ormap even? '(1 3))") is False
+
+
+def test_tree_helpers(interp):
+    interp.run("(define t (list->tree '(5 3 8)))")
+    assert interp.eval("(node t)") == 5
+    assert interp.eval("(node (left t))") == 3
+    assert interp.eval("(node (right t))") == 8
+    assert interp.eval("(empty? (left (left t)))") is True
+    assert interp.eval("(tree-size t)") == 3
+
+
+def test_tree_inorder_is_sorted(interp):
+    assert (
+        interp.eval_to_string("(tree->list (list->tree '(5 2 8 1 9 3)))")
+        == "(1 2 3 5 8 9)"
+    )
+
+
+def test_leaf_and_make_tree(interp):
+    assert interp.eval("(node (leaf 7))") == 7
+    assert interp.eval("(tree-size (make-tree 1 (leaf 2) (leaf 3)))") == 3
+
+
+def test_compose_identity_constantly(interp):
+    assert interp.eval("((compose add1 add1) 1)") == 3
+    assert interp.eval("(identity 'x)").name == "x"
+    assert interp.eval("((constantly 5) 1 2 3)") == 5
+
+
+def test_delay_is_lazy(interp):
+    interp.run("(define hits 0)")
+    interp.run("(define p (delay (begin (set! hits (+ hits 1)) 42)))")
+    assert interp.eval("hits") == 0
+    assert interp.eval("(force p)") == 42
+    assert interp.eval("hits") == 1
+
+
+def test_force_memoizes(interp):
+    interp.run("(define hits 0)")
+    interp.run("(define p (delay (begin (set! hits (+ hits 1)) 'v)))")
+    interp.eval("(force p)")
+    interp.eval("(force p)")
+    assert interp.eval("hits") == 1
+
+
+def test_lazy_stream_via_delay(interp):
+    interp.run(
+        """
+        (define (ints-from n) (cons n (delay (ints-from (+ n 1)))))
+        (define (stream-take s n)
+          (if (= n 0) '() (cons (car s) (stream-take (force (cdr s)) (- n 1)))))
+        """
+    )
+    assert interp.eval_to_string("(stream-take (ints-from 5) 4)") == "(5 6 7 8)"

@@ -1,0 +1,89 @@
+"""The copying-capture ablation must be behaviourally identical to the
+sharing capture — only its cost differs (benched in E9)."""
+
+from repro import Interpreter
+from repro.machine.ablation import clone_capture_copying, copy_frames
+from repro.machine.frames import AppFrame, frame_chain_length
+from repro.machine.tree import clone_capture, reinstate
+from repro.machine.task import VALUE
+
+
+def make_continuation(interp, source):
+    return interp.eval(source)
+
+
+def test_copy_frames_preserves_chain():
+    interp = Interpreter()
+    k = interp.eval(
+        "(spawn (lambda (c) (+ 1 (* 2 (- 10 (c (lambda (kk) kk)))))))"
+    )
+    original = k.capture.hole.frames
+    copied = copy_frames(original)
+    assert frame_chain_length(copied) == frame_chain_length(original)
+    # Same frame kinds in the same order.
+    node_a, node_b = original, copied
+    while node_a is not None:
+        assert type(node_a) is type(node_b)
+        assert node_a is not node_b  # genuinely copied
+        node_a, node_b = node_a.next, node_b.next
+    assert node_b is None
+
+
+def test_copy_frames_empty():
+    assert copy_frames(None) is None
+
+
+def test_copying_clone_same_shape():
+    interp = Interpreter()
+    k = interp.eval(
+        """
+        (spawn (lambda (c)
+                 (pcall +
+                        (c (lambda (kk) kk))
+                        (* 2 3))))
+        """
+    )
+    shared = clone_capture(k.capture)
+    copied = clone_capture_copying(k.capture)
+    assert shared.control_points() == copied.control_points()
+    assert shared.task_count() == copied.task_count()
+
+
+def test_copying_clone_reinstates_identically():
+    """Swap a capture's package for its copying clone and reinstate:
+    the computation must produce the same answer."""
+    from repro.datum import intern
+
+    source = "(spawn (lambda (c) (+ 1 (* 2 (c (lambda (kk) kk))))))"
+
+    interp_a = Interpreter()
+    k_a = interp_a.eval(source)
+    interp_a.machine.globals.define(intern("k"), k_a)
+    baseline = interp_a.eval("(k 10)")
+
+    interp_b = Interpreter()
+    k_b = interp_b.eval(source)
+    # Replace the package with a deep-copied one.
+    k_b.capture = clone_capture_copying(k_b.capture)
+    interp_b.machine.globals.define(intern("k"), k_b)
+    assert interp_b.eval("(k 10)") == baseline == 21
+
+
+def test_copying_clone_multi_shot():
+    interp = Interpreter()
+    k = interp.eval("(spawn (lambda (c) (+ 5 (c (lambda (kk) kk)))))")
+    k.capture = clone_capture_copying(k.capture)
+    from repro.datum import intern
+
+    interp.machine.globals.define(intern("k"), k)
+    assert interp.eval("(k 1)") == 6
+    assert interp.eval("(k 2)") == 7
+
+
+def test_sharing_clone_shares_frames_copying_does_not():
+    interp = Interpreter()
+    k = interp.eval("(spawn (lambda (c) (+ 1 (c (lambda (kk) kk)))))")
+    shared = clone_capture(k.capture)
+    copied = clone_capture_copying(k.capture)
+    assert shared.hole.frames is k.capture.hole.frames  # shared
+    assert copied.hole.frames is not k.capture.hole.frames  # copied

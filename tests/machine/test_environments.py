@@ -1,0 +1,121 @@
+"""Environment chain and global-table behaviour (unit level)."""
+
+import pytest
+
+from repro.datum import intern
+from repro.errors import UnboundVariableError
+from repro.machine.environment import Environment, GlobalEnv
+from repro.machine.values import Closure, Primitive, check_arity
+from repro.errors import ArityError
+
+
+def test_global_define_lookup():
+    genv = GlobalEnv()
+    genv.define(intern("x"), 1)
+    assert genv.lookup(intern("x")) == 1
+    assert intern("x") in genv
+
+
+def test_global_lookup_unbound():
+    with pytest.raises(UnboundVariableError, match="ghost"):
+        GlobalEnv().lookup(intern("ghost"))
+
+
+def test_global_assign_requires_binding():
+    genv = GlobalEnv()
+    with pytest.raises(UnboundVariableError):
+        genv.assign(intern("y"), 1)
+    genv.define(intern("y"), 1)
+    genv.assign(intern("y"), 2)
+    assert genv.lookup(intern("y")) == 2
+
+
+def test_global_iteration():
+    genv = GlobalEnv()
+    genv.define(intern("a"), 1)
+    genv.define(intern("b"), 2)
+    assert {s.name for s in genv} == {"a", "b"}
+
+
+def test_environment_shadowing():
+    genv = GlobalEnv()
+    genv.define(intern("x"), "global")
+    top = Environment.toplevel(genv)
+    inner = top.extend((intern("x"),), ["local"])
+    assert inner.lookup(intern("x")) == "local"
+    assert top.lookup(intern("x")) == "global"
+
+
+def test_environment_falls_through_to_global():
+    genv = GlobalEnv()
+    genv.define(intern("g"), 42)
+    env = Environment.toplevel(genv).extend((intern("x"),), [1])
+    assert env.lookup(intern("g")) == 42
+
+
+def test_environment_assign_innermost_binding():
+    genv = GlobalEnv()
+    top = Environment.toplevel(genv)
+    outer = top.extend((intern("x"),), [1])
+    inner = outer.extend((intern("x"),), [2])
+    inner.assign(intern("x"), 99)
+    assert inner.lookup(intern("x")) == 99
+    assert outer.lookup(intern("x")) == 1
+
+
+def test_environment_assign_falls_through_to_global():
+    genv = GlobalEnv()
+    genv.define(intern("g"), 0)
+    env = Environment.toplevel(genv).extend((intern("x"),), [1])
+    env.assign(intern("g"), 7)
+    assert genv.lookup(intern("g")) == 7
+
+
+def test_deep_environment_chain():
+    genv = GlobalEnv()
+    env = Environment.toplevel(genv)
+    for i in range(5000):
+        env = env.extend((intern(f"v{i}"),), [i])
+    assert env.lookup(intern("v0")) == 0
+    assert env.lookup(intern("v4999")) == 4999
+
+
+# -- value helpers --------------------------------------------------------
+
+
+def test_check_arity_messages():
+    with pytest.raises(ArityError, match="expected 2 argument"):
+        check_arity("f", 1, 2, 2)
+    with pytest.raises(ArityError, match="at least 1"):
+        check_arity("f", 0, 1, None)
+    with pytest.raises(ArityError, match="1 to 3"):
+        check_arity("f", 4, 1, 3)
+    check_arity("f", 2, 1, 3)  # in range: no raise
+
+
+def test_primitive_apply_checks_arity():
+    prim = Primitive("p", lambda a: a, 1, 1)
+    assert prim.apply([5]) == 5
+    with pytest.raises(ArityError):
+        prim.apply([])
+
+
+def test_closure_repr_and_arity():
+    from repro.ir import Const
+    genv = GlobalEnv()
+    env = Environment.toplevel(genv)
+    closure = Closure((intern("a"),), None, Const(1), env, name="myproc")
+    assert "myproc" in repr(closure)
+    with pytest.raises(ArityError, match="myproc"):
+        closure.check_arity(0)
+
+
+def test_closure_rest_arity_unbounded():
+    from repro.ir import Const
+    genv = GlobalEnv()
+    env = Environment.toplevel(genv)
+    closure = Closure((intern("a"),), intern("rest"), Const(1), env)
+    closure.check_arity(1)
+    closure.check_arity(10)
+    with pytest.raises(ArityError):
+        closure.check_arity(0)

@@ -1,0 +1,144 @@
+"""Machine evaluation basics."""
+
+import pytest
+
+from repro.datum import UNSPECIFIED
+from repro.errors import (
+    ArityError,
+    StepBudgetExceeded,
+    UnboundVariableError,
+    WrongTypeError,
+)
+
+
+def test_constants(bare_interp):
+    assert bare_interp.eval("42") == 42
+    assert bare_interp.eval("#f") is False
+    assert bare_interp.eval('"s"') == "s"
+
+
+def test_quote(bare_interp):
+    assert bare_interp.eval_to_string("'(a b)") == "(a b)"
+
+
+def test_application(bare_interp):
+    assert bare_interp.eval("((lambda (x y) (+ x y)) 2 3)") == 5
+
+
+def test_left_to_right_argument_order(interp):
+    interp.run("(define order '())")
+    interp.eval(
+        """
+        ((lambda (a b c) 0)
+         (begin (set! order (cons 1 order)) 0)
+         (begin (set! order (cons 2 order)) 0)
+         (begin (set! order (cons 3 order)) 0))
+        """
+    )
+    assert interp.eval_to_string("order") == "(3 2 1)"
+
+
+def test_closure_captures_environment(bare_interp):
+    assert bare_interp.eval("(((lambda (x) (lambda (y) (+ x y))) 10) 5)") == 15
+
+
+def test_closures_share_mutable_binding(interp):
+    interp.run(
+        """
+        (define cell
+          (let ([x 0])
+            (cons (lambda () x) (lambda (v) (set! x v)))))
+        """
+    )
+    interp.eval("((cdr cell) 9)")
+    assert interp.eval("((car cell))") == 9
+
+
+def test_rest_arguments(bare_interp):
+    assert bare_interp.eval_to_string("((lambda args args) 1 2 3)") == "(1 2 3)"
+    assert bare_interp.eval_to_string("((lambda (a . r) r) 1 2 3)") == "(2 3)"
+    assert bare_interp.eval_to_string("((lambda (a . r) r) 1)") == "()"
+
+
+def test_arity_errors(bare_interp):
+    with pytest.raises(ArityError):
+        bare_interp.eval("((lambda (x) x))")
+    with pytest.raises(ArityError):
+        bare_interp.eval("((lambda (x) x) 1 2)")
+    with pytest.raises(ArityError):
+        bare_interp.eval("((lambda (a . r) r))")
+
+
+def test_unbound_variable(bare_interp):
+    with pytest.raises(UnboundVariableError):
+        bare_interp.eval("nope")
+
+
+def test_set_unbound_variable(bare_interp):
+    with pytest.raises(UnboundVariableError):
+        bare_interp.eval("(set! nope 1)")
+
+
+def test_apply_non_procedure(bare_interp):
+    with pytest.raises(WrongTypeError):
+        bare_interp.eval("(1 2)")
+
+
+def test_if_only_false_is_false(bare_interp):
+    assert bare_interp.eval("(if 0 'yes 'no)").name == "yes"
+    assert bare_interp.eval("(if '() 'yes 'no)").name == "yes"
+    assert bare_interp.eval('(if "" (quote yes) (quote no))').name == "yes"
+    assert bare_interp.eval("(if #f 'yes 'no)").name == "no"
+
+
+def test_define_returns_unspecified(bare_interp):
+    values = bare_interp.run("(define x 1)")
+    assert values == [UNSPECIFIED]
+
+
+def test_define_then_use_across_forms(bare_interp):
+    bare_interp.run("(define x 10)")
+    assert bare_interp.eval("(+ x 1)") == 11
+
+
+def test_redefine_replaces(bare_interp):
+    bare_interp.run("(define x 1) (define x 2)")
+    assert bare_interp.eval("x") == 2
+
+
+def test_set_global(bare_interp):
+    bare_interp.run("(define x 1) (set! x 5)")
+    assert bare_interp.eval("x") == 5
+
+
+def test_deep_recursion_no_python_overflow(interp):
+    interp.run(
+        "(define (len ls) (if (null? ls) 0 (+ 1 (len (cdr ls)))))"
+    )
+    assert interp.eval("(len (iota 30000))") == 30000
+
+
+def test_step_budget():
+    from repro import Interpreter
+
+    interp = Interpreter(max_steps=1000)
+    interp.run("(define (loop) (loop))")
+    with pytest.raises(StepBudgetExceeded):
+        interp.eval("(loop)")
+
+
+def test_apply_primitive(interp):
+    assert interp.eval("(apply + 1 2 '(3 4))") == 10
+    assert interp.eval("(apply list '(1 2))") is not None
+
+
+def test_error_primitive(interp):
+    from repro.errors import SchemeError
+
+    with pytest.raises(SchemeError, match="boom"):
+        interp.eval('(error "boom" 1 2)')
+
+
+def test_display_output_captured(interp):
+    interp.eval('(begin (display "hi ") (write "hi") (newline))')
+    assert interp.output_text() == 'hi "hi"\n'

@@ -1,0 +1,102 @@
+"""The inspect module: rendering and summaries on synthetic trees."""
+
+from repro import Interpreter
+from repro.machine.environment import Environment, GlobalEnv
+from repro.machine.inspect import render_entity, render_tree, tree_summary
+from repro.machine.links import TOMBSTONE, ForkLink, HaltLink, Join, Label, LabelLink
+from repro.machine.task import EVAL, Task
+
+
+def make_task():
+    genv = GlobalEnv()
+    env = Environment.toplevel(genv)
+    from repro.ir import Const
+
+    return Task((EVAL, Const(1)), env, None, None)  # type: ignore[arg-type]
+
+
+def test_render_none_and_tombstone():
+    assert render_entity(None) == ["(empty)"]
+    assert render_entity(TOMBSTONE) == ["(tombstone)"]
+
+
+def test_render_task_shows_state_and_control():
+    task = make_task()
+    (line,) = render_entity(task)
+    assert "task#" in line and "runnable" in line and "eval" in line
+
+
+def test_render_label_nests_child():
+    task = make_task()
+    link = LabelLink(Label("demo"), None, None, child=task)
+    task.link = link
+    lines = render_entity(link)
+    assert lines[0].startswith("label demo")
+    assert lines[1].startswith("  task#")
+
+
+def test_render_join_lists_branches():
+    join = Join(2, None, None)
+    a, b = make_task(), make_task()
+    a.link = ForkLink(join, 0)
+    b.link = ForkLink(join, 1)
+    join.children = [a, b]
+    lines = render_entity(join)
+    assert "join 0/2" in lines[0]
+    assert any("branch 0" in line for line in lines)
+    assert any("branch 1" in line for line in lines)
+
+
+def test_summary_counts():
+    join = Join(2, None, None)
+    a, b = make_task(), make_task()
+    join.children = [a, b]
+    label = LabelLink(Label("x"), None, None, child=join)
+    summary = tree_summary(label)
+    assert summary["labels"] == 1
+    assert summary["joins"] == 1
+    assert summary["tasks"] == 2
+    assert summary["runnable"] == 2
+
+
+def test_summary_counts_prompts_separately():
+    from repro.machine.links import PromptLabel
+
+    prompt = LabelLink(PromptLabel(), None, None, child=make_task())
+    summary = tree_summary(prompt)
+    assert summary["prompts"] == 1
+    assert summary["labels"] == 0
+
+
+def test_summary_tombstones():
+    join = Join(2, None, None)
+    join.children = [TOMBSTONE, make_task()]
+    assert tree_summary(join)["tombstones"] == 1
+
+
+def test_render_tree_live_machine():
+    interp = Interpreter()
+    snapshots = []
+
+    def hook(machine, task):
+        if len(snapshots) < 2:
+            snapshots.append(render_tree(machine))
+
+    interp.machine.trace_hook = hook
+    interp.eval("(+ 1 2)")
+    assert snapshots and "label root" in snapshots[0]
+
+
+def test_frames_above_reported():
+    interp = Interpreter()
+    seen = []
+
+    def hook(machine, task):
+        text = render_tree(machine)
+        if "frames=" in text:
+            seen.append(text)
+
+    interp.machine.trace_hook = hook
+    interp.eval("(+ 1 (+ 2 (+ 3 4)))")
+    # Some snapshot shows a task with nonzero pending frames.
+    assert any("frames=2" in text or "frames=3" in text for text in seen)

@@ -1,0 +1,95 @@
+"""Tree invariants hold at every step of every kind of program."""
+
+import pytest
+
+from repro import Interpreter
+from repro.machine.invariants import InvariantViolation, check_tree, install_checker
+
+PROGRAMS = [
+    "(+ 1 2)",
+    "(let loop ([i 0]) (if (= i 50) i (loop (+ i 1))))",
+    "(pcall + (* 2 3) (* 4 5))",
+    "(pcall + (pcall * 1 2) (pcall - 9 (pcall + 1 2)))",
+    "(spawn (lambda (c) 42))",
+    "(spawn (lambda (c) (+ 1 (c (lambda (k) 9)))))",
+    "(spawn (lambda (c) (+ 1 (c (lambda (k) (k 10))))))",
+    "((spawn (lambda (c) (c (lambda (k) k)))) 5)",
+    "(spawn (lambda (c) (pcall + (c (lambda (k) (k 1))) 2)))",
+    "(prompt (+ 1 (F (lambda (k) (k (k 0))))))",
+    "(+ 1 (call/cc (lambda (k) (k 1))))",
+    "(pcall list (call/cc-leaf (lambda (k) (k 'a))) 'b)",
+]
+
+
+@pytest.mark.parametrize("source", PROGRAMS)
+@pytest.mark.parametrize("quantum", [1, 16])
+def test_invariants_hold_throughout(source, quantum):
+    interp = Interpreter(quantum=quantum)
+    install_checker(interp.machine)
+    interp.eval(source)  # any violation raises from the hook
+
+
+def test_invariants_hold_for_paper_workloads():
+    interp = Interpreter(quantum=2)
+    install_checker(interp.machine, every=3)
+    interp.load_paper_example("search-all")
+    interp.run("(define t (list->tree '(4 2 6 1 3 5 7)))")
+    interp.eval("(search-all t odd?)")
+    interp.load_paper_example("product-of-products-spawn")
+    interp.eval("(product-of-products/spawn '(1 2 0) '(3 4 5))")
+
+
+def test_invariants_hold_under_random_schedules():
+    for seed in range(5):
+        interp = Interpreter(policy="random", seed=seed)
+        install_checker(interp.machine)
+        interp.load_paper_example("parallel-or")
+        interp.eval("(parallel-or #f (+ 1 2))")
+
+
+def test_check_tree_counts_entities():
+    interp = Interpreter()
+    counts = []
+
+    def hook(machine, task):
+        counts.append(check_tree(machine))
+
+    interp.machine.trace_hook = hook
+    interp.eval("(pcall + 1 2)")
+    # At fork time: 1 root label + 1 join + 3 branch tasks = 5.
+    assert max(counts) == 5
+
+
+def test_violation_detected_on_corrupted_tree():
+    """Sanity-check the checker itself: corrupt a child pointer and
+    expect a complaint."""
+    interp = Interpreter()
+    violations = []
+
+    def hook(machine, task):
+        root = machine.root_label_link
+        if root is not None and root.child is not None:
+            # Detach the child's upward pointer — an I1 violation.
+            from repro.machine.task import Task
+            from repro.machine.links import HaltLink
+
+            child = root.child
+            if isinstance(child, Task) and not violations:
+                original = child.link
+                child.link = HaltLink(machine)
+                try:
+                    check_tree(machine)
+                except InvariantViolation:
+                    violations.append(True)
+                finally:
+                    child.link = original
+
+    interp.machine.trace_hook = hook
+    interp.eval("(+ 1 2)")
+    assert violations
+
+
+def test_checker_every_parameter():
+    interp = Interpreter()
+    install_checker(interp.machine, every=10)
+    interp.eval("(let loop ([i 0]) (if (= i 100) i (loop (+ i 1))))")

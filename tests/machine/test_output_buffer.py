@@ -1,0 +1,74 @@
+"""Output capture: the OutputBuffer and the io primitives."""
+
+import pytest
+
+from repro import Interpreter
+from repro.primitives import OutputBuffer
+
+
+def test_buffer_accumulates():
+    buf = OutputBuffer()
+    buf.write("a")
+    buf.write("b")
+    assert buf.getvalue() == "ab"
+
+
+def test_buffer_clear():
+    buf = OutputBuffer()
+    buf.write("x")
+    buf.clear()
+    assert buf.getvalue() == ""
+
+
+def test_echo_mode(capsys):
+    buf = OutputBuffer(echo=True)
+    buf.write("seen")
+    assert capsys.readouterr().out == "seen"
+    assert buf.getvalue() == "seen"
+
+
+def test_echo_interpreter(capsys):
+    interp = Interpreter(echo_output=True)
+    interp.eval('(display "live")')
+    assert "live" in capsys.readouterr().out
+
+
+def test_display_vs_write_semantics(interp):
+    interp.eval("(display '(1 \"two\" #\\c))")
+    assert interp.output_text() == "(1 two c)"
+    interp.clear_output()
+    interp.eval("(write '(1 \"two\" #\\c))")
+    assert interp.output_text() == '(1 "two" #\\c)'
+
+
+def test_newline(interp):
+    interp.eval("(begin (display 1) (newline) (display 2))")
+    assert interp.output_text() == "1\n2"
+
+
+def test_output_interleaves_across_pcall_branches():
+    interp = Interpreter(quantum=1)
+    interp.eval(
+        """
+        (pcall (lambda (a b) 0)
+               (begin (display "a") (display "a") (display "a"))
+               (begin (display "b") (display "b") (display "b")))
+        """
+    )
+    text = interp.output_text()
+    assert sorted(text) == ["a", "a", "a", "b", "b", "b"]
+
+
+def test_clear_output_via_api(interp):
+    interp.eval('(display "gone")')
+    interp.clear_output()
+    interp.eval('(display "kept")')
+    assert interp.output_text() == "kept"
+
+
+def test_quote_sugar_only_for_exact_shape(interp):
+    # (quote x y) and (quote . x) must NOT print as 'x.
+    assert interp.eval_to_string("'(quote x y)") == "(quote x y)"
+    assert interp.eval_to_string("(cons 'quote 'x)") == "(quote . x)"
+    # ''x evaluates to the datum (quote x), which prints as 'x.
+    assert interp.eval_to_string("''x") == "'x"

@@ -1,0 +1,140 @@
+"""pcall: tree-structured concurrency semantics."""
+
+import pytest
+
+from repro import Interpreter
+from repro.errors import MachineError
+
+
+def test_pcall_basic(interp):
+    assert interp.eval("(pcall + 1 2)") == 3
+
+
+def test_pcall_operator_evaluated_in_parallel_branch(interp):
+    assert interp.eval("(pcall (if #t + *) 2 3)") == 5
+
+
+def test_pcall_nested(interp):
+    assert interp.eval("(pcall + (pcall * 2 3) (pcall - 10 4))") == 12
+
+
+def test_pcall_single_operator_no_args(interp):
+    assert interp.eval("(pcall (lambda () 9))") == 9
+
+
+def test_pcall_branches_interleave():
+    """Each branch bumps its own vector slot and finally reads the
+    *other* branch's slot.  Under interleaving both observations are
+    nonzero; under serial elaboration the first-finishing branch would
+    observe 0."""
+    interp = Interpreter(quantum=1)
+    interp.run(
+        """
+        (define v (make-vector 2 0))
+        (define (walk slot n)
+          (if (= n 0)
+              (vector-ref v (- 1 slot))
+              (begin (vector-set! v slot n) (walk slot (- n 1)))))
+        """
+    )
+    a_seen, b_seen = interp.eval("(pcall cons (walk 0 50) (walk 1 50))").car, None
+    b_seen = interp.eval("(vector-ref v 0)")  # a finished, slot stays at 1
+    assert a_seen != 0  # branch a observed branch b mid-flight
+    assert b_seen == 1
+
+
+def test_pcall_serial_policy_runs_branches_to_completion():
+    """Control for the interleaving test: the serial policy elaborates
+    the first branch fully before the second starts."""
+    interp = Interpreter(policy="serial")
+    interp.run(
+        """
+        (define v (make-vector 2 0))
+        (define (walk slot n)
+          (if (= n 0)
+              (vector-ref v (- 1 slot))
+              (begin (vector-set! v slot n) (walk slot (- n 1)))))
+        """
+    )
+    result = interp.eval("(pcall cons (walk 0 50) (walk 1 50))")
+    # Branch 0 completed before branch 1 wrote anything.
+    assert result.car == 0
+
+
+def test_pcall_interleaving_exposes_lost_updates():
+    """A genuine race: ``(set! x (cons tag x))`` in two branches is a
+    read-modify-write; lockstep interleaving loses updates.  This is
+    exactly the Section 3 observation that side effects may interleave
+    between continuation operations."""
+    interp = Interpreter(quantum=1)
+    interp.run(
+        """
+        (define trace '())
+        (define (walk tag n)
+          (if (= n 0)
+              tag
+              (begin (set! trace (cons tag trace)) (walk tag (- n 1)))))
+        """
+    )
+    interp.eval("(pcall list (walk 'a 20) (walk 'b 20))")
+    assert interp.eval("(length trace)") < 40  # updates were lost
+
+
+def test_pcall_result_order_is_positional():
+    interp = Interpreter(quantum=1)
+    interp.run(
+        """
+        (define (slow v n) (if (= n 0) v (slow v (- n 1))))
+        """
+    )
+    # The slow branch is first positionally; order of completion must
+    # not affect argument order.
+    assert interp.eval_to_string("(pcall list (slow 'x 200) 'y)") == "(x y)"
+
+
+def test_pcall_fan_out(interp):
+    assert interp.eval("(pcall + 1 2 3 4 5 6 7 8 9 10)") == 55
+
+
+def test_pcall_sides_share_store(interp):
+    interp.run("(define hits 0)")
+    interp.eval(
+        "(pcall (lambda (a b) 0) (set! hits (+ hits 1)) (set! hits (+ hits 1)))"
+    )
+    assert interp.eval("hits") == 2
+
+
+def test_pcall_stats_counted(interp):
+    before = interp.stats["forks"]
+    interp.eval("(pcall + 1 (pcall * 2 3))")
+    assert interp.stats["forks"] == before + 2
+
+
+def test_pcall_error_in_branch_propagates(interp):
+    from repro.errors import SchemeError
+
+    with pytest.raises(SchemeError):
+        interp.eval('(pcall + 1 (error "branch died"))')
+
+
+def test_pcall_random_policy_same_result():
+    for seed in (0, 1, 2, 3):
+        interp = Interpreter(policy="random", seed=seed)
+        assert interp.eval("(pcall + (* 3 4) (* 5 6))") == 42
+
+
+def test_pcall_serial_policy(serial_interp):
+    assert serial_interp.eval("(pcall + 1 2)") == 3
+
+
+def test_deeply_nested_pcall(interp):
+    interp.run(
+        """
+        (define (psum lo hi)
+          (if (= lo hi)
+              lo
+              (let ([mid (quotient (+ lo hi) 2)])
+                (pcall + (psum lo mid) (psum (+ mid 1) hi)))))
+        """
+    )
+    assert interp.eval("(psum 1 100)") == 5050

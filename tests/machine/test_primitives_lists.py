@@ -1,0 +1,125 @@
+"""List and predicate primitives through the interpreter."""
+
+import pytest
+
+from repro.errors import SchemeError, WrongTypeError
+
+
+def test_cons_car_cdr(interp):
+    assert interp.eval("(car (cons 1 2))") == 1
+    assert interp.eval("(cdr (cons 1 2))") == 2
+
+
+def test_car_of_non_pair(interp):
+    with pytest.raises(WrongTypeError):
+        interp.eval("(car 5)")
+    with pytest.raises(WrongTypeError):
+        interp.eval("(car '())")
+
+
+def test_cxr_compositions(interp):
+    assert interp.eval("(cadr '(1 2 3))") == 2
+    assert interp.eval("(caddr '(1 2 3))") == 3
+    assert interp.eval("(cddr '(1 2 3))").car == 3
+    assert interp.eval("(caar '((1) 2))") == 1
+
+
+def test_set_car_cdr(interp):
+    interp.run("(define p (cons 1 2))")
+    interp.eval("(set-car! p 9)")
+    interp.eval("(set-cdr! p 8)")
+    assert interp.eval_to_string("p") == "(9 . 8)"
+
+
+def test_list_and_length(interp):
+    assert interp.eval("(length (list 1 2 3))") == 3
+    assert interp.eval("(length '())") == 0
+
+
+def test_append_reverse(interp):
+    assert interp.eval_to_string("(append '(1) '(2 3) '(4))") == "(1 2 3 4)"
+    assert interp.eval_to_string("(reverse '(1 2 3))") == "(3 2 1)"
+
+
+def test_list_tail_ref(interp):
+    assert interp.eval_to_string("(list-tail '(1 2 3 4) 2)") == "(3 4)"
+    assert interp.eval("(list-ref '(1 2 3) 1)") == 2
+
+
+def test_member_family(interp):
+    assert interp.eval_to_string("(memq 'b '(a b c))") == "(b c)"
+    assert interp.eval("(memq 'z '(a b))") is False
+    assert interp.eval_to_string("(memv 2 '(1 2 3))") == "(2 3)"
+    assert interp.eval_to_string("(member \"x\" '(\"w\" \"x\"))") == '("x")'
+
+
+def test_assoc_family(interp):
+    assert interp.eval_to_string("(assq 'b '((a 1) (b 2)))") == "(b 2)"
+    assert interp.eval("(assq 'z '((a 1)))") is False
+    assert interp.eval_to_string("(assv 2 '((1 one) (2 two)))") == "(2 two)"
+    assert interp.eval_to_string('(assoc "k" \'(("k" v)))') == '("k" v)'
+
+
+def test_vector_list_conversion(interp):
+    assert interp.eval_to_string("(list->vector '(1 2))") == "#(1 2)"
+    assert interp.eval_to_string("(vector->list #(1 2))") == "(1 2)"
+
+
+def test_last_pair(interp):
+    assert interp.eval_to_string("(last-pair '(1 2 3))") == "(3)"
+
+
+def test_iota(interp):
+    assert interp.eval_to_string("(iota 3)") == "(0 1 2)"
+    assert interp.eval_to_string("(iota 3 5)") == "(5 6 7)"
+    assert interp.eval_to_string("(iota 3 0 10)") == "(0 10 20)"
+    with pytest.raises(SchemeError):
+        interp.eval("(iota -1)")
+
+
+def test_type_predicates(interp):
+    checks = [
+        ("(pair? '(1))", True),
+        ("(pair? '())", False),
+        ("(null? '())", True),
+        ("(null? '(1))", False),
+        ("(list? '(1 2))", True),
+        ("(list? (cons 1 2))", False),
+        ("(symbol? 'a)", True),
+        ("(symbol? \"a\")", False),
+        ("(number? 1)", True),
+        ("(number? #t)", False),
+        ("(integer? 2)", True),
+        ("(integer? 2.0)", True),
+        ("(integer? 2.5)", False),
+        ("(rational? 1/2)", True),
+        ("(exact? 1/2)", True),
+        ("(exact? 0.5)", False),
+        ("(inexact? 0.5)", True),
+        ("(string? \"s\")", True),
+        ("(char? #\\a)", True),
+        ("(vector? #(1))", True),
+        ("(boolean? #f)", True),
+        ("(boolean? 0)", False),
+        ("(procedure? car)", True),
+        ("(procedure? (lambda (x) x))", True),
+        ("(procedure? 'car)", False),
+        ("(not #f)", True),
+        ("(not 0)", False),
+    ]
+    for source, expected in checks:
+        assert interp.eval(source) is expected, source
+
+
+def test_procedure_predicate_on_control_values(interp):
+    assert interp.eval("(procedure? (spawn (lambda (c) (c (lambda (k) k)))))") is True
+    assert (
+        interp.eval("(spawn (lambda (c) (procedure? c)))") is True
+    )  # controllers are procedures
+
+
+def test_equality_predicates(interp):
+    assert interp.eval("(eq? 'a 'a)") is True
+    assert interp.eval("(eqv? 1/2 1/2)") is True
+    assert interp.eval("(equal? '(1 (2)) '(1 (2)))") is True
+    assert interp.eval("(equal? '(1) '(2))") is False

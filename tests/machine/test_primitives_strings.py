@@ -1,0 +1,109 @@
+"""String, char, vector and misc primitives."""
+
+import pytest
+
+from repro.datum import Char
+from repro.errors import SchemeError, WrongTypeError
+
+
+def test_string_length_ref(interp):
+    assert interp.eval('(string-length "hello")') == 5
+    assert interp.eval('(string-ref "abc" 1)') == Char("b")
+    with pytest.raises(SchemeError):
+        interp.eval('(string-ref "abc" 5)')
+
+
+def test_substring(interp):
+    assert interp.eval('(substring "hello" 1 3)') == "el"
+    with pytest.raises(SchemeError):
+        interp.eval('(substring "hi" 0 5)')
+
+
+def test_string_append(interp):
+    assert interp.eval('(string-append "a" "b" "c")') == "abc"
+    assert interp.eval("(string-append)") == ""
+
+
+def test_string_symbol_conversion(interp):
+    assert interp.eval('(string->symbol "abc")').name == "abc"
+    assert interp.eval("(symbol->string 'abc)") == "abc"
+
+
+def test_string_list_conversion(interp):
+    assert interp.eval_to_string('(string->list "ab")') == "(#\\a #\\b)"
+    assert interp.eval("(list->string (list #\\a #\\b))") == "ab"
+    assert interp.eval("(string #\\x #\\y)") == "xy"
+
+
+def test_string_comparisons(interp):
+    assert interp.eval('(string=? "a" "a")') is True
+    assert interp.eval('(string<? "a" "b" "c")') is True
+    assert interp.eval('(string>? "b" "a")') is True
+    assert interp.eval('(string<=? "a" "a")') is True
+    assert interp.eval('(string>=? "b" "b")') is True
+
+
+def test_char_comparisons(interp):
+    assert interp.eval("(char=? #\\a #\\a)") is True
+    assert interp.eval("(char<? #\\a #\\b)") is True
+    assert interp.eval("(char>? #\\b #\\a)") is True
+
+
+def test_char_conversions(interp):
+    assert interp.eval("(char->integer #\\A)") == 65
+    assert interp.eval("(integer->char 65)") == Char("A")
+    assert interp.eval("(char-upcase #\\a)") == Char("A")
+    assert interp.eval("(char-downcase #\\A)") == Char("a")
+
+
+def test_char_predicates(interp):
+    assert interp.eval("(char-alphabetic? #\\a)") is True
+    assert interp.eval("(char-numeric? #\\5)") is True
+    assert interp.eval("(char-whitespace? #\\space)") is True
+
+
+def test_integer_to_char_bad_codepoint(interp):
+    with pytest.raises(SchemeError):
+        interp.eval("(integer->char -1)")
+
+
+def test_gensym_primitive(interp):
+    assert interp.eval("(eq? (gensym) (gensym))") is False
+    assert interp.eval("(symbol? (gensym 'tmp))") is True
+
+
+def test_vectors(interp):
+    interp.run("(define v (make-vector 3 0))")
+    assert interp.eval("(vector-length v)") == 3
+    interp.eval("(vector-set! v 1 9)")
+    assert interp.eval("(vector-ref v 1)") == 9
+    assert interp.eval_to_string("(vector 1 2)") == "#(1 2)"
+    interp.eval("(vector-fill! v 7)")
+    assert interp.eval_to_string("v") == "#(7 7 7)"
+
+
+def test_vector_copy_is_fresh(interp):
+    interp.run("(define v #(1 2)) (define w (vector-copy v))")
+    interp.eval("(vector-set! w 0 9)")
+    assert interp.eval("(vector-ref v 0)") == 1
+
+
+def test_vector_bounds(interp):
+    with pytest.raises(SchemeError):
+        interp.eval("(vector-ref #(1) 3)")
+
+
+def test_void(interp):
+    from repro.datum import UNSPECIFIED
+
+    assert interp.eval("(void)") is UNSPECIFIED
+    assert interp.eval("(void 1 2 3)") is UNSPECIFIED
+
+
+def test_wrong_types(interp):
+    with pytest.raises(WrongTypeError):
+        interp.eval("(string-length 5)")
+    with pytest.raises(WrongTypeError):
+        interp.eval("(char->integer 5)")
+    with pytest.raises(WrongTypeError):
+        interp.eval("(vector-ref '(1) 0)")

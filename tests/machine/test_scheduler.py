@@ -1,0 +1,129 @@
+"""Scheduler policies, quanta and machine lifecycle."""
+
+import pytest
+
+from repro import Interpreter
+from repro.errors import MachineError
+from repro.machine.scheduler import Machine, SchedulerPolicy
+
+
+def test_policy_accepts_strings_and_enum():
+    assert Machine(policy="round-robin").policy is SchedulerPolicy.ROUND_ROBIN
+    assert Machine(policy="random").policy is SchedulerPolicy.RANDOM
+    assert Machine(policy="serial").policy is SchedulerPolicy.SERIAL
+    assert Machine(policy=SchedulerPolicy.SERIAL).policy is SchedulerPolicy.SERIAL
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError):
+        Machine(policy="bogus")
+
+
+def test_quantum_minimum_is_one():
+    assert Machine(quantum=0).quantum == 1
+    assert Machine(quantum=-5).quantum == 1
+
+
+@pytest.mark.parametrize("quantum", [1, 2, 7, 64])
+def test_quantum_does_not_change_results(quantum):
+    interp = Interpreter(quantum=quantum)
+    interp.load_paper_example("sum-of-products")
+    assert interp.eval("(sum-of-products '(2 3) '(4 5))") == 26
+
+
+def test_random_policy_reproducible_with_seed():
+    def run(seed):
+        interp = Interpreter(policy="random", seed=seed, quantum=1)
+        interp.run("(define order '())")
+        interp.eval(
+            "(pcall (lambda (a b) 0)"
+            " (set! order (cons 'a order))"
+            " (set! order (cons 'b order)))"
+        )
+        return interp.eval_to_string("order")
+
+    assert run(42) == run(42)  # deterministic given the seed
+
+
+def test_serial_policy_depth_first_order():
+    interp = Interpreter(policy="serial")
+    interp.run("(define order '())")
+    interp.eval(
+        """
+        (pcall (lambda (a b c) 0)
+               (set! order (cons 1 order))
+               (set! order (cons 2 order))
+               (set! order (cons 3 order)))
+        """
+    )
+    # Serial policy runs branches to completion in creation order.
+    assert interp.eval_to_string("order") == "(3 2 1)"
+
+
+def test_steps_total_accumulates_across_forms():
+    interp = Interpreter()
+    base = interp.machine.steps_total
+    interp.eval("(+ 1 2)")
+    mid = interp.machine.steps_total
+    interp.eval("(+ 3 4)")
+    assert interp.machine.steps_total > mid > base
+
+
+def test_stats_survive_across_forms(interp):
+    interp.eval("(pcall + 1 2)")
+    interp.eval("(pcall + 3 4)")
+    assert interp.stats["forks"] == 2
+
+
+def test_fresh_tree_per_form(interp):
+    """Each top-level form starts from a clean root; leftovers from a
+    previous form's abandoned branches never leak in."""
+    interp.load_paper_example("parallel-or")
+    interp.eval("(parallel-or 1 (let loop () (loop)))")  # loser abandoned
+    # Next form runs normally despite the abandoned spinner.
+    assert interp.eval("(* 2 21)") == 42
+
+
+def test_machine_reusable_after_error(interp):
+    from repro.errors import SchemeError
+
+    with pytest.raises(SchemeError):
+        interp.eval('(error "bang")')
+    assert interp.eval("(+ 1 1)") == 2
+
+
+def test_machine_reusable_after_deadlock():
+    interp = Interpreter(quantum=1)
+    interp.run("(define cell (cons #f #f))")
+    with pytest.raises(MachineError):
+        interp.eval(
+            """
+            (pcall +
+                   (call/cc-leaf (lambda (k)
+                     (set-car! cell k)
+                     (let spin () (if (cdr cell) 0 (spin)))))
+                   (let wait ()
+                     (let ([k (car cell)]) (if k (k 5) (wait)))))
+            """
+        )
+    assert interp.eval("(+ 2 2)") == 4
+
+
+def test_trace_hook_sees_every_step():
+    interp = Interpreter()
+    hits = {"n": 0}
+
+    def hook(machine, task):
+        hits["n"] += 1
+
+    interp.machine.trace_hook = hook
+    before = interp.machine.steps_total
+    interp.eval("(+ 1 (+ 2 3))")
+    assert hits["n"] == interp.machine.steps_total - before
+
+
+def test_tasks_created_stat(interp):
+    before = interp.stats["tasks_created"]
+    interp.eval("(pcall + 1 2 3)")
+    # Root task + 4 branches (operator + 3 args) + join successor = 6.
+    assert interp.stats["tasks_created"] - before == 6

@@ -1,0 +1,97 @@
+"""The tracer: event sequences for control operations."""
+
+from repro import Interpreter
+from repro.machine.trace import Tracer
+
+
+def test_fork_and_join_events():
+    interp = Interpreter()
+    with Tracer(interp.machine) as tracer:
+        interp.eval("(pcall + 1 2)")
+    kinds = tracer.kinds()
+    assert kinds.count("fork") == 1
+    assert kinds.count("join-fire") == 1
+    assert kinds.index("fork") < kinds.index("join-fire")
+
+
+def test_label_pop_on_normal_return():
+    interp = Interpreter()
+    with Tracer(interp.machine) as tracer:
+        interp.eval("(spawn (lambda (c) 1))")
+    # The spawn label pops, then the implicit root label pops.
+    assert len(tracer.events_of_kind("label-pop")) == 2
+
+
+def test_capture_reinstate_sequence():
+    interp = Interpreter()
+    with Tracer(interp.machine) as tracer:
+        interp.eval("(spawn (lambda (c) (+ 1 (c (lambda (k) (k 10))))))")
+    kinds = [k for k in tracer.kinds() if k in ("capture", "reinstate", "label-pop")]
+    # capture, then reinstate, then the reinstated label pops, then root.
+    assert kinds == ["capture", "reinstate", "label-pop", "label-pop"]
+
+
+def test_abort_has_no_reinstate():
+    interp = Interpreter()
+    with Tracer(interp.machine) as tracer:
+        interp.eval("(spawn (lambda (c) (+ 1 (c (lambda (k) 9)))))")
+    assert len(tracer.events_of_kind("capture")) == 1
+    assert not tracer.events_of_kind("reinstate")
+    # Only the root label pops normally: the spawn label left by capture.
+    assert len(tracer.events_of_kind("label-pop")) == 1
+
+
+def test_prompt_pop_distinguished():
+    interp = Interpreter()
+    with Tracer(interp.machine) as tracer:
+        interp.eval("(prompt (+ 1 2))")
+    assert len(tracer.events_of_kind("prompt-pop")) == 1
+
+
+def test_multi_shot_reinstates_counted():
+    interp = Interpreter()
+    interp.run("(define k (spawn (lambda (c) (+ 1 (c (lambda (kk) kk))))))")
+    with Tracer(interp.machine) as tracer:
+        interp.eval("(+ (k 1) (k 2))")
+    assert len(tracer.events_of_kind("reinstate")) == 2
+
+
+def test_task_switches_recorded_when_asked():
+    interp = Interpreter(quantum=1)
+    with Tracer(interp.machine, record_switches=True) as tracer:
+        interp.eval("(pcall + (* 1 2) (* 3 4))")
+    switches = tracer.events_of_kind("task-switch")
+    assert len(switches) >= 3  # root, then at least the branches
+
+
+def test_render_is_readable():
+    interp = Interpreter()
+    with Tracer(interp.machine) as tracer:
+        interp.eval("(pcall + 1 (spawn (lambda (c) 2)))")
+    text = tracer.render()
+    assert "fork" in text and "label-pop" in text and "step" in text
+
+
+def test_tracer_restores_machine_state():
+    interp = Interpreter()
+    original_fork = interp.machine.notify_fork
+    with Tracer(interp.machine):
+        interp.eval("(pcall + 1 2)")
+    # Bound-method objects are recreated per access; compare equality.
+    assert interp.machine.notify_fork == original_fork
+    assert interp.machine.trace_hook is None
+    # And a subsequent run records nothing new anywhere.
+    interp.eval("(pcall + 3 4)")
+
+
+def test_nested_search_trace_shape():
+    """parallel-search: one capture per hit, one reinstate per resume."""
+    interp = Interpreter()
+    interp.load_paper_example("search-all")
+    interp.run("(define t (list->tree '(2 1 3)))")
+    with Tracer(interp.machine) as tracer:
+        interp.eval("(search-all t odd?)")
+    captures = len(tracer.events_of_kind("capture"))
+    reinstates = len(tracer.events_of_kind("reinstate"))
+    assert captures == 2  # two odd nodes: 1 and 3
+    assert reinstates == 2  # each hit resumed once by the drain loop

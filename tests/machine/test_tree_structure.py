@@ -1,0 +1,185 @@
+"""Process-tree structure: inspect the tree during execution and test
+the capture algebra directly."""
+
+from repro import Interpreter
+from repro.machine.inspect import render_tree, tree_summary
+from repro.machine.links import Join, LabelLink
+from repro.machine.task import Task
+from repro.machine.tree import (
+    Capture,
+    capture_subtree,
+    collect_subtree,
+    count_control_points,
+    find_label_link,
+)
+
+
+def snapshot_when(source, predicate):
+    """Run ``source``; return the first tree summary for which
+    ``predicate(summary)`` holds (or None)."""
+    interp = Interpreter(quantum=1)
+    hit = {}
+
+    def hook(machine, task):
+        if hit:
+            return
+        summary = tree_summary(machine.root_entity)
+        if predicate(summary):
+            hit["summary"] = summary
+            hit["render"] = render_tree(machine)
+
+    interp.machine.trace_hook = hook
+    interp.eval(source)
+    return hit
+
+
+def test_pcall_creates_join_with_branches():
+    hit = snapshot_when("(pcall + (* 1 2) (* 3 4))", lambda s: s["joins"] >= 1)
+    assert hit
+    assert hit["summary"]["joins"] == 1
+    # Three branches: the operator expression is branch 0.
+    assert hit["summary"]["tasks"] == 3
+    assert "join" in hit["render"]
+
+
+def test_spawn_creates_label():
+    hit = snapshot_when(
+        "(spawn (lambda (c) (+ 1 1)))", lambda s: s["labels"] >= 2
+    )  # the implicit root label + the spawn's label
+    assert hit
+    assert hit["summary"]["labels"] == 2
+
+
+def test_nested_spawn_labels_stack():
+    hit = snapshot_when(
+        "(spawn (lambda (a) (spawn (lambda (b) (+ 1 1)))))",
+        lambda s: s["labels"] >= 3,
+    )
+    assert hit
+
+
+def test_prompt_renders_distinctly():
+    hit = snapshot_when("(prompt (+ 1 2))", lambda s: s["prompts"] >= 1)
+    assert hit
+    assert "prompt" in hit["render"]
+
+
+def test_label_removed_after_normal_return():
+    """After a spawned process returns, its label is out of the tree."""
+    interp = Interpreter(quantum=1)
+    seen_after_return = []
+
+    def hook(machine, task):
+        summary = tree_summary(machine.root_entity)
+        seen_after_return.append(summary["labels"])
+
+    interp.machine.trace_hook = hook
+    interp.eval("(begin (spawn (lambda (c) 1)) (+ 2 3))")
+    # At some point the spawn label existed (2 labels incl. root); it
+    # is gone again before the end (the final steps run after even the
+    # root label has popped, hence <= 1).
+    assert max(seen_after_return) == 2
+    assert seen_after_return[-1] <= 1
+    # The label count drops back to 1 while work remains (the `(+ 2 3)`
+    # steps) — i.e. the pop happened at process return, not at halt.
+    after_peak = seen_after_return[seen_after_return.index(2) :]
+    assert 1 in after_peak
+
+
+def test_capture_counts_control_points():
+    """Drive the capture machinery directly through Scheme and check
+    the package's control-point count."""
+    interp = Interpreter()
+    interp.run(
+        """
+        (define k
+          (spawn (lambda (c)
+                   (pcall +
+                          (c (lambda (kk) kk))
+                          (+ 1 1)))))
+        """
+    )
+    k = interp.eval("k")
+    from repro.control.spawn import ProcessContinuation
+
+    assert isinstance(k, ProcessContinuation)
+    # Captured subtree: the spawn label + the pcall join = 2 control points.
+    assert k.control_points() == 2
+    # One suspended sibling branch + the hole task.
+    assert k.capture.task_count() == 2
+
+
+def test_controller_use_between_capture_and_reinstatement_is_invalid():
+    """Call-by-value evaluates the argument of ``(k ...)`` before the
+    reinstatement happens, so a controller application inside that
+    argument finds no live root — its root was captured away."""
+    import pytest
+
+    from repro.errors import DeadControllerError
+
+    interp = Interpreter()
+    with pytest.raises(DeadControllerError):
+        interp.eval(
+            """
+            (spawn (lambda (c)
+                     (+ 100
+                        (c (lambda (k)
+                             (+ 1 (k (+ 10 (c (lambda (k2) 7))))))))))
+            """
+        )
+
+
+def test_controller_captures_nearest_of_multiple_instances():
+    """The paper, Section 7: 'the controller removes only the stacks
+    down to and including the topmost labeled stack' when the label
+    occurs more than once.  Invoke k inside the reinstated process so
+    two instances of the root are live, then capture: the value must
+    flow to the context just above the *nearest* instance."""
+    interp = Interpreter()
+    interp.run(
+        """
+        (define k
+          (spawn (lambda (c)
+                   (let ([x (c (lambda (kk) kk))])
+                     (cond
+                       [(eq? x 'go) (list 'outer (+ 1000 (k 42)))]
+                       [else (c (lambda (kk) 7))])))))
+        """
+    )
+    result = interp.eval_to_string("(k 'go)")
+    # Nearest-instance capture delivers 7 into (+ 1000 _) = 1007, and
+    # the outer process completes normally: (outer 1007).  A
+    # farthest-instance capture would have returned bare 7.
+    assert result == "(outer 1007)"
+
+
+def test_collect_subtree_counts():
+    interp = Interpreter()
+    captured = {}
+
+    def hook(machine, task):
+        if captured:
+            return
+        root = machine.root_label_link
+        if root is not None and root.child is not None:
+            points, tasks = collect_subtree(root)
+            captured["points"] = len(points)
+            captured["tasks"] = len(tasks)
+
+    interp.machine.trace_hook = hook
+    interp.eval("(+ 1 1)")
+    assert captured["points"] == 1  # the root label itself
+    assert captured["tasks"] == 1
+
+
+def test_render_tree_on_live_machine():
+    interp = Interpreter(quantum=1)
+    renders = []
+
+    def hook(machine, task):
+        if len(renders) < 3:
+            renders.append(render_tree(machine))
+
+    interp.machine.trace_hook = hook
+    interp.eval("(pcall + 1 2)")
+    assert any("label root" in r for r in renders)

@@ -1,0 +1,122 @@
+"""Property tests over random *control-heavy* programs.
+
+The generator produces deterministic, race-free programs mixing
+``spawn``, controller aborts, reinstatements and ``pcall``.  For each
+program we assert:
+
+* the result is identical under round-robin (several quanta), random
+  (several seeds) and serial scheduling — schedule independence;
+* every structural invariant of the process tree holds at every machine
+  step (the checker from :mod:`repro.machine.invariants` is installed
+  as a trace hook).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Interpreter
+from repro.errors import ReproError
+from repro.machine.invariants import install_checker
+
+# -- random control-program generator ---------------------------------------
+
+numbers = st.integers(0, 9).map(str)
+
+
+def exprs(depth: int):
+    if depth == 0:
+        return numbers
+    sub = exprs(depth - 1)
+    return st.one_of(
+        numbers,
+        st.tuples(sub, sub).map(lambda t: f"(+ {t[0]} {t[1]})"),
+        st.tuples(sub, sub).map(lambda t: f"(pcall + {t[0]} {t[1]})"),
+        st.tuples(sub, sub, sub).map(
+            lambda t: f"(pcall (lambda (a b) (+ a b)) {t[0]} (+ {t[1]} {t[2]}))"
+        ),
+        sub.map(lambda e: f"(spawn (lambda (c) {e}))"),
+        sub.map(lambda e: f"(spawn (lambda (c) (+ 1 (c (lambda (k) {e})))))"),
+        sub.map(lambda e: f"(spawn (lambda (c) (+ 1 (c (lambda (k) (k {e}))))))"),
+        # capture inside a pcall branch: abort the whole fork
+        st.tuples(sub, sub).map(
+            lambda t: (
+                f"(spawn (lambda (c) (pcall + (c (lambda (k) {t[0]})) {t[1]})))"
+            )
+        ),
+        # capture inside a pcall branch: reinstate (resume the sibling)
+        st.tuples(sub, sub).map(
+            lambda t: (
+                f"(spawn (lambda (c) (pcall + (c (lambda (k) (k {t[0]}))) {t[1]})))"
+            )
+        ),
+        st.tuples(sub, sub, sub).map(
+            lambda t: f"(if (zero? {t[0]}) {t[1]} {t[2]})"
+        ),
+    )
+
+
+SCHEDULES = [
+    {"policy": "round-robin", "quantum": 1},
+    {"policy": "round-robin", "quantum": 7},
+    {"policy": "round-robin", "quantum": 64},
+    {"policy": "random", "seed": 11},
+    {"policy": "random", "seed": 99},
+    {"policy": "serial"},
+]
+
+
+@given(exprs(3))
+@settings(max_examples=50, deadline=None)
+def test_schedule_independence_and_invariants(source):
+    results = []
+    for config in SCHEDULES:
+        interp = Interpreter(prelude=False, max_steps=200_000, **config)
+        install_checker(interp.machine, every=3)
+        try:
+            results.append(interp.eval(source))
+        except ReproError as exc:  # pragma: no cover - generator is closed
+            raise AssertionError(f"{source} failed under {config}: {exc}") from exc
+    first = results[0]
+    assert all(r == first for r in results), (source, results)
+
+
+@given(exprs(2), st.integers(0, 9))
+@settings(max_examples=30, deadline=None)
+def test_continuation_laws_on_random_bodies(body, n):
+    """Two algebraic laws, on arbitrary (pure) bodies E:
+
+    L1: (spawn (λc. E)) = E                          (unused controller)
+    L2: (spawn (λc. (c (λk. (k E))))) = E            (immediate resume)
+    """
+    interp = Interpreter(prelude=False, max_steps=200_000)
+    base = interp.eval(body)
+    law1 = interp.eval(f"(spawn (lambda (c) {body}))")
+    law2 = interp.eval(f"(spawn (lambda (c) (c (lambda (k) (k {body})))))")
+    assert law1 == base
+    assert law2 == base
+
+
+@given(exprs(2))
+@settings(max_examples=30, deadline=None)
+def test_abort_discards_context_law(body):
+    """L3: (+ 1 (spawn (λc. (* 2 (c (λk. E)))))) = (+ 1 E) — the abort
+    discards exactly the context inside the process."""
+    interp = Interpreter(prelude=False, max_steps=200_000)
+    direct = interp.eval(f"(+ 1 {body})")
+    aborted = interp.eval(
+        f"(+ 1 (spawn (lambda (c) (* 2 (c (lambda (k) {body}))))))"
+    )
+    assert aborted == direct
+
+
+@given(exprs(2), st.integers(1, 3))
+@settings(max_examples=20, deadline=None)
+def test_multishot_determinism(body, repeats):
+    """Reinstating the same continuation repeatedly yields the same
+    value every time for pure bodies."""
+    interp = Interpreter(prelude=False, max_steps=500_000)
+    interp.run(f"(define k (spawn (lambda (c) (+ (c (lambda (kk) kk)) {body}))))")
+    values = {interp.eval("(k 5)") for _ in range(repeats + 1)}
+    assert len(values) == 1

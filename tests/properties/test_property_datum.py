@@ -1,0 +1,102 @@
+"""Property tests on the datum layer: print→read round trips and
+equality laws."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datum import (
+    Char,
+    MVector,
+    from_pylist,
+    intern,
+    is_equal,
+    is_eqv,
+    scheme_repr,
+)
+from repro.reader import read_one
+
+# -- strategies -------------------------------------------------------------
+
+symbol_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz-!?*<>=+/", min_size=1, max_size=10
+).filter(
+    lambda s: not s[0].isdigit()
+    and s not in (".", "...")
+    and not s.startswith(("+", "-"))  # avoid number-like spellings
+)
+
+atoms = st.one_of(
+    st.integers(min_value=-(10**12), max_value=10**12),
+    st.booleans(),
+    st.builds(
+        Fraction,
+        st.integers(min_value=-(10**6), max_value=10**6),
+        st.integers(min_value=1, max_value=10**6),
+    ).filter(lambda f: f.denominator != 1),
+    st.text(alphabet=st.characters(codec="ascii", exclude_characters="\x00"), max_size=12),
+    symbol_names.map(intern),
+    st.sampled_from("abcxyz \n\t().").map(Char),
+)
+
+
+def scheme_data(max_leaves=20):
+    return st.recursive(
+        atoms,
+        lambda children: st.one_of(
+            st.lists(children, max_size=4).map(from_pylist),
+            st.lists(children, max_size=4).map(MVector),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+# -- properties --------------------------------------------------------------
+
+
+@given(scheme_data())
+@settings(max_examples=200)
+def test_print_read_roundtrip(value):
+    assert is_equal(read_one(scheme_repr(value)), value)
+
+
+@given(scheme_data(max_leaves=8))
+def test_equal_reflexive(value):
+    assert is_equal(value, value)
+
+
+@given(scheme_data(max_leaves=8), scheme_data(max_leaves=8))
+def test_equal_symmetric(a, b):
+    assert is_equal(a, b) == is_equal(b, a)
+
+
+@given(atoms, atoms)
+def test_eqv_implies_equal(a, b):
+    if is_eqv(a, b):
+        assert is_equal(a, b)
+
+
+@given(st.lists(atoms, max_size=10))
+def test_pylist_roundtrip(items):
+    from repro.datum import to_pylist
+
+    back = to_pylist(from_pylist(items))
+    assert len(back) == len(items)
+    assert all(is_equal(x, y) for x, y in zip(back, items))
+
+
+@given(st.lists(atoms, max_size=8), st.lists(atoms, max_size=8))
+def test_append_length(xs, ys):
+    from repro.datum import list_length, scheme_append
+
+    result = scheme_append(from_pylist(xs), from_pylist(ys))
+    assert list_length(result) == len(xs) + len(ys)
+
+
+@given(st.lists(atoms, max_size=10))
+def test_reverse_involution(items):
+    from repro.datum import scheme_reverse
+
+    ls = from_pylist(items)
+    assert is_equal(scheme_reverse(scheme_reverse(ls)), ls)

@@ -1,0 +1,139 @@
+"""Property tests on the expander: random derived-form programs agree
+with a Python reference evaluator."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Interpreter
+
+# -- a tiny boolean/arith expression language generated as both Scheme
+#    text and a Python-computable value -------------------------------------
+
+
+def literals():
+    return st.one_of(
+        st.integers(-20, 20).map(lambda n: (str(n), n)),
+        st.booleans().map(lambda b: ("#t" if b else "#f", b)),
+    )
+
+
+def exprs(depth: int):
+    if depth == 0:
+        return literals()
+    sub = exprs(depth - 1)
+
+    def binop(symbol, fn):
+        return st.tuples(sub, sub).map(
+            lambda pair: (
+                f"({symbol} {pair[0][0]} {pair[1][0]})",
+                fn(pair[0][1], pair[1][1]),
+            )
+        )
+
+    def scheme_and(pair):
+        a, b = pair
+        value = b[1] if a[1] is not False else False
+        return (f"(and {a[0]} {b[0]})", value)
+
+    def scheme_or(pair):
+        a, b = pair
+        value = a[1] if a[1] is not False else b[1]
+        return (f"(or {a[0]} {b[0]})", value)
+
+    def scheme_if(triple):
+        test, then, els = triple
+        value = then[1] if test[1] is not False else els[1]
+        return (f"(if {test[0]} {then[0]} {els[0]})", value)
+
+    def scheme_cond(triple):
+        test, then, els = triple
+        value = then[1] if test[1] is not False else els[1]
+        return (f"(cond [{test[0]} {then[0]}] [else {els[0]}])", value)
+
+    def scheme_when(pair):
+        test, body = pair
+        if test[1] is not False:
+            return (f"(when {test[0]} {body[0]})", body[1])
+        return (f"(if #t {body[0]} 0)", body[1])  # keep values comparable
+
+    def scheme_let(pair):
+        value, body = pair
+        # (let ([tmp v]) body) where body ignores tmp — binding works.
+        return (f"(let ([tmp {value[0]}]) {body[0]})", body[1])
+
+    def scheme_not(one):
+        return (f"(not {one[0]})", one[1] is False)
+
+    numeric_sub = st.one_of(
+        st.integers(-20, 20).map(lambda n: (str(n), n)),
+        # numeric-only subtrees for arithmetic operators
+    )
+
+    def arith(symbol, fn):
+        return st.tuples(numeric_sub, numeric_sub).map(
+            lambda pair: (
+                f"({symbol} {pair[0][0]} {pair[1][0]})",
+                fn(pair[0][1], pair[1][1]),
+            )
+        )
+
+    return st.one_of(
+        sub,
+        arith("+", lambda a, b: a + b),
+        arith("-", lambda a, b: a - b),
+        arith("*", lambda a, b: a * b),
+        arith("max", max),
+        arith("min", min),
+        st.tuples(sub, sub).map(scheme_and),
+        st.tuples(sub, sub).map(scheme_or),
+        st.tuples(sub, sub, sub).map(scheme_if),
+        st.tuples(sub, sub, sub).map(scheme_cond),
+        st.tuples(sub, sub).map(scheme_let),
+        sub.map(scheme_not),
+    )
+
+
+@given(exprs(3))
+@settings(max_examples=150, deadline=None)
+def test_derived_forms_agree_with_reference(case):
+    source, expected = case
+    interp = Interpreter(prelude=False)
+    got = interp.eval(source)
+    if isinstance(expected, bool):
+        assert got is expected, source
+    else:
+        assert got == expected and not isinstance(got, bool), source
+
+
+@given(st.lists(st.integers(-10, 10), min_size=0, max_size=8))
+@settings(max_examples=60, deadline=None)
+def test_quasiquote_splicing_roundtrip(items):
+    interp = Interpreter()
+    spelled = "(" + " ".join(str(x) for x in items) + ")"
+    assert (
+        interp.eval_to_string(f"(let ([xs '{spelled}]) `(start ,@xs end))")
+        == f"(start{''.join(' ' + str(x) for x in items)} end)"
+    )
+
+
+@given(st.integers(0, 30), st.integers(1, 5))
+@settings(max_examples=40, deadline=None)
+def test_do_loop_matches_python_range(limit, step):
+    interp = Interpreter(prelude=False)
+    got = interp.eval(
+        f"(do ([i 0 (+ i {step})] [acc 0 (+ acc i)]) ((>= i {limit}) acc))"
+    )
+    assert got == sum(range(0, limit, step))
+
+
+@given(st.lists(st.integers(0, 100), min_size=1, max_size=10))
+@settings(max_examples=40, deadline=None)
+def test_case_dispatch(values):
+    interp = Interpreter(prelude=False)
+    key = values[0]
+    clauses = " ".join(f"[({v}) '{chr(97 + i % 26)}{i}]" for i, v in enumerate(values))
+    got = interp.eval(f"(case {key} {clauses} [else 'none])")
+    first = values.index(key)
+    assert got.name == f"{chr(97 + first % 26)}{first}"

@@ -1,0 +1,97 @@
+"""Fuzz robustness: hostile input must produce *our* error types,
+never an unhandled crash."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datum import MVector, from_pylist, intern
+from repro.errors import ExpandError, ReaderError, ReproError
+from repro.expander import ExpandEnv, expand_program
+from repro.reader import read_all
+
+
+@given(st.text(max_size=80))
+@settings(max_examples=300, deadline=None)
+def test_reader_total_over_arbitrary_text(text):
+    """read_all either parses or raises ReaderError — nothing else."""
+    try:
+        read_all(text)
+    except ReaderError:
+        pass
+
+
+@given(st.text(alphabet="()[]'`,@#;\\\" \n.abc01", max_size=60))
+@settings(max_examples=300, deadline=None)
+def test_reader_total_over_syntax_heavy_text(text):
+    try:
+        read_all(text)
+    except ReaderError:
+        pass
+
+
+@given(st.text(alphabet="()[]'`,@#\\\" .xif10", max_size=50))
+@settings(max_examples=200, deadline=None)
+def test_expander_total_over_parseable_text(text):
+    """Whatever the reader accepts, the expander either expands or
+    raises ExpandError."""
+    try:
+        forms = read_all(text)
+    except ReaderError:
+        return
+    try:
+        expand_program(forms, ExpandEnv())
+    except ExpandError:
+        pass
+    except RecursionError:
+        pass  # pathological nesting; acceptable and documented
+
+
+# -- structured datum fuzz ----------------------------------------------------
+
+datum_atoms = st.one_of(
+    st.integers(-5, 5),
+    st.booleans(),
+    st.sampled_from(
+        [intern(n) for n in ("lambda", "if", "define", "quote", "x", "set!",
+                             "let", "cond", "pcall", "begin", "...")]
+    ),
+    st.text(max_size=3),
+)
+
+datums = st.recursive(
+    datum_atoms,
+    lambda sub: st.one_of(
+        st.lists(sub, max_size=4).map(from_pylist),
+        st.lists(sub, max_size=3).map(MVector),
+    ),
+    max_leaves=12,
+)
+
+
+@given(st.lists(datums, max_size=4))
+@settings(max_examples=300, deadline=None)
+def test_expander_total_over_random_datums(forms):
+    """Random structured data (including keyword-looking heads) either
+    expands or raises ExpandError."""
+    try:
+        expand_program(list(forms), ExpandEnv())
+    except ExpandError:
+        pass
+
+
+@given(datums)
+@settings(max_examples=150, deadline=None)
+def test_full_pipeline_never_crashes_uncontrolled(form):
+    """Read-back of printed random data, expanded and evaluated with a
+    tight budget: every failure is a ReproError."""
+    from repro import Interpreter
+    from repro.datum import scheme_repr
+
+    text = scheme_repr(form)
+    interp = Interpreter(prelude=False, max_steps=2_000)
+    try:
+        interp.eval(text)
+    except ReproError:
+        pass
+    except RecursionError:
+        pass

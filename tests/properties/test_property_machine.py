@@ -1,0 +1,116 @@
+"""Property tests on the machine: schedule independence and control-law
+invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Interpreter
+
+
+@given(
+    st.lists(st.integers(-5, 5), min_size=1, max_size=6),
+    st.lists(st.integers(-5, 5), min_size=1, max_size=6),
+    st.integers(0, 2**31 - 1),
+    st.integers(1, 8),
+)
+@settings(max_examples=30, deadline=None)
+def test_sum_of_products_schedule_independent(xs, ys, seed, quantum):
+    """E4's workload: the answer must not depend on scheduling policy,
+    seed or quantum — interleaving is semantically invisible for
+    race-free programs."""
+    expected = _product(xs) + _product(ys)
+    interp = Interpreter(policy="random", seed=seed, quantum=quantum)
+    interp.load_paper_example("sum-of-products")
+    got = interp.eval(f"(sum-of-products '{_fmt(xs)} '{_fmt(ys)})")
+    assert got == expected
+
+
+def _product(xs):
+    out = 1
+    for x in xs:
+        if x == 0:
+            return 0
+        out *= x
+    return out
+
+
+def _fmt(xs):
+    return "(" + " ".join(str(x) for x in xs) + ")"
+
+
+@given(st.lists(st.integers(0, 30), min_size=1, max_size=12), st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_search_all_complete_under_any_schedule(values, seed):
+    """search-all must return every match exactly once per occurrence,
+    under any random schedule."""
+    unique = sorted(set(values))
+    interp = Interpreter(policy="random", seed=seed)
+    interp.load_paper_example("search-all")
+    interp.run(f"(define t (list->tree '{_fmt(values)}))")
+    found = interp.eval_to_string("(search-all t even?)")
+    got = sorted(int(x) for x in found.strip("()").split()) if found != "()" else []
+    expected = sorted(v for v in values if v % 2 == 0)
+    assert got == expected
+
+
+@given(st.integers(-100, 100), st.integers(0, 50))
+@settings(max_examples=50, deadline=None)
+def test_process_continuation_multishot_consistent(value, extra):
+    """(k v) for k = <label: (+ extra [])> equals extra + v on every
+    invocation, however many times k is reused."""
+    interp = Interpreter()
+    interp.run(f"(define k (spawn (lambda (c) (+ {extra} (c (lambda (kk) kk))))))")
+    for _ in range(3):
+        assert interp.eval(f"(k {value})") == extra + value
+
+
+@given(st.integers(-50, 50))
+@settings(max_examples=25, deadline=None)
+def test_spawn_of_pure_value_is_identity(n):
+    interp = Interpreter(prelude=False)
+    assert interp.eval(f"(spawn (lambda (c) {n}))") == n
+
+
+@given(st.integers(-50, 50), st.integers(0, 3))
+@settings(max_examples=25, deadline=None)
+def test_abort_discards_exactly_the_process(n, depth):
+    """Wrapping the spawn in `depth` additions of 1: the controller
+    abort discards only what is inside the process, so the outer
+    additions always apply."""
+    inner = f"(spawn (lambda (c) (* 1000 (c (lambda (k) {n})))))"
+    source = inner
+    for _ in range(depth):
+        source = f"(+ 1 {source})"
+    interp = Interpreter(prelude=False)
+    assert interp.eval(source) == n + depth
+
+
+@given(st.lists(st.integers(1, 9), min_size=2, max_size=5), st.integers(0, 100))
+@settings(max_examples=25, deadline=None)
+def test_pcall_equals_sequential_call(args, seed):
+    interp = Interpreter(policy="random", seed=seed, prelude=False)
+    spelled = " ".join(str(a) for a in args)
+    assert interp.eval(f"(pcall + {spelled})") == interp.eval(f"(+ {spelled})")
+
+
+@given(st.integers(1, 6), st.integers(0, 1000))
+@settings(max_examples=20, deadline=None)
+def test_futures_fanout_schedule_independent(nfutures, seed):
+    """N futures summed via touch: same answer under any schedule, and
+    invariants hold throughout."""
+    from repro.machine.invariants import install_checker
+
+    interp = Interpreter(policy="random", seed=seed)
+    install_checker(interp.machine, every=5)
+    interp.run(
+        """
+        (define (job n)
+          (future (lambda ()
+                    (let loop ([i n] [acc 0])
+                      (if (zero? i) acc (loop (- i 1) (+ acc i)))))))
+        """
+    )
+    spelled = " ".join(f"(job {n * 3})" for n in range(1, nfutures + 1))
+    got = interp.eval(f"(fold-left + 0 (map touch (list {spelled})))")
+    expected = sum(sum(range(n * 3 + 1)) for n in range(1, nfutures + 1))
+    assert got == expected

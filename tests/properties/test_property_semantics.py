@@ -1,0 +1,149 @@
+"""Property tests on the Section 6 semantics: random well-formed
+programs agree between the rewriting system and the machine, and
+substitution preserves well-formedness invariants."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StepBudgetExceeded, StuckTermError
+from repro.semantics import compile_source, rewrite_run, run_both, values_agree
+from repro.semantics.terms import free_vars, labels_of, substitute, Const, Var, Lam
+
+# -- random program generator (textual, so both pipelines share it) ---------
+
+integers = st.integers(min_value=0, max_value=20)
+
+
+def exprs(depth):
+    if depth == 0:
+        return st.one_of(
+            integers.map(str),
+            st.sampled_from(["#t", "#f", "x", "y"]),
+        )
+    sub = exprs(depth - 1)
+    return st.one_of(
+        integers.map(str),
+        st.sampled_from(["x", "y"]),
+        st.tuples(sub, sub).map(lambda t: f"(+ {t[0]} {t[1]})"),
+        st.tuples(sub, sub).map(lambda t: f"(* {t[0]} {t[1]})"),
+        st.tuples(sub, sub, sub).map(lambda t: f"(if (zero? {t[0]}) {t[1]} {t[2]})"),
+        st.tuples(st.sampled_from(["x", "y"]), sub, sub).map(
+            lambda t: f"((lambda ({t[0]}) {t[1]}) {t[2]})"
+        ),
+        # spawn with abort, reinstatement, or unused controller
+        sub.map(lambda e: f"(spawn (lambda (c) {e}))"),
+        sub.map(lambda e: f"(spawn (lambda (c) (+ 1 (c (lambda (k) {e})))))"),
+        sub.map(lambda e: f"(spawn (lambda (c) (+ 1 (c (lambda (k) (k {e}))))))"),
+    )
+
+
+def close_program(body: str) -> str:
+    return f"((lambda (x) ((lambda (y) {body}) 2)) 1)"
+
+
+@given(exprs(3).map(close_program))
+@settings(max_examples=60, deadline=None)
+def test_random_programs_agree(source):
+    """Both systems produce the same value — or both reject the program
+    (a stuck term on one side must be a machine error on the other)."""
+    from repro.api import Interpreter
+    from repro.errors import (
+        DeadControllerError,
+        SemanticsError,
+        WrongTypeError,
+    )
+    from repro.semantics import rewrite_run
+
+    try:
+        term = compile_source(source)
+    except SemanticsError:
+        assume(False)
+        return
+
+    sem_outcome: tuple[str, object]
+    try:
+        sem_outcome = ("value", rewrite_run(term, max_steps=50_000).value)
+    except (StuckTermError, SemanticsError):
+        sem_outcome = ("error", None)
+    except StepBudgetExceeded:
+        assume(False)
+        return
+
+    interp = Interpreter(policy="serial", prelude=False, max_steps=50_000)
+    mach_outcome: tuple[str, object]
+    try:
+        mach_outcome = ("value", interp.eval(source))
+    except (WrongTypeError, DeadControllerError):
+        mach_outcome = ("error", None)
+    except StepBudgetExceeded:
+        assume(False)
+        return
+
+    assert sem_outcome[0] == mach_outcome[0], source
+    if sem_outcome[0] == "value":
+        assert values_agree(sem_outcome[1], mach_outcome[1]), source
+
+
+@given(exprs(2).map(close_program))
+@settings(max_examples=40, deadline=None)
+def test_rewriting_is_deterministic(source):
+    from repro.errors import SemanticsError
+
+    term = compile_source(source)
+    try:
+        first = rewrite_run(term, max_steps=20_000)
+        second = rewrite_run(term, max_steps=20_000)
+    except (StuckTermError, SemanticsError, StepBudgetExceeded):
+        assume(False)
+        return
+    # Same value modulo fresh-variable names: compare step counts and
+    # value kinds (fresh label/var allocation is the only nondeterminism
+    # source, and it is in fact deterministic per run start).
+    assert first.steps == second.steps
+    assert type(first.value) is type(second.value)
+    if isinstance(first.value, Const):
+        assert first.value == second.value
+
+
+# -- substitution invariants -------------------------------------------------
+
+var_names = st.sampled_from(["a", "b", "c", "d"])
+
+term_strategy = st.recursive(
+    st.one_of(
+        st.integers(0, 5).map(Const),
+        var_names.map(Var),
+    ),
+    lambda sub: st.one_of(
+        st.tuples(var_names, sub).map(lambda t: Lam(t[0], t[1])),
+        st.tuples(sub, sub).map(lambda t: __import__("repro.semantics.terms", fromlist=["App"]).App(t[0], t[1])),
+    ),
+    max_leaves=12,
+)
+
+
+@given(term_strategy, var_names, term_strategy)
+@settings(max_examples=100)
+def test_substitution_removes_free_variable(term, name, value):
+    assume(name not in free_vars(value))
+    result = substitute(term, name, value)
+    assert name not in free_vars(result)
+
+
+@given(term_strategy, var_names, term_strategy)
+@settings(max_examples=100)
+def test_substitution_free_vars_bounded(term, name, value):
+    result = substitute(term, name, value)
+    allowed = (free_vars(term) - {name}) | free_vars(value)
+    assert free_vars(result) <= allowed
+
+
+@given(term_strategy, var_names)
+def test_substituting_variable_for_itself_changes_nothing_semantically(term, name):
+    result = substitute(term, name, Var(name))
+    assert free_vars(result) == free_vars(term)
+
+
+@given(term_strategy)
+def test_labels_of_pure_lambda_terms_empty(term):
+    assert labels_of(term) == frozenset()

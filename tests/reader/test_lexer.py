@@ -1,0 +1,153 @@
+"""Tokenizer behaviour."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.datum import Char
+from repro.errors import ReaderError
+from repro.reader.lexer import TokenKind, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # drop EOF
+
+
+def values(text):
+    return [t.value for t in tokenize(text)][:-1]
+
+
+def test_parens_and_brackets():
+    assert kinds("()[]") == [
+        TokenKind.LPAREN,
+        TokenKind.RPAREN,
+        TokenKind.LPAREN,
+        TokenKind.RPAREN,
+    ]
+
+
+def test_integers():
+    assert values("1 -2 +3 007") == [1, -2, 3, 7]
+
+
+def test_rationals():
+    assert values("1/2 -3/4 4/2") == [Fraction(1, 2), Fraction(-3, 4), 2]
+
+
+def test_floats():
+    assert values("1.5 -0.25 1e3 2.5e-1") == [1.5, -0.25, 1000.0, 0.25]
+
+
+def test_symbols_that_look_numeric():
+    vals = values("+ - ... 1+ a/b")
+    assert vals == ["+", "-", "...", "1+", "a/b"]
+    assert kinds("+")[0] is TokenKind.SYMBOL
+
+
+def test_booleans():
+    assert values("#t #f") == [True, False]
+
+
+def test_chars():
+    assert values(r"#\a #\space #\newline #\( ") == [
+        Char("a"),
+        Char(" "),
+        Char("\n"),
+        Char("("),
+    ]
+
+
+def test_char_hex():
+    assert values(r"#\x41") == [Char("A")]
+
+
+def test_unknown_char_name():
+    with pytest.raises(ReaderError):
+        tokenize(r"#\bogusname")
+
+
+def test_strings():
+    assert values('"hi"') == ["hi"]
+    assert values(r'"a\nb\t\"q\""') == ['a\nb\t"q"']
+
+
+def test_string_hex_escape():
+    assert values(r'"\x41;"') == ["A"]
+
+
+def test_unterminated_string():
+    with pytest.raises(ReaderError):
+        tokenize('"oops')
+
+
+def test_quote_prefixes():
+    assert kinds("'x `y ,z ,@w") == [
+        TokenKind.QUOTE,
+        TokenKind.SYMBOL,
+        TokenKind.QUASIQUOTE,
+        TokenKind.SYMBOL,
+        TokenKind.UNQUOTE,
+        TokenKind.SYMBOL,
+        TokenKind.UNQUOTE_SPLICING,
+        TokenKind.SYMBOL,
+    ]
+
+
+def test_line_comment():
+    assert values("1 ; two three\n4") == [1, 4]
+
+
+def test_block_comment_nested():
+    assert values("1 #| a #| b |# c |# 2") == [1, 2]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(ReaderError):
+        tokenize("#| nope")
+
+
+def test_datum_comment_token():
+    assert TokenKind.DATUM_COMMENT in [t.kind for t in tokenize("#;(x) 1")]
+
+
+def test_vector_open():
+    assert kinds("#(1)")[0] is TokenKind.VECTOR_OPEN
+
+
+def test_dot_token():
+    assert TokenKind.DOT in kinds("(a . b)")
+
+
+def test_unknown_hash_syntax():
+    with pytest.raises(ReaderError):
+        tokenize("#q")
+
+
+def test_line_column_tracking():
+    tokens = tokenize("a\n  b")
+    assert tokens[0].line == 1 and tokens[0].column == 1
+    assert tokens[1].line == 2 and tokens[1].column == 3
+
+
+def test_boolean_requires_delimiter():
+    # #true is not a boolean token in this dialect; it errors as
+    # unknown # syntax rather than silently lexing #t + rue.
+    with pytest.raises(ReaderError):
+        tokenize("#true")
+
+
+def test_infinities_and_nan_read_as_numbers():
+    inf, ninf, nan = values("+inf.0 -inf.0 +nan.0")
+    assert inf == float("inf")
+    assert ninf == float("-inf")
+    assert nan != nan  # NaN
+
+
+def test_special_float_print_read_roundtrip():
+    from repro.datum import scheme_repr
+    from repro.reader import read_one
+
+    for value in (float("inf"), float("-inf")):
+        assert read_one(scheme_repr(value)) == value
+    nan_back = read_one(scheme_repr(float("nan")))
+    assert nan_back != nan_back

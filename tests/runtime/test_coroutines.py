@@ -1,0 +1,110 @@
+"""Coroutines from process continuations."""
+
+import pytest
+
+from repro.errors import RuntimeAPIError
+from repro.runtime import Call, Coroutine
+
+
+def test_basic_yield_sequence():
+    def numbers(suspend):
+        for n in range(3):
+            yield suspend(n)
+        return "end"
+
+    co = Coroutine(numbers)
+    results = [co.resume() for _ in range(4)]
+    assert [r.done for r in results] == [False, False, False, True]
+    assert [r.value for r in results] == [0, 1, 2, "end"]
+
+
+def test_values_flow_both_ways():
+    def echoer(suspend):
+        got1 = yield suspend("ready")
+        got2 = yield suspend(got1 * 2)
+        return got2 + 1
+
+    co = Coroutine(echoer)
+    assert co.resume().value == "ready"
+    assert co.resume(10).value == 20
+    assert co.resume(100).value == 101
+
+
+def test_resume_after_done_raises():
+    def trivial(suspend):
+        return "x"
+        yield  # pragma: no cover
+
+    co = Coroutine(trivial)
+    assert co.resume().done
+    with pytest.raises(RuntimeAPIError, match="already completed"):
+        co.resume()
+
+
+def test_coroutine_with_inner_calls():
+    def fib_gen(suspend):
+        def fib(n):
+            if n < 2:
+                return n
+            a = yield Call(fib, n - 1)
+            b = yield Call(fib, n - 2)
+            return a + b
+
+        for i in range(7):
+            value = yield Call(fib, i)
+            yield suspend(value)
+        return "done"
+
+    co = Coroutine(fib_gen)
+    values = []
+    result = co.resume()
+    while not result.done:
+        values.append(result.value)
+        result = co.resume()
+    assert values == [0, 1, 1, 2, 3, 5, 8]
+
+
+def test_two_coroutines_independent():
+    def counter(suspend):
+        for i in range(3):
+            yield suspend(i)
+        return None
+
+    a, b = Coroutine(counter), Coroutine(counter)
+    assert a.resume().value == 0
+    assert b.resume().value == 0
+    assert a.resume().value == 1
+    assert b.resume().value == 1
+
+
+def test_samefringe():
+    """The classic coroutine exercise: compare the fringes of two
+    differently shaped trees lazily."""
+
+    def fringe(tree):
+        def walker(suspend):
+            def walk(node):
+                if isinstance(node, tuple):
+                    for child in node:
+                        yield Call(walk, child)
+                else:
+                    yield suspend(node)
+
+            yield Call(walk, tree)
+            return StopIteration
+
+        return Coroutine(walker)
+
+    def same_fringe(t1, t2):
+        a, b = fringe(t1), fringe(t2)
+        while True:
+            ra, rb = a.resume(), b.resume()
+            if ra.done or rb.done:
+                return ra.done and rb.done
+            if ra.value != rb.value:
+                return False
+
+    assert same_fringe(((1, 2), 3), (1, (2, 3)))
+    assert same_fringe((1, (2, (3,))), ((1,), 2, 3))
+    assert not same_fringe((1, 2), (2, 1))
+    assert not same_fringe((1, 2), (1, 2, 3))

@@ -1,0 +1,90 @@
+"""Engines: bounded computation from suspension machinery."""
+
+import pytest
+
+from repro.errors import RuntimeAPIError
+from repro.runtime import Call
+from repro.runtime.engines import Engine, make_engine, round_robin
+
+
+def worker(n):
+    def body():
+        total = 0
+        for i in range(n):
+            total += i
+            yield Call(lambda: None)
+        return total
+
+    return body
+
+
+def test_engine_completes_with_big_fuel():
+    outcome = make_engine(worker(3)).run(10_000)
+    assert outcome.done
+    assert outcome.value == 3
+    assert outcome.remaining_fuel > 0
+
+
+def test_engine_expires_with_small_fuel():
+    outcome = make_engine(worker(100)).run(5)
+    assert not outcome.done
+    assert isinstance(outcome.engine, Engine)
+
+
+def test_engine_resumable_to_completion():
+    outcome = make_engine(worker(50)).run(5)
+    rounds = 1
+    while not outcome.done:
+        outcome = outcome.engine.run(5)
+        rounds += 1
+    assert outcome.value == sum(range(50))
+    assert rounds > 1
+
+
+def test_engine_mileage_monotonic():
+    engine = make_engine(worker(50))
+    outcome = engine.run(5)
+    first = engine.mileage
+    outcome.engine.run(5)
+    assert engine.mileage > first
+
+
+def test_completed_engine_cannot_rerun():
+    engine = make_engine(worker(1))
+    outcome = engine.run(10_000)
+    assert outcome.done
+    with pytest.raises(RuntimeAPIError, match="already completed"):
+        engine.run(10)
+
+
+def test_fuel_must_be_positive():
+    with pytest.raises(RuntimeAPIError):
+        make_engine(worker(1)).run(0)
+
+
+def test_round_robin_fairness():
+    engines = [make_engine(worker(n)) for n in (10, 20, 30)]
+    values = round_robin(engines, fuel_each=7)
+    assert values == [sum(range(10)), sum(range(20)), sum(range(30))]
+
+
+def test_round_robin_single():
+    assert round_robin([make_engine(worker(4))], fuel_each=100) == [6]
+
+
+def test_round_robin_bounded():
+    def forever():
+        while True:
+            yield Call(lambda: None)
+
+    with pytest.raises(RuntimeAPIError, match="max_rounds"):
+        round_robin([make_engine(forever)], fuel_each=1, max_rounds=10)
+
+
+def test_engine_value_can_be_any_object():
+    def body():
+        return {"k": [1, 2]}
+        yield  # pragma: no cover
+
+    outcome = make_engine(body).run(100)
+    assert outcome.done and outcome.value == {"k": [1, 2]}

@@ -1,0 +1,134 @@
+"""Derived combinators: spawn_exit, first_true, parallel_map."""
+
+from repro.runtime import Call, Runtime, first_true, parallel_map, spawn_exit
+
+
+def run(fn, **kw):
+    return Runtime(**kw).run(fn)
+
+
+def test_spawn_exit_early():
+    def main():
+        def body(exit):
+            yield exit("early")
+            return "late"
+
+        value = yield Call(spawn_exit, body)
+        return value
+
+    assert run(main) == "early"
+
+
+def test_spawn_exit_normal():
+    def main():
+        def body(exit):
+            yield Call(lambda: None)
+            return "normal"
+
+        value = yield Call(spawn_exit, body)
+        return value
+
+    assert run(main) == "normal"
+
+
+def test_spawn_exit_from_deep_call():
+    def main():
+        def body(exit):
+            def deep(n):
+                if n == 0:
+                    yield exit("from-depth")
+                yield Call(deep, n - 1)
+
+            yield Call(deep, 10)
+            return "unreached"
+
+        value = yield Call(spawn_exit, body)
+        return value
+
+    assert run(main) == "from-depth"
+
+
+def test_nested_spawn_exit_levels():
+    def main():
+        def outer(exit_outer):
+            def inner(exit_inner):
+                yield exit_outer("outer-exit")
+
+            value = yield Call(spawn_exit, inner)
+            return ("inner-gave", value)
+
+        value = yield Call(spawn_exit, outer)
+        return value
+
+    assert run(main) == "outer-exit"
+
+
+def test_first_true_fast_wins():
+    def main():
+        def slow():
+            for _ in range(200):
+                yield Call(lambda: None)
+            return "slow"
+
+        def fast():
+            yield Call(lambda: None)
+            return "fast"
+
+        value = yield Call(first_true, slow, fast)
+        return value
+
+    assert Runtime(quantum=1).run(main) == "fast"
+
+
+def test_first_true_all_false():
+    def main():
+        def falsy():
+            yield Call(lambda: None)
+            return False
+
+        value = yield Call(first_true, falsy, falsy)
+        return value
+
+    assert run(main) is False
+
+
+def test_first_true_loser_abandoned():
+    progress = []
+
+    def main():
+        def slow():
+            for i in range(10_000):
+                progress.append(i)
+                yield Call(lambda: None)
+            return "slow"
+
+        def fast():
+            return "fast"
+            yield  # pragma: no cover
+
+        value = yield Call(first_true, slow, fast)
+        return value
+
+    assert Runtime(quantum=1).run(main) == "fast"
+    assert len(progress) < 10_000  # the slow branch never finished
+
+
+def test_parallel_map_order_preserved():
+    def main():
+        def work(x):
+            for _ in range(x):  # uneven work per item
+                yield Call(lambda: None)
+            return x * x
+
+        values = yield Call(parallel_map, work, [5, 1, 4, 2])
+        return values
+
+    assert Runtime(quantum=1).run(main) == [25, 1, 16, 4]
+
+
+def test_parallel_map_empty():
+    def main():
+        values = yield Call(parallel_map, lambda x: x, [])
+        return values
+
+    assert run(main) == []

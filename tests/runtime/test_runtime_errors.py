@@ -1,0 +1,182 @@
+"""Error paths in the tasklet runtime."""
+
+import pytest
+
+from repro.errors import RuntimeAPIError
+from repro.runtime import Call, Invoke, Pcall, Resume, Runtime, Spawn
+
+
+def run(fn, **kw):
+    return Runtime(**kw).run(fn)
+
+
+def test_exception_in_pcall_branch_aborts_run():
+    def main():
+        def good():
+            yield Call(lambda: None)
+            return 1
+
+        def bad():
+            yield Call(lambda: None)
+            raise RuntimeError("branch exploded")
+
+        yield Pcall(lambda a, b: a + b, good, bad)
+
+    with pytest.raises(RuntimeError, match="branch exploded"):
+        run(main)
+
+
+def test_exception_in_spawned_process_propagates():
+    def main():
+        def process(ctrl):
+            raise KeyError("inside process")
+            yield  # pragma: no cover
+
+        yield Spawn(process)
+
+    with pytest.raises(KeyError):
+        run(main)
+
+
+def test_exception_in_combine_function():
+    def main():
+        def one():
+            return 1
+            yield  # pragma: no cover
+
+        yield Pcall(lambda a: 1 / 0, one)
+
+    with pytest.raises(ZeroDivisionError):
+        run(main)
+
+
+def test_exception_in_invoke_receiver():
+    def main():
+        def process(ctrl):
+            yield Invoke(ctrl, lambda k: 1 / 0)
+
+        yield Spawn(process)
+
+    with pytest.raises(ZeroDivisionError):
+        run(main)
+
+
+def test_exception_catchable_across_spawn_boundary():
+    """A process body's exception propagates into the parent's generator
+    frame, where ordinary try/except applies."""
+
+    def main():
+        def process(ctrl):
+            raise ValueError("deep")
+            yield  # pragma: no cover
+
+        try:
+            yield Spawn(process)
+        except ValueError as exc:
+            return f"handled {exc}"
+
+    assert run(main) == "handled deep"
+
+
+def test_resume_with_foreign_object_rejected():
+    def main():
+        yield Resume("not a subcontinuation", 1)
+
+    with pytest.raises(AttributeError):
+        run(main)
+
+
+def test_deadlock_reports_not_hangs():
+    def main():
+        from repro.runtime import Touch, Placeholder
+
+        orphan = Placeholder()  # never resolved by anyone
+        yield Touch(orphan)
+
+    with pytest.raises(RuntimeAPIError, match="deadlock"):
+        run(main)
+
+
+def test_run_without_start_state_reset():
+    runtime = Runtime()
+
+    def boom():
+        raise RuntimeError("x")
+        yield  # pragma: no cover
+
+    with pytest.raises(RuntimeError):
+        runtime.run(boom)
+
+    def fine():
+        return "ok"
+        yield  # pragma: no cover
+
+    assert runtime.run(fine) == "ok"
+
+
+def test_step_n_before_start_is_deadlock():
+    runtime = Runtime()
+    with pytest.raises(RuntimeAPIError):
+        runtime.step_n(10)
+
+
+def test_future_error_poisons_placeholder():
+    """A raising future delivers its exception to every toucher."""
+
+    def main():
+        from repro.runtime import MakeFuture, Touch
+
+        def work():
+            yield Call(lambda: None)
+            raise OSError("future failed")
+
+        ph = yield MakeFuture(work)
+        try:
+            yield Touch(ph)
+        except OSError as exc:
+            return f"toucher saw: {exc}"
+
+    assert run(main) == "toucher saw: future failed"
+
+
+def test_future_error_poisons_late_touchers_too():
+    def main():
+        from repro.runtime import MakeFuture, Touch
+
+        def work():
+            raise OSError("late")
+            yield  # pragma: no cover
+
+        ph = yield MakeFuture(work)
+        # Let the future die first.
+        for _ in range(20):
+            yield Call(lambda: None)
+        try:
+            yield Touch(ph)
+        except OSError:
+            return "late toucher saw it"
+
+    assert run(main) == "late toucher saw it"
+
+
+def test_error_in_branch_abandons_siblings():
+    progress = []
+
+    def main():
+        def bad():
+            yield Call(lambda: None)
+            raise RuntimeError("die")
+
+        def slow():
+            for i in range(100_000):
+                progress.append(i)
+                yield Call(lambda: None)
+            return "done"
+
+        try:
+            yield Pcall(lambda a, b: (a, b), bad, slow)
+        except RuntimeError:
+            return "caught"
+
+    assert Runtime(quantum=1).run(main) == "caught"
+    assert len(progress) < 100_000  # sibling was killed, not drained

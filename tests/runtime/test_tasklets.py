@@ -1,0 +1,203 @@
+"""Tasklet runtime core: calls, spawn, pcall, scheduling."""
+
+import pytest
+
+from repro.errors import RuntimeAPIError, StepBudgetExceeded
+from repro.runtime import Call, Pcall, Runtime, Spawn
+
+
+def run(fn, **kw):
+    return Runtime(**kw).run(fn)
+
+
+def test_plain_return():
+    def main():
+        return 42
+        yield  # pragma: no cover - makes main a generator
+
+    assert run(main) == 42
+
+
+def test_call_plain_function():
+    def main():
+        value = yield Call(lambda a, b: a + b, 1, 2)
+        return value
+
+    assert run(main) == 3
+
+
+def test_call_nested_tasklets():
+    def inner(n):
+        yield Call(lambda: None)
+        return n * 2
+
+    def middle(n):
+        value = yield Call(inner, n)
+        return value + 1
+
+    def main():
+        value = yield Call(middle, 10)
+        return value
+
+    assert run(main) == 21
+
+
+def test_deep_call_chain():
+    def countdown(n):
+        if n == 0:
+            return "bottom"
+        value = yield Call(countdown, n - 1)
+        return value
+
+    def main():
+        value = yield Call(countdown, 500)
+        return value
+
+    assert run(main) == "bottom"
+
+
+def test_exception_propagates_through_frames():
+    def boom():
+        raise ValueError("inner boom")
+        yield  # pragma: no cover
+
+    def main():
+        try:
+            yield Call(boom)
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    assert run(main) == "caught inner boom"
+
+
+def test_uncaught_exception_raises_from_run():
+    def main():
+        yield Call(lambda: 1 / 0)
+
+    with pytest.raises(ZeroDivisionError):
+        run(main)
+
+
+def test_spawn_normal_return():
+    def main():
+        def process(ctrl):
+            yield Call(lambda: None)
+            return "process-value"
+
+        value = yield Spawn(process)
+        return value
+
+    assert run(main) == "process-value"
+
+
+def test_pcall_combines_in_order():
+    def main():
+        def branch(n):
+            def body():
+                for _ in range(n):
+                    yield Call(lambda: None)
+                return n
+
+            return body
+
+        value = yield Pcall(lambda *vs: list(vs), branch(5), branch(1), branch(3))
+        return value
+
+    assert run(main) == [5, 1, 3]
+
+
+def test_pcall_zero_branches():
+    def main():
+        value = yield Pcall(lambda: "empty")
+        return value
+
+    assert run(main) == "empty"
+
+
+def test_pcall_branches_interleave():
+    progress: list[str] = []
+
+    def main():
+        def branch(tag):
+            def body():
+                for _ in range(5):
+                    progress.append(tag)
+                    yield Call(lambda: None)
+                return tag
+
+            return body
+
+        yield Pcall(lambda *vs: vs, branch("a"), branch("b"))
+        return None
+
+    Runtime(quantum=1).run(main)
+    head = progress[:6]
+    assert "a" in head and "b" in head
+
+
+def test_nested_pcall():
+    def main():
+        def leaf(n):
+            def body():
+                yield Call(lambda: None)
+                return n
+
+            return body
+
+        def inner():
+            value = yield Pcall(lambda a, b: a + b, leaf(1), leaf(2))
+            return value
+
+        value = yield Pcall(lambda a, b: a * b, inner, leaf(10))
+        return value
+
+    assert run(main) == 30
+
+
+def test_yielding_non_effect_raises():
+    def main():
+        yield "not an effect"
+
+    with pytest.raises(RuntimeAPIError, match="non-effect"):
+        run(main)
+
+
+def test_max_steps():
+    def main():
+        while True:
+            yield Call(lambda: None)
+
+    with pytest.raises(StepBudgetExceeded):
+        Runtime(max_steps=100).run(main)
+
+
+def test_step_counting_and_stats():
+    def main():
+        def process(ctrl):
+            return "x"
+            yield  # pragma: no cover
+
+        yield Spawn(process)
+        yield Pcall(lambda: None)
+        return "done"
+
+    runtime = Runtime()
+    assert runtime.run(main) == "done"
+    assert runtime.stats["spawns"] == 1
+    assert runtime.stats["forks"] == 1
+    assert runtime.steps > 0
+
+
+def test_runtime_restartable():
+    runtime = Runtime()
+
+    def main_a():
+        return "a"
+        yield  # pragma: no cover
+
+    def main_b():
+        return "b"
+        yield  # pragma: no cover
+
+    assert runtime.run(main_a) == "a"
+    assert runtime.run(main_b) == "b"

@@ -1,0 +1,118 @@
+"""Differential testing: the Section 6 rewriting system against the
+abstract machine, over the shared sequential fragment."""
+
+import pytest
+
+from repro.errors import SemanticsError
+from repro.semantics import compile_source, run_both, values_agree
+
+AGREEMENT_CASES = [
+    "42",
+    "#t",
+    "((lambda (x) x) 7)",
+    "((lambda (x y) (+ x y)) 3 4)",
+    "((lambda (f) (f (f 2))) (lambda (n) (* n n)))",
+    "(if (zero? 0) 'yes 'no)",
+    "(if (zero? 1) 'yes 'no)",
+    "(if (< 1 2) (+ 1 1) (* 2 2))",
+    "(begin 1 2 3)",
+    "((lambda () 5))",
+    # spawn: normal return
+    "(spawn (lambda (c) 42))",
+    # controller abort
+    "(spawn (lambda (c) (+ 1 (c (lambda (k) 5)))))",
+    "(* 2 (spawn (lambda (c) (+ 1 (c (lambda (k) 10))))))",
+    # reinstatement (composition)
+    "(spawn (lambda (c) (+ 1 (c (lambda (k) (k 10))))))",
+    "(spawn (lambda (c) (+ 1 (c (lambda (k) (k (k 10)))))))",
+    # nested spawns
+    "(spawn (lambda (a) (+ 1 (spawn (lambda (b) (b (lambda (k) 5)))))))",
+    "(spawn (lambda (a) (+ 1 (spawn (lambda (b) (a (lambda (k) 5)))))))",
+    # the paper's triple-controller example, applied to a constant
+    "((spawn (lambda (c) (c (c (lambda (k) (k (lambda (k) (k (lambda (k) k))))))))) 77)",
+    # derived forms lower into the fragment
+    "(let ([x 2] [y 3]) (* x y))",
+    "(let* ([x 2] [y (+ x 1)]) y)",
+    "(and 1 2)",
+    "(or #f 9)",
+    "(when (< 1 2) 'a)",
+    "(cond [(zero? 1) 'a] [else 'b])",
+]
+
+
+@pytest.mark.parametrize("source", AGREEMENT_CASES)
+def test_machine_agrees_with_rewriting(source):
+    rewrite_result, machine_value = run_both(source)
+    assert values_agree(rewrite_result.value, machine_value), (
+        f"disagreement on {source}: semantics gave "
+        f"{rewrite_result.value!r}, machine gave {machine_value!r}"
+    )
+
+
+def test_rule_counts_match_expectation():
+    rewrite_result, _ = run_both("(spawn (lambda (c) (+ 1 (c (lambda (k) (k 10))))))")
+    counts = rewrite_result.rule_counts
+    assert counts["spawn"] == 1
+    assert counts["control"] == 1
+    assert counts["label-return"] >= 1  # the reinstated label returns
+
+
+def test_fragment_rejects_pcall():
+    with pytest.raises(SemanticsError):
+        compile_source("(pcall + 1 2)")
+
+
+def test_fragment_rejects_set():
+    with pytest.raises(SemanticsError):
+        compile_source("((lambda (x) (set! x 1)) 0)")
+
+
+def test_fragment_rejects_rest_args():
+    with pytest.raises(SemanticsError):
+        compile_source("((lambda args args) 1)")
+
+
+def test_fragment_rejects_unknown_constants():
+    with pytest.raises(SemanticsError):
+        compile_source("'(1 2)")
+
+
+def test_machine_and_semantics_agree_on_invalid_controller():
+    """Both systems reject the paper's invalid example: the rewriting
+    system gets stuck on e↑l with no label; the machine raises
+    DeadControllerError."""
+    from repro.errors import DeadControllerError, StuckTermError
+    from repro.api import Interpreter
+    from repro.semantics import compile_source, rewrite_run
+
+    source = "((spawn (lambda (c) c)) (lambda (k) k))"
+    with pytest.raises(StuckTermError):
+        rewrite_run(compile_source(source))
+    with pytest.raises(DeadControllerError):
+        Interpreter(prelude=False).eval(source)
+
+
+MORE_CASES = [
+    # shadowing of the controller name
+    "(spawn (lambda (c) ((lambda (c) (c 5)) (lambda (x) (+ x 1)))))",
+    # controller passed through a function before use
+    "(spawn (lambda (c) ((lambda (use) (use c)) (lambda (cc) (+ 1 (cc (lambda (k) 3)))))))",
+    # spawn in argument position
+    "(+ (spawn (lambda (c) 1)) (spawn (lambda (c) (c (lambda (k) 2)))))",
+    # reinstatement whose value is itself a spawn
+    "(spawn (lambda (c) (+ 1 (c (lambda (k) (k (spawn (lambda (d) 5))))))))",
+    # controller used in both arms of an if
+    "(spawn (lambda (c) (if (zero? 0) (c (lambda (k) 1)) (c (lambda (k) 2)))))",
+    # nested reinstatement: k used inside k's own resumed extent
+    "(spawn (lambda (c) (+ 100 (c (lambda (k) (k (+ 1 0)))))))",
+    # receiver returning a lambda (procedure answer)
+    "(spawn (lambda (c) (c (lambda (k) (lambda (x) x)))))",
+    # curried application chains
+    "((((lambda (a) (lambda (b) (lambda (cc) (+ a (+ b cc))))) 1) 2) 3)",
+]
+
+
+@pytest.mark.parametrize("source", MORE_CASES)
+def test_extended_corpus_agreement(source):
+    rewrite_result, machine_value = run_both(source)
+    assert values_agree(rewrite_result.value, machine_value), source

@@ -1,0 +1,174 @@
+"""The four rewrite rules of Section 6, exercised directly."""
+
+import pytest
+
+from repro.errors import StepBudgetExceeded, StuckTermError
+from repro.semantics.rewrite import decompose, plug, run, step
+from repro.semantics.terms import (
+    App,
+    Const,
+    Control,
+    If,
+    Labeled,
+    Lam,
+    PrimOp,
+    SPAWN,
+    Var,
+    term_to_str,
+)
+
+IDENTITY = Lam("x", Var("x"))
+
+
+def test_rule1_beta():
+    result = step(App(IDENTITY, Const(5)))
+    assert result.rule == "beta"
+    assert result.term == Const(5)
+
+
+def test_rule2_label_return():
+    result = step(Labeled(3, Const(7)))
+    assert result.rule == "label-return"
+    assert result.term == Const(7)
+
+
+def test_rule3_control_captures_to_matching_label():
+    # 1 : ((λk. 9) ↑ 1)  ⇒  (λk. 9) (λx. 1 : x)
+    term = Labeled(1, Control(Lam("k", Const(9)), 1))
+    result = step(term)
+    assert result.rule == "control"
+    assert isinstance(result.term, App)
+    fn, arg = result.term.fn, result.term.arg
+    assert fn == Lam("k", Const(9))
+    # The captured continuation includes the label.
+    assert isinstance(arg, Lam)
+    assert isinstance(arg.body, Labeled)
+    assert arg.body.label == 1
+
+
+def test_rule3_innermost_label_wins():
+    # 1 : (1 : (e ↑ 1)) — the inner label delimits.
+    term = Labeled(1, Labeled(1, Control(Lam("k", Var("k")), 1)))
+    result = step(term)
+    # Outer label must survive in the residual program.
+    assert isinstance(result.term, Labeled)
+    assert result.term.label == 1
+
+
+def test_rule3_no_matching_label_is_stuck():
+    with pytest.raises(StuckTermError):
+        step(Control(Lam("k", Const(1)), 99))
+
+
+def test_rule3_label_in_non_evaluation_position_does_not_count():
+    # The label inside an un-entered lambda is not part of the context.
+    term = App(
+        Lam("d", Control(Lam("k", Const(1)), 5)),
+        Const(0),
+    )
+    # First step: beta; then the control is stuck (no label 5 in ctx).
+    after_beta = step(term).term
+    with pytest.raises(StuckTermError):
+        step(after_beta)
+
+
+def test_spawn_rule_shape():
+    result = step(App(SPAWN, IDENTITY))
+    assert result.rule == "spawn"
+    assert isinstance(result.term, Labeled)
+    body = result.term.expr
+    assert isinstance(body, App)
+    assert body.fn == IDENTITY
+    # The controller: λx. x ↑ l with the new label.
+    controller = body.arg
+    assert isinstance(controller, Lam)
+    assert isinstance(controller.body, Control)
+    assert controller.body.label == result.term.label
+
+
+def test_spawn_rule_fresh_label():
+    # A label already in the program must not be reused.
+    term = Labeled(0, App(SPAWN, IDENTITY))
+    result = step(term)
+    inner = result.term.expr
+    assert isinstance(inner, Labeled)
+    assert inner.label != 0
+
+
+def test_if_rule():
+    assert step(If(Const(True), Const(1), Const(2))).term == Const(1)
+    assert step(If(Const(False), Const(1), Const(2))).term == Const(2)
+    # Any non-False value is true (Scheme truthiness).
+    assert step(If(Const(0), Const(1), Const(2))).term == Const(1)
+
+
+def test_delta_rule_partial_application():
+    plus = PrimOp("+", 2, lambda a, b: a + b)
+    partial = step(App(plus, Const(1))).term
+    assert isinstance(partial, PrimOp)
+    assert partial.collected == (1,)
+    full = step(App(partial, Const(2))).term
+    assert full == Const(3)
+
+
+def test_delta_on_non_constant_is_stuck():
+    plus = PrimOp("+", 2, lambda a, b: a + b)
+    with pytest.raises(StuckTermError):
+        step(App(plus, IDENTITY))
+
+
+def test_apply_constant_is_stuck():
+    with pytest.raises(StuckTermError):
+        step(App(Const(1), Const(2)))
+
+
+def test_free_variable_is_stuck():
+    with pytest.raises(StuckTermError):
+        step(Var("ghost"))
+
+
+def test_decompose_plug_roundtrip():
+    term = App(App(IDENTITY, Const(1)), Const(2))
+    ctx, redex = decompose(term)
+    assert plug(ctx, redex) == term
+
+
+def test_decompose_leftmost_outermost():
+    # In (e1 e2) with both reducible, e1 is decomposed first.
+    inner1 = App(IDENTITY, IDENTITY)
+    inner2 = App(IDENTITY, Const(2))
+    ctx, redex = decompose(App(inner1, inner2))
+    assert redex == inner1
+
+
+def test_decompose_value_returns_none():
+    ctx, redex = decompose(Const(5))
+    assert redex is None and ctx == []
+
+
+def test_run_to_value():
+    result = run(App(IDENTITY, Const(42)))
+    assert result.value == Const(42)
+    assert result.steps == 1
+    assert result.rule_counts == {"beta": 1}
+
+
+def test_run_step_budget():
+    omega = App(Lam("x", App(Var("x"), Var("x"))), Lam("x", App(Var("x"), Var("x"))))
+    with pytest.raises(StepBudgetExceeded):
+        run(omega, max_steps=50)
+
+
+def test_run_trace():
+    result = run(App(IDENTITY, Const(1)), keep_trace=True)
+    assert len(result.trace) == 2
+    assert result.trace[-1] == Const(1)
+
+
+def test_full_spawn_example_rewrites_to_value():
+    # spawn (λc. c (λk. 9)) — controller aborts with 9.
+    program = App(SPAWN, Lam("c", App(Var("c"), Lam("k", Const(9)))))
+    result = run(program)
+    assert result.value == Const(9)
+    assert result.rule_counts["spawn"] == 1
+    assert result.rule_counts["control"] == 1

@@ -1,0 +1,68 @@
+"""Capture-avoiding substitution."""
+
+from repro.semantics.terms import (
+    App,
+    Const,
+    Control,
+    If,
+    Labeled,
+    Lam,
+    Var,
+    free_vars,
+    substitute,
+)
+
+
+def test_substitute_variable():
+    assert substitute(Var("x"), "x", Const(1)) == Const(1)
+    assert substitute(Var("y"), "x", Const(1)) == Var("y")
+
+
+def test_substitute_under_application():
+    term = App(Var("x"), Var("x"))
+    assert substitute(term, "x", Const(2)) == App(Const(2), Const(2))
+
+
+def test_shadowing_binder_blocks():
+    term = Lam("x", Var("x"))
+    assert substitute(term, "x", Const(1)) == term
+
+
+def test_substitution_under_different_binder():
+    term = Lam("y", Var("x"))
+    result = substitute(term, "x", Const(1))
+    assert result == Lam("y", Const(1))
+
+
+def test_capture_avoidance():
+    # (λy. x)[x ← y] must NOT become (λy. y).
+    term = Lam("y", Var("x"))
+    result = substitute(term, "x", Var("y"))
+    assert isinstance(result, Lam)
+    assert result.param != "y"
+    assert result.body == Var("y")
+
+
+def test_capture_avoidance_preserves_binding_structure():
+    # (λy. y x)[x ← y]: inner bound y still refers to the binder.
+    term = Lam("y", App(Var("y"), Var("x")))
+    result = substitute(term, "x", Var("y"))
+    assert result.body == App(Var(result.param), Var("y"))
+    assert free_vars(result) == {"y"}
+
+
+def test_substitute_through_labeled_and_control():
+    term = Labeled(1, Control(Var("x"), 2))
+    assert substitute(term, "x", Const(5)) == Labeled(1, Control(Const(5), 2))
+
+
+def test_substitute_through_if():
+    term = If(Var("x"), Var("x"), Var("z"))
+    assert substitute(term, "x", Const(0)) == If(Const(0), Const(0), Var("z"))
+
+
+def test_substitute_value_with_bound_vars_left_alone():
+    value = Lam("z", Var("z"))
+    term = Lam("a", Var("x"))
+    result = substitute(term, "x", value)
+    assert result == Lam("a", value)

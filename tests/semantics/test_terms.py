@@ -1,0 +1,61 @@
+"""Term utilities: values, labels, free variables, rendering."""
+
+from repro.semantics.terms import (
+    App,
+    Const,
+    Control,
+    If,
+    Labeled,
+    Lam,
+    PrimOp,
+    SPAWN,
+    Var,
+    free_vars,
+    is_value,
+    labels_of,
+    term_size,
+    term_to_str,
+)
+
+
+def test_values():
+    assert is_value(Const(1))
+    assert is_value(Lam("x", Var("x")))
+    assert is_value(SPAWN)
+    assert is_value(PrimOp("+", 2, lambda a, b: a + b))
+    assert not is_value(Var("x"))
+    assert not is_value(App(Const(1), Const(2)))
+    assert not is_value(Labeled(0, Const(1)))
+    assert not is_value(Control(Const(1), 0))
+
+
+def test_labels_of():
+    term = Labeled(1, App(Control(Var("x"), 2), Labeled(3, Const(0))))
+    assert labels_of(term) == {1, 2, 3}
+    assert labels_of(Const(1)) == frozenset()
+
+
+def test_labels_of_under_binders():
+    assert labels_of(Lam("x", Labeled(7, Var("x")))) == {7}
+
+
+def test_free_vars():
+    assert free_vars(Var("x")) == {"x"}
+    assert free_vars(Lam("x", Var("x"))) == frozenset()
+    assert free_vars(Lam("x", App(Var("x"), Var("y")))) == {"y"}
+    assert free_vars(If(Var("a"), Var("b"), Var("c"))) == {"a", "b", "c"}
+    assert free_vars(Labeled(0, Var("z"))) == {"z"}
+    assert free_vars(Control(Var("w"), 0)) == {"w"}
+
+
+def test_term_size():
+    assert term_size(Const(1)) == 1
+    assert term_size(App(Const(1), Const(2))) == 3
+    assert term_size(Lam("x", Var("x"))) == 2
+
+
+def test_term_to_str_uses_paper_notation():
+    assert term_to_str(Labeled(3, Const(1))) == "(3 : 1)"
+    assert "↑" in term_to_str(Control(Var("x"), 3))
+    assert term_to_str(SPAWN) == "spawn"
+    assert "λ" in term_to_str(Lam("x", Var("x")))
