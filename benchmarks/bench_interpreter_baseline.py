@@ -65,10 +65,11 @@ WORKLOADS = {
 }
 
 
+@pytest.mark.parametrize("resolve", [True, False], ids=["resolved", "dict"])
 @pytest.mark.parametrize("name", list(WORKLOADS))
-def test_baseline_timing(benchmark, name):
+def test_baseline_timing(benchmark, name, resolve):
     setup, expr, expected = WORKLOADS[name]
-    interp = Interpreter()
+    interp = Interpreter(resolve=resolve)
     if setup:
         interp.run(setup)
 
@@ -80,11 +81,14 @@ def test_baseline_timing(benchmark, name):
 
 
 def test_steps_per_workload_report():
-    print("\nBaseline  machine steps per workload")
+    print("\nBaseline  machine steps per workload (resolved / dict)")
     for name, (setup, expr, _expected) in WORKLOADS.items():
-        interp = Interpreter()
-        if setup:
-            interp.run(setup)
-        before = interp.machine.steps_total
-        interp.eval(expr)
-        print(f"  {name:18s} {interp.machine.steps_total - before:>9d} steps")
+        counts = []
+        for resolve in (True, False):
+            interp = Interpreter(resolve=resolve)
+            if setup:
+                interp.run(setup)
+            before = interp.machine.steps_total
+            interp.eval(expr)
+            counts.append(interp.machine.steps_total - before)
+        print(f"  {name:18s} {counts[0]:>9d} / {counts[1]:>9d} steps")

@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""One-shot benchmark driver: every experiment plus the resolver A/B.
+
+    PYTHONPATH=src python benchmarks/run_all.py            # full run
+    PYTHONPATH=src python benchmarks/run_all.py --fast     # 1 repeat
+    PYTHONPATH=src python benchmarks/run_all.py --out x.json
+
+Runs the E1–E10 experiment suite (shape assertions, timed), then the
+interpreter A/B: each workload under ``resolve=True`` (lexical
+addressing, slot ribs, interned global cells) and ``resolve=False``
+(the original dict-chain interpreter), best-of-N wall time each, and
+the speedup ratio.  Everything lands machine-readable in
+``BENCH_results.json`` at the repo root.
+
+Exit status is non-zero when an experiment shape assertion fails or
+the resolver speedup on the variable-heavy E1/E9 workloads falls
+below the 1.3× acceptance floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.isdir(os.path.join(_ROOT, "src")):
+    sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from repro import experiments  # noqa: E402
+from repro.api import Interpreter  # noqa: E402
+
+RATIO_FLOOR = 1.3
+_SSIZE = 400  # E1 product list length
+
+
+def _product_list() -> str:
+    return "(" + " ".join("2" for _ in range(_SSIZE)) + ")"
+
+
+#: A/B workloads: name -> (setup-source | "@example:<name>", timed expression).
+#: ``e1-product`` and ``e9-deep-capture`` are the acceptance-gated
+#: variable-heavy pair; the rest are context.
+AB_WORKLOADS: dict[str, tuple[str, str]] = {
+    "e1-product": ("@example:product-callcc", f"(product '{_product_list()})"),
+    "e9-deep-capture": (
+        """
+        (define (build n)
+          (if (= n 0)
+              (call/cc (lambda (k) 0))
+              (+ 1 (build (- n 1)))))
+        """,
+        "(build 2000)",
+    ),
+    "fib-18": (
+        "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))",
+        "(fib 18)",
+    ),
+    "tak-12-8-4": (
+        """
+        (define (tak x y z)
+          (if (not (< y x))
+              z
+              (tak (tak (- x 1) y z)
+                   (tak (- y 1) z x)
+                   (tak (- z 1) x y))))
+        """,
+        "(tak 12 8 4)",
+    ),
+    "mutual-recursion": (
+        """
+        (define (even2? n) (if (= n 0) #t (odd2? (- n 1))))
+        (define (odd2? n) (if (= n 0) #f (even2? (- n 1))))
+        """,
+        "(even2? 20000)",
+    ),
+    "list-ops": (
+        "",
+        "(length (reverse (append (iota 300) (map add1 (iota 300)))))",
+    ),
+}
+
+#: Workloads whose ratio is gated by the acceptance floor.
+GATED = ("e1-product", "e9-deep-capture")
+
+
+def _time_workload(name: str, resolve: bool, repeats: int) -> float:
+    setup, expr = AB_WORKLOADS[name]
+    best = float("inf")
+    for _ in range(repeats):
+        interp = Interpreter(policy="serial", resolve=resolve)
+        if setup.startswith("@example:"):
+            interp.load_paper_example(setup[len("@example:") :])
+        elif setup:
+            interp.run(setup)
+        start = time.perf_counter()
+        interp.eval(expr)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_ab(repeats: int) -> dict[str, dict[str, float]]:
+    print("\n=== A/B  resolved (slot ribs + global cells) vs dict chains ===")
+    results: dict[str, dict[str, float]] = {}
+    for name in AB_WORKLOADS:
+        resolved = _time_workload(name, resolve=True, repeats=repeats)
+        dict_chain = _time_workload(name, resolve=False, repeats=repeats)
+        ratio = dict_chain / resolved if resolved else float("inf")
+        gate = "  [gated ≥%.1fx]" % RATIO_FLOOR if name in GATED else ""
+        print(
+            f"  {name:18s} resolved={resolved * 1e3:8.2f}ms  "
+            f"dict={dict_chain * 1e3:8.2f}ms  ratio={ratio:5.2f}x{gate}"
+        )
+        results[name] = {
+            "resolved_s": resolved,
+            "dict_s": dict_chain,
+            "ratio": round(ratio, 3),
+        }
+    return results
+
+
+def run_experiments() -> dict[str, dict[str, object]]:
+    report = experiments.Report()
+    timed: dict[str, dict[str, object]] = {}
+    for runner in experiments.RUNNERS:
+        failures_before = len(report.failures)
+        start = time.perf_counter()
+        runner(report)
+        timed[runner.__name__] = {
+            "seconds": round(time.perf_counter() - start, 4),
+            "ok": len(report.failures) == failures_before,
+        }
+    if report.failures:
+        print(f"\n{len(report.failures)} experiment shape assertion(s) FAILED")
+    return timed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=os.path.join(_ROOT, "BENCH_results.json"),
+        help="result JSON path (default: BENCH_results.json at repo root)",
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="A/B best-of-N")
+    parser.add_argument(
+        "--fast", action="store_true", help="single repeat (smoke run)"
+    )
+    args = parser.parse_args(argv)
+    repeats = 1 if args.fast else max(1, args.repeats)
+
+    experiment_results = run_experiments()
+    ab_results = run_ab(repeats)
+
+    gated = {name: ab_results[name]["ratio"] for name in GATED}
+    acceptance_ok = all(ratio >= RATIO_FLOOR for ratio in gated.values())
+    experiments_ok = all(entry["ok"] for entry in experiment_results.values())
+
+    payload = {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "repeats": repeats,
+        },
+        "experiments": experiment_results,
+        "ab": ab_results,
+        "acceptance": {
+            "ratio_floor": RATIO_FLOOR,
+            "gated_ratios": gated,
+            "pass": acceptance_ok and experiments_ok,
+        },
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    print(f"\nwrote {args.out}")
+    status = "pass" if payload["acceptance"]["pass"] else "FAIL"
+    print(
+        f"acceptance [{status}]: "
+        + "  ".join(f"{k}={v:.2f}x" for k, v in gated.items())
+        + f"  (floor {RATIO_FLOOR}x)"
+    )
+    return 0 if payload["acceptance"]["pass"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,7 @@ from typing import Any
 from repro.datum import scheme_repr
 from repro.expander import ExpandEnv, expand_program
 from repro.control import register_control_primitives
+from repro.ir import ResolverStats, resolve_program
 from repro.lib import PRELUDE, paper_examples
 from repro.lib.derived import LIBRARIES
 from repro.machine.environment import GlobalEnv
@@ -51,6 +52,14 @@ class Interpreter:
         default; switch off for a bare machine.
     echo_output:
         Also print ``display`` output to real stdout.
+    resolve:
+        Run the resolver pass (:mod:`repro.ir.resolve`) between the
+        expander and the machine, compiling variable references to
+        lexical slot addresses and interned global cells.  On by
+        default; ``resolve=False`` keeps the original dict-chain
+        interpreter alive as the benchable ablation baseline (the
+        ``--no-resolve`` CLI flag and ``benchmarks/run_all.py`` use
+        it for A/B runs).
     """
 
     def __init__(
@@ -61,7 +70,10 @@ class Interpreter:
         max_steps: int | None = None,
         prelude: bool = True,
         echo_output: bool = False,
+        resolve: bool = True,
     ):
+        self.resolve = resolve
+        self.resolver_stats = ResolverStats()
         self.globals = GlobalEnv()
         self.output = install_primitives(self.globals, OutputBuffer(echo=echo_output))
         register_control_primitives(self.globals)
@@ -71,6 +83,7 @@ class Interpreter:
             seed=seed,
             quantum=quantum,
             max_steps=None,  # the budget applies to user code only
+            fold=resolve,
         )
         self.expand_env = ExpandEnv()
         self._loaded_examples: set[str] = set()
@@ -82,12 +95,15 @@ class Interpreter:
     # -- evaluation -----------------------------------------------------
 
     def run(self, source: str) -> list[Any]:
-        """Read, expand and evaluate every form in ``source``.
+        """Read, expand, resolve (unless ``resolve=False``) and
+        evaluate every form in ``source``.
 
         Returns the list of values (definitions yield the unspecified
         value)."""
         forms = read_all(source)
         nodes = expand_program(forms, self.expand_env)
+        if self.resolve:
+            nodes = resolve_program(nodes, self.globals, self.resolver_stats)
         return self.machine.run(nodes)
 
     def eval(self, source: str) -> Any:
@@ -165,5 +181,10 @@ class Interpreter:
 
     @property
     def stats(self) -> dict[str, int]:
-        """Machine counters: forks, captures, reinstatements, ..."""
-        return dict(self.machine.stats)
+        """Machine counters (forks, captures, reinstatements, ...)
+        plus — when the resolver is on — its compile-stage counters
+        (locals resolved, global cells interned, cache hits)."""
+        out = dict(self.machine.stats)
+        if self.resolve:
+            out.update(self.resolver_stats.as_dict())
+        return out

@@ -1,7 +1,10 @@
 """Core intermediate representation.
 
 The expander lowers every surface form into the eight node types defined
-in :mod:`repro.ir.nodes`.  The abstract machine evaluates exactly this
+in :mod:`repro.ir.nodes`.  The resolver (:mod:`repro.ir.resolve`) then
+optionally rewrites variable references into lexically addressed /
+global-cell forms — four further node types the machine evaluates with
+no run-time name lookup.  The abstract machine evaluates exactly this
 IR; nothing downstream ever sees surface syntax or macros.
 """
 
@@ -16,9 +19,14 @@ from repro.ir.nodes import (
     Seq,
     DefineTop,
     Pcall,
+    LocalRef,
+    LocalSet,
+    GlobalRef,
+    GlobalSet,
 )
 from repro.ir.free_vars import free_variables
 from repro.ir.pretty import pretty
+from repro.ir.resolve import ResolverStats, resolve_node, resolve_program
 
 __all__ = [
     "Node",
@@ -31,6 +39,13 @@ __all__ = [
     "Seq",
     "DefineTop",
     "Pcall",
+    "LocalRef",
+    "LocalSet",
+    "GlobalRef",
+    "GlobalSet",
     "free_variables",
     "pretty",
+    "ResolverStats",
+    "resolve_node",
+    "resolve_program",
 ]

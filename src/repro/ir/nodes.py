@@ -5,6 +5,14 @@ form from the paper (Multilisp's ``pcall``): all subexpressions —
 operator included — are evaluated in parallel branches of the process
 tree, then the operator value is applied to the argument values as in a
 normal call.
+
+The expander emits the first eight node kinds only; the resolver pass
+(:mod:`repro.ir.resolve`) rewrites ``Var``/``SetBang`` into the four
+*resolved* kinds — ``LocalRef``/``LocalSet`` carrying ``(depth,
+index)`` lexical addresses and ``GlobalRef``/``GlobalSet`` carrying an
+interned global cell — and stamps each ``Lambda`` with the slot count
+of its rib.  The machine evaluates either dialect; a program is always
+entirely one or the other.
 """
 
 from __future__ import annotations
@@ -25,6 +33,10 @@ __all__ = [
     "Seq",
     "DefineTop",
     "Pcall",
+    "LocalRef",
+    "LocalSet",
+    "GlobalRef",
+    "GlobalSet",
 ]
 
 
@@ -68,6 +80,12 @@ class Lambda(Node):
     rest: Symbol | None
     body: Node
     name: str | None = field(default=None, compare=False)
+    #: Slot count of the rib this lambda allocates per application —
+    #: ``len(params)`` plus one for ``rest``.  ``None`` means the
+    #: lambda is unresolved (dict-chain mode); 0 means the resolver
+    #: proved no rib is needed (a thunk) and application reuses the
+    #: closure's environment directly.
+    nslots: int | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -113,6 +131,57 @@ class DefineTop(Node):
 
     name: Symbol
     expr: Node
+
+
+@dataclass(frozen=True)
+class LocalRef(Node):
+    """A lexically addressed variable reference: walk ``depth`` parent
+    ribs, read slot ``index``.  ``name`` is carried for debugging and
+    pretty-printing only."""
+
+    depth: int
+    index: int
+    name: Symbol = field(compare=False)
+
+    def __repr__(self) -> str:
+        return f"LocalRef({self.name.name}@{self.depth}.{self.index})"
+
+
+@dataclass(frozen=True)
+class LocalSet(Node):
+    """Assignment to a lexically addressed binding."""
+
+    depth: int
+    index: int
+    expr: Node
+    name: Symbol = field(compare=False)
+
+    def __repr__(self) -> str:
+        return f"LocalSet({self.name.name}@{self.depth}.{self.index}, {self.expr!r})"
+
+
+@dataclass(frozen=True)
+class GlobalRef(Node):
+    """A reference through an interned global cell (one attribute read
+    at run time).  ``cell`` is a
+    :class:`repro.machine.environment.GlobalCell`; it may still be
+    unbound when this node is built — first touch checks."""
+
+    cell: Any
+
+    def __repr__(self) -> str:
+        return f"GlobalRef({self.cell.name.name})"
+
+
+@dataclass(frozen=True)
+class GlobalSet(Node):
+    """Assignment through an interned global cell."""
+
+    cell: Any
+    expr: Node
+
+    def __repr__(self) -> str:
+        return f"GlobalSet({self.cell.name.name}, {self.expr!r})"
 
 
 @dataclass(frozen=True)

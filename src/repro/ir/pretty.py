@@ -8,8 +8,12 @@ from repro.ir.nodes import (
     App,
     Const,
     DefineTop,
+    GlobalRef,
+    GlobalSet,
     If,
     Lambda,
+    LocalRef,
+    LocalSet,
     Node,
     Pcall,
     Seq,
@@ -33,6 +37,16 @@ def pretty(node: Node) -> str:
         return rendered
     if isinstance(node, Var):
         return node.name.name
+    if isinstance(node, LocalRef):
+        return f"{node.name.name}@{node.depth}.{node.index}"
+    if isinstance(node, GlobalRef):
+        return f"{node.cell.name.name}@global"
+    if isinstance(node, LocalSet):
+        return (
+            f"(set! {node.name.name}@{node.depth}.{node.index} {pretty(node.expr)})"
+        )
+    if isinstance(node, GlobalSet):
+        return f"(set! {node.cell.name.name}@global {pretty(node.expr)})"
     if isinstance(node, Lambda):
         params = [p.name for p in node.params]
         if node.rest is not None:

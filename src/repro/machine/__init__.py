@@ -21,13 +21,15 @@ deterministic interleaving scheduler.
 """
 
 from repro.machine.values import Closure, Primitive, ControlPrimitive
-from repro.machine.environment import Environment, GlobalEnv
+from repro.machine.environment import Environment, GlobalCell, GlobalEnv, SlotRib
 from repro.machine.frames import (
     Frame,
     AppFrame,
     IfFrame,
     SeqFrame,
     SetFrame,
+    LocalSetFrame,
+    GlobalSetFrame,
     DefineFrame,
 )
 from repro.machine.links import (
@@ -57,12 +59,16 @@ __all__ = [
     "Primitive",
     "ControlPrimitive",
     "Environment",
+    "GlobalCell",
     "GlobalEnv",
+    "SlotRib",
     "Frame",
     "AppFrame",
     "IfFrame",
     "SeqFrame",
     "SetFrame",
+    "LocalSetFrame",
+    "GlobalSetFrame",
     "DefineFrame",
     "Label",
     "PromptLabel",

@@ -21,7 +21,9 @@ from repro.machine.frames import (
     AppFrame,
     DefineFrame,
     Frame,
+    GlobalSetFrame,
     IfFrame,
+    LocalSetFrame,
     SeqFrame,
     SetFrame,
 )
@@ -53,6 +55,12 @@ def copy_frames(frame: Frame | None) -> Frame | None:
             copied = SeqFrame(original.remaining, original.env, copied)
         elif isinstance(original, SetFrame):
             copied = SetFrame(original.name, original.env, copied)
+        elif isinstance(original, LocalSetFrame):
+            copied = LocalSetFrame(
+                original.depth, original.index, original.env, copied
+            )
+        elif isinstance(original, GlobalSetFrame):
+            copied = GlobalSetFrame(original.cell, copied)
         elif isinstance(original, DefineFrame):
             copied = DefineFrame(original.name, original.env, copied)
         else:  # pragma: no cover - defensive

@@ -26,6 +26,8 @@ __all__ = [
     "IfFrame",
     "SeqFrame",
     "SetFrame",
+    "LocalSetFrame",
+    "GlobalSetFrame",
     "DefineFrame",
     "frame_chain_length",
 ]
@@ -108,6 +110,35 @@ class SetFrame(Frame):
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"#<set!-frame {self.name.name}>"
+
+
+class LocalSetFrame(Frame):
+    """Assign the incoming value to the slot at ``(depth, index)``
+    relative to ``env`` (the environment of the resolved ``set!``)."""
+
+    __slots__ = ("depth", "index", "env")
+
+    def __init__(self, depth: int, index: int, env: "Environment", next_: "Frame | None"):
+        self.depth = depth
+        self.index = index
+        self.env = env
+        self.next = next_
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"#<set!-frame @{self.depth}.{self.index}>"
+
+
+class GlobalSetFrame(Frame):
+    """Assign the incoming value through an interned global cell."""
+
+    __slots__ = ("cell",)
+
+    def __init__(self, cell: Any, next_: "Frame | None"):
+        self.cell = cell
+        self.next = next_
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"#<set!-frame {self.cell.name.name}@global>"
 
 
 class DefineFrame(Frame):

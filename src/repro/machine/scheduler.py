@@ -61,11 +61,16 @@ class Machine:
         seed: int | None = None,
         quantum: int = 16,
         max_steps: int | None = None,
+        fold: bool = True,
     ):
         self.globals = globals_ if globals_ is not None else GlobalEnv()
         self.policy = SchedulerPolicy(policy)
         self.quantum = max(1, quantum)
         self.max_steps = max_steps
+        # Trivial-operand folding in the stepper (see repro.machine.step).
+        # Off for the resolve=False ablation so the dict-chain baseline
+        # keeps its original step-for-step behaviour.
+        self.fold = fold
         self.rng = random.Random(seed)
         self.toplevel_env = Environment.toplevel(self.globals)
 

@@ -8,13 +8,23 @@ control shapes are:
   segment's link when the segment is empty;
 * ``(APPLY, fn, args)`` — apply a procedure value.
 
-Applications are processed only after their frame has been popped, so
-tail calls run in constant segment space (proper tail calls fall out of
-the frame discipline for free).
-
 Node and frame handling dispatch through type-keyed tables rather than
 ``isinstance`` ladders — profiling showed the ladders dominating the
 hot loop (~20 % end-to-end on call-heavy code).
+
+The stepper evaluates both IR dialects: the expander's ``Var``/
+``SetBang`` (dict-chain environments, the ``resolve=False`` baseline)
+and the resolver's ``LocalRef``/``LocalSet``/``GlobalRef``/
+``GlobalSet`` (slot ribs and interned global cells — see
+:mod:`repro.ir.resolve`).  On resolved programs (``machine.fold``)
+the stepper also folds *trivial* operands — references, constants,
+resolved lambdas — into the application's own step, applying
+immediately once every operand is in hand; the ``resolve=False``
+baseline keeps the seed's one-transition-per-operand stepping.
+Either way, tail calls run in constant
+segment space: applications are processed only after their frame has
+been popped, so proper tail calls fall out of the frame discipline for
+free, independent of the rib representation.
 """
 
 from __future__ import annotations
@@ -22,10 +32,32 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.datum import UNSPECIFIED, from_pylist
-from repro.errors import ControlError, MachineError, WrongTypeError
-from repro.ir import App, Const, DefineTop, If, Lambda, Pcall, Seq, SetBang, Var
-from repro.machine.environment import Environment
-from repro.machine.frames import AppFrame, DefineFrame, IfFrame, SeqFrame, SetFrame
+from repro.errors import ControlError, MachineError, UnboundVariableError, WrongTypeError
+from repro.ir import (
+    App,
+    Const,
+    DefineTop,
+    GlobalRef,
+    GlobalSet,
+    If,
+    Lambda,
+    LocalRef,
+    LocalSet,
+    Pcall,
+    Seq,
+    SetBang,
+    Var,
+)
+from repro.machine.environment import UNBOUND, Environment, SlotRib
+from repro.machine.frames import (
+    AppFrame,
+    DefineFrame,
+    GlobalSetFrame,
+    IfFrame,
+    LocalSetFrame,
+    SeqFrame,
+    SetFrame,
+)
 from repro.machine.links import ForkLink, HaltLink, Join, LabelLink
 from repro.machine.task import APPLY, EVAL, HOLE, VALUE, Task, TaskState
 from repro.machine.tree import replace_child
@@ -35,6 +67,41 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.scheduler import Machine
 
 __all__ = ["step", "apply_procedure"]
+
+
+#: Sentinel: a node is not trivially evaluable in place.
+_NOT_TRIVIAL = object()
+
+
+def _trivial_eval(node: Any, env: Any) -> Any:
+    """Evaluate a *trivial* resolved node — one whose evaluation cannot
+    push frames, fork, capture, or observe the scheduler — or return
+    ``_NOT_TRIVIAL``.
+
+    Only the resolver's dialect folds (``LocalRef``/``GlobalRef``/
+    ``Const``/resolved ``Lambda``): the compile stage is what
+    guarantees a reference is one slot read or one cell read, so
+    applications can consume such operands without spending a machine
+    step each.  The unresolved dialect (``Var``) falls through, keeping
+    the dict-chain baseline's step-for-step seed behaviour.
+    """
+    kind = type(node)
+    if kind is LocalRef:
+        depth = node.depth
+        while depth:
+            env = env.parent
+            depth -= 1
+        return env.values[node.index]
+    if kind is GlobalRef:
+        value = node.cell.value
+        if value is UNBOUND:
+            raise UnboundVariableError(node.cell.name.name)
+        return value
+    if kind is Const:
+        return node.value
+    if kind is Lambda and node.nslots is not None:
+        return Closure(node.params, node.rest, node.body, env, node.name, node.nslots)
+    return _NOT_TRIVIAL
 
 
 def step(machine: "Machine", task: Task) -> None:
@@ -50,11 +117,47 @@ def step(machine: "Machine", task: Task) -> None:
     if tag is EVAL:
         node = control[1]
         kind = type(node)
+        if kind is LocalRef:
+            env = task.env
+            depth = node.depth
+            while depth:
+                env = env.parent
+                depth -= 1
+            task.control = (VALUE, env.values[node.index])
+            return
+        if kind is GlobalRef:
+            value = node.cell.value
+            if value is UNBOUND:
+                raise UnboundVariableError(node.cell.name.name)
+            task.control = (VALUE, value)
+            return
         if kind is Var:
             task.control = (VALUE, task.env.lookup(node.name))
             return
         if kind is App:
-            task.frames = AppFrame((), node.args, task.env, task.frames)
+            env = task.env
+            if machine.fold:
+                fnval = _trivial_eval(node.fn, env)
+                if fnval is not _NOT_TRIVIAL:
+                    args = node.args
+                    done = [fnval]
+                    index = 0
+                    nargs = len(args)
+                    while index < nargs:
+                        value = _trivial_eval(args[index], env)
+                        if value is _NOT_TRIVIAL:
+                            break
+                        done.append(value)
+                        index += 1
+                    if index == nargs:
+                        apply_procedure(machine, task, fnval, done[1:])
+                        return
+                    task.frames = AppFrame(
+                        tuple(done), args[index + 1 :], env, task.frames
+                    )
+                    task.control = (EVAL, args[index])
+                    return
+            task.frames = AppFrame((), node.args, env, task.frames)
             task.control = (EVAL, node.fn)
             return
         if kind is If:
@@ -75,12 +178,30 @@ def step(machine: "Machine", task: Task) -> None:
             task.frames = frame.next
             if type(frame) is AppFrame:
                 done = frame.done + (value,)
-                if frame.pending:
+                pending = frame.pending
+                if machine.fold:
+                    env = frame.env
+                    index = 0
+                    npend = len(pending)
+                    while index < npend:
+                        folded = _trivial_eval(pending[index], env)
+                        if folded is _NOT_TRIVIAL:
+                            break
+                        done = done + (folded,)
+                        index += 1
+                    if index == npend:
+                        apply_procedure(machine, task, done[0], list(done[1:]))
+                        return
                     task.frames = AppFrame(
-                        done, frame.pending[1:], frame.env, task.frames
+                        done, pending[index + 1 :], env, task.frames
                     )
+                    task.env = env
+                    task.control = (EVAL, pending[index])
+                    return
+                if pending:
+                    task.frames = AppFrame(done, pending[1:], frame.env, task.frames)
                     task.env = frame.env
-                    task.control = (EVAL, frame.pending[0])
+                    task.control = (EVAL, pending[0])
                 else:
                     task.control = (APPLY, done[0], list(done[1:]))
                 return
@@ -115,15 +236,51 @@ def _eval_var(machine: "Machine", task: Task, node: Var) -> None:
     task.control = (VALUE, task.env.lookup(node.name))
 
 
+def _eval_local_ref(machine: "Machine", task: Task, node: LocalRef) -> None:
+    env = task.env
+    depth = node.depth
+    while depth:
+        env = env.parent
+        depth -= 1
+    task.control = (VALUE, env.values[node.index])
+
+
+def _eval_global_ref(machine: "Machine", task: Task, node: GlobalRef) -> None:
+    value = node.cell.value
+    if value is UNBOUND:
+        raise UnboundVariableError(node.cell.name.name)
+    task.control = (VALUE, value)
+
+
 def _eval_lambda(machine: "Machine", task: Task, node: Lambda) -> None:
     task.control = (
         VALUE,
-        Closure(node.params, node.rest, node.body, task.env, node.name),
+        Closure(node.params, node.rest, node.body, task.env, node.name, node.nslots),
     )
 
 
 def _eval_app(machine: "Machine", task: Task, node: App) -> None:
-    task.frames = AppFrame((), node.args, task.env, task.frames)
+    env = task.env
+    if machine.fold:
+        fnval = _trivial_eval(node.fn, env)
+        if fnval is not _NOT_TRIVIAL:
+            args = node.args
+            done = [fnval]
+            index = 0
+            nargs = len(args)
+            while index < nargs:
+                value = _trivial_eval(args[index], env)
+                if value is _NOT_TRIVIAL:
+                    break
+                done.append(value)
+                index += 1
+            if index == nargs:
+                apply_procedure(machine, task, fnval, done[1:])
+                return
+            task.frames = AppFrame(tuple(done), args[index + 1 :], env, task.frames)
+            task.control = (EVAL, args[index])
+            return
+    task.frames = AppFrame((), node.args, env, task.frames)
     task.control = (EVAL, node.fn)
 
 
@@ -141,6 +298,16 @@ def _eval_seq(machine: "Machine", task: Task, node: Seq) -> None:
 
 def _eval_set(machine: "Machine", task: Task, node: SetBang) -> None:
     task.frames = SetFrame(node.name, task.env, task.frames)
+    task.control = (EVAL, node.expr)
+
+
+def _eval_local_set(machine: "Machine", task: Task, node: LocalSet) -> None:
+    task.frames = LocalSetFrame(node.depth, node.index, task.env, task.frames)
+    task.control = (EVAL, node.expr)
+
+
+def _eval_global_set(machine: "Machine", task: Task, node: GlobalSet) -> None:
+    task.frames = GlobalSetFrame(node.cell, task.frames)
     task.control = (EVAL, node.expr)
 
 
@@ -165,11 +332,15 @@ def _eval_pcall(machine: "Machine", task: Task, node: Pcall) -> None:
 _EVAL_DISPATCH: dict[type, Callable[["Machine", Task, Any], None]] = {
     Const: _eval_const,
     Var: _eval_var,
+    LocalRef: _eval_local_ref,
+    GlobalRef: _eval_global_ref,
     Lambda: _eval_lambda,
     App: _eval_app,
     If: _eval_if,
     Seq: _eval_seq,
     SetBang: _eval_set,
+    LocalSet: _eval_local_set,
+    GlobalSet: _eval_global_set,
     DefineTop: _eval_define,
     Pcall: _eval_pcall,
 }
@@ -182,10 +353,28 @@ _EVAL_DISPATCH: dict[type, Callable[["Machine", Task, Any], None]] = {
 
 def _frame_app(machine: "Machine", task: Task, frame: AppFrame, value: Any) -> None:
     done = frame.done + (value,)
-    if frame.pending:
-        task.frames = AppFrame(done, frame.pending[1:], frame.env, task.frames)
+    pending = frame.pending
+    if machine.fold:
+        env = frame.env
+        index = 0
+        npend = len(pending)
+        while index < npend:
+            folded = _trivial_eval(pending[index], env)
+            if folded is _NOT_TRIVIAL:
+                break
+            done = done + (folded,)
+            index += 1
+        if index == npend:
+            apply_procedure(machine, task, done[0], list(done[1:]))
+            return
+        task.frames = AppFrame(done, pending[index + 1 :], env, task.frames)
+        task.env = env
+        task.control = (EVAL, pending[index])
+        return
+    if pending:
+        task.frames = AppFrame(done, pending[1:], frame.env, task.frames)
         task.env = frame.env
-        task.control = (EVAL, frame.pending[0])
+        task.control = (EVAL, pending[0])
     else:
         task.control = (APPLY, done[0], list(done[1:]))
 
@@ -208,6 +397,28 @@ def _frame_set(machine: "Machine", task: Task, frame: SetFrame, value: Any) -> N
     task.control = (VALUE, UNSPECIFIED)
 
 
+def _frame_local_set(
+    machine: "Machine", task: Task, frame: LocalSetFrame, value: Any
+) -> None:
+    env = frame.env
+    depth = frame.depth
+    while depth:
+        env = env.parent
+        depth -= 1
+    env.values[frame.index] = value
+    task.control = (VALUE, UNSPECIFIED)
+
+
+def _frame_global_set(
+    machine: "Machine", task: Task, frame: GlobalSetFrame, value: Any
+) -> None:
+    cell = frame.cell
+    if cell.value is UNBOUND:
+        raise UnboundVariableError(cell.name.name)
+    cell.value = value
+    task.control = (VALUE, UNSPECIFIED)
+
+
 def _frame_define(
     machine: "Machine", task: Task, frame: DefineFrame, value: Any
 ) -> None:
@@ -220,6 +431,8 @@ _FRAME_DISPATCH: dict[type, Callable[["Machine", Task, Any, Any], None]] = {
     IfFrame: _frame_if,
     SeqFrame: _frame_seq,
     SetFrame: _frame_set,
+    LocalSetFrame: _frame_local_set,
+    GlobalSetFrame: _frame_global_set,
     DefineFrame: _frame_define,
 }
 
@@ -295,6 +508,23 @@ def apply_procedure(machine: "Machine", task: Task, fn: Any, args: list[Any]) ->
     kind = type(fn)
     if kind is Closure:
         fn.check_arity(len(args))
+        nslots = fn.nslots
+        if nslots is not None:
+            # Resolved body: one flat rib of exactly nslots slots (the
+            # arity check above guarantees len(args) matches).  Thunks
+            # (nslots == 0) reuse the captured environment outright.
+            if nslots:
+                if fn.rest is None:
+                    values = args
+                else:
+                    nparams = len(fn.params)
+                    values = args[:nparams]
+                    values.append(from_pylist(args[nparams:]))
+                task.env = SlotRib(values, fn.env)
+            else:
+                task.env = fn.env
+            task.control = (EVAL, fn.body)
+            return
         nparams = len(fn.params)
         bindings = dict(zip(fn.params, args))
         if fn.rest is not None:

@@ -36,9 +36,17 @@ def check_arity(name: str, count: int, low: int, high: int | None) -> None:
 
 
 class Closure:
-    """A user procedure: formals + body + captured environment."""
+    """A user procedure: formals + body + captured environment.
 
-    __slots__ = ("params", "rest", "body", "env", "name")
+    ``nslots`` is the frame size of one application — set by the
+    resolver (via ``Lambda.nslots``) when the body is resolved IR, in
+    which case ``apply_procedure`` allocates a flat
+    :class:`~repro.machine.environment.SlotRib` of exactly that many
+    slots.  ``None`` means an unresolved body: applications build the
+    classic per-call dict rib.
+    """
+
+    __slots__ = ("params", "rest", "body", "env", "name", "nslots")
 
     def __init__(
         self,
@@ -47,12 +55,14 @@ class Closure:
         body: "Node",
         env: "Environment",
         name: str | None = None,
+        nslots: int | None = None,
     ):
         self.params = params
         self.rest = rest
         self.body = body
         self.env = env
         self.name = name
+        self.nslots = nslots
 
     def check_arity(self, count: int) -> None:
         low = len(self.params)

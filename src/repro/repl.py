@@ -4,13 +4,15 @@
     python -m repro program.ss        # run a file
     python -m repro -e "(+ 1 2)"      # evaluate and print
     python -m repro --examples        # list the paper's programs
+    python -m repro --no-resolve ...  # dict-chain baseline (A/B runs)
 
 REPL meta-commands:
 
     ,help            this message
     ,load <name>     load a paper example by name (,load sum-of-products)
     ,examples        list paper example names
-    ,stats           machine counters (forks, captures, ...)
+    ,stats           machine + resolver counters (forks, captures,
+                     locals resolved, global cells interned, ...)
     ,tree            render the last process-tree statistics
     ,trace <expr>    evaluate with a control-event trace
     ,analyze <expr>  controller escape analysis of the spawn sites
@@ -198,6 +200,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--max-steps", type=int, default=None, help="machine step budget"
     )
+    parser.add_argument(
+        "--no-resolve",
+        action="store_true",
+        help="skip the lexical-addressing resolver pass (dict-chain "
+        "environments; the benchable ablation baseline)",
+    )
     args = parser.parse_args(argv)
 
     if args.examples:
@@ -210,6 +218,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         max_steps=args.max_steps,
         echo_output=False,
+        resolve=not args.no_resolve,
     )
     repl = Repl(interp)
 

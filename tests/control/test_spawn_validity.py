@@ -94,3 +94,41 @@ def test_controller_valid_while_process_active_deep_inside(interp):
 def test_error_message_names_the_controller(interp):
     with pytest.raises(DeadControllerError, match="root is not in the"):
         interp.eval("((spawn (lambda (c) c)) (lambda (k) k))")
+
+
+# -- both environment representations ------------------------------------
+#
+# The validity rules are a property of the process tree, not of how
+# variables are looked up; they must hold identically on the resolved
+# machine (slot ribs, default) and the dict-chain ablation.
+
+
+@pytest.fixture(params=[True, False], ids=["resolved", "dict"])
+def either_interp(request):
+    from repro import Interpreter
+
+    return Interpreter(resolve=request.param)
+
+
+def test_invalid_after_return_both_representations(either_interp):
+    with pytest.raises(DeadControllerError):
+        either_interp.eval(paper_examples.INVALID_AFTER_RETURN)
+
+
+def test_invalid_after_use_both_representations(either_interp):
+    with pytest.raises(DeadControllerError):
+        either_interp.eval(paper_examples.INVALID_AFTER_USE)
+
+
+def test_valid_after_reinstatement_both_representations(either_interp):
+    source = paper_examples.VALID_AFTER_REINSTATEMENT.strip()
+    assert either_interp.eval(f"({source} 42)") == 42
+
+
+def test_spawn_escape_both_representations(either_interp):
+    assert (
+        either_interp.eval(
+            "(spawn (lambda (c) (+ 1 (c (lambda (k) 'out)))))"
+        ).name
+        == "out"
+    )

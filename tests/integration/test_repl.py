@@ -144,6 +144,27 @@ def test_cli_max_steps(capsys):
     assert "error" in capsys.readouterr().out
 
 
+def test_cli_no_resolve(capsys):
+    assert main(["--no-resolve", "-e", "(let ([x 6]) (* x 7))"]) == 0
+    assert "42" in capsys.readouterr().out
+
+
+def test_meta_stats_includes_resolver_counters(repl):
+    text, _ = feed(repl, "(let ([x 1]) (+ x x))", ",stats")
+    assert "resolver_locals" in text
+    assert "resolver_cells_interned" in text
+
+
+def test_meta_stats_no_resolver_rows_when_disabled():
+    from repro import Interpreter
+
+    out = io.StringIO()
+    pair = (Repl(Interpreter(echo_output=False, resolve=False), out=out), out)
+    text, _ = feed(pair, "(+ 1 2)", ",stats")
+    assert "forks" in text
+    assert "resolver_locals" not in text
+
+
 def test_meta_analyze(repl):
     text, _ = feed(repl, ",analyze (spawn (lambda (c) (c (lambda (k) 1))))")
     assert "confined" in text

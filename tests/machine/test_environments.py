@@ -4,7 +4,7 @@ import pytest
 
 from repro.datum import intern
 from repro.errors import UnboundVariableError
-from repro.machine.environment import Environment, GlobalEnv
+from repro.machine.environment import UNBOUND, Environment, GlobalEnv, SlotRib
 from repro.machine.values import Closure, Primitive, check_arity
 from repro.errors import ArityError
 
@@ -78,6 +78,43 @@ def test_deep_environment_chain():
         env = env.extend((intern(f"v{i}"),), [i])
     assert env.lookup(intern("v0")) == 0
     assert env.lookup(intern("v4999")) == 4999
+
+
+# -- slot ribs and global cells (the resolved representation) -------------
+
+
+def test_global_cell_interning():
+    genv = GlobalEnv()
+    cell = genv.cell(intern("x"))
+    assert genv.cell(intern("x")) is cell  # interned, not re-made
+    assert cell.value is UNBOUND
+    genv.define(intern("x"), 5)
+    assert cell.value == 5  # define writes through the same cell
+    genv.assign(intern("x"), 6)
+    assert cell.value == 6
+
+
+def test_global_cell_lookup_of_interned_but_undefined():
+    genv = GlobalEnv()
+    genv.cell(intern("later"))  # forward reference interned the cell
+    with pytest.raises(UnboundVariableError, match="later"):
+        genv.lookup(intern("later"))
+    assert intern("later") not in genv  # unbound cells don't count
+
+
+def test_slot_rib_chain_walk():
+    outer = SlotRib([1, 2], None)
+    inner = SlotRib([3], outer)
+    assert inner.values[0] == 3
+    assert inner.parent.values == [1, 2]
+    assert outer.parent is None
+
+
+def test_slot_rib_is_shared_not_copied():
+    rib = SlotRib([0], None)
+    alias = SlotRib([1], rib)
+    rib.values[0] = 99
+    assert alias.parent.values[0] == 99
 
 
 # -- value helpers --------------------------------------------------------

@@ -64,6 +64,44 @@ def test_non_tail_recursion_grows_frames():
     assert max_depth > 100
 
 
+def test_deep_mutual_recursion_under_slot_ribs():
+    """Regression for the resolved representation: mutual tail calls at
+    depth 1e5 must neither blow the frame chain nor allocate ribs that
+    keep each other alive.  The frame-depth bound is asserted live via
+    the trace hook, so a silently-growing segment cannot pass."""
+    interp = Interpreter()
+    max_depth = 0
+
+    def hook(machine, task):
+        nonlocal max_depth
+        depth = frame_chain_length(task.frames)
+        if depth > max_depth:
+            max_depth = depth
+
+    interp.run(
+        """
+        (define (even? n) (if (= n 0) #t (odd? (- n 1))))
+        (define (odd? n) (if (= n 0) #f (even? (- n 1))))
+        """
+    )
+    interp.machine.trace_hook = hook
+    assert interp.eval("(even? 100000)") is True
+    assert interp.eval("(odd? 100001)") is True
+    assert max_depth < 10
+
+
+def test_deep_mutual_recursion_dict_baseline():
+    """The same loop must also hold on the resolve=False ablation."""
+    interp = Interpreter(resolve=False)
+    interp.run(
+        """
+        (define (even? n) (if (= n 0) #t (odd? (- n 1))))
+        (define (odd? n) (if (= n 0) #f (even? (- n 1))))
+        """
+    )
+    assert interp.eval("(even? 100000)") is True
+
+
 def test_tail_call_through_and_or(interp):
     interp.run("(define (loopa i) (and #t (if (= i 30000) 'ok (loopa (+ i 1)))))")
     assert interp.eval("(loopa 0)").name == "ok"
