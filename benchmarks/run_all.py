@@ -1,20 +1,30 @@
 #!/usr/bin/env python
-"""One-shot benchmark driver: every experiment plus the resolver A/B.
+"""One-shot benchmark driver: every experiment plus the engine A/B.
 
     PYTHONPATH=src python benchmarks/run_all.py            # full run
     PYTHONPATH=src python benchmarks/run_all.py --fast     # 1 repeat
+    PYTHONPATH=src python benchmarks/run_all.py --smoke    # CI smoke
     PYTHONPATH=src python benchmarks/run_all.py --out x.json
 
 Runs the E1–E10 experiment suite (shape assertions, timed), then the
-interpreter A/B: each workload under ``resolve=True`` (lexical
-addressing, slot ribs, interned global cells) and ``resolve=False``
-(the original dict-chain interpreter), best-of-N wall time each, and
-the speedup ratio.  Everything lands machine-readable in
-``BENCH_results.json`` at the repo root.
+three-way engine A/B: each workload under ``engine="dict"`` (the
+original dict-chain interpreter), ``engine="resolved"`` (lexical
+addressing, slot ribs, interned global cells) and ``engine="compiled"``
+(resolved IR closure-compiled to code thunks), best-of-N wall time
+each, plus the speedup ratios.  Every A/B workload and a set of
+control-operator probes are also cross-checked for engine divergence:
+all three engines must produce identical values.  Everything lands
+machine-readable in ``BENCH_results.json`` at the repo root, stamped
+with the engine list and the git SHA.
 
-Exit status is non-zero when an experiment shape assertion fails or
-the resolver speedup on the variable-heavy E1/E9 workloads falls
-below the 1.3× acceptance floor.
+Exit status is non-zero when an experiment shape assertion fails, the
+engines diverge on any probe, or a gated speedup ratio
+(resolved-over-dict and compiled-over-resolved on the variable-heavy
+E1/E9 workloads) falls below the 1.3× acceptance floor.
+
+``--smoke`` is the CI mode: single repeat, no experiment suite, and the
+exit status reflects *divergence only* — shared-runner timings are too
+noisy to gate on ratios there.
 """
 
 from __future__ import annotations
@@ -23,6 +33,7 @@ import argparse
 import json
 import os
 import platform
+import subprocess
 import sys
 import time
 
@@ -32,6 +43,7 @@ if os.path.isdir(os.path.join(_ROOT, "src")):
 
 from repro import experiments  # noqa: E402
 from repro.api import Interpreter  # noqa: E402
+from repro.machine.scheduler import ENGINES  # noqa: E402
 
 RATIO_FLOOR = 1.3
 _SSIZE = 400  # E1 product list length
@@ -83,19 +95,71 @@ AB_WORKLOADS: dict[str, tuple[str, str]] = {
     ),
 }
 
-#: Workloads whose ratio is gated by the acceptance floor.
+#: Workloads whose ratios are gated by the acceptance floor.
 GATED = ("e1-product", "e9-deep-capture")
 
+#: Control-operator probes for the engine-divergence check (values must
+#: be identical under all three engines; these exercise capture,
+#: reinstatement, forks, delimited control and futures — the paths a
+#: compiler bug would most plausibly corrupt).
+DIVERGENCE_PROBES: dict[str, tuple[str, str]] = {
+    "callcc-exit": (
+        "@example:product-callcc",
+        "(product '(1 2 3 0 5 6))",
+    ),
+    "spawn-compose": (
+        "",
+        "(+ 1 (spawn (lambda (c) (+ 2 (c (lambda (k) (+ 10 (k 100))))))))",
+    ),
+    "spawn-multi-shot": (
+        """
+        (define saved #f)
+        (define (grab c) (c (lambda (k) (set! saved k) 0)))
+        """,
+        "(let ((r1 (spawn (lambda (c) (+ 1 (grab c)))))) (list r1 (saved 10) (saved 20)))",
+    ),
+    "pcall-fork": ("", "(pcall + (pcall * 2 3) (pcall - 10 4) 100)"),
+    "prompt-F": (
+        "",
+        "(+ 1 (prompt (+ 10 (F (lambda (k) (k (k 100)))))))",
+    ),
+    "futures": (
+        "",
+        "(let ((p (future (lambda () (* 6 7))))) (+ (touch p) 1))",
+    ),
+    "set-through-capture": (
+        """
+        (define counter 0)
+        (define k2 #f)
+        """,
+        """
+        (begin
+          (prompt (begin (F (lambda (k) (set! k2 k) 0))
+                         (set! counter (+ counter 1))
+                         counter))
+          (k2 0)
+          (k2 0)
+          counter)
+        """,
+    ),
+}
 
-def _time_workload(name: str, resolve: bool, repeats: int) -> float:
-    setup, expr = AB_WORKLOADS[name]
+
+def _fresh(engine: str, name: str, workloads: dict[str, tuple[str, str]]) -> Interpreter:
+    setup, _ = workloads[name]
+    interp = Interpreter(policy="serial", engine=engine)
+    if setup.startswith("@example:"):
+        interp.load_paper_example(setup[len("@example:") :])
+    elif setup:
+        interp.run(setup)
+    return interp
+
+
+def _time_workload(name: str, engine: str, repeats: int) -> float:
+    _, expr = AB_WORKLOADS[name]
     best = float("inf")
     for _ in range(repeats):
-        interp = Interpreter(policy="serial", resolve=resolve)
-        if setup.startswith("@example:"):
-            interp.load_paper_example(setup[len("@example:") :])
-        elif setup:
-            interp.run(setup)
+        interp = _fresh(engine, name, AB_WORKLOADS)
         start = time.perf_counter()
         interp.eval(expr)
         best = min(best, time.perf_counter() - start)
@@ -103,22 +167,52 @@ def _time_workload(name: str, resolve: bool, repeats: int) -> float:
 
 
 def run_ab(repeats: int) -> dict[str, dict[str, float]]:
-    print("\n=== A/B  resolved (slot ribs + global cells) vs dict chains ===")
+    print("\n=== A/B  dict chains vs resolved (slot ribs) vs compiled (code thunks) ===")
     results: dict[str, dict[str, float]] = {}
     for name in AB_WORKLOADS:
-        resolved = _time_workload(name, resolve=True, repeats=repeats)
-        dict_chain = _time_workload(name, resolve=False, repeats=repeats)
-        ratio = dict_chain / resolved if resolved else float("inf")
+        times = {engine: _time_workload(name, engine, repeats) for engine in ENGINES}
+        resolved_vs_dict = (
+            times["dict"] / times["resolved"] if times["resolved"] else float("inf")
+        )
+        compiled_vs_resolved = (
+            times["resolved"] / times["compiled"] if times["compiled"] else float("inf")
+        )
         gate = "  [gated ≥%.1fx]" % RATIO_FLOOR if name in GATED else ""
         print(
-            f"  {name:18s} resolved={resolved * 1e3:8.2f}ms  "
-            f"dict={dict_chain * 1e3:8.2f}ms  ratio={ratio:5.2f}x{gate}"
+            f"  {name:18s} dict={times['dict'] * 1e3:8.2f}ms  "
+            f"resolved={times['resolved'] * 1e3:8.2f}ms  "
+            f"compiled={times['compiled'] * 1e3:8.2f}ms  "
+            f"r/d={resolved_vs_dict:5.2f}x  c/r={compiled_vs_resolved:5.2f}x{gate}"
         )
         results[name] = {
-            "resolved_s": resolved,
-            "dict_s": dict_chain,
-            "ratio": round(ratio, 3),
+            "dict_s": times["dict"],
+            "resolved_s": times["resolved"],
+            "compiled_s": times["compiled"],
+            "resolved_over_dict": round(resolved_vs_dict, 3),
+            "compiled_over_resolved": round(compiled_vs_resolved, 3),
         }
+    return results
+
+
+def run_divergence() -> dict[str, dict[str, object]]:
+    """Evaluate every A/B workload and control probe under all three
+    engines; record the values and whether they agree."""
+    print("\n=== engine divergence check ===")
+    results: dict[str, dict[str, object]] = {}
+    suites = (AB_WORKLOADS, DIVERGENCE_PROBES)
+    for suite in suites:
+        for name in suite:
+            _, expr = suite[name]
+            values: dict[str, str] = {}
+            for engine in ENGINES:
+                try:
+                    values[engine] = _fresh(engine, name, suite).eval_to_string(expr)
+                except Exception as exc:  # noqa: BLE001 - recorded, not hidden
+                    values[engine] = f"<{type(exc).__name__}: {exc}>"
+            agree = len(set(values.values())) == 1
+            marker = "ok " if agree else "DIVERGED"
+            print(f"  [{marker}] {name:22s} {values['compiled']}")
+            results[name] = {"values": values, "agree": agree}
     return results
 
 
@@ -138,6 +232,23 @@ def run_experiments() -> dict[str, dict[str, object]]:
     return timed
 
 
+def _git_sha() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=_ROOT,
+                capture_output=True,
+                text=True,
+                check=True,
+                timeout=10,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except Exception:  # noqa: BLE001 - best-effort stamp
+        return "unknown"
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -147,30 +258,57 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--repeats", type=int, default=3, help="A/B best-of-N")
     parser.add_argument(
-        "--fast", action="store_true", help="single repeat (smoke run)"
+        "--fast", action="store_true", help="single repeat (quick local run)"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: single repeat, skip the experiment suite, exit "
+        "status keyed to engine divergence only (no timing gates)",
     )
     args = parser.parse_args(argv)
-    repeats = 1 if args.fast else max(1, args.repeats)
+    repeats = 1 if (args.fast or args.smoke) else max(1, args.repeats)
 
-    experiment_results = run_experiments()
+    experiment_results = {} if args.smoke else run_experiments()
     ab_results = run_ab(repeats)
+    divergence_results = run_divergence()
 
-    gated = {name: ab_results[name]["ratio"] for name in GATED}
-    acceptance_ok = all(ratio >= RATIO_FLOOR for ratio in gated.values())
+    gated = {
+        name: {
+            "resolved_over_dict": ab_results[name]["resolved_over_dict"],
+            "compiled_over_resolved": ab_results[name]["compiled_over_resolved"],
+        }
+        for name in GATED
+    }
+    ratios_ok = all(
+        ratio >= RATIO_FLOOR
+        for ratios in gated.values()
+        for ratio in ratios.values()
+    )
+    engines_agree = all(entry["agree"] for entry in divergence_results.values())
     experiments_ok = all(entry["ok"] for entry in experiment_results.values())
+    if args.smoke:
+        acceptance_pass = engines_agree
+    else:
+        acceptance_pass = ratios_ok and engines_agree and experiments_ok
 
     payload = {
         "meta": {
             "python": platform.python_version(),
             "platform": platform.platform(),
             "repeats": repeats,
+            "engines": list(ENGINES),
+            "git_sha": _git_sha(),
+            "smoke": args.smoke,
         },
         "experiments": experiment_results,
         "ab": ab_results,
+        "divergence": divergence_results,
         "acceptance": {
             "ratio_floor": RATIO_FLOOR,
             "gated_ratios": gated,
-            "pass": acceptance_ok and experiments_ok,
+            "engines_agree": engines_agree,
+            "pass": acceptance_pass,
         },
     }
     with open(args.out, "w", encoding="utf-8") as handle:
@@ -178,13 +316,19 @@ def main(argv: list[str] | None = None) -> int:
         handle.write("\n")
 
     print(f"\nwrote {args.out}")
-    status = "pass" if payload["acceptance"]["pass"] else "FAIL"
+    status = "pass" if acceptance_pass else "FAIL"
     print(
         f"acceptance [{status}]: "
-        + "  ".join(f"{k}={v:.2f}x" for k, v in gated.items())
-        + f"  (floor {RATIO_FLOOR}x)"
+        + "  ".join(
+            f"{name} r/d={ratios['resolved_over_dict']:.2f}x "
+            f"c/r={ratios['compiled_over_resolved']:.2f}x"
+            for name, ratios in gated.items()
+        )
+        + f"  (floor {RATIO_FLOOR}x"
+        + (", ratios not gated in --smoke" if args.smoke else "")
+        + f")  engines_agree={engines_agree}"
     )
-    return 0 if payload["acceptance"]["pass"] else 1
+    return 0 if acceptance_pass else 1
 
 
 if __name__ == "__main__":

@@ -20,7 +20,7 @@ from typing import Any
 from repro.datum import scheme_repr
 from repro.expander import ExpandEnv, expand_program
 from repro.control import register_control_primitives
-from repro.ir import ResolverStats, resolve_program
+from repro.ir import CompileStats, ResolverStats, compile_program, resolve_program
 from repro.lib import PRELUDE, paper_examples
 from repro.lib.derived import LIBRARIES
 from repro.machine.environment import GlobalEnv
@@ -52,14 +52,19 @@ class Interpreter:
         default; switch off for a bare machine.
     echo_output:
         Also print ``display`` output to real stdout.
+    engine:
+        Execution engine, one of ``"dict"``, ``"resolved"``,
+        ``"compiled"`` (see :data:`repro.machine.scheduler.ENGINES`).
+        Defaults to ``"compiled"``: the full pipeline reader → expand →
+        resolve → compile → machine.  ``"resolved"`` stops after the
+        resolver and tree-walks the resolved IR; ``"dict"`` is the
+        original dict-chain interpreter (the seed baseline).  All three
+        agree on every program — ``benchmarks/run_all.py`` runs the
+        three-way A/B.
     resolve:
-        Run the resolver pass (:mod:`repro.ir.resolve`) between the
-        expander and the machine, compiling variable references to
-        lexical slot addresses and interned global cells.  On by
-        default; ``resolve=False`` keeps the original dict-chain
-        interpreter alive as the benchable ablation baseline (the
-        ``--no-resolve`` CLI flag and ``benchmarks/run_all.py`` use
-        it for A/B runs).
+        Backward-compatible alias: ``resolve=False`` selects the
+        ``"dict"`` engine (the ``--no-resolve`` CLI flag).  Ignored
+        when ``engine`` is given explicitly.
     """
 
     def __init__(
@@ -71,9 +76,14 @@ class Interpreter:
         prelude: bool = True,
         echo_output: bool = False,
         resolve: bool = True,
+        engine: str | None = None,
     ):
-        self.resolve = resolve
+        if engine is None:
+            engine = "compiled" if resolve else "dict"
+        self.engine = engine
+        self.resolve = engine != "dict"
         self.resolver_stats = ResolverStats()
+        self.compile_stats = CompileStats()
         self.globals = GlobalEnv()
         self.output = install_primitives(self.globals, OutputBuffer(echo=echo_output))
         register_control_primitives(self.globals)
@@ -83,7 +93,7 @@ class Interpreter:
             seed=seed,
             quantum=quantum,
             max_steps=None,  # the budget applies to user code only
-            fold=resolve,
+            engine=engine,
         )
         self.expand_env = ExpandEnv()
         self._loaded_examples: set[str] = set()
@@ -95,8 +105,8 @@ class Interpreter:
     # -- evaluation -----------------------------------------------------
 
     def run(self, source: str) -> list[Any]:
-        """Read, expand, resolve (unless ``resolve=False``) and
-        evaluate every form in ``source``.
+        """Read, expand, resolve and — on the compiled engine —
+        closure-compile every form in ``source``, then evaluate.
 
         Returns the list of values (definitions yield the unspecified
         value)."""
@@ -104,6 +114,8 @@ class Interpreter:
         nodes = expand_program(forms, self.expand_env)
         if self.resolve:
             nodes = resolve_program(nodes, self.globals, self.resolver_stats)
+            if self.engine == "compiled":
+                nodes = compile_program(nodes, self.compile_stats)
         return self.machine.run(nodes)
 
     def eval(self, source: str) -> Any:
@@ -183,8 +195,11 @@ class Interpreter:
     def stats(self) -> dict[str, int]:
         """Machine counters (forks, captures, reinstatements, ...)
         plus — when the resolver is on — its compile-stage counters
-        (locals resolved, global cells interned, cache hits)."""
+        (locals resolved, global cells interned, cache hits), plus the
+        closure compiler's counters on the compiled engine."""
         out = dict(self.machine.stats)
         if self.resolve:
             out.update(self.resolver_stats.as_dict())
+        if self.engine == "compiled":
+            out.update(self.compile_stats.as_dict())
         return out

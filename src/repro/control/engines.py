@@ -65,7 +65,7 @@ def _make_engine(machine: "Machine", task: Task, args: list[Any]) -> None:
         machine.globals,
         policy=machine.policy,
         quantum=machine.quantum,
-        fold=machine.fold,
+        engine=machine.engine,
     )
     sub.begin_apply(thunk, [])
     task.control = (VALUE, EngineValue(sub))

@@ -105,7 +105,7 @@ def fcontrol_primitive(machine: "Machine", task: Task, args: list[Any]) -> None:
         prompt_link,
     )
     prompt_link.child = successor
-    machine.enqueue(successor)
+    machine.spawn_task(successor)
 
 
 def _set_parent(entity: Any, link: LabelLink) -> None:

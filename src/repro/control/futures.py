@@ -76,7 +76,7 @@ def _future(machine: "Machine", task: Task, args: list[Any]) -> None:
     halt = HaltLink(machine, placeholder)
     root = Task((APPLY, thunk, []), task.env, None, halt)
     halt.child = root
-    machine.enqueue(root)
+    machine.spawn_task(root)
     machine.register_future_root(root)
     task.control = (VALUE, placeholder)
 

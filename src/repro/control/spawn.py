@@ -64,7 +64,7 @@ class ProcessController:
             (APPLY, receiver, [continuation]), task.env, cont_frames, cont_link  # type: ignore[arg-type]
         )
         replace_child(cont_link, successor)  # type: ignore[arg-type]
-        machine.enqueue(successor)
+        machine.spawn_task(successor)
 
     def __repr__(self) -> str:
         return f"#<process-controller {self.label.name}>"

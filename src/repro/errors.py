@@ -19,6 +19,7 @@ __all__ = [
     "ReproError",
     "ReaderError",
     "ExpandError",
+    "CompileError",
     "MachineError",
     "SchemeError",
     "WrongTypeError",
@@ -56,6 +57,11 @@ class ReaderError(ReproError):
 
 class ExpandError(ReproError):
     """Raised when a form cannot be expanded to core syntax."""
+
+
+class CompileError(ReproError):
+    """Raised when the closure compiler receives IR it cannot compile
+    (e.g. the expander's unresolved ``Var`` dialect)."""
 
 
 class MachineError(ReproError):

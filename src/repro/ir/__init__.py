@@ -4,8 +4,11 @@ The expander lowers every surface form into the eight node types defined
 in :mod:`repro.ir.nodes`.  The resolver (:mod:`repro.ir.resolve`) then
 optionally rewrites variable references into lexically addressed /
 global-cell forms — four further node types the machine evaluates with
-no run-time name lookup.  The abstract machine evaluates exactly this
-IR; nothing downstream ever sees surface syntax or macros.
+no run-time name lookup.  The closure compiler (:mod:`repro.ir.compile`)
+can go one step further and translate resolved IR into executable code
+thunks, removing node dispatch from the machine's hot loop entirely.
+The abstract machine evaluates exactly this IR (or its compiled form);
+nothing downstream ever sees surface syntax or macros.
 """
 
 from repro.ir.nodes import (
@@ -28,6 +31,11 @@ from repro.ir.free_vars import free_variables
 from repro.ir.pretty import pretty
 from repro.ir.resolve import ResolverStats, resolve_node, resolve_program
 
+# Imported last: repro.ir.compile depends on repro.machine, which in
+# turn imports repro.ir — by this point every name above is bound, so
+# the cycle resolves cleanly from either entry direction.
+from repro.ir.compile import CompileStats, compile_node, compile_program
+
 __all__ = [
     "Node",
     "Const",
@@ -48,4 +56,7 @@ __all__ = [
     "ResolverStats",
     "resolve_node",
     "resolve_program",
+    "CompileStats",
+    "compile_node",
+    "compile_program",
 ]

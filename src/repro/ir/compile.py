@@ -1,0 +1,480 @@
+"""The closure compiler: resolved IR → code thunks.
+
+``compile_program`` is the third pipeline stage, running after the
+resolver (reader → expand → resolve → **compile** → machine).  It
+translates each resolved IR node, once, into a Python closure — a
+*code thunk* with signature ``code(machine, task)`` — that performs
+exactly the transition the tree-walking stepper would have performed
+for that node, with everything the stepper recomputes per step
+(type-keyed dispatch, attribute loads, trivial-operand classification)
+pre-resolved into the closure's captured variables.  This is the
+functional-correspondence move of Biernacka, Biernacki & Danvy: the
+compiled form is *derived from* the abstract machine, so it pushes the
+same immutable :mod:`~repro.machine.frames` chains and the same
+``LabelLink``/``Join`` control points.  Capture and reinstatement
+(:mod:`repro.machine.tree`, :mod:`repro.control.spawn`) never look
+inside a frame's expression slots, so they are untouched: compilation
+is orthogonal to the paper's Section 7 claims, and the O(control
+points) bound (bench E9) is preserved verbatim.
+
+What the compiler pre-computes:
+
+* ``LocalRef`` — the rib walk is specialised per depth (depth 0 and 1
+  are direct attribute chains); the slot index is a captured int.
+* ``GlobalRef``/``GlobalSet`` — the interned cell is captured; a
+  reference is one attribute read at run time.
+* ``App`` — operand *trivialness* (references, constants, resolved
+  lambdas: anything that cannot push frames, fork, capture, or observe
+  the scheduler) is decided **at compile time**.  A fully trivial
+  application compiles to a single code thunk that evaluates operator
+  and operands and applies immediately — no ``AppFrame`` is ever
+  allocated.  A mixed application pre-builds its frame plan: the
+  trivial prefix is folded into the thunk, the pending tuple holds the
+  remaining operand thunks, and evaluation of the first non-trivial
+  operand is fused into the same machine step.
+* ``If`` — a trivial test folds into a direct branch jump (no
+  ``IfFrame``); ``Seq``/``LocalSet``/``GlobalSet``/``DefineTop``
+  likewise fold trivial subexpressions.
+* ``Lambda`` — the body is compiled once; every closure created from
+  the node shares the compiled body (``Closure.body`` holds code).
+
+Every code thunk carries two attributes: ``triv`` — ``None``, or a
+``(env) -> value`` closure usable when the node is a trivial operand —
+and ``node``, the source IR node (debugging / introspection).  Frame
+expression slots may therefore hold either IR nodes or code thunks;
+the machine's compiled stepper (:func:`repro.machine.step.step_compiled`)
+dispatches on ``FunctionType`` and falls back to the shared node
+dispatch, so values (closures included) cross freely between engines.
+
+Fusion never recurses through an application: ``apply_procedure`` only
+ever *schedules* a closure body, so a loop costs at least one machine
+step per iteration and the scheduler's quantum preemption is
+preserved.  Python-stack depth during one fused step is bounded by the
+static nesting depth of the source expression — the same bound the
+expander and resolver already impose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.datum import UNSPECIFIED
+from repro.errors import CompileError, UnboundVariableError
+from repro.ir.nodes import (
+    App,
+    Const,
+    DefineTop,
+    GlobalRef,
+    GlobalSet,
+    If,
+    Lambda,
+    LocalRef,
+    LocalSet,
+    Node,
+    Pcall,
+    Seq,
+    SetBang,
+    Var,
+)
+from repro.machine.environment import UNBOUND
+from repro.machine.frames import (
+    AppFrame,
+    DefineFrame,
+    GlobalSetFrame,
+    IfFrame,
+    LocalSetFrame,
+    SeqFrame,
+)
+from repro.machine.links import ForkLink, Join
+from repro.machine.step import apply_deliver
+from repro.machine.task import EVAL, VALUE, Task, TaskState
+from repro.machine.tree import replace_child
+from repro.machine.values import Closure
+
+__all__ = ["Code", "CompileStats", "compile_node", "compile_program"]
+
+#: A compiled node: ``code(machine, task)`` performs one (fused)
+#: machine transition.  Attributes: ``code.triv`` (``(env) -> value``
+#: or None), ``code.node`` (the source IR node).
+Code = Callable[[Any, Task], None]
+
+
+@dataclass
+class CompileStats:
+    """Counters accumulated across every ``compile_program`` call of an
+    interpreter (surfaced by the REPL's ``,stats``)."""
+
+    nodes_compiled: int = 0
+    lambdas_compiled: int = 0
+    #: Fully trivial applications collapsed into a single frameless step.
+    apps_inlined: int = 0
+    #: ``if`` tests folded into a direct branch jump (no ``IfFrame``).
+    tests_inlined: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "compile_nodes": self.nodes_compiled,
+            "compile_lambdas": self.lambdas_compiled,
+            "compile_apps_inlined": self.apps_inlined,
+            "compile_tests_inlined": self.tests_inlined,
+        }
+
+
+def _finish(run: Code, node: Node, triv: Callable[[Any], Any] | None) -> Code:
+    run.triv = triv  # type: ignore[attr-defined]
+    run.node = node  # type: ignore[attr-defined]
+    return run
+
+
+class _Compiler:
+    __slots__ = ("stats",)
+
+    def __init__(self, stats: CompileStats):
+        self.stats = stats
+
+    def compile(self, node: Node) -> Code:
+        self.stats.nodes_compiled += 1
+        kind = type(node)
+        method = _COMPILE_DISPATCH.get(kind)
+        if method is None:
+            if kind is Var or kind is SetBang:
+                raise CompileError(
+                    f"closure compiler requires resolved IR; got unresolved "
+                    f"{kind.__name__}: {node!r} (run repro.ir.resolve first)"
+                )
+            raise CompileError(f"cannot compile IR node: {node!r}")
+        return method(self, node)
+
+    # -- leaves --------------------------------------------------------------
+
+    def _compile_const(self, node: Const) -> Code:
+        value = node.value
+
+        def run(machine: Any, task: Task) -> None:
+            task.control = (VALUE, value)
+
+        return _finish(run, node, lambda env: value)
+
+    def _compile_local_ref(self, node: LocalRef) -> Code:
+        depth = node.depth
+        index = node.index
+        if depth == 0:
+
+            def triv(env: Any) -> Any:
+                return env.values[index]
+
+            def run(machine: Any, task: Task) -> None:
+                task.control = (VALUE, task.env.values[index])
+
+        elif depth == 1:
+
+            def triv(env: Any) -> Any:
+                return env.parent.values[index]
+
+            def run(machine: Any, task: Task) -> None:
+                task.control = (VALUE, task.env.parent.values[index])
+
+        else:
+
+            def triv(env: Any) -> Any:
+                d = depth
+                while d:
+                    env = env.parent
+                    d -= 1
+                return env.values[index]
+
+            def run(machine: Any, task: Task) -> None:
+                env = task.env
+                d = depth
+                while d:
+                    env = env.parent
+                    d -= 1
+                task.control = (VALUE, env.values[index])
+
+        return _finish(run, node, triv)
+
+    def _compile_global_ref(self, node: GlobalRef) -> Code:
+        cell = node.cell
+
+        def triv(env: Any) -> Any:
+            value = cell.value
+            if value is UNBOUND:
+                raise UnboundVariableError(cell.name.name)
+            return value
+
+        def run(machine: Any, task: Task) -> None:
+            value = cell.value
+            if value is UNBOUND:
+                raise UnboundVariableError(cell.name.name)
+            task.control = (VALUE, value)
+
+        return _finish(run, node, triv)
+
+    def _compile_lambda(self, node: Lambda) -> Code:
+        if node.nslots is None:
+            raise CompileError(
+                f"closure compiler requires resolved IR; lambda {node.name or ''!s} "
+                "has no nslots (run repro.ir.resolve first)"
+            )
+        self.stats.lambdas_compiled += 1
+        body = self.compile(node.body)
+        params, rest, name, nslots = node.params, node.rest, node.name, node.nslots
+
+        def triv(env: Any) -> Any:
+            return Closure(params, rest, body, env, name, nslots)
+
+        def run(machine: Any, task: Task) -> None:
+            task.control = (
+                VALUE,
+                Closure(params, rest, body, task.env, name, nslots),
+            )
+
+        return _finish(run, node, triv)
+
+    # -- compounds -----------------------------------------------------------
+
+    def _compile_app(self, node: App) -> Code:
+        fn_code = self.compile(node.fn)
+        arg_codes = tuple(self.compile(arg) for arg in node.args)
+        fn_triv = fn_code.triv  # type: ignore[attr-defined]
+        if fn_triv is None:
+            # Operator needs real evaluation: classic frame plan, with
+            # the operator's first transition fused into this step.
+            def run(machine: Any, task: Task) -> None:
+                task.frames = AppFrame((), arg_codes, task.env, task.frames)
+                fn_code(machine, task)
+
+            return _finish(run, node, None)
+
+        trivs = [code.triv for code in arg_codes]  # type: ignore[attr-defined]
+        split = 0
+        while split < len(trivs) and trivs[split] is not None:
+            split += 1
+        if split == len(arg_codes):
+            # Fully trivial: evaluate operator and operands in place and
+            # apply immediately — no AppFrame, one machine step.
+            self.stats.apps_inlined += 1
+            if not trivs:
+
+                def run(machine: Any, task: Task) -> None:
+                    apply_deliver(machine, task, fn_triv(task.env), [])
+
+            elif len(trivs) == 1:
+                t0 = trivs[0]
+
+                def run(machine: Any, task: Task) -> None:
+                    env = task.env
+                    apply_deliver(machine, task, fn_triv(env), [t0(env)])
+
+            elif len(trivs) == 2:
+                t0, t1 = trivs
+
+                def run(machine: Any, task: Task) -> None:
+                    env = task.env
+                    apply_deliver(
+                        machine, task, fn_triv(env), [t0(env), t1(env)]
+                    )
+
+            elif len(trivs) == 3:
+                t0, t1, t2 = trivs
+
+                def run(machine: Any, task: Task) -> None:
+                    env = task.env
+                    apply_deliver(
+                        machine, task, fn_triv(env), [t0(env), t1(env), t2(env)]
+                    )
+
+            else:
+                all_trivs = tuple(trivs)
+
+                def run(machine: Any, task: Task) -> None:
+                    env = task.env
+                    apply_deliver(
+                        machine,
+                        task,
+                        fn_triv(env),
+                        [t(env) for t in all_trivs],
+                    )
+
+            return _finish(run, node, None)
+
+        # Mixed: fold the trivial prefix into this step, push the
+        # pre-built frame plan, and fuse evaluation of the first
+        # non-trivial operand.
+        first = arg_codes[split]
+        pending = arg_codes[split + 1 :]
+        if split == 0:
+
+            def run(machine: Any, task: Task) -> None:
+                env = task.env
+                task.frames = AppFrame((fn_triv(env),), pending, env, task.frames)
+                first(machine, task)
+
+        else:
+            prefix = tuple(trivs[:split])
+
+            def run(machine: Any, task: Task) -> None:
+                env = task.env
+                done = [fn_triv(env)]
+                for t in prefix:
+                    done.append(t(env))
+                task.frames = AppFrame(tuple(done), pending, env, task.frames)
+                first(machine, task)
+
+        return _finish(run, node, None)
+
+    def _compile_if(self, node: If) -> Code:
+        test_code = self.compile(node.test)
+        then_code = self.compile(node.then)
+        els_code = self.compile(node.els)
+        test_triv = test_code.triv  # type: ignore[attr-defined]
+        if test_triv is not None:
+            # Trivial test: decide and jump in one step, no IfFrame.
+            self.stats.tests_inlined += 1
+
+            def run(machine: Any, task: Task) -> None:
+                if test_triv(task.env) is not False:
+                    then_code(machine, task)
+                else:
+                    els_code(machine, task)
+
+        else:
+
+            def run(machine: Any, task: Task) -> None:
+                task.frames = IfFrame(then_code, els_code, task.env, task.frames)
+                test_code(machine, task)
+
+        return _finish(run, node, None)
+
+    def _compile_seq(self, node: Seq) -> Code:
+        codes = tuple(self.compile(expr) for expr in node.exprs)
+        if len(codes) == 1:
+            return codes[0]
+        first = codes[0]
+        rest = codes[1:]
+
+        def run(machine: Any, task: Task) -> None:
+            task.frames = SeqFrame(rest, task.env, task.frames)
+            first(machine, task)
+
+        return _finish(run, node, None)
+
+    def _compile_local_set(self, node: LocalSet) -> Code:
+        depth = node.depth
+        index = node.index
+        expr_code = self.compile(node.expr)
+        expr_triv = expr_code.triv  # type: ignore[attr-defined]
+        if expr_triv is not None:
+
+            def run(machine: Any, task: Task) -> None:
+                env = task.env
+                value = expr_triv(env)
+                d = depth
+                while d:
+                    env = env.parent
+                    d -= 1
+                env.values[index] = value
+                task.control = (VALUE, UNSPECIFIED)
+
+        else:
+
+            def run(machine: Any, task: Task) -> None:
+                task.frames = LocalSetFrame(depth, index, task.env, task.frames)
+                expr_code(machine, task)
+
+        return _finish(run, node, None)
+
+    def _compile_global_set(self, node: GlobalSet) -> Code:
+        cell = node.cell
+        expr_code = self.compile(node.expr)
+        expr_triv = expr_code.triv  # type: ignore[attr-defined]
+        if expr_triv is not None:
+
+            def run(machine: Any, task: Task) -> None:
+                value = expr_triv(task.env)
+                if cell.value is UNBOUND:
+                    raise UnboundVariableError(cell.name.name)
+                cell.value = value
+                task.control = (VALUE, UNSPECIFIED)
+
+        else:
+
+            def run(machine: Any, task: Task) -> None:
+                task.frames = GlobalSetFrame(cell, task.frames)
+                expr_code(machine, task)
+
+        return _finish(run, node, None)
+
+    def _compile_define(self, node: DefineTop) -> Code:
+        name = node.name
+        expr_code = self.compile(node.expr)
+        expr_triv = expr_code.triv  # type: ignore[attr-defined]
+        if expr_triv is not None:
+
+            def run(machine: Any, task: Task) -> None:
+                env = task.env
+                env.globals.define(name, expr_triv(env))
+                task.control = (VALUE, UNSPECIFIED)
+
+        else:
+
+            def run(machine: Any, task: Task) -> None:
+                task.frames = DefineFrame(name, task.env, task.frames)
+                expr_code(machine, task)
+
+        return _finish(run, node, None)
+
+    def _compile_pcall(self, node: Pcall) -> Code:
+        codes = tuple(self.compile(expr) for expr in node.exprs)
+        count = len(codes)
+
+        def run(machine: Any, task: Task) -> None:
+            join = Join(count, task.frames, task.link)
+            replace_child(task.link, join)
+            task.state = TaskState.DEAD
+            for index, code in enumerate(codes):
+                branch = Task((EVAL, code), task.env, None, ForkLink(join, index))
+                join.children[index] = branch
+                machine.spawn_task(branch)
+            machine.notify_fork(join)
+
+        return _finish(run, node, None)
+
+
+_COMPILE_DISPATCH: dict[type, Callable[[_Compiler, Any], Code]] = {
+    Const: _Compiler._compile_const,
+    LocalRef: _Compiler._compile_local_ref,
+    GlobalRef: _Compiler._compile_global_ref,
+    Lambda: _Compiler._compile_lambda,
+    App: _Compiler._compile_app,
+    If: _Compiler._compile_if,
+    Seq: _Compiler._compile_seq,
+    LocalSet: _Compiler._compile_local_set,
+    GlobalSet: _Compiler._compile_global_set,
+    DefineTop: _Compiler._compile_define,
+    Pcall: _Compiler._compile_pcall,
+}
+
+
+def compile_node(node: Node, stats: CompileStats | None = None) -> Code:
+    """Compile one resolved top-level node to a code thunk."""
+    return _Compiler(stats if stats is not None else CompileStats()).compile(node)
+
+
+def compile_program(
+    nodes: list[Node], stats: CompileStats | None = None
+) -> list[Code]:
+    """Compile a resolved program (a list of top-level nodes).
+
+    The input must be the resolver's dialect (``LocalRef``/``GlobalRef``
+    etc.); the expander's ``Var``/``SetBang`` raise
+    :class:`~repro.errors.CompileError`.  Compiled code captures global
+    cells by identity, so — exactly like :func:`repro.ir.resolve.
+    resolve_program` — run the output on a machine over the *same*
+    ``GlobalEnv`` the resolver interned into.
+    """
+    if stats is None:
+        stats = CompileStats()
+    compiler = _Compiler(stats)
+    return [compiler.compile(node) for node in nodes]

@@ -25,10 +25,25 @@ from repro.errors import MachineError, StepBudgetExceeded
 from repro.ir import Node
 from repro.machine.environment import Environment, GlobalEnv
 from repro.machine.links import HaltLink, Join, Label, LabelLink
-from repro.machine.step import step
+from repro.machine.step import step, step_compiled
 from repro.machine.task import EVAL, Task, TaskState
 
-__all__ = ["Machine", "SchedulerPolicy"]
+__all__ = ["ENGINES", "Machine", "SchedulerPolicy"]
+
+#: The execution engines a Machine can run (see repro.machine.step and
+#: repro.ir.compile):
+#:
+#: * ``"dict"`` — the expander dialect over dict-chain environments
+#:   (the seed baseline; no folding).
+#: * ``"resolved"`` — the resolver dialect (slot ribs, interned cells)
+#:   with trivial-operand folding in the tree-walking stepper.
+#: * ``"compiled"`` — resolved IR pre-translated to code thunks by
+#:   :mod:`repro.ir.compile`; the stepper dispatches by calling.
+#:
+#: All three push identical frame chains and control points, so the
+#: capture/reinstate algebra — and every Section 7 claim — is engine-
+#: independent.
+ENGINES = ("dict", "resolved", "compiled")
 
 
 class SchedulerPolicy(enum.Enum):
@@ -61,16 +76,25 @@ class Machine:
         seed: int | None = None,
         quantum: int = 16,
         max_steps: int | None = None,
-        fold: bool = True,
+        engine: str = "resolved",
     ):
         self.globals = globals_ if globals_ is not None else GlobalEnv()
         self.policy = SchedulerPolicy(policy)
         self.quantum = max(1, quantum)
         self.max_steps = max_steps
-        # Trivial-operand folding in the stepper (see repro.machine.step).
-        # Off for the resolve=False ablation so the dict-chain baseline
-        # keeps its original step-for-step behaviour.
-        self.fold = fold
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        self.engine = engine
+        # Trivial-operand folding in the tree-walking stepper (see
+        # repro.machine.step).  Only the resolved engine folds: the dict
+        # baseline keeps the seed's step-for-step behaviour, and on a
+        # compiled machine folding is the compiler's job, so any IR
+        # nodes that reach the stepper (begin_eval fallback) take the
+        # plain path.
+        self.fold = engine == "resolved"
+        self._step_fn = step_compiled if engine == "compiled" else step
         self.rng = random.Random(seed)
         self.toplevel_env = Environment.toplevel(self.globals)
 
@@ -101,8 +125,19 @@ class Machine:
 
     # -- scheduler interface used by step/tree/control ----------------------
 
-    def enqueue(self, task: Task) -> None:
+    def spawn_task(self, task: Task) -> None:
+        """Register a *newly created* task: count it in
+        ``tasks_created`` and queue it.  Every site that constructs a
+        fresh ``Task`` (root install, pcall branches, join successors,
+        capture/reinstate successors, future roots) goes through here.
+        """
         self.stats["tasks_created"] += 1
+        self.queue.append(task)
+
+    def enqueue(self, task: Task) -> None:
+        """Queue an *existing* task: pure queueing, no accounting.
+        Used for re-runnable tasks — woken placeholder waiters, parked
+        future-tree tasks resuming at the next top-level form."""
         self.queue.append(task)
 
     def halt(self, value: Any) -> None:
@@ -202,8 +237,10 @@ class Machine:
         self.halt_value = _NO_HALT
         root_task.link = root_label
         root_label.child = root_task
-        self.enqueue(root_task)
-        # Future trees parked at the end of the previous form resume.
+        self.spawn_task(root_task)
+        # Future trees parked at the end of the previous form resume:
+        # these tasks already exist, so this is pure re-queueing — they
+        # must not be recounted in tasks_created.
         for survivor in self.parked_futures:
             self.enqueue(survivor)
         self.parked_futures = []
@@ -230,14 +267,19 @@ class Machine:
         """Pop the next runnable task per policy; None if none left."""
         queue = self.queue
         if self.policy is SchedulerPolicy.RANDOM:
-            # Lazy-skip dead/suspended entries, then random choice among
-            # runnable ones.
+            # Compact while scanning: dead/suspended entries are dropped
+            # the first time they are seen, so a long-dead task is never
+            # rescanned on a later pick.
             runnable = [t for t in queue if t.state is TaskState.RUNNABLE]
+            queue.clear()
             if not runnable:
-                queue.clear()
                 return None
-            choice = self.rng.choice(runnable)
-            queue.remove(choice)
+            # randrange consumes the RNG exactly like the rng.choice
+            # this replaces, preserving seeded schedules.
+            index = self.rng.randrange(len(runnable))
+            choice = runnable[index]
+            del runnable[index]
+            queue.extend(runnable)
             return choice
         while queue:
             task = queue.popleft()
@@ -250,6 +292,7 @@ class Machine:
         produced its value.  Raises on deadlock or budget exhaustion.
         """
         serial = self.policy is SchedulerPolicy.SERIAL
+        step_fn = self._step_fn
         remaining = n
         while remaining > 0 and self.halt_value is _NO_HALT:
             task = self._pick()
@@ -270,7 +313,7 @@ class Machine:
             while task.state is TaskState.RUNNABLE:
                 if self.trace_hook is not None:
                     self.trace_hook(self, task)
-                step(self, task)
+                step_fn(self, task)
                 self.steps_total += 1
                 remaining -= 1
                 if self.max_steps is not None and self.steps_total > self.max_steps:

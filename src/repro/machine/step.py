@@ -25,10 +25,24 @@ Either way, tail calls run in constant
 segment space: applications are processed only after their frame has
 been popped, so proper tail calls fall out of the frame discipline for
 free, independent of the rib representation.
+
+``step_compiled(machine, task)`` is the third engine's stepper: the
+closure compiler (:mod:`repro.ir.compile`) has already turned every
+node into a code thunk ``code(machine, task)``, so the EVAL arm is a
+single indirect call — no type-keyed dispatch at all.  The VALUE and
+APPLY arms are shared with the tree-walking stepper in structure
+(identical frames, identical link delivery), but the VALUE arm folds
+*compiled* trivial operands via each thunk's pre-computed ``triv``
+closure and fuses the next non-trivial operand's first transition into
+the same step.  Frame slots holding plain IR nodes (e.g. from
+``begin_eval`` on unexpanded input, or closures built by another
+engine's machine) fall back to the shared dispatch tables, so values
+cross freely between engines.
 """
 
 from __future__ import annotations
 
+from types import FunctionType
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.datum import UNSPECIFIED, from_pylist
@@ -66,7 +80,7 @@ from repro.machine.values import Closure, ControlPrimitive, Primitive
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.scheduler import Machine
 
-__all__ = ["step", "apply_procedure"]
+__all__ = ["step", "step_compiled", "apply_procedure", "apply_deliver"]
 
 
 #: Sentinel: a node is not trivially evaluable in place.
@@ -223,6 +237,149 @@ def step(machine: "Machine", task: Task) -> None:
         raise MachineError(f"unknown control tag: {tag!r}")
 
 
+def step_compiled(machine: "Machine", task: Task) -> None:
+    """Advance ``task`` by one transition on a compiled-engine machine.
+
+    ``(EVAL, code)`` invokes the code thunk directly; a thunk may fuse
+    several node transitions (trivial operands, branch jumps) into this
+    one step, but never recurses through ``apply_procedure`` — an
+    application always ends the step, so loops cost at least one step
+    per iteration and quantum preemption is preserved.  ``(EVAL,
+    node)`` with a plain IR node falls back to the shared dispatch
+    table.
+    """
+    control = task.control
+    tag = control[0]
+    task.steps += 1
+    if tag is EVAL:
+        target = control[1]
+        if target.__class__ is FunctionType:
+            target(machine, task)
+            return
+        handler = _EVAL_DISPATCH.get(type(target))
+        if handler is None:
+            raise MachineError(f"cannot evaluate IR node: {target!r}")
+        handler(machine, task, target)
+    elif tag is VALUE:
+        value = control[1]
+        frame = task.frames
+        if frame is not None:
+            task.frames = frame.next
+            frame_kind = type(frame)
+            if frame_kind is AppFrame:
+                done = frame.done + (value,)
+                pending = frame.pending
+                env = frame.env
+                index = 0
+                npend = len(pending)
+                while index < npend:
+                    code = pending[index]
+                    if code.__class__ is not FunctionType:
+                        break
+                    triv = code.triv
+                    if triv is None:
+                        break
+                    done = done + (triv(env),)
+                    index += 1
+                if index == npend:
+                    apply_procedure(machine, task, done[0], list(done[1:]))
+                    return
+                following = pending[index]
+                task.frames = AppFrame(done, pending[index + 1 :], env, task.frames)
+                task.env = env
+                if following.__class__ is FunctionType:
+                    following(machine, task)
+                else:
+                    task.control = (EVAL, following)
+                return
+            if frame_kind is IfFrame:
+                task.env = frame.env
+                branch = frame.then if value is not False else frame.els
+                if branch.__class__ is FunctionType:
+                    branch(machine, task)
+                else:
+                    task.control = (EVAL, branch)
+                return
+            if frame_kind is SeqFrame:
+                remaining = frame.remaining
+                if len(remaining) > 1:
+                    task.frames = SeqFrame(remaining[1:], frame.env, task.frames)
+                task.env = frame.env
+                following = remaining[0]
+                if following.__class__ is FunctionType:
+                    following(machine, task)
+                else:
+                    task.control = (EVAL, following)
+                return
+            handler = _FRAME_DISPATCH.get(frame_kind)
+            if handler is None:  # pragma: no cover - defensive
+                raise MachineError(f"unknown frame: {frame!r}")
+            handler(machine, task, frame, value)
+            return
+        _deliver_through_link(machine, task, value)
+    elif tag is APPLY:
+        apply_procedure(machine, task, control[1], control[2])
+    elif tag is HOLE:  # pragma: no cover - scheduler never runs holes
+        raise MachineError("attempted to step the hole of a captured continuation")
+    else:  # pragma: no cover - defensive
+        raise MachineError(f"unknown control tag: {tag!r}")
+
+
+def apply_deliver(machine: "Machine", task: Task, fn: Any, args: list[Any]) -> None:
+    """Compiled-engine apply with primitive-result delivery fused in.
+
+    Used by code thunks for fully trivial applications: when ``fn``
+    turns out to be a :class:`Primitive`, its result is delivered
+    through at most *one* frame within the same step — the common
+    ``(op ... (prim ...) ...)`` shape costs one step instead of two.
+    The delivery never invokes another code thunk and the post-pop
+    apply is the plain one, so at most one extra transition fuses here:
+    per-step work stays bounded by static expression size, and a return
+    cascade through dynamically accumulated frames still costs one step
+    per frame.  Everything that is not a ``Primitive`` (closures,
+    control primitives, continuations) takes :func:`apply_procedure`
+    unchanged.
+    """
+    if type(fn) is not Primitive:
+        apply_procedure(machine, task, fn, args)
+        return
+    value = fn.apply(args)
+    frame = task.frames
+    if frame is None:
+        task.control = (VALUE, value)
+        return
+    frame_kind = type(frame)
+    if frame_kind is AppFrame:
+        task.frames = frame.next
+        done = frame.done + (value,)
+        pending = frame.pending
+        env = frame.env
+        index = 0
+        npend = len(pending)
+        while index < npend:
+            code = pending[index]
+            if code.__class__ is not FunctionType:
+                break
+            triv = code.triv
+            if triv is None:
+                break
+            done = done + (triv(env),)
+            index += 1
+        if index == npend:
+            apply_procedure(machine, task, done[0], list(done[1:]))
+            return
+        task.frames = AppFrame(done, pending[index + 1 :], env, task.frames)
+        task.env = env
+        task.control = (EVAL, pending[index])
+        return
+    if frame_kind is IfFrame:
+        task.frames = frame.next
+        task.env = frame.env
+        task.control = (EVAL, frame.then if value is not False else frame.els)
+        return
+    task.control = (VALUE, value)
+
+
 # ---------------------------------------------------------------------------
 # EVAL — one handler per node type, dispatched by type
 # ---------------------------------------------------------------------------
@@ -325,7 +482,7 @@ def _eval_pcall(machine: "Machine", task: Task, node: Pcall) -> None:
     for index, expr in enumerate(node.exprs):
         branch = Task((EVAL, expr), task.env, None, ForkLink(join, index))
         join.children[index] = branch
-        machine.enqueue(branch)
+        machine.spawn_task(branch)
     machine.notify_fork(join)
 
 
@@ -492,7 +649,7 @@ def _deliver_through_link(machine: "Machine", task: Task, value: Any) -> None:
                 join.cont_link,  # type: ignore[arg-type]
             )
             replace_child(join.cont_link, successor)  # type: ignore[arg-type]
-            machine.enqueue(successor)
+            machine.spawn_task(successor)
             machine.notify_join_fire(join)
         return
     raise MachineError(f"unknown link: {link!r}")  # pragma: no cover

@@ -288,7 +288,7 @@ def reinstate(
     hole_clone.control = (VALUE, value)
     for clone in task_map.values():
         clone.state = TaskState.RUNNABLE
-        machine.enqueue(clone)
+        machine.spawn_task(clone)
 
 
 def abandon_position(machine: "Machine", task: Task) -> None:

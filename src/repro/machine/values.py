@@ -38,9 +38,16 @@ def check_arity(name: str, count: int, low: int, high: int | None) -> None:
 class Closure:
     """A user procedure: formals + body + captured environment.
 
+    ``body`` is whatever the machine's engine evaluates: an IR node
+    (dict and resolved engines) or a compiled code thunk produced by
+    :mod:`repro.ir.compile` (compiled engine — the body is compiled
+    once per ``lambda`` node and shared by every closure made from it).
+    Application just schedules ``(EVAL, body)`` either way, so closures
+    cross freely between machines of different engines.
+
     ``nslots`` is the frame size of one application — set by the
-    resolver (via ``Lambda.nslots``) when the body is resolved IR, in
-    which case ``apply_procedure`` allocates a flat
+    resolver (via ``Lambda.nslots``) when the body is resolved (or
+    compiled) IR, in which case ``apply_procedure`` allocates a flat
     :class:`~repro.machine.environment.SlotRib` of exactly that many
     slots.  ``None`` means an unresolved body: applications build the
     classic per-call dict rib.

@@ -4,15 +4,16 @@
     python -m repro program.ss        # run a file
     python -m repro -e "(+ 1 2)"      # evaluate and print
     python -m repro --examples        # list the paper's programs
-    python -m repro --no-resolve ...  # dict-chain baseline (A/B runs)
+    python -m repro --engine dict ... # pick an execution engine
+    python -m repro --no-resolve ...  # alias for --engine dict (A/B runs)
 
 REPL meta-commands:
 
     ,help            this message
     ,load <name>     load a paper example by name (,load sum-of-products)
     ,examples        list paper example names
-    ,stats           machine + resolver counters (forks, captures,
-                     locals resolved, global cells interned, ...)
+    ,stats           engine + machine + compile-stage counters (forks,
+                     captures, locals resolved, nodes compiled, ...)
     ,tree            render the last process-tree statistics
     ,trace <expr>    evaluate with a control-event trace
     ,analyze <expr>  controller escape analysis of the spawn sites
@@ -102,6 +103,7 @@ class Repl:
                 except ValueError as exc:
                     self._print(str(exc))
         elif command == "stats":
+            self._print(f"  {'engine':16s} {self.interp.engine}")
             for key, value in self.interp.stats.items():
                 self._print(f"  {key:16s} {value}")
         elif command == "tree":
@@ -201,10 +203,19 @@ def main(argv: list[str] | None = None) -> int:
         "--max-steps", type=int, default=None, help="machine step budget"
     )
     parser.add_argument(
+        "--engine",
+        default=None,
+        choices=["dict", "resolved", "compiled"],
+        help="execution engine: 'compiled' (default; resolved IR "
+        "closure-compiled to code thunks), 'resolved' (tree-walk the "
+        "resolved IR), or 'dict' (the original dict-chain interpreter)",
+    )
+    parser.add_argument(
         "--no-resolve",
         action="store_true",
-        help="skip the lexical-addressing resolver pass (dict-chain "
-        "environments; the benchable ablation baseline)",
+        help="alias for --engine dict: skip the lexical-addressing "
+        "resolver pass (dict-chain environments; the benchable "
+        "ablation baseline)",
     )
     args = parser.parse_args(argv)
 
@@ -213,12 +224,17 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name:32s} ({kind})")
         return 0
 
+    engine = args.engine
+    if engine is None:
+        engine = "dict" if args.no_resolve else "compiled"
+    elif args.no_resolve and engine != "dict":
+        parser.error("--no-resolve contradicts --engine " + engine)
     interp = Interpreter(
         policy=args.policy,
         seed=args.seed,
         max_steps=args.max_steps,
         echo_output=False,
-        resolve=not args.no_resolve,
+        engine=engine,
     )
     repl = Repl(interp)
 

@@ -97,6 +97,8 @@ def test_frames_above_reported():
             seen.append(text)
 
     interp.machine.trace_hook = hook
-    interp.eval("(+ 1 (+ 2 (+ 3 4)))")
+    # Deep enough that pending AppFrames survive to a step boundary even
+    # under the compiled engine's trivial-application fusion.
+    interp.eval("(+ 1 (+ 2 (+ 3 (+ 4 (+ 5 6)))))")
     # Some snapshot shows a task with nonzero pending frames.
     assert any("frames=2" in text or "frames=3" in text for text in seen)

@@ -127,3 +127,54 @@ def test_tasks_created_stat(interp):
     interp.eval("(pcall + 1 2 3)")
     # Root task + 4 branches (operator + 3 args) + join successor = 6.
     assert interp.stats["tasks_created"] - before == 6
+
+
+def test_spawn_task_counts_enqueue_does_not():
+    # spawn_task is the creation-accounting path; enqueue is pure
+    # queueing (requeues after a quantum, parked-task wakeups) and must
+    # not touch the counter.
+    from repro.machine.task import VALUE, Task
+
+    machine = Machine()
+    task = Task((VALUE, 1), machine.toplevel_env, None, None)
+    before = machine.stats["tasks_created"]
+    machine.enqueue(task)
+    machine.enqueue(task)
+    assert machine.stats["tasks_created"] == before
+    machine.spawn_task(Task((VALUE, 2), machine.toplevel_env, None, None))
+    assert machine.stats["tasks_created"] == before + 1
+
+
+def test_parked_future_requeue_not_counted_as_created():
+    # A future that outlives its top-level form is parked and
+    # re-enqueued at the next form's _install_root; that requeue must
+    # not inflate tasks_created (only genuinely new tasks count).
+    interp = Interpreter()
+    interp.run(
+        """
+        (define p (future (lambda ()
+          (let loop ([n 20000]) (if (= n 0) 'done (loop (- n 1)))))))
+        """
+    )
+    before = interp.stats["tasks_created"]
+    # One new root task; the parked future task is requeued, not created.
+    interp.eval("1")
+    assert interp.stats["tasks_created"] - before == 1
+
+
+def test_random_pick_compacts_dead_entries():
+    # RANDOM _pick must drop dead/suspended entries the first time it
+    # scans past them instead of rescanning them on every pick.
+    from repro.machine.task import VALUE, Task, TaskState
+
+    machine = Machine(policy="random", seed=0)
+    alive = [Task((VALUE, i), machine.toplevel_env, None, None) for i in range(3)]
+    dead = [Task((VALUE, i), machine.toplevel_env, None, None) for i in range(4)]
+    for task in dead:
+        task.state = TaskState.DEAD
+    for task in alive + dead:
+        machine.enqueue(task)
+    picked = machine._pick()
+    assert picked in alive
+    assert len(machine.queue) == 2
+    assert all(task.state is TaskState.RUNNABLE for task in machine.queue)
