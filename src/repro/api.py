@@ -65,6 +65,16 @@ class Interpreter:
         Backward-compatible alias: ``resolve=False`` selects the
         ``"dict"`` engine (the ``--no-resolve`` CLI flag).  Ignored
         when ``engine`` is given explicitly.
+    batched:
+        Run tasks in quantum batches with the control registers held in
+        Python locals (the default).  ``batched=False`` selects the
+        unbatched ablation driver — one reference-stepper call per
+        transition with the PR-2 apply path — used by the benchmark A/B
+        column (see DESIGN.md S21).
+    profile:
+        Keep VM run-loop counters (quanta, spill causes, write-backs
+        avoided) in ``machine.vm_stats``; surfaced through
+        :attr:`stats` and the REPL's ``,stats``.
     """
 
     def __init__(
@@ -77,6 +87,8 @@ class Interpreter:
         echo_output: bool = False,
         resolve: bool = True,
         engine: str | None = None,
+        batched: bool = True,
+        profile: bool = False,
     ):
         if engine is None:
             engine = "compiled" if resolve else "dict"
@@ -94,6 +106,8 @@ class Interpreter:
             quantum=quantum,
             max_steps=None,  # the budget applies to user code only
             engine=engine,
+            batched=batched,
+            profile=profile,
         )
         self.expand_env = ExpandEnv()
         self._loaded_examples: set[str] = set()
@@ -202,4 +216,6 @@ class Interpreter:
             out.update(self.resolver_stats.as_dict())
         if self.engine == "compiled":
             out.update(self.compile_stats.as_dict())
+        if self.machine.profile:
+            out.update(self.machine.vm_stats)
         return out

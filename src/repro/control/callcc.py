@@ -33,7 +33,7 @@ from repro.machine.tree import (
     reinstate,
     replace_child,
 )
-from repro.machine.values import check_arity
+from repro.machine.values import MachineApplicable, check_arity
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.frames import Frame
@@ -48,7 +48,7 @@ __all__ = [
 ]
 
 
-class RootContinuation:
+class RootContinuation(MachineApplicable):
     """A whole-tree continuation: abortive, multi-shot."""
 
     __slots__ = ("capture",)
@@ -82,10 +82,11 @@ def callcc_primitive(machine: "Machine", task: Task, args: list[Any]) -> None:
         raise ControlError("call/cc: no root label")
     capture = capture_subtree(machine, root, task, mode="copy")
     machine.stats["captures"] += 1
-    task.control = (APPLY, receiver, [RootContinuation(capture)])
+    task.tag = APPLY
+    task.payload = (receiver, [RootContinuation(capture)])
 
 
-class LeafContinuation:
+class LeafContinuation(MachineApplicable):
     """A branch-local continuation captured by reference.
 
     Sound only while its capture context is still the live context of
@@ -120,7 +121,8 @@ class LeafContinuation:
         task.frames = self.frames
         task.link = self.link
         replace_child(self.link, task)
-        task.control = (VALUE, value)
+        task.tag = VALUE
+        task.payload = value
 
     def __repr__(self) -> str:
         return "#<continuation (leaf)>"
@@ -131,4 +133,5 @@ def callcc_leaf_primitive(machine: "Machine", task: Task, args: list[Any]) -> No
     receiver = args[0]
     continuation = LeafContinuation(task.frames, task.link)
     machine.stats["captures"] += 1
-    task.control = (APPLY, receiver, [continuation])
+    task.tag = APPLY
+    task.payload = (receiver, [continuation])

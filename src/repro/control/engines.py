@@ -68,7 +68,8 @@ def _make_engine(machine: "Machine", task: Task, args: list[Any]) -> None:
         engine=machine.engine,
     )
     sub.begin_apply(thunk, [])
-    task.control = (VALUE, EngineValue(sub))
+    task.tag = VALUE
+    task.payload = EngineValue(sub)
 
 
 def _engine_run(machine: "Machine", task: Task, args: list[Any]) -> None:
@@ -87,20 +88,24 @@ def _engine_run(machine: "Machine", task: Task, args: list[Any]) -> None:
     if halted:
         engine.spent = True
         value = sub.finish()  # collects the halt value, parks futures
-        task.control = (APPLY, success, [value, fuel - used])
+        task.tag = APPLY
+        task.payload = (success, [value, fuel - used])
     else:
-        task.control = (APPLY, failure, [engine])
+        task.tag = APPLY
+        task.payload = (failure, [engine])
 
 
 def _is_engine(machine: "Machine", task: Task, args: list[Any]) -> None:
-    task.control = (VALUE, isinstance(args[0], EngineValue))
+    task.tag = VALUE
+    task.payload = isinstance(args[0], EngineValue)
 
 
 def _engine_mileage(machine: "Machine", task: Task, args: list[Any]) -> None:
     engine = args[0]
     if not isinstance(engine, EngineValue):
         raise WrongTypeError(f"engine-mileage: not an engine: {engine!r}")
-    task.control = (VALUE, engine.mileage)
+    task.tag = VALUE
+    task.payload = engine.mileage
 
 
 def register_engine_primitives(globals_: GlobalEnv) -> None:

@@ -32,7 +32,7 @@ from repro.machine.tree import (
     find_label_link,
     reinstate,
 )
-from repro.machine.values import check_arity
+from repro.machine.values import MachineApplicable, check_arity
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.scheduler import Machine
@@ -44,7 +44,7 @@ __all__ = [
 ]
 
 
-class FunctionalContinuation:
+class FunctionalContinuation(MachineApplicable):
     """A composable continuation captured by ``F``.  Multi-shot."""
 
     __slots__ = ("capture",)
@@ -80,7 +80,8 @@ def call_with_prompt_primitive(machine: "Machine", task: Task, args: list[Any]) 
     replace_child(task.link, link)
     task.frames = None
     task.link = link
-    task.control = (APPLY, thunk, [])
+    task.tag = APPLY
+    task.payload = (thunk, [])
 
 
 def fcontrol_primitive(machine: "Machine", task: Task, args: list[Any]) -> None:

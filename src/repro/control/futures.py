@@ -60,7 +60,8 @@ class FuturePlaceholder:
             if waiter.state is not TaskState.WAITING:
                 continue
             waiter.state = TaskState.RUNNABLE
-            waiter.control = (VALUE, value)
+            waiter.tag = VALUE
+            waiter.payload = value
             machine.waiting_tasks.discard(waiter)
             machine.enqueue(waiter)
         self.waiters.clear()
@@ -78,17 +79,20 @@ def _future(machine: "Machine", task: Task, args: list[Any]) -> None:
     halt.child = root
     machine.spawn_task(root)
     machine.register_future_root(root)
-    task.control = (VALUE, placeholder)
+    task.tag = VALUE
+    task.payload = placeholder
 
 
 def _touch(machine: "Machine", task: Task, args: list[Any]) -> None:
     value = args[0]
     if not isinstance(value, FuturePlaceholder):
         # Multilisp: touching a non-placeholder is the identity.
-        task.control = (VALUE, value)
+        task.tag = VALUE
+        task.payload = value
         return
     if value.resolved:
-        task.control = (VALUE, value.value)
+        task.tag = VALUE
+        task.payload = value.value
         return
     task.state = TaskState.WAITING
     value.waiters.append(task)
@@ -96,14 +100,16 @@ def _touch(machine: "Machine", task: Task, args: list[Any]) -> None:
 
 
 def _is_placeholder(machine: "Machine", task: Task, args: list[Any]) -> None:
-    task.control = (VALUE, isinstance(args[0], FuturePlaceholder))
+    task.tag = VALUE
+    task.payload = isinstance(args[0], FuturePlaceholder)
 
 
 def _future_done(machine: "Machine", task: Task, args: list[Any]) -> None:
     placeholder = args[0]
     if not isinstance(placeholder, FuturePlaceholder):
         raise WrongTypeError(f"future-done?: not a placeholder: {placeholder!r}")
-    task.control = (VALUE, placeholder.resolved)
+    task.tag = VALUE
+    task.payload = placeholder.resolved
 
 
 def register_future_primitives(globals_: GlobalEnv) -> None:

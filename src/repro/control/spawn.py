@@ -25,7 +25,7 @@ from repro.errors import DeadControllerError
 from repro.machine.links import Label, LabelLink
 from repro.machine.task import APPLY, Task, TaskState
 from repro.machine.tree import capture_subtree, reinstate, replace_child
-from repro.machine.values import check_arity
+from repro.machine.values import MachineApplicable, check_arity
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.scheduler import Machine
@@ -33,7 +33,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["ProcessController", "ProcessContinuation", "spawn_primitive"]
 
 
-class ProcessController:
+class ProcessController(MachineApplicable):
     """The controller passed to a spawned procedure.
 
     Applying it captures-and-aborts back to (and including) the nearest
@@ -76,7 +76,7 @@ def _find_own_label(task: Task, label: Label) -> LabelLink | None:
     return find_label_link(task, lambda candidate: candidate is label)
 
 
-class ProcessContinuation:
+class ProcessContinuation(MachineApplicable):
     """A captured process subtree, applied as a one-argument procedure.
 
     Multi-shot: each application grafts an independent copy (control
@@ -114,4 +114,5 @@ def spawn_primitive(machine: "Machine", task: Task, args: list[Any]) -> None:
     replace_child(task.link, link)
     task.frames = None
     task.link = link
-    task.control = (APPLY, procedure, [ProcessController(label)])
+    task.tag = APPLY
+    task.payload = (procedure, [ProcessController(label)])

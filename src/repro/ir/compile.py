@@ -87,7 +87,6 @@ from repro.machine.frames import (
     SeqFrame,
 )
 from repro.machine.links import ForkLink, Join
-from repro.machine.step import apply_deliver
 from repro.machine.task import EVAL, VALUE, Task, TaskState
 from repro.machine.tree import replace_child
 from repro.machine.values import Closure
@@ -95,9 +94,12 @@ from repro.machine.values import Closure
 __all__ = ["Code", "CompileStats", "compile_node", "compile_program"]
 
 #: A compiled node: ``code(machine, task)`` performs one (fused)
-#: machine transition.  Attributes: ``code.triv`` (``(env) -> value``
-#: or None), ``code.node`` (the source IR node).
-Code = Callable[[Any, Task], None]
+#: machine transition and returns the next control registers as a
+#: ``(tag, payload)`` pair — or ``None`` after machine surgery (fork,
+#: control operation), telling the run loop to reload from the task.
+#: Attributes: ``code.triv`` (``(env) -> value`` or None), ``code.node``
+#: (the source IR node).
+Code = Callable[[Any, Task], "tuple[Any, Any] | None"]
 
 
 @dataclass
@@ -151,8 +153,8 @@ class _Compiler:
     def _compile_const(self, node: Const) -> Code:
         value = node.value
 
-        def run(machine: Any, task: Task) -> None:
-            task.control = (VALUE, value)
+        def run(machine: Any, task: Task) -> Any:
+            return (VALUE, value)
 
         return _finish(run, node, lambda env: value)
 
@@ -164,16 +166,16 @@ class _Compiler:
             def triv(env: Any) -> Any:
                 return env.values[index]
 
-            def run(machine: Any, task: Task) -> None:
-                task.control = (VALUE, task.env.values[index])
+            def run(machine: Any, task: Task) -> Any:
+                return (VALUE, task.env.values[index])
 
         elif depth == 1:
 
             def triv(env: Any) -> Any:
                 return env.parent.values[index]
 
-            def run(machine: Any, task: Task) -> None:
-                task.control = (VALUE, task.env.parent.values[index])
+            def run(machine: Any, task: Task) -> Any:
+                return (VALUE, task.env.parent.values[index])
 
         else:
 
@@ -184,13 +186,13 @@ class _Compiler:
                     d -= 1
                 return env.values[index]
 
-            def run(machine: Any, task: Task) -> None:
+            def run(machine: Any, task: Task) -> Any:
                 env = task.env
                 d = depth
                 while d:
                     env = env.parent
                     d -= 1
-                task.control = (VALUE, env.values[index])
+                return (VALUE, env.values[index])
 
         return _finish(run, node, triv)
 
@@ -203,11 +205,11 @@ class _Compiler:
                 raise UnboundVariableError(cell.name.name)
             return value
 
-        def run(machine: Any, task: Task) -> None:
+        def run(machine: Any, task: Task) -> Any:
             value = cell.value
             if value is UNBOUND:
                 raise UnboundVariableError(cell.name.name)
-            task.control = (VALUE, value)
+            return (VALUE, value)
 
         return _finish(run, node, triv)
 
@@ -224,11 +226,8 @@ class _Compiler:
         def triv(env: Any) -> Any:
             return Closure(params, rest, body, env, name, nslots)
 
-        def run(machine: Any, task: Task) -> None:
-            task.control = (
-                VALUE,
-                Closure(params, rest, body, task.env, name, nslots),
-            )
+        def run(machine: Any, task: Task) -> Any:
+            return (VALUE, Closure(params, rest, body, task.env, name, nslots))
 
         return _finish(run, node, triv)
 
@@ -241,9 +240,9 @@ class _Compiler:
         if fn_triv is None:
             # Operator needs real evaluation: classic frame plan, with
             # the operator's first transition fused into this step.
-            def run(machine: Any, task: Task) -> None:
+            def run(machine: Any, task: Task) -> Any:
                 task.frames = AppFrame((), arg_codes, task.env, task.frames)
-                fn_code(machine, task)
+                return fn_code(machine, task)
 
             return _finish(run, node, None)
 
@@ -253,44 +252,53 @@ class _Compiler:
             split += 1
         if split == len(arg_codes):
             # Fully trivial: evaluate operator and operands in place and
-            # apply immediately — no AppFrame, one machine step.
+            # apply immediately — no AppFrame, one machine step.  The
+            # dominant shapes are specialized further: a ``GlobalRef``
+            # operator becomes an inline cell load, and ``LocalRef``
+            # depth-0 / ``Const`` operands become inline slot reads and
+            # captured constants, so the hot arithmetic applications
+            # (``(- n 1)``, ``(< y x)``…) run without a single triv
+            # closure call.
             self.stats.apps_inlined += 1
+            specialized = self._specialize_trivial_app(node, trivs)
+            if specialized is not None:
+                return _finish(specialized, node, None)
             if not trivs:
 
-                def run(machine: Any, task: Task) -> None:
-                    apply_deliver(machine, task, fn_triv(task.env), [])
+                def run(machine: Any, task: Task) -> Any:
+                    return machine._apply_deliver(machine, task, fn_triv(task.env), [])
 
             elif len(trivs) == 1:
                 t0 = trivs[0]
 
-                def run(machine: Any, task: Task) -> None:
+                def run(machine: Any, task: Task) -> Any:
                     env = task.env
-                    apply_deliver(machine, task, fn_triv(env), [t0(env)])
+                    return machine._apply_deliver(machine, task, fn_triv(env), [t0(env)])
 
             elif len(trivs) == 2:
                 t0, t1 = trivs
 
-                def run(machine: Any, task: Task) -> None:
+                def run(machine: Any, task: Task) -> Any:
                     env = task.env
-                    apply_deliver(
+                    return machine._apply_deliver(
                         machine, task, fn_triv(env), [t0(env), t1(env)]
                     )
 
             elif len(trivs) == 3:
                 t0, t1, t2 = trivs
 
-                def run(machine: Any, task: Task) -> None:
+                def run(machine: Any, task: Task) -> Any:
                     env = task.env
-                    apply_deliver(
+                    return machine._apply_deliver(
                         machine, task, fn_triv(env), [t0(env), t1(env), t2(env)]
                     )
 
             else:
                 all_trivs = tuple(trivs)
 
-                def run(machine: Any, task: Task) -> None:
+                def run(machine: Any, task: Task) -> Any:
                     env = task.env
-                    apply_deliver(
+                    return machine._apply_deliver(
                         machine,
                         task,
                         fn_triv(env),
@@ -301,28 +309,195 @@ class _Compiler:
 
         # Mixed: fold the trivial prefix into this step, push the
         # pre-built frame plan, and fuse evaluation of the first
-        # non-trivial operand.
+        # non-trivial operand.  A ``GlobalRef`` operator is inlined as
+        # a cell load here too.
         first = arg_codes[split]
         pending = arg_codes[split + 1 :]
+        cell = node.fn.cell if type(node.fn) is GlobalRef else None
         if split == 0:
+            if cell is not None:
 
-            def run(machine: Any, task: Task) -> None:
-                env = task.env
-                task.frames = AppFrame((fn_triv(env),), pending, env, task.frames)
-                first(machine, task)
+                def run(machine: Any, task: Task) -> Any:
+                    fn = cell.value
+                    if fn is UNBOUND:
+                        raise UnboundVariableError(cell.name.name)
+                    env = task.env
+                    task.frames = AppFrame((fn,), pending, env, task.frames)
+                    return first(machine, task)
+
+            else:
+
+                def run(machine: Any, task: Task) -> Any:
+                    env = task.env
+                    task.frames = AppFrame((fn_triv(env),), pending, env, task.frames)
+                    return first(machine, task)
 
         else:
             prefix = tuple(trivs[:split])
+            if cell is not None:
 
-            def run(machine: Any, task: Task) -> None:
-                env = task.env
-                done = [fn_triv(env)]
-                for t in prefix:
-                    done.append(t(env))
-                task.frames = AppFrame(tuple(done), pending, env, task.frames)
-                first(machine, task)
+                def run(machine: Any, task: Task) -> Any:
+                    fn = cell.value
+                    if fn is UNBOUND:
+                        raise UnboundVariableError(cell.name.name)
+                    env = task.env
+                    done = [fn]
+                    for t in prefix:
+                        done.append(t(env))
+                    task.frames = AppFrame(tuple(done), pending, env, task.frames)
+                    return first(machine, task)
+
+            else:
+
+                def run(machine: Any, task: Task) -> Any:
+                    env = task.env
+                    done = [fn_triv(env)]
+                    for t in prefix:
+                        done.append(t(env))
+                    task.frames = AppFrame(tuple(done), pending, env, task.frames)
+                    return first(machine, task)
 
         return _finish(run, node, None)
+
+    @staticmethod
+    def _specialize_trivial_app(node: App, trivs: list) -> Code | None:
+        """Build a shape-specialized thunk for a fully trivial
+        application with a ``GlobalRef`` operator, or return ``None``.
+
+        The generic fully-trivial thunk pays one closure call per
+        operator/operand.  For the shapes that dominate hot loops —
+        global operator applied to depth-0 locals and constants — the
+        loads are inlined into the thunk body instead: the operator is
+        one cell read (plus the UNBOUND check), a depth-0 local is one
+        slot read, a constant is a captured Python value.  Arities 1
+        and 2 get the full treatment; other arities still inline the
+        operator cell and fall back to triv calls per operand.
+        """
+        if type(node.fn) is not GlobalRef:
+            return None
+        cell = node.fn.cell
+
+        def plan(arg: Node, triv: Callable[[Any], Any]) -> tuple[str, Any]:
+            kind = type(arg)
+            if kind is Const:
+                return ("c", arg.value)
+            if kind is LocalRef and arg.depth == 0:
+                return ("l0", arg.index)
+            return ("t", triv)
+
+        plans = [plan(arg, triv) for arg, triv in zip(node.args, trivs)]
+
+        if len(plans) == 1:
+            k0, v0 = plans[0]
+            if k0 == "l0":
+
+                def run(machine: Any, task: Task) -> Any:
+                    fn = cell.value
+                    if fn is UNBOUND:
+                        raise UnboundVariableError(cell.name.name)
+                    return machine._apply_deliver(
+                        machine, task, fn, [task.env.values[v0]]
+                    )
+
+            elif k0 == "c":
+
+                def run(machine: Any, task: Task) -> Any:
+                    fn = cell.value
+                    if fn is UNBOUND:
+                        raise UnboundVariableError(cell.name.name)
+                    return machine._apply_deliver(machine, task, fn, [v0])
+
+            else:
+
+                def run(machine: Any, task: Task) -> Any:
+                    fn = cell.value
+                    if fn is UNBOUND:
+                        raise UnboundVariableError(cell.name.name)
+                    return machine._apply_deliver(
+                        machine, task, fn, [v0(task.env)]
+                    )
+
+            return run
+
+        if len(plans) == 2:
+            (k0, v0), (k1, v1) = plans
+            shape = k0 + k1
+            if shape == "l0l0":
+
+                def run(machine: Any, task: Task) -> Any:
+                    fn = cell.value
+                    if fn is UNBOUND:
+                        raise UnboundVariableError(cell.name.name)
+                    values = task.env.values
+                    return machine._apply_deliver(
+                        machine, task, fn, [values[v0], values[v1]]
+                    )
+
+            elif shape == "l0c":
+
+                def run(machine: Any, task: Task) -> Any:
+                    fn = cell.value
+                    if fn is UNBOUND:
+                        raise UnboundVariableError(cell.name.name)
+                    return machine._apply_deliver(
+                        machine, task, fn, [task.env.values[v0], v1]
+                    )
+
+            elif shape == "cl0":
+
+                def run(machine: Any, task: Task) -> Any:
+                    fn = cell.value
+                    if fn is UNBOUND:
+                        raise UnboundVariableError(cell.name.name)
+                    return machine._apply_deliver(
+                        machine, task, fn, [v0, task.env.values[v1]]
+                    )
+
+            elif shape == "cc":
+
+                def run(machine: Any, task: Task) -> Any:
+                    fn = cell.value
+                    if fn is UNBOUND:
+                        raise UnboundVariableError(cell.name.name)
+                    return machine._apply_deliver(machine, task, fn, [v0, v1])
+
+            else:
+                t0 = trivs[0]
+                t1 = trivs[1]
+
+                def run(machine: Any, task: Task) -> Any:
+                    fn = cell.value
+                    if fn is UNBOUND:
+                        raise UnboundVariableError(cell.name.name)
+                    env = task.env
+                    return machine._apply_deliver(
+                        machine, task, fn, [t0(env), t1(env)]
+                    )
+
+            return run
+
+        if not plans:
+
+            def run(machine: Any, task: Task) -> Any:
+                fn = cell.value
+                if fn is UNBOUND:
+                    raise UnboundVariableError(cell.name.name)
+                return machine._apply_deliver(machine, task, fn, [])
+
+            return run
+
+        all_trivs = tuple(trivs)
+
+        def run(machine: Any, task: Task) -> Any:
+            fn = cell.value
+            if fn is UNBOUND:
+                raise UnboundVariableError(cell.name.name)
+            env = task.env
+            return machine._apply_deliver(
+                machine, task, fn, [t(env) for t in all_trivs]
+            )
+
+        return run
 
     def _compile_if(self, node: If) -> Code:
         test_code = self.compile(node.test)
@@ -333,17 +508,16 @@ class _Compiler:
             # Trivial test: decide and jump in one step, no IfFrame.
             self.stats.tests_inlined += 1
 
-            def run(machine: Any, task: Task) -> None:
+            def run(machine: Any, task: Task) -> Any:
                 if test_triv(task.env) is not False:
-                    then_code(machine, task)
-                else:
-                    els_code(machine, task)
+                    return then_code(machine, task)
+                return els_code(machine, task)
 
         else:
 
-            def run(machine: Any, task: Task) -> None:
+            def run(machine: Any, task: Task) -> Any:
                 task.frames = IfFrame(then_code, els_code, task.env, task.frames)
-                test_code(machine, task)
+                return test_code(machine, task)
 
         return _finish(run, node, None)
 
@@ -354,9 +528,9 @@ class _Compiler:
         first = codes[0]
         rest = codes[1:]
 
-        def run(machine: Any, task: Task) -> None:
+        def run(machine: Any, task: Task) -> Any:
             task.frames = SeqFrame(rest, task.env, task.frames)
-            first(machine, task)
+            return first(machine, task)
 
         return _finish(run, node, None)
 
@@ -367,7 +541,7 @@ class _Compiler:
         expr_triv = expr_code.triv  # type: ignore[attr-defined]
         if expr_triv is not None:
 
-            def run(machine: Any, task: Task) -> None:
+            def run(machine: Any, task: Task) -> Any:
                 env = task.env
                 value = expr_triv(env)
                 d = depth
@@ -375,13 +549,13 @@ class _Compiler:
                     env = env.parent
                     d -= 1
                 env.values[index] = value
-                task.control = (VALUE, UNSPECIFIED)
+                return (VALUE, UNSPECIFIED)
 
         else:
 
-            def run(machine: Any, task: Task) -> None:
+            def run(machine: Any, task: Task) -> Any:
                 task.frames = LocalSetFrame(depth, index, task.env, task.frames)
-                expr_code(machine, task)
+                return expr_code(machine, task)
 
         return _finish(run, node, None)
 
@@ -391,18 +565,18 @@ class _Compiler:
         expr_triv = expr_code.triv  # type: ignore[attr-defined]
         if expr_triv is not None:
 
-            def run(machine: Any, task: Task) -> None:
+            def run(machine: Any, task: Task) -> Any:
                 value = expr_triv(task.env)
                 if cell.value is UNBOUND:
                     raise UnboundVariableError(cell.name.name)
                 cell.value = value
-                task.control = (VALUE, UNSPECIFIED)
+                return (VALUE, UNSPECIFIED)
 
         else:
 
-            def run(machine: Any, task: Task) -> None:
+            def run(machine: Any, task: Task) -> Any:
                 task.frames = GlobalSetFrame(cell, task.frames)
-                expr_code(machine, task)
+                return expr_code(machine, task)
 
         return _finish(run, node, None)
 
@@ -412,16 +586,16 @@ class _Compiler:
         expr_triv = expr_code.triv  # type: ignore[attr-defined]
         if expr_triv is not None:
 
-            def run(machine: Any, task: Task) -> None:
+            def run(machine: Any, task: Task) -> Any:
                 env = task.env
                 env.globals.define(name, expr_triv(env))
-                task.control = (VALUE, UNSPECIFIED)
+                return (VALUE, UNSPECIFIED)
 
         else:
 
-            def run(machine: Any, task: Task) -> None:
+            def run(machine: Any, task: Task) -> Any:
                 task.frames = DefineFrame(name, task.env, task.frames)
-                expr_code(machine, task)
+                return expr_code(machine, task)
 
         return _finish(run, node, None)
 
@@ -429,7 +603,7 @@ class _Compiler:
         codes = tuple(self.compile(expr) for expr in node.exprs)
         count = len(codes)
 
-        def run(machine: Any, task: Task) -> None:
+        def run(machine: Any, task: Task) -> Any:
             join = Join(count, task.frames, task.link)
             replace_child(task.link, join)
             task.state = TaskState.DEAD
@@ -438,6 +612,7 @@ class _Compiler:
                 join.children[index] = branch
                 machine.spawn_task(branch)
             machine.notify_fork(join)
+            return None
 
         return _finish(run, node, None)
 

@@ -28,7 +28,7 @@ def render_entity(entity: Any, indent: int = 0) -> list[str]:
     if entity is TOMBSTONE:
         return [f"{pad}(tombstone)"]
     if isinstance(entity, Task):
-        tag = entity.control[0] if entity.control else "?"
+        tag = entity.tag
         return [
             f"{pad}task#{entity.uid} [{entity.state.value}] control={tag} "
             f"frames={frame_chain_length(entity.frames)}"

@@ -25,7 +25,15 @@ from repro.errors import MachineError, StepBudgetExceeded
 from repro.ir import Node
 from repro.machine.environment import Environment, GlobalEnv
 from repro.machine.links import HaltLink, Join, Label, LabelLink
-from repro.machine.step import step, step_compiled
+from repro.machine.step import (
+    apply_deliver,
+    apply_procedure,
+    run_quantum,
+    run_quantum_compiled,
+    run_quantum_stepped,
+    step,
+    step_compiled,
+)
 from repro.machine.task import EVAL, Task, TaskState
 
 __all__ = ["ENGINES", "Machine", "SchedulerPolicy"]
@@ -77,6 +85,8 @@ class Machine:
         quantum: int = 16,
         max_steps: int | None = None,
         engine: str = "resolved",
+        batched: bool = True,
+        profile: bool = False,
     ):
         self.globals = globals_ if globals_ is not None else GlobalEnv()
         self.policy = SchedulerPolicy(policy)
@@ -95,6 +105,51 @@ class Machine:
         # plain path.
         self.fold = engine == "resolved"
         self._step_fn = step_compiled if engine == "compiled" else step
+        # The quantum driver (see repro.machine.step).  ``batched=True``
+        # (default) runs each quantum in one Python frame with the
+        # control registers held in locals; ``batched=False`` is the
+        # per-step ablation driver, re-entering the reference stepper
+        # once per transition — same transition relation, used as the
+        # A/B baseline in benchmarks/run_all.py.
+        self.batched = batched
+        if not batched:
+            self._run_quantum = run_quantum_stepped
+        elif engine == "compiled":
+            self._run_quantum = run_quantum_compiled
+        else:
+            self._run_quantum = run_quantum
+        # The apply seam: code thunks and the reference steppers apply
+        # through these machine attributes, so the unbatched ablation
+        # runs the PR-2 apply path (repro.machine.ablation) while the
+        # batched engines get the fast path (precomputed arity windows,
+        # direct Primitive/Closure dispatch) — the A/B columns in
+        # benchmarks/run_all.py measure exactly this seam.
+        if batched:
+            self._apply_procedure = apply_procedure
+            self._apply_deliver = apply_deliver
+        else:
+            from repro.machine.ablation import (
+                apply_deliver_unbatched,
+                apply_procedure_unbatched,
+            )
+
+            self._apply_procedure = apply_procedure_unbatched
+            self._apply_deliver = apply_deliver_unbatched
+        # VM counters (satellite observability).  Always allocated so
+        # the run loops can reference it; only *updated* when
+        # ``profile=True`` (the loops skip the bookkeeping otherwise).
+        self.profile = profile
+        self.vm_stats: dict[str, int] = {
+            "vm_quanta": 0,
+            "vm_quantum_steps": 0,
+            "vm_spill_apply": 0,
+            "vm_spill_control": 0,
+            "vm_spill_suspend": 0,
+            "vm_spill_budget": 0,
+            "vm_spill_trace": 0,
+            "vm_spill_fallback": 0,
+            "vm_allocations_avoided": 0,
+        }
         self.rng = random.Random(seed)
         self.toplevel_env = Environment.toplevel(self.globals)
 
@@ -246,7 +301,13 @@ class Machine:
         self.parked_futures = []
 
     def finish(self) -> Any:
-        """Run the current tree to completion and return its value."""
+        """Run the current tree to completion and return its value.
+
+        The chunk size only bounds how often control returns here;
+        :meth:`step_n` clamps every quantum to the ``max_steps``
+        headroom itself, so the budget is honoured exactly regardless
+        of the chunking.
+        """
         while not self.step_n(4096):
             pass
         self._park_surviving_futures()
@@ -290,9 +351,16 @@ class Machine:
     def step_n(self, n: int) -> bool:
         """Run up to ``n`` machine steps; True iff the current tree has
         produced its value.  Raises on deadlock or budget exhaustion.
+
+        The inner loop hands whole quanta to the engine's run-quantum
+        driver (one Python call per quantum rather than per step); each
+        quantum's budget is clamped to both ``n`` and the remaining
+        ``max_steps`` headroom, so :class:`StepBudgetExceeded` is
+        raised at *exactly* the budget — never after an overflow step.
         """
         serial = self.policy is SchedulerPolicy.SERIAL
-        step_fn = self._step_fn
+        run_quantum_fn = self._run_quantum
+        max_steps = self.max_steps
         remaining = n
         while remaining > 0 and self.halt_value is _NO_HALT:
             task = self._pick()
@@ -310,19 +378,17 @@ class Machine:
                     "the root)"
                 )
             budget = remaining if serial else min(self.quantum, remaining)
-            while task.state is TaskState.RUNNABLE:
-                if self.trace_hook is not None:
-                    self.trace_hook(self, task)
-                step_fn(self, task)
-                self.steps_total += 1
-                remaining -= 1
-                if self.max_steps is not None and self.steps_total > self.max_steps:
+            if max_steps is not None:
+                headroom = max_steps - self.steps_total
+                if headroom <= 0:
+                    # A runnable task exists but the budget is spent:
+                    # the overflow step is refused, not executed.
+                    self.queue.appendleft(task)
                     raise StepBudgetExceeded(self.steps_total)
-                if self.halt_value is not _NO_HALT:
-                    break
-                budget -= 1
-                if budget <= 0:
-                    break
+                if budget > headroom:
+                    budget = headroom
+            taken = run_quantum_fn(self, task, budget)
+            remaining -= taken
             if task.state is TaskState.RUNNABLE and self.halt_value is _NO_HALT:
                 self.queue.append(task)
         return self.halt_value is not _NO_HALT

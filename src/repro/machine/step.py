@@ -1,43 +1,60 @@
-"""The single-task stepper.
+"""The run loops and the single-task steppers.
 
-``step(machine, task)`` advances one task by one transition.  The three
-control shapes are:
+The machine's transition relation is unchanged from the seed — the
+three control shapes are:
 
 * ``(EVAL, node)`` — decompose an IR node, pushing frames;
 * ``(VALUE, v)`` — deliver a value to the top frame, or through the
   segment's link when the segment is empty;
 * ``(APPLY, fn, args)`` — apply a procedure value.
 
-Node and frame handling dispatch through type-keyed tables rather than
-``isinstance`` ladders — profiling showed the ladders dominating the
-hot loop (~20 % end-to-end on call-heavy code).
+What changed is *where the registers live while the machine runs*.
+``run_quantum(machine, task, budget)`` (tree-walking engines) and
+``run_quantum_compiled`` (compiled engine) execute up to ``budget``
+transitions in one Python frame, holding the control registers — and,
+for the tree loop, ``task.frames``/``task.env`` too — in Python
+locals, writing them back to the :class:`~repro.machine.task.Task`
+only at quantum exit.  This is the register-machine move of Biernacka,
+Biernacki & Danvy: relocating state into locals without changing the
+transition relation.  It eliminates the per-transition control-tuple
+allocation and the per-step call/return through the scheduler's inner
+loop.
 
-The stepper evaluates both IR dialects: the expander's ``Var``/
-``SetBang`` (dict-chain environments, the ``resolve=False`` baseline)
-and the resolver's ``LocalRef``/``LocalSet``/``GlobalRef``/
-``GlobalSet`` (slot ribs and interned global cells — see
-:mod:`repro.ir.resolve`).  On resolved programs (``machine.fold``)
-the stepper also folds *trivial* operands — references, constants,
-resolved lambdas — into the application's own step, applying
-immediately once every operand is in hand; the ``resolve=False``
-baseline keeps the seed's one-transition-per-operand stepping.
-Either way, tail calls run in constant
-segment space: applications are processed only after their frame has
-been popped, so proper tail calls fall out of the frame discipline for
-free, independent of the rib representation.
+The load-bearing design element is the **spill protocol** (see
+docs/IMPLEMENTATION.md for the contract ``control/*.py`` authors must
+follow).  Before any operation that can observe or mutate task state
+from outside the loop, the loop spills its locals back into the task,
+delegates, then reloads (or exits, if the task left the RUNNABLE
+state).  Spill causes:
 
-``step_compiled(machine, task)`` is the third engine's stepper: the
-closure compiler (:mod:`repro.ir.compile`) has already turned every
-node into a code thunk ``code(machine, task)``, so the EVAL arm is a
-single indirect call — no type-keyed dispatch at all.  The VALUE and
-APPLY arms are shared with the tree-walking stepper in structure
-(identical frames, identical link delivery), but the VALUE arm folds
-*compiled* trivial operands via each thunk's pre-computed ``triv``
-closure and fuses the next non-trivial operand's first transition into
-the same step.  Frame slots holding plain IR nodes (e.g. from
-``begin_eval`` on unexpanded input, or closures built by another
-engine's machine) fall back to the shared dispatch tables, so values
-cross freely between engines.
+* a delegated application — :class:`ControlPrimitive` or
+  :class:`MachineApplicable` (controllers, continuations), which may
+  capture the task's frame chain or rewrite the tree;
+* ``pcall`` forking and every other dispatch-table fallback;
+* link delivery (``HaltLink``/``LabelLink``/``ForkLink`` — the
+  control points);
+* task suspension (futures' ``touch``) and quantum/budget exhaustion;
+* an installed trace hook, which forces a spill before *every*
+  transition so tracing observes exactly the per-step states the
+  unbatched machine would produce.
+
+One loop iteration is one observable machine step (apply never fuses
+beyond what the PR-2 compiled stepper already fused), so preemption
+fairness, step budgets, and the engine×policy differential matrix are
+preserved transition-for-transition.
+
+Transition functions follow a uniform **return convention**: they
+return the next control pair ``(tag, payload)`` — never storing it —
+or ``None``, meaning external surgery happened and the caller must
+reload from the task (or stop, if the task is no longer runnable).
+Code thunks built by :mod:`repro.ir.compile` follow the same
+convention.
+
+``step``/``step_compiled`` remain as the per-transition reference
+steppers: ``Machine(batched=False)`` drives them one call per step
+through :func:`run_quantum_stepped` — the PR-2 ablation baseline the
+benchmarks A/B against — and they define the semantics the batched
+loops must reproduce exactly.
 """
 
 from __future__ import annotations
@@ -46,7 +63,13 @@ from types import FunctionType
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.datum import UNSPECIFIED, from_pylist
-from repro.errors import ControlError, MachineError, UnboundVariableError, WrongTypeError
+from repro.errors import (
+    ControlError,
+    MachineError,
+    StepBudgetExceeded,
+    UnboundVariableError,
+    WrongTypeError,
+)
 from repro.ir import (
     App,
     Const,
@@ -75,13 +98,28 @@ from repro.machine.frames import (
 from repro.machine.links import ForkLink, HaltLink, Join, LabelLink
 from repro.machine.task import APPLY, EVAL, HOLE, VALUE, Task, TaskState
 from repro.machine.tree import replace_child
-from repro.machine.values import Closure, ControlPrimitive, Primitive
+from repro.machine.values import (
+    Closure,
+    ControlPrimitive,
+    MachineApplicable,
+    Primitive,
+    check_arity,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.scheduler import Machine
 
-__all__ = ["step", "step_compiled", "apply_procedure", "apply_deliver"]
+__all__ = [
+    "step",
+    "step_compiled",
+    "run_quantum",
+    "run_quantum_compiled",
+    "run_quantum_stepped",
+    "apply_procedure",
+    "apply_deliver",
+]
 
+_RUNNABLE = TaskState.RUNNABLE
 
 #: Sentinel: a node is not trivially evaluable in place.
 _NOT_TRIVIAL = object()
@@ -118,35 +156,698 @@ def _trivial_eval(node: Any, env: Any) -> Any:
     return _NOT_TRIVIAL
 
 
+# ---------------------------------------------------------------------------
+# The quantum-batched run loops
+# ---------------------------------------------------------------------------
+
+
+def run_quantum(
+    machine: "Machine",
+    task: Task,
+    budget: int,
+    *,
+    # Keyword-only defaults bind the hot globals as locals (LOAD_FAST
+    # instead of LOAD_GLOBAL on every transition); callers never pass
+    # them.
+    EVAL: Any = EVAL,
+    VALUE: Any = VALUE,
+    APPLY: Any = APPLY,
+    _RUNNABLE: Any = _RUNNABLE,
+    _NOT_TRIVIAL: Any = _NOT_TRIVIAL,
+    AppFrame: Any = AppFrame,
+    IfFrame: Any = IfFrame,
+    LocalRef: Any = LocalRef,
+    GlobalRef: Any = GlobalRef,
+    Var: Any = Var,
+    App: Any = App,
+    If: Any = If,
+    Const: Any = Const,
+    Closure: Any = Closure,
+    Primitive: Any = Primitive,
+) -> int:
+    """Run ``task`` for up to ``budget`` transitions on a tree-walking
+    machine (dict and resolved engines); return the number taken.
+
+    Control tag/payload, the frame chain and the environment live in
+    locals; the spill protocol (module docstring) writes them back to
+    the task at every delegation and at quantum exit.
+    """
+    base_total = machine.steps_total
+    base_steps = task.steps
+    profile = machine.profile
+    vm = machine.vm_stats
+    fold = machine.fold
+    # Hooks are installed between runs (trace.py, invariants.py), never
+    # by a transition, so one read per quantum suffices.
+    hook = machine.trace_hook
+    tag = task.tag
+    payload = task.payload
+    frames = task.frames
+    env = task.env
+    steps = 0
+    spills = 0
+    try:
+        while steps < budget:
+            if hook is not None:
+                task.tag = tag
+                task.payload = payload
+                task.frames = frames
+                task.env = env
+                machine.steps_total = base_total + steps
+                task.steps = base_steps + steps
+                hook(machine, task)
+                tag = task.tag
+                payload = task.payload
+                frames = task.frames
+                env = task.env
+                spills += 1
+                if profile:
+                    vm["vm_spill_trace"] += 1
+            steps += 1
+            fn = _NOT_TRIVIAL  # set when a path below falls through to apply
+            if tag is EVAL:
+                node = payload
+                kind = node.__class__
+                if kind is LocalRef:
+                    rib = env
+                    depth = node.depth
+                    while depth:
+                        rib = rib.parent
+                        depth -= 1
+                    tag = VALUE
+                    payload = rib.values[node.index]
+                    continue
+                if kind is GlobalRef:
+                    value = node.cell.value
+                    if value is UNBOUND:
+                        raise UnboundVariableError(node.cell.name.name)
+                    tag = VALUE
+                    payload = value
+                    continue
+                if kind is Var:
+                    tag = VALUE
+                    payload = env.lookup(node.name)
+                    continue
+                if kind is App:
+                    if fold:
+                        fnval = _trivial_eval(node.fn, env)
+                        if fnval is not _NOT_TRIVIAL:
+                            arg_nodes = node.args
+                            done = [fnval]
+                            index = 0
+                            nargs = len(arg_nodes)
+                            while index < nargs:
+                                value = _trivial_eval(arg_nodes[index], env)
+                                if value is _NOT_TRIVIAL:
+                                    break
+                                done.append(value)
+                                index += 1
+                            if index == nargs:
+                                fn = fnval
+                                args = done[1:]
+                                # falls through to the apply block
+                            else:
+                                frames = AppFrame(
+                                    tuple(done), arg_nodes[index + 1 :], env, frames
+                                )
+                                tag = EVAL
+                                payload = arg_nodes[index]
+                                continue
+                        else:
+                            frames = AppFrame((), node.args, env, frames)
+                            tag = EVAL
+                            payload = node.fn
+                            continue
+                    else:
+                        frames = AppFrame((), node.args, env, frames)
+                        tag = EVAL
+                        payload = node.fn
+                        continue
+                elif kind is If:
+                    frames = IfFrame(node.then, node.els, env, frames)
+                    tag = EVAL
+                    payload = node.test
+                    continue
+                elif kind is Const:
+                    tag = VALUE
+                    payload = node.value
+                    continue
+                else:
+                    # Dispatch-table fallback (Lambda, Seq, sets, define,
+                    # pcall, cross-engine code thunks): spill, delegate,
+                    # reload.
+                    handler = _EVAL_DISPATCH.get(kind)
+                    if handler is None:
+                        raise MachineError(f"cannot evaluate IR node: {node!r}")
+                    task.tag = tag
+                    task.payload = payload
+                    task.frames = frames
+                    task.env = env
+                    result = handler(machine, task, node)
+                    spills += 1
+                    if profile:
+                        vm["vm_spill_fallback"] += 1
+                    if task.state is not _RUNNABLE:
+                        return steps
+                    frames = task.frames
+                    env = task.env
+                    if result is None:
+                        tag = task.tag
+                        payload = task.payload
+                    else:
+                        tag, payload = result
+                    continue
+            elif tag is VALUE:
+                value = payload
+                frame = frames
+                if frame is not None:
+                    fkind = frame.__class__
+                    if fkind is AppFrame:
+                        frames = frame.next
+                        done = frame.done + (value,)
+                        pending = frame.pending
+                        if fold:
+                            env = frame.env
+                            index = 0
+                            npend = len(pending)
+                            if npend:
+                                folded = None
+                                while index < npend:
+                                    operand = _trivial_eval(pending[index], env)
+                                    if operand is _NOT_TRIVIAL:
+                                        break
+                                    if folded is None:
+                                        folded = [operand]
+                                    else:
+                                        folded.append(operand)
+                                    index += 1
+                                if folded is not None:
+                                    done = done + tuple(folded)
+                            if index == npend:
+                                fn = done[0]
+                                args = list(done[1:])
+                                # falls through to the apply block
+                            else:
+                                frames = AppFrame(
+                                    done, pending[index + 1 :], env, frames
+                                )
+                                tag = EVAL
+                                payload = pending[index]
+                                continue
+                        elif pending:
+                            env = frame.env
+                            frames = AppFrame(done, pending[1:], env, frames)
+                            tag = EVAL
+                            payload = pending[0]
+                            continue
+                        else:
+                            tag = APPLY
+                            payload = (done[0], list(done[1:]))
+                            continue
+                    elif fkind is IfFrame:
+                        frames = frame.next
+                        env = frame.env
+                        tag = EVAL
+                        payload = frame.then if value is not False else frame.els
+                        continue
+                    else:
+                        handler = _FRAME_DISPATCH.get(fkind)
+                        if handler is None:  # pragma: no cover - defensive
+                            raise MachineError(f"unknown frame: {frame!r}")
+                        task.tag = tag
+                        task.payload = payload
+                        task.frames = frame.next
+                        task.env = env
+                        result = handler(machine, task, frame, value)
+                        spills += 1
+                        if profile:
+                            vm["vm_spill_fallback"] += 1
+                        if task.state is not _RUNNABLE:
+                            return steps
+                        frames = task.frames
+                        env = task.env
+                        if result is None:
+                            tag = task.tag
+                            payload = task.payload
+                        else:
+                            tag, payload = result
+                        continue
+                else:
+                    # Segment exhausted: deliver through the link (a
+                    # control point — always a spill).
+                    task.tag = tag
+                    task.payload = payload
+                    task.frames = frames
+                    task.env = env
+                    _deliver_through_link(machine, task, value)
+                    spills += 1
+                    if profile:
+                        vm["vm_spill_control"] += 1
+                    if task.state is not _RUNNABLE:
+                        return steps
+                    frames = task.frames
+                    env = task.env
+                    continue  # tag/payload still (VALUE, value): label pop
+            elif tag is APPLY:
+                fn_args = payload
+                fn = fn_args[0]
+                args = fn_args[1]
+                # falls through to the apply block
+            elif tag is HOLE:  # pragma: no cover - scheduler never runs holes
+                raise MachineError(
+                    "attempted to step the hole of a captured continuation"
+                )
+            else:  # pragma: no cover - defensive
+                raise MachineError(f"unknown control tag: {tag!r}")
+
+            # -- the apply block (reached by falling through) -----------
+            fcls = fn.__class__
+            if fcls is Primitive:
+                tag = VALUE
+                payload = fn.apply(args)
+                continue
+            if fcls is Closure:
+                tag, payload = apply_procedure(machine, task, fn, args)
+                env = task.env
+                continue
+            task.tag = tag
+            task.payload = payload
+            task.frames = frames
+            task.env = env
+            result = apply_procedure(machine, task, fn, args)
+            spills += 1
+            if profile:
+                vm["vm_spill_apply"] += 1
+            if task.state is not _RUNNABLE:
+                return steps
+            frames = task.frames
+            env = task.env
+            if result is None:
+                tag = task.tag
+                payload = task.payload
+            else:
+                tag, payload = result
+        # Budget exhausted with the task still runnable: spill and hand
+        # the registers back to the scheduler.
+        task.tag = tag
+        task.payload = payload
+        task.frames = frames
+        task.env = env
+        spills += 1
+        return steps
+    finally:
+        machine.steps_total = base_total + steps
+        task.steps = base_steps + steps
+        if profile:
+            vm["vm_quanta"] += 1
+            vm["vm_quantum_steps"] += steps
+            avoided = steps - spills
+            if avoided > 0:
+                vm["vm_allocations_avoided"] += avoided
+            if task.state is _RUNNABLE:
+                vm["vm_spill_budget"] += 1
+            else:
+                vm["vm_spill_suspend"] += 1
+
+
+def run_quantum_compiled(
+    machine: "Machine",
+    task: Task,
+    budget: int,
+    *,
+    # Keyword-only defaults bind the hot globals as locals (LOAD_FAST
+    # instead of LOAD_GLOBAL on every transition); callers never pass
+    # them.
+    EVAL: Any = EVAL,
+    VALUE: Any = VALUE,
+    APPLY: Any = APPLY,
+    FunctionType: Any = FunctionType,
+    _RUNNABLE: Any = _RUNNABLE,
+    AppFrame: Any = AppFrame,
+    IfFrame: Any = IfFrame,
+    SeqFrame: Any = SeqFrame,
+    Closure: Any = Closure,
+    Primitive: Any = Primitive,
+    SlotRib: Any = SlotRib,
+) -> int:
+    """Run ``task`` for up to ``budget`` transitions on a compiled
+    machine; return the number taken.
+
+    The control tag/payload live in locals; frames and environment stay
+    on the task because the code thunks read and push them directly
+    (the thunks *are* inside the loop's trust boundary — they follow
+    the same return convention).  The EVAL arm is one indirect call;
+    the VALUE arm inlines AppFrame/IfFrame/SeqFrame delivery with the
+    closure/primitive apply fast path (precomputed arity windows).
+    """
+    base_total = machine.steps_total
+    base_steps = task.steps
+    profile = machine.profile
+    vm = machine.vm_stats
+    hook = machine.trace_hook  # installed between runs only; see run_quantum
+    tag = task.tag
+    payload = task.payload
+    steps = 0
+    spills = 0
+    try:
+        while steps < budget:
+            if hook is not None:
+                task.tag = tag
+                task.payload = payload
+                machine.steps_total = base_total + steps
+                task.steps = base_steps + steps
+                hook(machine, task)
+                tag = task.tag
+                payload = task.payload
+                spills += 1
+                if profile:
+                    vm["vm_spill_trace"] += 1
+            steps += 1
+            if tag is EVAL:
+                code = payload
+                if code.__class__ is FunctionType:
+                    result = code(machine, task)
+                    if result is not None:
+                        tag, payload = result
+                        continue
+                    # External surgery inside the thunk (pcall fork,
+                    # control primitive via apply_deliver).
+                    spills += 1
+                    if profile:
+                        vm["vm_spill_control"] += 1
+                    if task.state is not _RUNNABLE:
+                        return steps
+                    tag = task.tag
+                    payload = task.payload
+                    continue
+                # Raw-IR fallback: nodes from begin_eval or another
+                # engine's closures.
+                handler = _EVAL_DISPATCH.get(code.__class__)
+                if handler is None:
+                    raise MachineError(f"cannot evaluate IR node: {code!r}")
+                task.tag = tag
+                task.payload = payload
+                result = handler(machine, task, code)
+                spills += 1
+                if profile:
+                    vm["vm_spill_fallback"] += 1
+                if task.state is not _RUNNABLE:
+                    return steps
+                if result is None:
+                    tag = task.tag
+                    payload = task.payload
+                else:
+                    tag, payload = result
+                continue
+            if tag is VALUE:
+                value = payload
+                frame = task.frames
+                if frame is not None:
+                    fkind = frame.__class__
+                    if fkind is AppFrame:
+                        task.frames = frame.next
+                        done = frame.done + (value,)
+                        pending = frame.pending
+                        env = frame.env
+                        index = 0
+                        npend = len(pending)
+                        if npend:
+                            folded = None
+                            while index < npend:
+                                code = pending[index]
+                                if code.__class__ is not FunctionType:
+                                    break
+                                triv = code.triv
+                                if triv is None:
+                                    break
+                                if folded is None:
+                                    folded = [triv(env)]
+                                else:
+                                    folded.append(triv(env))
+                                index += 1
+                            if folded is not None:
+                                done = done + tuple(folded)
+                        if index == npend:
+                            fn = done[0]
+                            args = list(done[1:])
+                            fcls = fn.__class__
+                            if fcls is Closure:
+                                nargs = len(args)
+                                if nargs < fn.low or (
+                                    fn.high is not None and nargs > fn.high
+                                ):
+                                    fn.check_arity(nargs)
+                                nslots = fn.nslots
+                                if nslots is not None:
+                                    if nslots:
+                                        if fn.rest is None:
+                                            values = args
+                                        else:
+                                            nparams = fn.low
+                                            values = args[:nparams]
+                                            values.append(
+                                                from_pylist(args[nparams:])
+                                            )
+                                        task.env = SlotRib(values, fn.env)
+                                    else:
+                                        task.env = fn.env
+                                    tag = EVAL
+                                    payload = fn.body
+                                    continue
+                                # Cross-engine closure with a dict rib.
+                                bindings = dict(zip(fn.params, args))
+                                if fn.rest is not None:
+                                    bindings[fn.rest] = from_pylist(args[fn.low :])
+                                task.env = Environment(
+                                    bindings, fn.env, fn.env.globals
+                                )
+                                tag = EVAL
+                                payload = fn.body
+                                continue
+                            if fcls is Primitive:
+                                nargs = len(args)
+                                if nargs < fn.low or (
+                                    fn.high is not None and nargs > fn.high
+                                ):
+                                    check_arity(fn.name, nargs, fn.low, fn.high)
+                                tag = VALUE
+                                payload = fn.fn(*args)
+                                continue
+                            # Controllers/continuations: spill, delegate.
+                            task.tag = tag
+                            task.payload = payload
+                            result = apply_procedure(machine, task, fn, args)
+                            spills += 1
+                            if profile:
+                                vm["vm_spill_apply"] += 1
+                            if task.state is not _RUNNABLE:
+                                return steps
+                            if result is None:
+                                tag = task.tag
+                                payload = task.payload
+                            else:
+                                tag, payload = result
+                            continue
+                        following = pending[index]
+                        task.frames = AppFrame(
+                            done, pending[index + 1 :], env, task.frames
+                        )
+                        task.env = env
+                        if following.__class__ is FunctionType:
+                            result = following(machine, task)
+                            if result is not None:
+                                tag, payload = result
+                                continue
+                            spills += 1
+                            if profile:
+                                vm["vm_spill_control"] += 1
+                            if task.state is not _RUNNABLE:
+                                return steps
+                            tag = task.tag
+                            payload = task.payload
+                            continue
+                        tag = EVAL
+                        payload = following
+                        continue
+                    if fkind is IfFrame:
+                        task.frames = frame.next
+                        task.env = frame.env
+                        branch = frame.then if value is not False else frame.els
+                        if branch.__class__ is FunctionType:
+                            result = branch(machine, task)
+                            if result is not None:
+                                tag, payload = result
+                                continue
+                            spills += 1
+                            if profile:
+                                vm["vm_spill_control"] += 1
+                            if task.state is not _RUNNABLE:
+                                return steps
+                            tag = task.tag
+                            payload = task.payload
+                            continue
+                        tag = EVAL
+                        payload = branch
+                        continue
+                    if fkind is SeqFrame:
+                        remaining = frame.remaining
+                        task.frames = frame.next
+                        if len(remaining) > 1:
+                            task.frames = SeqFrame(
+                                remaining[1:], frame.env, task.frames
+                            )
+                        task.env = frame.env
+                        following = remaining[0]
+                        if following.__class__ is FunctionType:
+                            result = following(machine, task)
+                            if result is not None:
+                                tag, payload = result
+                                continue
+                            spills += 1
+                            if profile:
+                                vm["vm_spill_control"] += 1
+                            if task.state is not _RUNNABLE:
+                                return steps
+                            tag = task.tag
+                            payload = task.payload
+                            continue
+                        tag = EVAL
+                        payload = following
+                        continue
+                    handler = _FRAME_DISPATCH.get(fkind)
+                    if handler is None:  # pragma: no cover - defensive
+                        raise MachineError(f"unknown frame: {frame!r}")
+                    task.tag = tag
+                    task.payload = payload
+                    task.frames = frame.next
+                    result = handler(machine, task, frame, value)
+                    spills += 1
+                    if profile:
+                        vm["vm_spill_fallback"] += 1
+                    if task.state is not _RUNNABLE:
+                        return steps
+                    if result is None:
+                        tag = task.tag
+                        payload = task.payload
+                    else:
+                        tag, payload = result
+                    continue
+                # Segment exhausted: link delivery (a control point).
+                task.tag = tag
+                task.payload = payload
+                _deliver_through_link(machine, task, value)
+                spills += 1
+                if profile:
+                    vm["vm_spill_control"] += 1
+                if task.state is not _RUNNABLE:
+                    return steps
+                continue  # tag/payload still (VALUE, value): label pop
+            if tag is APPLY:
+                fn_args = payload
+                task.tag = tag
+                task.payload = payload
+                result = apply_procedure(machine, task, fn_args[0], fn_args[1])
+                spills += 1
+                if profile:
+                    vm["vm_spill_apply"] += 1
+                if task.state is not _RUNNABLE:
+                    return steps
+                if result is None:
+                    tag = task.tag
+                    payload = task.payload
+                else:
+                    tag, payload = result
+                continue
+            if tag is HOLE:  # pragma: no cover - scheduler never runs holes
+                raise MachineError(
+                    "attempted to step the hole of a captured continuation"
+                )
+            raise MachineError(f"unknown control tag: {tag!r}")
+        task.tag = tag
+        task.payload = payload
+        spills += 1
+        return steps
+    finally:
+        machine.steps_total = base_total + steps
+        task.steps = base_steps + steps
+        if profile:
+            vm["vm_quanta"] += 1
+            vm["vm_quantum_steps"] += steps
+            avoided = steps - spills
+            if avoided > 0:
+                vm["vm_allocations_avoided"] += avoided
+            if task.state is _RUNNABLE:
+                vm["vm_spill_budget"] += 1
+            else:
+                vm["vm_spill_suspend"] += 1
+
+
+def run_quantum_stepped(machine: "Machine", task: Task, budget: int) -> int:
+    """The unbatched ablation driver (``Machine(batched=False)``): one
+    reference-stepper call per transition, faithfully reproducing the
+    PR-2 scheduler's inner loop — per-step call/return through the
+    stepper, per-step control-register write-back, and per-step
+    ``steps_total``/``max_steps``/halt bookkeeping on the machine.
+    The benchmarks A/B the batched loops against this path.
+    """
+    step_fn = machine._step_fn
+    no_halt = machine.halt_value  # _NO_HALT while a tree is running
+    steps = 0
+    while task.state is TaskState.RUNNABLE:
+        if machine.trace_hook is not None:
+            machine.trace_hook(machine, task)
+        step_fn(machine, task)
+        machine.steps_total += 1
+        task.steps += 1
+        steps += 1  # plays the role of step_n's old ``remaining -= 1``
+        if (
+            machine.max_steps is not None
+            and machine.steps_total > machine.max_steps
+        ):  # pragma: no cover - step_n clamps the budget first
+            raise StepBudgetExceeded(machine.steps_total)
+        if machine.halt_value is not no_halt:
+            break
+        budget -= 1
+        if budget <= 0:
+            break
+    return steps
+
+
+# ---------------------------------------------------------------------------
+# The per-transition reference steppers
+# ---------------------------------------------------------------------------
+
+
 def step(machine: "Machine", task: Task) -> None:
-    """Advance ``task`` by one transition.
+    """Advance ``task`` by one transition (tree-walking engines).
 
     The hottest cases — variable reference, constant, application and
     conditional decomposition, and frame-ful value delivery — are
     inlined here; everything else goes through the dispatch tables.
     """
-    control = task.control
-    tag = control[0]
-    task.steps += 1
+    tag = task.tag
     if tag is EVAL:
-        node = control[1]
-        kind = type(node)
+        node = task.payload
+        kind = node.__class__
         if kind is LocalRef:
             env = task.env
             depth = node.depth
             while depth:
                 env = env.parent
                 depth -= 1
-            task.control = (VALUE, env.values[node.index])
+            task.tag = VALUE
+            task.payload = env.values[node.index]
             return
         if kind is GlobalRef:
             value = node.cell.value
             if value is UNBOUND:
                 raise UnboundVariableError(node.cell.name.name)
-            task.control = (VALUE, value)
+            task.tag = VALUE
+            task.payload = value
             return
         if kind is Var:
-            task.control = (VALUE, task.env.lookup(node.name))
+            task.tag = VALUE
+            task.payload = task.env.lookup(node.name)
             return
         if kind is App:
             env = task.env
@@ -164,73 +865,100 @@ def step(machine: "Machine", task: Task) -> None:
                         done.append(value)
                         index += 1
                     if index == nargs:
-                        apply_procedure(machine, task, fnval, done[1:])
+                        result = machine._apply_procedure(machine, task, fnval, done[1:])
+                        if result is not None:
+                            task.tag, task.payload = result
                         return
                     task.frames = AppFrame(
                         tuple(done), args[index + 1 :], env, task.frames
                     )
-                    task.control = (EVAL, args[index])
+                    task.tag = EVAL
+                    task.payload = args[index]
                     return
             task.frames = AppFrame((), node.args, env, task.frames)
-            task.control = (EVAL, node.fn)
+            task.tag = EVAL
+            task.payload = node.fn
             return
         if kind is If:
             task.frames = IfFrame(node.then, node.els, task.env, task.frames)
-            task.control = (EVAL, node.test)
+            task.tag = EVAL
+            task.payload = node.test
             return
         if kind is Const:
-            task.control = (VALUE, node.value)
+            task.tag = VALUE
+            task.payload = node.value
             return
         handler = _EVAL_DISPATCH.get(kind)
         if handler is None:
             raise MachineError(f"cannot evaluate IR node: {node!r}")
-        handler(machine, task, node)
+        result = handler(machine, task, node)
+        if result is not None:
+            task.tag, task.payload = result
     elif tag is VALUE:
-        value = control[1]
+        value = task.payload
         frame = task.frames
         if frame is not None:
             task.frames = frame.next
-            if type(frame) is AppFrame:
+            fkind = frame.__class__
+            if fkind is AppFrame:
                 done = frame.done + (value,)
                 pending = frame.pending
                 if machine.fold:
                     env = frame.env
                     index = 0
                     npend = len(pending)
-                    while index < npend:
-                        folded = _trivial_eval(pending[index], env)
-                        if folded is _NOT_TRIVIAL:
-                            break
-                        done = done + (folded,)
-                        index += 1
+                    if npend:
+                        folded = None
+                        while index < npend:
+                            operand = _trivial_eval(pending[index], env)
+                            if operand is _NOT_TRIVIAL:
+                                break
+                            if folded is None:
+                                folded = [operand]
+                            else:
+                                folded.append(operand)
+                            index += 1
+                        if folded is not None:
+                            done = done + tuple(folded)
                     if index == npend:
-                        apply_procedure(machine, task, done[0], list(done[1:]))
+                        result = machine._apply_procedure(
+                            machine, task, done[0], list(done[1:])
+                        )
+                        if result is not None:
+                            task.tag, task.payload = result
                         return
-                    task.frames = AppFrame(
-                        done, pending[index + 1 :], env, task.frames
-                    )
+                    task.frames = AppFrame(done, pending[index + 1 :], env, task.frames)
                     task.env = env
-                    task.control = (EVAL, pending[index])
+                    task.tag = EVAL
+                    task.payload = pending[index]
                     return
                 if pending:
                     task.frames = AppFrame(done, pending[1:], frame.env, task.frames)
                     task.env = frame.env
-                    task.control = (EVAL, pending[0])
+                    task.tag = EVAL
+                    task.payload = pending[0]
                 else:
-                    task.control = (APPLY, done[0], list(done[1:]))
+                    task.tag = APPLY
+                    task.payload = (done[0], list(done[1:]))
                 return
-            if type(frame) is IfFrame:
+            if fkind is IfFrame:
                 task.env = frame.env
-                task.control = (EVAL, frame.then if value is not False else frame.els)
+                task.tag = EVAL
+                task.payload = frame.then if value is not False else frame.els
                 return
-            handler = _FRAME_DISPATCH.get(type(frame))
+            handler = _FRAME_DISPATCH.get(fkind)
             if handler is None:  # pragma: no cover - defensive
                 raise MachineError(f"unknown frame: {frame!r}")
-            handler(machine, task, frame, value)
+            result = handler(machine, task, frame, value)
+            if result is not None:
+                task.tag, task.payload = result
             return
         _deliver_through_link(machine, task, value)
     elif tag is APPLY:
-        apply_procedure(machine, task, control[1], control[2])
+        fn_args = task.payload
+        result = machine._apply_procedure(machine, task, fn_args[0], fn_args[1])
+        if result is not None:
+            task.tag, task.payload = result
     elif tag is HOLE:  # pragma: no cover - scheduler never runs holes
         raise MachineError("attempted to step the hole of a captured continuation")
     else:  # pragma: no cover - defensive
@@ -248,57 +976,76 @@ def step_compiled(machine: "Machine", task: Task) -> None:
     node)`` with a plain IR node falls back to the shared dispatch
     table.
     """
-    control = task.control
-    tag = control[0]
-    task.steps += 1
+    tag = task.tag
     if tag is EVAL:
-        target = control[1]
+        target = task.payload
         if target.__class__ is FunctionType:
-            target(machine, task)
+            result = target(machine, task)
+            if result is not None:
+                task.tag, task.payload = result
             return
-        handler = _EVAL_DISPATCH.get(type(target))
+        handler = _EVAL_DISPATCH.get(target.__class__)
         if handler is None:
             raise MachineError(f"cannot evaluate IR node: {target!r}")
-        handler(machine, task, target)
+        result = handler(machine, task, target)
+        if result is not None:
+            task.tag, task.payload = result
     elif tag is VALUE:
-        value = control[1]
+        value = task.payload
         frame = task.frames
         if frame is not None:
             task.frames = frame.next
-            frame_kind = type(frame)
+            frame_kind = frame.__class__
             if frame_kind is AppFrame:
                 done = frame.done + (value,)
                 pending = frame.pending
                 env = frame.env
                 index = 0
                 npend = len(pending)
-                while index < npend:
-                    code = pending[index]
-                    if code.__class__ is not FunctionType:
-                        break
-                    triv = code.triv
-                    if triv is None:
-                        break
-                    done = done + (triv(env),)
-                    index += 1
+                if npend:
+                    folded = None
+                    while index < npend:
+                        code = pending[index]
+                        if code.__class__ is not FunctionType:
+                            break
+                        triv = code.triv
+                        if triv is None:
+                            break
+                        if folded is None:
+                            folded = [triv(env)]
+                        else:
+                            folded.append(triv(env))
+                        index += 1
+                    if folded is not None:
+                        done = done + tuple(folded)
                 if index == npend:
-                    apply_procedure(machine, task, done[0], list(done[1:]))
+                    result = machine._apply_procedure(
+                        machine, task, done[0], list(done[1:])
+                    )
+                    if result is not None:
+                        task.tag, task.payload = result
                     return
                 following = pending[index]
                 task.frames = AppFrame(done, pending[index + 1 :], env, task.frames)
                 task.env = env
                 if following.__class__ is FunctionType:
-                    following(machine, task)
+                    result = following(machine, task)
+                    if result is not None:
+                        task.tag, task.payload = result
                 else:
-                    task.control = (EVAL, following)
+                    task.tag = EVAL
+                    task.payload = following
                 return
             if frame_kind is IfFrame:
                 task.env = frame.env
                 branch = frame.then if value is not False else frame.els
                 if branch.__class__ is FunctionType:
-                    branch(machine, task)
+                    result = branch(machine, task)
+                    if result is not None:
+                        task.tag, task.payload = result
                 else:
-                    task.control = (EVAL, branch)
+                    task.tag = EVAL
+                    task.payload = branch
                 return
             if frame_kind is SeqFrame:
                 remaining = frame.remaining
@@ -307,25 +1054,35 @@ def step_compiled(machine: "Machine", task: Task) -> None:
                 task.env = frame.env
                 following = remaining[0]
                 if following.__class__ is FunctionType:
-                    following(machine, task)
+                    result = following(machine, task)
+                    if result is not None:
+                        task.tag, task.payload = result
                 else:
-                    task.control = (EVAL, following)
+                    task.tag = EVAL
+                    task.payload = following
                 return
             handler = _FRAME_DISPATCH.get(frame_kind)
             if handler is None:  # pragma: no cover - defensive
                 raise MachineError(f"unknown frame: {frame!r}")
-            handler(machine, task, frame, value)
+            result = handler(machine, task, frame, value)
+            if result is not None:
+                task.tag, task.payload = result
             return
         _deliver_through_link(machine, task, value)
     elif tag is APPLY:
-        apply_procedure(machine, task, control[1], control[2])
+        fn_args = task.payload
+        result = machine._apply_procedure(machine, task, fn_args[0], fn_args[1])
+        if result is not None:
+            task.tag, task.payload = result
     elif tag is HOLE:  # pragma: no cover - scheduler never runs holes
         raise MachineError("attempted to step the hole of a captured continuation")
     else:  # pragma: no cover - defensive
         raise MachineError(f"unknown control tag: {tag!r}")
 
 
-def apply_deliver(machine: "Machine", task: Task, fn: Any, args: list[Any]) -> None:
+def apply_deliver(
+    machine: "Machine", task: Task, fn: Any, args: list[Any]
+) -> tuple[Any, Any] | None:
     """Compiled-engine apply with primitive-result delivery fused in.
 
     Used by code thunks for fully trivial applications: when ``fn``
@@ -338,17 +1095,18 @@ def apply_deliver(machine: "Machine", task: Task, fn: Any, args: list[Any]) -> N
     cascade through dynamically accumulated frames still costs one step
     per frame.  Everything that is not a ``Primitive`` (closures,
     control primitives, continuations) takes :func:`apply_procedure`
-    unchanged.
+    unchanged.  Follows the transition return convention.
     """
-    if type(fn) is not Primitive:
-        apply_procedure(machine, task, fn, args)
-        return
-    value = fn.apply(args)
+    if fn.__class__ is not Primitive:
+        return apply_procedure(machine, task, fn, args)
+    nargs = len(args)
+    if nargs < fn.low or (fn.high is not None and nargs > fn.high):
+        check_arity(fn.name, nargs, fn.low, fn.high)
+    value = fn.fn(*args)
     frame = task.frames
     if frame is None:
-        task.control = (VALUE, value)
-        return
-    frame_kind = type(frame)
+        return (VALUE, value)
+    frame_kind = frame.__class__
     if frame_kind is AppFrame:
         task.frames = frame.next
         done = frame.done + (value,)
@@ -356,67 +1114,76 @@ def apply_deliver(machine: "Machine", task: Task, fn: Any, args: list[Any]) -> N
         env = frame.env
         index = 0
         npend = len(pending)
-        while index < npend:
-            code = pending[index]
-            if code.__class__ is not FunctionType:
-                break
-            triv = code.triv
-            if triv is None:
-                break
-            done = done + (triv(env),)
-            index += 1
+        if npend:
+            folded = None
+            while index < npend:
+                code = pending[index]
+                if code.__class__ is not FunctionType:
+                    break
+                triv = code.triv
+                if triv is None:
+                    break
+                if folded is None:
+                    folded = [triv(env)]
+                else:
+                    folded.append(triv(env))
+                index += 1
+            if folded is not None:
+                done = done + tuple(folded)
         if index == npend:
-            apply_procedure(machine, task, done[0], list(done[1:]))
-            return
+            return apply_procedure(machine, task, done[0], list(done[1:]))
         task.frames = AppFrame(done, pending[index + 1 :], env, task.frames)
         task.env = env
-        task.control = (EVAL, pending[index])
-        return
+        return (EVAL, pending[index])
     if frame_kind is IfFrame:
         task.frames = frame.next
         task.env = frame.env
-        task.control = (EVAL, frame.then if value is not False else frame.els)
-        return
-    task.control = (VALUE, value)
+        return (EVAL, frame.then if value is not False else frame.els)
+    return (VALUE, value)
 
 
 # ---------------------------------------------------------------------------
 # EVAL — one handler per node type, dispatched by type
 # ---------------------------------------------------------------------------
+#
+# Handlers follow the transition return convention: they return the
+# next (tag, payload) pair, or None after external surgery (pcall).
+# They may read and mutate task.frames/task.env — callers on the
+# batched loops spill those registers first.
 
 
-def _eval_const(machine: "Machine", task: Task, node: Const) -> None:
-    task.control = (VALUE, node.value)
+def _eval_const(machine: "Machine", task: Task, node: Const):
+    return (VALUE, node.value)
 
 
-def _eval_var(machine: "Machine", task: Task, node: Var) -> None:
-    task.control = (VALUE, task.env.lookup(node.name))
+def _eval_var(machine: "Machine", task: Task, node: Var):
+    return (VALUE, task.env.lookup(node.name))
 
 
-def _eval_local_ref(machine: "Machine", task: Task, node: LocalRef) -> None:
+def _eval_local_ref(machine: "Machine", task: Task, node: LocalRef):
     env = task.env
     depth = node.depth
     while depth:
         env = env.parent
         depth -= 1
-    task.control = (VALUE, env.values[node.index])
+    return (VALUE, env.values[node.index])
 
 
-def _eval_global_ref(machine: "Machine", task: Task, node: GlobalRef) -> None:
+def _eval_global_ref(machine: "Machine", task: Task, node: GlobalRef):
     value = node.cell.value
     if value is UNBOUND:
         raise UnboundVariableError(node.cell.name.name)
-    task.control = (VALUE, value)
+    return (VALUE, value)
 
 
-def _eval_lambda(machine: "Machine", task: Task, node: Lambda) -> None:
-    task.control = (
+def _eval_lambda(machine: "Machine", task: Task, node: Lambda):
+    return (
         VALUE,
         Closure(node.params, node.rest, node.body, task.env, node.name, node.nslots),
     )
 
 
-def _eval_app(machine: "Machine", task: Task, node: App) -> None:
+def _eval_app(machine: "Machine", task: Task, node: App):
     env = task.env
     if machine.fold:
         fnval = _trivial_eval(node.fn, env)
@@ -432,48 +1199,46 @@ def _eval_app(machine: "Machine", task: Task, node: App) -> None:
                 done.append(value)
                 index += 1
             if index == nargs:
-                apply_procedure(machine, task, fnval, done[1:])
-                return
+                return apply_procedure(machine, task, fnval, done[1:])
             task.frames = AppFrame(tuple(done), args[index + 1 :], env, task.frames)
-            task.control = (EVAL, args[index])
-            return
+            return (EVAL, args[index])
     task.frames = AppFrame((), node.args, env, task.frames)
-    task.control = (EVAL, node.fn)
+    return (EVAL, node.fn)
 
 
-def _eval_if(machine: "Machine", task: Task, node: If) -> None:
+def _eval_if(machine: "Machine", task: Task, node: If):
     task.frames = IfFrame(node.then, node.els, task.env, task.frames)
-    task.control = (EVAL, node.test)
+    return (EVAL, node.test)
 
 
-def _eval_seq(machine: "Machine", task: Task, node: Seq) -> None:
+def _eval_seq(machine: "Machine", task: Task, node: Seq):
     exprs = node.exprs
     if len(exprs) > 1:
         task.frames = SeqFrame(exprs[1:], task.env, task.frames)
-    task.control = (EVAL, exprs[0])
+    return (EVAL, exprs[0])
 
 
-def _eval_set(machine: "Machine", task: Task, node: SetBang) -> None:
+def _eval_set(machine: "Machine", task: Task, node: SetBang):
     task.frames = SetFrame(node.name, task.env, task.frames)
-    task.control = (EVAL, node.expr)
+    return (EVAL, node.expr)
 
 
-def _eval_local_set(machine: "Machine", task: Task, node: LocalSet) -> None:
+def _eval_local_set(machine: "Machine", task: Task, node: LocalSet):
     task.frames = LocalSetFrame(node.depth, node.index, task.env, task.frames)
-    task.control = (EVAL, node.expr)
+    return (EVAL, node.expr)
 
 
-def _eval_global_set(machine: "Machine", task: Task, node: GlobalSet) -> None:
+def _eval_global_set(machine: "Machine", task: Task, node: GlobalSet):
     task.frames = GlobalSetFrame(node.cell, task.frames)
-    task.control = (EVAL, node.expr)
+    return (EVAL, node.expr)
 
 
-def _eval_define(machine: "Machine", task: Task, node: DefineTop) -> None:
+def _eval_define(machine: "Machine", task: Task, node: DefineTop):
     task.frames = DefineFrame(node.name, task.env, task.frames)
-    task.control = (EVAL, node.expr)
+    return (EVAL, node.expr)
 
 
-def _eval_pcall(machine: "Machine", task: Task, node: Pcall) -> None:
+def _eval_pcall(machine: "Machine", task: Task, node: Pcall):
     """Fork: the task's position is taken over by a Join; one fresh
     branch task per subexpression."""
     join = Join(len(node.exprs), task.frames, task.link)
@@ -484,9 +1249,18 @@ def _eval_pcall(machine: "Machine", task: Task, node: Pcall) -> None:
         join.children[index] = branch
         machine.spawn_task(branch)
     machine.notify_fork(join)
+    return None
 
 
-_EVAL_DISPATCH: dict[type, Callable[["Machine", Task, Any], None]] = {
+def _eval_code(machine: "Machine", task: Task, code: Any):
+    """Cross-engine shim: a compiled code thunk reached a tree-walking
+    machine (a closure built on a compiled machine, applied here).  The
+    caller has spilled the task's registers, which is exactly the state
+    thunks run against, so delegating is all it takes."""
+    return code(machine, task)
+
+
+_EVAL_DISPATCH: dict[type, Callable[["Machine", Task, Any], Any]] = {
     Const: _eval_const,
     Var: _eval_var,
     LocalRef: _eval_local_ref,
@@ -500,90 +1274,94 @@ _EVAL_DISPATCH: dict[type, Callable[["Machine", Task, Any], None]] = {
     GlobalSet: _eval_global_set,
     DefineTop: _eval_define,
     Pcall: _eval_pcall,
+    FunctionType: _eval_code,
 }
 
 
 # ---------------------------------------------------------------------------
 # VALUE delivery — frame handlers dispatched by type
 # ---------------------------------------------------------------------------
+#
+# Same return convention as the EVAL handlers.  The caller has already
+# popped the frame (task.frames = frame.next).
 
 
-def _frame_app(machine: "Machine", task: Task, frame: AppFrame, value: Any) -> None:
+def _frame_app(machine: "Machine", task: Task, frame: AppFrame, value: Any):
     done = frame.done + (value,)
     pending = frame.pending
     if machine.fold:
         env = frame.env
         index = 0
         npend = len(pending)
-        while index < npend:
-            folded = _trivial_eval(pending[index], env)
-            if folded is _NOT_TRIVIAL:
-                break
-            done = done + (folded,)
-            index += 1
+        if npend:
+            folded = None
+            while index < npend:
+                operand = _trivial_eval(pending[index], env)
+                if operand is _NOT_TRIVIAL:
+                    break
+                if folded is None:
+                    folded = [operand]
+                else:
+                    folded.append(operand)
+                index += 1
+            if folded is not None:
+                done = done + tuple(folded)
         if index == npend:
-            apply_procedure(machine, task, done[0], list(done[1:]))
-            return
+            return apply_procedure(machine, task, done[0], list(done[1:]))
         task.frames = AppFrame(done, pending[index + 1 :], env, task.frames)
         task.env = env
-        task.control = (EVAL, pending[index])
-        return
+        return (EVAL, pending[index])
     if pending:
         task.frames = AppFrame(done, pending[1:], frame.env, task.frames)
         task.env = frame.env
-        task.control = (EVAL, pending[0])
-    else:
-        task.control = (APPLY, done[0], list(done[1:]))
+        return (EVAL, pending[0])
+    return (APPLY, (done[0], list(done[1:])))
 
 
-def _frame_if(machine: "Machine", task: Task, frame: IfFrame, value: Any) -> None:
+def _frame_if(machine: "Machine", task: Task, frame: IfFrame, value: Any):
     task.env = frame.env
-    task.control = (EVAL, frame.then if value is not False else frame.els)
+    return (EVAL, frame.then if value is not False else frame.els)
 
 
-def _frame_seq(machine: "Machine", task: Task, frame: SeqFrame, value: Any) -> None:
+def _frame_seq(machine: "Machine", task: Task, frame: SeqFrame, value: Any):
     remaining = frame.remaining
     if len(remaining) > 1:
         task.frames = SeqFrame(remaining[1:], frame.env, task.frames)
     task.env = frame.env
-    task.control = (EVAL, remaining[0])
+    return (EVAL, remaining[0])
 
 
-def _frame_set(machine: "Machine", task: Task, frame: SetFrame, value: Any) -> None:
+def _frame_set(machine: "Machine", task: Task, frame: SetFrame, value: Any):
     frame.env.assign(frame.name, value)
-    task.control = (VALUE, UNSPECIFIED)
+    return (VALUE, UNSPECIFIED)
 
 
-def _frame_local_set(
-    machine: "Machine", task: Task, frame: LocalSetFrame, value: Any
-) -> None:
+def _frame_local_set(machine: "Machine", task: Task, frame: LocalSetFrame, value: Any):
     env = frame.env
     depth = frame.depth
     while depth:
         env = env.parent
         depth -= 1
     env.values[frame.index] = value
-    task.control = (VALUE, UNSPECIFIED)
+    return (VALUE, UNSPECIFIED)
 
 
 def _frame_global_set(
     machine: "Machine", task: Task, frame: GlobalSetFrame, value: Any
-) -> None:
+):
     cell = frame.cell
     if cell.value is UNBOUND:
         raise UnboundVariableError(cell.name.name)
     cell.value = value
-    task.control = (VALUE, UNSPECIFIED)
+    return (VALUE, UNSPECIFIED)
 
 
-def _frame_define(
-    machine: "Machine", task: Task, frame: DefineFrame, value: Any
-) -> None:
+def _frame_define(machine: "Machine", task: Task, frame: DefineFrame, value: Any):
     frame.env.globals.define(frame.name, value)
-    task.control = (VALUE, UNSPECIFIED)
+    return (VALUE, UNSPECIFIED)
 
 
-_FRAME_DISPATCH: dict[type, Callable[["Machine", Task, Any, Any], None]] = {
+_FRAME_DISPATCH: dict[type, Callable[["Machine", Task, Any, Any], Any]] = {
     AppFrame: _frame_app,
     IfFrame: _frame_if,
     SeqFrame: _frame_seq,
@@ -596,14 +1374,16 @@ _FRAME_DISPATCH: dict[type, Callable[["Machine", Task, Any, Any], None]] = {
 
 def _step_value(machine: "Machine", task: Task, value: Any) -> None:
     """Out-of-line value delivery (kept for direct callers/tests; the
-    scheduler's hot path inlines the frame cases in :func:`step`)."""
+    run loops inline the hot frame cases)."""
     frame = task.frames
     if frame is not None:
         task.frames = frame.next
         handler = _FRAME_DISPATCH.get(type(frame))
         if handler is None:  # pragma: no cover - defensive
             raise MachineError(f"unknown frame: {frame!r}")
-        handler(machine, task, frame, value)
+        result = handler(machine, task, frame, value)
+        if result is not None:
+            task.tag, task.payload = result
         return
     _deliver_through_link(machine, task, value)
 
@@ -660,43 +1440,54 @@ def _deliver_through_link(machine: "Machine", task: Task, value: Any) -> None:
 # ---------------------------------------------------------------------------
 
 
-def apply_procedure(machine: "Machine", task: Task, fn: Any, args: list[Any]) -> None:
-    """Apply ``fn`` to ``args`` in ``task``."""
-    kind = type(fn)
+def apply_procedure(
+    machine: "Machine", task: Task, fn: Any, args: list[Any]
+) -> tuple[Any, Any] | None:
+    """Apply ``fn`` to ``args`` in ``task``, following the transition
+    return convention.
+
+    Closures and primitives take the fast path: the arity window is
+    precomputed at construction (``fn.low``/``fn.high``), so the happy
+    path is two int compares with :func:`check_arity` called only to
+    raise.  Control primitives and :class:`MachineApplicable` values
+    (controllers, continuations) perform machine surgery and return
+    ``None`` — callers must reload the task's registers or stop if the
+    task left the RUNNABLE state.
+    """
+    kind = fn.__class__
     if kind is Closure:
-        fn.check_arity(len(args))
+        nargs = len(args)
+        if nargs < fn.low or (fn.high is not None and nargs > fn.high):
+            fn.check_arity(nargs)
         nslots = fn.nslots
         if nslots is not None:
-            # Resolved body: one flat rib of exactly nslots slots (the
-            # arity check above guarantees len(args) matches).  Thunks
-            # (nslots == 0) reuse the captured environment outright.
+            # Resolved body: one flat rib of exactly nslots slots.
+            # Thunks (nslots == 0) reuse the captured environment.
             if nslots:
                 if fn.rest is None:
                     values = args
                 else:
-                    nparams = len(fn.params)
+                    nparams = fn.low
                     values = args[:nparams]
                     values.append(from_pylist(args[nparams:]))
                 task.env = SlotRib(values, fn.env)
             else:
                 task.env = fn.env
-            task.control = (EVAL, fn.body)
-            return
-        nparams = len(fn.params)
+            return (EVAL, fn.body)
         bindings = dict(zip(fn.params, args))
         if fn.rest is not None:
-            bindings[fn.rest] = from_pylist(args[nparams:])
+            bindings[fn.rest] = from_pylist(args[fn.low :])
         task.env = Environment(bindings, fn.env, fn.env.globals)
-        task.control = (EVAL, fn.body)
-        return
+        return (EVAL, fn.body)
     if kind is Primitive:
-        task.control = (VALUE, fn.apply(args))
-        return
+        nargs = len(args)
+        if nargs < fn.low or (fn.high is not None and nargs > fn.high):
+            check_arity(fn.name, nargs, fn.low, fn.high)
+        return (VALUE, fn.fn(*args))
     if kind is ControlPrimitive:
         fn.apply(machine, task, args)
-        return
-    machine_apply = getattr(fn, "machine_apply", None)
-    if machine_apply is not None:
-        machine_apply(machine, task, args)
-        return
+        return None
+    if isinstance(fn, MachineApplicable):
+        fn.machine_apply(machine, task, args)
+        return None
     raise WrongTypeError(f"attempt to apply non-procedure: {fn!r}")

@@ -4,6 +4,14 @@ A task is a unit of sequential execution: a control, an environment, a
 segment of frames and the link at the segment's bottom.  The scheduler
 steps runnable tasks; capture operations suspend them; joins and halts
 kill them.
+
+The control is stored as two registers — ``tag`` and ``payload`` —
+rather than one tuple, so the run loops (:mod:`repro.machine.step`)
+can hold it in Python locals for a whole quantum and write it back
+without allocating a fresh ``(tag, payload)`` tuple per transition.
+The classic tuple view survives as the :attr:`Task.control` property
+for every cold-path caller (capture/reinstate cloning, control
+primitives, introspection, tests).
 """
 
 from __future__ import annotations
@@ -27,13 +35,15 @@ class TaskState(enum.Enum):
     DEAD = "dead"  # delivered its value, or abandoned
 
 
-# Control tags.  A task's ``control`` is a tuple whose first element is
-# one of these:
-#   (EVAL, node)        evaluate IR node in self.env
-#   (VALUE, v)          deliver v to the topmost frame / the link
-#   (APPLY, fn, args)   apply fn to args (list)
-#   (HOLE,)             the hole of a captured continuation; filled with
-#                       (VALUE, v) when the continuation is reinstated
+# Control tags.  A task's control registers pair one of these with a
+# payload:
+#   tag=EVAL   payload=node        evaluate IR node in self.env
+#   tag=VALUE  payload=v           deliver v to the topmost frame / the link
+#   tag=APPLY  payload=(fn, args)  apply fn to args (list)
+#   tag=HOLE   payload=None        the hole of a captured continuation;
+#                                  filled with a VALUE when reinstated
+# The tuple view ((EVAL, node), (VALUE, v), (APPLY, fn, args), (HOLE,))
+# is what the ``control`` property presents.
 EVAL = "eval"
 VALUE = "value"
 APPLY = "apply"
@@ -45,7 +55,7 @@ _task_ids = itertools.count()
 class Task:
     """A leaf of the process tree."""
 
-    __slots__ = ("uid", "control", "env", "frames", "link", "state", "steps")
+    __slots__ = ("uid", "tag", "payload", "env", "frames", "link", "state", "steps")
 
     def __init__(
         self,
@@ -62,6 +72,28 @@ class Task:
         self.state = TaskState.RUNNABLE
         self.steps = 0  # steps executed by this task (introspection)
 
+    @property
+    def control(self) -> tuple[Any, ...]:
+        """The classic control-tuple view over the tag/payload registers."""
+        tag = self.tag
+        if tag is APPLY:
+            fn_args = self.payload
+            return (APPLY, fn_args[0], fn_args[1])
+        if tag is HOLE:
+            return (HOLE,)
+        return (tag, self.payload)
+
+    @control.setter
+    def control(self, control: tuple[Any, ...]) -> None:
+        tag = control[0]
+        self.tag = tag
+        if tag is APPLY:
+            self.payload = (control[1], control[2])
+        elif tag is HOLE:
+            self.payload = None
+        else:
+            self.payload = control[1]
+
     def clone(self) -> "Task":
         """A shallow copy sharing frames/env (used by subtree cloning).
 
@@ -72,5 +104,4 @@ class Task:
         return copy
 
     def __repr__(self) -> str:
-        tag = self.control[0] if self.control else "?"
-        return f"#<task {self.uid} {tag} {self.state.value}>"
+        return f"#<task {self.uid} {self.tag} {self.state.value}>"

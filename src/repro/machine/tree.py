@@ -238,7 +238,8 @@ def capture_subtree(
         _, tasks = collect_subtree(label_link)
         for task in tasks:
             task.state = TaskState.SUSPENDED
-        hole_task.control = (HOLE,)
+        hole_task.tag = HOLE
+        hole_task.payload = None
         # Detach: the caller rewires the old position; null the upward
         # pointer so stale traversals fail fast.
         label_link.cont_frames = None
@@ -251,7 +252,8 @@ def capture_subtree(
         hole_clone = task_map.get(id(hole_task))
         if hole_clone is None:
             raise ControlError("hole task is not inside the captured subtree")
-        hole_clone.control = (HOLE,)
+        hole_clone.tag = HOLE
+        hole_clone.payload = None
         return Capture(root=root_clone, hole=hole_clone)
     raise ValueError(f"unknown capture mode: {mode!r}")
 
@@ -285,7 +287,8 @@ def reinstate(
     if hole_clone is None:
         raise ControlError("corrupt capture: hole not found during reinstatement")
     replace_child(at_link, root_clone)
-    hole_clone.control = (VALUE, value)
+    hole_clone.tag = VALUE
+    hole_clone.payload = value
     for clone in task_map.values():
         clone.state = TaskState.RUNNABLE
         machine.spawn_task(clone)

@@ -19,7 +19,13 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.scheduler import Machine
     from repro.machine.task import Task
 
-__all__ = ["Closure", "Primitive", "ControlPrimitive", "check_arity"]
+__all__ = [
+    "Closure",
+    "MachineApplicable",
+    "Primitive",
+    "ControlPrimitive",
+    "check_arity",
+]
 
 
 def check_arity(name: str, count: int, low: int, high: int | None) -> None:
@@ -33,6 +39,23 @@ def check_arity(name: str, count: int, low: int, high: int | None) -> None:
         else:
             expect = f"{low} to {high}"
         raise ArityError(f"{name}: expected {expect} argument(s), got {count}")
+
+
+class MachineApplicable:
+    """Base class for values applied by machine surgery.
+
+    Continuations and process controllers (:mod:`repro.control`) apply
+    by rewriting the process tree rather than by running a body:
+    ``machine_apply(machine, task, args)``.  Deriving from this class
+    lets ``apply_procedure`` dispatch them with one ``isinstance``
+    check instead of a per-call ``getattr`` probe.  Implementations
+    follow the register/spill contract (docs/IMPLEMENTATION.md): the
+    caller has spilled the task's registers, and the running task's
+    control registers are dead — ``machine_apply`` must set them, kill
+    the task, or suspend it with the registers set on wake.
+    """
+
+    __slots__ = ()
 
 
 class Closure:
@@ -51,9 +74,14 @@ class Closure:
     :class:`~repro.machine.environment.SlotRib` of exactly that many
     slots.  ``None`` means an unresolved body: applications build the
     classic per-call dict rib.
+
+    ``low``/``high`` are the arity window, precomputed at construction
+    so the apply fast path can bounds-check with two int compares and
+    only falls into :func:`check_arity` to raise (``high is None``
+    means a rest parameter accepts any surplus).
     """
 
-    __slots__ = ("params", "rest", "body", "env", "name", "nslots")
+    __slots__ = ("params", "rest", "body", "env", "name", "nslots", "low", "high")
 
     def __init__(
         self,
@@ -70,11 +98,11 @@ class Closure:
         self.env = env
         self.name = name
         self.nslots = nslots
+        self.low = len(params)
+        self.high = None if rest is not None else self.low
 
     def check_arity(self, count: int) -> None:
-        low = len(self.params)
-        high = None if self.rest is not None else low
-        check_arity(self.name or "#<procedure>", count, low, high)
+        check_arity(self.name or "#<procedure>", count, self.low, self.high)
 
     def __repr__(self) -> str:
         label = self.name or "anonymous"

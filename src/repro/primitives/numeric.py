@@ -32,6 +32,13 @@ def normalize(value: Any) -> Any:
 
 
 def prim_add(*args: Any) -> Any:
+    # Fixnum fast path: ``type(x) is int`` is False for bool, so the
+    # bool-rejection contract of check_number is preserved, and an
+    # int result never needs normalizing.
+    if len(args) == 2:
+        a, b = args
+        if type(a) is int and type(b) is int:
+            return a + b
     total: Any = 0
     for arg in args:
         check_number("+", arg)
@@ -40,6 +47,10 @@ def prim_add(*args: Any) -> Any:
 
 
 def prim_sub(first: Any, *rest: Any) -> Any:
+    if len(rest) == 1:
+        b = rest[0]
+        if type(first) is int and type(b) is int:
+            return first - b
     check_number("-", first)
     if not rest:
         return normalize(-first)
@@ -51,6 +62,10 @@ def prim_sub(first: Any, *rest: Any) -> Any:
 
 
 def prim_mul(*args: Any) -> Any:
+    if len(args) == 2:
+        a, b = args
+        if type(a) is int and type(b) is int:
+            return a * b
     total: Any = 1
     for arg in args:
         check_number("*", arg)
@@ -75,6 +90,10 @@ def prim_div(first: Any, *rest: Any) -> Any:
 
 def _comparison(name: str, op: Callable[[Any, Any], bool]) -> Callable[..., bool]:
     def compare(first: Any, *rest: Any) -> bool:
+        if len(rest) == 1:
+            b = rest[0]
+            if type(first) is int and type(b) is int:
+                return op(first, b)
         check_number(name, first)
         previous = first
         for arg in rest:

@@ -85,7 +85,8 @@ def _apply_primitive(machine: Any, task: Task, args: list[Any]) -> None:
         raise WrongTypeError("apply: expected a procedure and an argument list")
     fn = args[0]
     spread = list(args[1:-1]) + to_pylist(args[-1])
-    task.control = (APPLY, fn, spread)
+    task.tag = APPLY
+    task.payload = (fn, spread)
 
 
 def install_primitives(

@@ -13,7 +13,9 @@ REPL meta-commands:
     ,load <name>     load a paper example by name (,load sum-of-products)
     ,examples        list paper example names
     ,stats           engine + machine + compile-stage counters (forks,
-                     captures, locals resolved, nodes compiled, ...)
+                     captures, locals resolved, nodes compiled, ...);
+                     with --profile also the VM run-loop counters
+                     (quanta, spill causes, write-backs avoided)
     ,tree            render the last process-tree statistics
     ,trace <expr>    evaluate with a control-event trace
     ,analyze <expr>  controller escape analysis of the spawn sites
@@ -217,6 +219,12 @@ def main(argv: list[str] | None = None) -> int:
         "resolver pass (dict-chain environments; the benchable "
         "ablation baseline)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="keep VM run-loop counters (quanta, spill causes, "
+        "write-backs avoided); shown by ,stats",
+    )
     args = parser.parse_args(argv)
 
     if args.examples:
@@ -235,6 +243,7 @@ def main(argv: list[str] | None = None) -> int:
         max_steps=args.max_steps,
         echo_output=False,
         engine=engine,
+        profile=args.profile,
     )
     repl = Repl(interp)
 

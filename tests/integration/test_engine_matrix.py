@@ -171,3 +171,61 @@ def test_equivalence_programs_across_engines(source, policy):
         for engine in ENGINES
     }
     assert len(set(values.values())) == 1, values
+
+
+# ---------------------------------------------------------------------------
+# Batching equivalence: the quantum-batched run loops vs the unbatched
+# per-step ablation driver.  Batching is an implementation detail of
+# the run loop — for any quantum, a batched machine must produce the
+# same value, the same total step count and the same capture stats as
+# an unbatched one, because the scheduler rotates tasks at the same
+# transition boundaries either way.
+# ---------------------------------------------------------------------------
+
+BATCH_QUANTA = (1, 2, 16, 4096)
+
+
+def _run_case_counted(engine, policy, quantum, batched, case):
+    interp = Interpreter(
+        engine=engine, policy=policy, seed=7, quantum=quantum, batched=batched
+    )
+    for example in case.examples:
+        interp.load_paper_example(example)
+    if case.setup:
+        interp.run(case.setup)
+    value = interp.eval_to_string(case.expr)
+    stats = interp.stats
+    return (
+        value,
+        interp.machine.steps_total,
+        stats["captures"],
+        stats["reinstatements"],
+    )
+
+
+@pytest.mark.parametrize("quantum", BATCH_QUANTA)
+@pytest.mark.parametrize("engine", ENGINES)
+def test_batched_matches_stepped(engine, quantum):
+    for case in CASES:
+        if not case.check_stats:
+            continue
+        batched = _run_case_counted(engine, "round-robin", quantum, True, case)
+        stepped = _run_case_counted(engine, "round-robin", quantum, False, case)
+        assert batched == stepped, (case.id, batched, stepped)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_batched_values_quantum_invariant(engine):
+    # Schedule-deterministic cases must not observe the quantum at all:
+    # identical values and capture stats at every batch size.
+    for case in CASES:
+        if not case.check_stats:
+            continue
+        runs = {
+            quantum: _run_case_counted(engine, "round-robin", quantum, True, case)
+            for quantum in BATCH_QUANTA
+        }
+        values = {q: r[0] for q, r in runs.items()}
+        assert len(set(values.values())) == 1, (case.id, values)
+        captures = {q: r[2:] for q, r in runs.items()}
+        assert len(set(captures.values())) == 1, (case.id, captures)
