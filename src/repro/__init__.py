@@ -33,12 +33,25 @@ from repro.errors import (
     PromptMissingError,
     ContinuationReusedError,
     StepBudgetExceeded,
+    HostError,
+    DeadlineExceeded,
+    SessionCancelled,
+    HostSaturated,
 )
+from repro.host import EvalHandle, HandleState, Host, HostPolicy, Session
+from repro.machine.scheduler import Engine, SchedulerPolicy
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Interpreter",
+    "Host",
+    "HostPolicy",
+    "Session",
+    "EvalHandle",
+    "HandleState",
+    "Engine",
+    "SchedulerPolicy",
     "ReproError",
     "ReaderError",
     "ExpandError",
@@ -50,5 +63,9 @@ __all__ = [
     "PromptMissingError",
     "ContinuationReusedError",
     "StepBudgetExceeded",
+    "HostError",
+    "DeadlineExceeded",
+    "SessionCancelled",
+    "HostSaturated",
     "__version__",
 ]

@@ -1,32 +1,47 @@
-"""The public API: :class:`Interpreter`.
+"""The public API: :class:`Interpreter`, a single-session façade.
 
     >>> from repro import Interpreter
     >>> interp = Interpreter()
     >>> interp.eval("(+ 1 2)")
     3
-    >>> interp.run("(define (twice f x) (f (f x)))")
+    >>> interp.definitions("(define (twice f x) (f (f x)))")
     >>> interp.eval("(twice (lambda (n) (* n n)) 3)")
     81
 
-``Interpreter`` wires together the reader, the expander, the machine,
-the primitive library, the control operators and the Scheme prelude.
-Paper programs can be loaded by name via :meth:`load_paper_example`.
+An :class:`Interpreter` is a thin wrapper over one
+:class:`repro.host.Session` — the same object the multi-session
+:class:`repro.host.Host` schedules N at a time — so everything the host
+runtime offers (per-request step budgets and wall-clock deadlines,
+suspendable evaluation, cooperative cancellation) is available on the
+single-interpreter surface too:
+
+    >>> from repro.errors import StepBudgetExceeded
+    >>> try:
+    ...     interp.eval("(let loop ([n 0]) (loop (+ n 1)))", max_steps=1000)
+    ... except StepBudgetExceeded as exc:
+    ...     exc.steps
+    1000
+
+Paper programs load by name via :meth:`load_paper_example`.  The
+canonical constructor surface — shared verbatim by ``Session`` and
+documented once, here (``docs/API.md`` mirrors it) — accepts enums or
+their string values interchangeably for ``engine`` and ``policy``:
+
+    >>> from repro import Engine
+    >>> Interpreter(engine=Engine.DICT, prelude=False).engine
+    'dict'
+    >>> Interpreter(engine="dict", prelude=False).engine
+    'dict'
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Any
 
-from repro.datum import scheme_repr
-from repro.expander import ExpandEnv, expand_program
-from repro.control import register_control_primitives
-from repro.ir import CompileStats, ResolverStats, compile_program, resolve_program
-from repro.lib import PRELUDE, paper_examples
-from repro.lib.derived import LIBRARIES
-from repro.machine.environment import GlobalEnv
-from repro.machine.scheduler import Machine, SchedulerPolicy
-from repro.primitives import OutputBuffer, install_primitives
-from repro.reader import read_all
+from repro.host.handle import EvalHandle
+from repro.host.session import Session
+from repro.machine.scheduler import Engine, SchedulerPolicy, normalize_engine
 
 __all__ = ["Interpreter"]
 
@@ -37,34 +52,40 @@ class Interpreter:
     Parameters
     ----------
     policy:
-        Scheduling policy for ``pcall`` branches: ``"round-robin"``
-        (default, deterministic), ``"random"`` (seeded by ``seed``) or
-        ``"serial"``.
+        Scheduling policy for ``pcall`` branches:
+        :class:`~repro.machine.scheduler.SchedulerPolicy` or its string
+        value — ``"round-robin"`` (default, deterministic), ``"random"``
+        (seeded by ``seed``) or ``"serial"``.
     seed:
         RNG seed for the random policy.
     quantum:
         Steps a task runs before the scheduler rotates (round-robin).
     max_steps:
-        Optional global step budget; exceeding it raises
-        :class:`repro.errors.StepBudgetExceeded`.
+        Optional *lifetime* step budget for the interpreter; exceeding
+        it raises :class:`repro.errors.StepBudgetExceeded`.  Per-call
+        budgets are the ``max_steps``/``deadline`` keywords on
+        :meth:`eval` and :meth:`run`.
     prelude:
         Load the Scheme prelude (list utilities, tree helpers).  On by
         default; switch off for a bare machine.
     echo_output:
         Also print ``display`` output to real stdout.
-    engine:
-        Execution engine, one of ``"dict"``, ``"resolved"``,
-        ``"compiled"`` (see :data:`repro.machine.scheduler.ENGINES`).
-        Defaults to ``"compiled"``: the full pipeline reader → expand →
-        resolve → compile → machine.  ``"resolved"`` stops after the
-        resolver and tree-walks the resolved IR; ``"dict"`` is the
-        original dict-chain interpreter (the seed baseline).  All three
-        agree on every program — ``benchmarks/run_all.py`` runs the
-        three-way A/B.
     resolve:
-        Backward-compatible alias: ``resolve=False`` selects the
-        ``"dict"`` engine (the ``--no-resolve`` CLI flag).  Ignored
-        when ``engine`` is given explicitly.
+        .. deprecated:: 1.1
+           Use ``engine="dict"`` (for ``resolve=False``) or the default
+           engine instead.  ``resolve=False`` still selects the
+           ``"dict"`` engine, with a :class:`DeprecationWarning`;
+           ``engine`` wins when both are given.
+    engine:
+        Execution engine: :class:`~repro.machine.scheduler.Engine` or
+        its string value — ``"dict"``, ``"resolved"``, ``"compiled"``
+        (see :data:`repro.machine.scheduler.ENGINES`).  Defaults to
+        ``"compiled"``: the full pipeline reader → expand → resolve →
+        compile → machine.  ``"resolved"`` stops after the resolver and
+        tree-walks the resolved IR; ``"dict"`` is the original
+        dict-chain interpreter (the seed baseline).  All three agree on
+        every program — ``benchmarks/run_all.py`` runs the three-way
+        A/B.
     batched:
         Run tasks in quantum batches with the control registers held in
         Python locals (the default).  ``batched=False`` selects the
@@ -85,137 +106,141 @@ class Interpreter:
         max_steps: int | None = None,
         prelude: bool = True,
         echo_output: bool = False,
-        resolve: bool = True,
-        engine: str | None = None,
+        resolve: bool | None = None,
+        engine: str | Engine | None = None,
         batched: bool = True,
         profile: bool = False,
     ):
+        if resolve is not None:
+            warnings.warn(
+                "Interpreter(resolve=...) is deprecated; use "
+                "engine='dict' instead of resolve=False (and drop "
+                "resolve=True — the compiled engine is the default)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if engine is None:
+                engine = "compiled" if resolve else "dict"
         if engine is None:
-            engine = "compiled" if resolve else "dict"
-        self.engine = engine
-        self.resolve = engine != "dict"
-        self.resolver_stats = ResolverStats()
-        self.compile_stats = CompileStats()
-        self.globals = GlobalEnv()
-        self.output = install_primitives(self.globals, OutputBuffer(echo=echo_output))
-        register_control_primitives(self.globals)
-        self.machine = Machine(
-            self.globals,
+            engine = "compiled"
+        engine = normalize_engine(engine)
+        self.session = Session(
             policy=policy,
             seed=seed,
             quantum=quantum,
-            max_steps=None,  # the budget applies to user code only
+            max_steps=max_steps,
+            prelude=prelude,
+            echo_output=echo_output,
             engine=engine,
             batched=batched,
             profile=profile,
         )
-        self.expand_env = ExpandEnv()
-        self._loaded_examples: set[str] = set()
-        if prelude:
-            self.run(PRELUDE)
-        self.machine.steps_total = 0
-        self.machine.max_steps = max_steps
+        # The wiring is the session's; these are the historical
+        # attribute surface (tests, the REPL and the tracer reach for
+        # interp.machine and friends directly).
+        self.engine = self.session.engine
+        self.machine = self.session.machine
+        self.globals = self.session.globals
+        self.output = self.session.output
+        self.expand_env = self.session.expand_env
+        self.resolver_stats = self.session.resolver_stats
+        self.compile_stats = self.session.compile_stats
+
+    @property
+    def resolve(self) -> bool:
+        """Whether the resolver pass runs (every engine but ``dict``)."""
+        return self.engine != "dict"
 
     # -- evaluation -----------------------------------------------------
 
-    def run(self, source: str) -> list[Any]:
+    def run(
+        self,
+        source: str,
+        *,
+        max_steps: int | None = None,
+        deadline: float | None = None,
+    ) -> list[Any]:
         """Read, expand, resolve and — on the compiled engine —
         closure-compile every form in ``source``, then evaluate.
 
         Returns the list of values (definitions yield the unspecified
-        value)."""
-        forms = read_all(source)
-        nodes = expand_program(forms, self.expand_env)
-        if self.resolve:
-            nodes = resolve_program(nodes, self.globals, self.resolver_stats)
-            if self.engine == "compiled":
-                nodes = compile_program(nodes, self.compile_stats)
-        return self.machine.run(nodes)
+        value).  ``max_steps`` bounds this call's machine steps
+        (enforced exactly; raises
+        :class:`~repro.errors.StepBudgetExceeded`); ``deadline`` is a
+        wall-clock allowance in seconds (raises
+        :class:`~repro.errors.DeadlineExceeded` within one machine
+        quantum of expiry).  Both tighten, never loosen, the
+        interpreter's lifetime ``max_steps``."""
+        return self.session.drive(
+            self.session.submit(source, max_steps=max_steps, deadline=deadline)
+        )
 
-    def eval(self, source: str) -> Any:
-        """Evaluate ``source`` and return the value of its *last* form."""
-        results = self.run(source)
+    def eval(
+        self,
+        source: str,
+        *,
+        max_steps: int | None = None,
+        deadline: float | None = None,
+    ) -> Any:
+        """Evaluate ``source`` and return the value of its *last* form;
+        budget keywords as for :meth:`run`."""
+        results = self.run(source, max_steps=max_steps, deadline=deadline)
         if not results:
             return None
         return results[-1]
 
     def eval_to_string(self, source: str) -> str:
         """Evaluate and render the result with ``write`` syntax."""
-        return scheme_repr(self.eval(source))
+        return self.session.eval_to_string(source)
+
+    def submit(
+        self,
+        source: str,
+        *,
+        max_steps: int | None = None,
+        deadline: float | None = None,
+    ) -> EvalHandle:
+        """Queue ``source`` without running it; returns the handle
+        (resolve it with ``handle.result()`` or by pumping
+        :attr:`session`).  This is the incremental path — see
+        :class:`repro.host.Session`."""
+        return self.session.submit(source, max_steps=max_steps, deadline=deadline)
 
     # -- conveniences ----------------------------------------------------
 
     def definitions(self, source: str) -> None:
         """Alias of :meth:`run` for readability at call sites that load
         definitions only."""
-        self.run(source)
+        self.session.run(source)
 
     def load_paper_example(self, name: str) -> None:
         """Load one of the paper's programs (and its prerequisites) by
         name; see :data:`repro.lib.paper_examples.ALL` for names."""
-        prerequisites = {
-            "product-callcc": ["product0"],
-            "product-callcc-leaf": ["product0"],
-            "product-of-products-callcc": ["product0"],
-            "sum-of-products": ["product0", "spawn/exit"],
-            "product-of-products-spawn": ["product0", "spawn/exit"],
-            "first-true": ["spawn/exit"],
-            "parallel-or": ["spawn/exit", "first-true"],
-            "search-all": ["parallel-search"],
-        }
-        for dep in prerequisites.get(name, []):
-            self.load_paper_example(dep)
-        if name in self._loaded_examples:
-            return
-        source, kind = paper_examples.ALL[name]
-        if kind == "definitions":
-            self.run(source)
-            self._loaded_examples.add(name)
-        else:
-            raise ValueError(
-                f"{name} is an expression, not definitions; evaluate it "
-                "with interp.eval(paper_examples.ALL[name][0])"
-            )
+        self.session.load_paper_example(name)
 
     def load_file(self, path: str) -> list[Any]:
         """Read and run a Scheme source file; returns the form values."""
-        with open(path, encoding="utf-8") as handle:
-            return self.run(handle.read())
+        return self.session.load_file(path)
 
     def load_library(self, name: str) -> None:
         """Load a derived Scheme library: ``exceptions``,
         ``generators``, ``coroutines``, ``parallel`` or ``amb``
         (see :mod:`repro.lib.derived`)."""
-        key = f"lib:{name}"
-        if key in self._loaded_examples:
-            return
-        try:
-            source = LIBRARIES[name]
-        except KeyError:
-            raise ValueError(
-                f"unknown library {name!r}; available: {sorted(LIBRARIES)}"
-            ) from None
-        self.run(source)
-        self._loaded_examples.add(key)
+        self.session.load_library(name)
 
     def output_text(self) -> str:
         """Everything ``display``/``write``/``newline`` produced so far."""
-        return self.output.getvalue()
+        return self.session.output_text()
 
     def clear_output(self) -> None:
-        self.output.clear()
+        self.session.clear_output()
 
     @property
     def stats(self) -> dict[str, int]:
         """Machine counters (forks, captures, reinstatements, ...)
-        plus — when the resolver is on — its compile-stage counters
-        (locals resolved, global cells interned, cache hits), plus the
-        closure compiler's counters on the compiled engine."""
-        out = dict(self.machine.stats)
-        if self.resolve:
-            out.update(self.resolver_stats.as_dict())
-        if self.engine == "compiled":
-            out.update(self.compile_stats.as_dict())
-        if self.machine.profile:
-            out.update(self.machine.vm_stats)
-        return out
+        plus — when the resolver is on — its compile-stage counters,
+        plus the closure compiler's counters on the compiled engine,
+        plus the session serving counters.  Pipeline counters appear
+        under namespaced keys (``resolver.*``, ``compile.*``, ``vm.*``)
+        with the historical flat names kept as aliases."""
+        return self.session.stats

@@ -81,6 +81,11 @@ def _engine_run(machine: "Machine", task: Task, args: list[Any]) -> None:
     if engine.spent:
         raise SchemeError("engine-run: engine already completed")
     sub = engine.machine
+    # The sub-machine runs entirely inside one step of the outer
+    # machine, so the outer wall-clock deadline (the host's per-request
+    # budget) must be visible to it — otherwise a large fuel could
+    # outlive the deadline unpreempted.
+    sub.deadline = machine.deadline
     start = sub.steps_total
     halted = sub.step_n(fuel)
     used = sub.steps_total - start

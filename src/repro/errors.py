@@ -11,6 +11,9 @@ subsystem structure:
   the paper's "invalid controller application" lives.
 * :class:`SemanticsError` — the formal rewriting system of Section 6.
 * :class:`RuntimeAPIError` — the Python-native tasklet runtime.
+* :class:`HostError` — the multi-session host runtime
+  (:mod:`repro.host`): per-request deadlines, cooperative cancellation
+  and submit-queue backpressure.
 """
 
 from __future__ import annotations
@@ -34,6 +37,10 @@ __all__ = [
     "StuckTermError",
     "RuntimeAPIError",
     "StepBudgetExceeded",
+    "HostError",
+    "DeadlineExceeded",
+    "SessionCancelled",
+    "HostSaturated",
 ]
 
 
@@ -145,3 +152,44 @@ class StepBudgetExceeded(ReproError):
     def __init__(self, steps: int):
         self.steps = steps
         super().__init__(f"step budget exceeded after {steps} steps")
+
+
+class HostError(ReproError):
+    """Base class for errors raised by the multi-session host runtime
+    (:mod:`repro.host`)."""
+
+
+class DeadlineExceeded(HostError):
+    """An evaluation ran past its wall-clock deadline.
+
+    The machine checks the deadline at every quantum boundary, so the
+    error fires within one quantum of the budget — never mid-frame.
+    Step budgets (the other half of a request's cost bound) raise
+    :class:`StepBudgetExceeded`, which is enforced *exactly* at the
+    configured step count; host metrics count both as deadline misses.
+    Carries the number of steps the evaluation had executed.
+    """
+
+    def __init__(self, message: str = "wall-clock deadline exceeded", *, steps: int | None = None):
+        self.steps = steps
+        super().__init__(message)
+
+
+class SessionCancelled(HostError):
+    """An in-flight or queued evaluation was cooperatively cancelled.
+
+    Cancellation is capture-and-discard at the session root: the
+    session's process tree is abandoned at a quantum boundary (the
+    tasks are simply unlinked, exactly like an abortive controller
+    discarding a captured subtree) — no exception is ever delivered
+    into a running frame, so sibling sessions and the session's own
+    parked future trees are untouched.
+    """
+
+
+class HostSaturated(HostError):
+    """A submit was refused because a bounded queue is full.
+
+    Backpressure, not failure: nothing was evaluated and nothing was
+    corrupted; the caller should retry after draining, or shed load.
+    """

@@ -1,0 +1,58 @@
+"""Counters for the host runtime.
+
+Two small fixed-slot counter records — one per :class:`~repro.host.session.Session`,
+one per :class:`~repro.host.host.Host` — exported as namespaced
+dictionaries (``session.*`` / ``host.*``) so they merge collision-free
+into the machine's ``stats`` plumbing, the REPL's ``,stats`` and
+``BENCH_results.json``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SessionMetrics", "HostMetrics"]
+
+
+class SessionMetrics:
+    """Per-session counters, updated by the session's pump loop."""
+
+    __slots__ = (
+        "submits",
+        "evals_completed",
+        "evals_failed",
+        "deadline_misses",
+        "cancellations",
+        "saturations",
+        "quanta_served",
+        "steps_served",
+        "max_queue_depth",
+    )
+
+    def __init__(self) -> None:
+        self.submits = 0  # evaluations accepted into the queue
+        self.evals_completed = 0  # handles that reached DONE
+        self.evals_failed = 0  # handles that reached FAILED/CANCELLED
+        self.deadline_misses = 0  # step-budget or wall-clock expiries
+        self.cancellations = 0  # cooperative cancels (queued or in-flight)
+        self.saturations = 0  # submits refused by the queue bound
+        self.quanta_served = 0  # pump() calls that found work
+        self.steps_served = 0  # machine steps executed on behalf of evals
+        self.max_queue_depth = 0  # high-water mark of pending + active
+
+    def as_dict(self, prefix: str = "session") -> dict[str, int]:
+        return {f"{prefix}.{name}": getattr(self, name) for name in self.__slots__}
+
+
+class HostMetrics:
+    """Host-level counters (the per-session ones roll up separately)."""
+
+    __slots__ = ("ticks", "submits", "saturations", "steps_served", "session_faults")
+
+    def __init__(self) -> None:
+        self.ticks = 0  # scheduling rounds run
+        self.submits = 0  # evaluations accepted host-wide
+        self.saturations = 0  # submits refused (host-wide or per-session bound)
+        self.steps_served = 0  # machine steps executed across all sessions
+        self.session_faults = 0  # pumps that surfaced a session-fatal error
+
+    def as_dict(self, prefix: str = "host") -> dict[str, int]:
+        return {f"{prefix}.{name}": getattr(self, name) for name in self.__slots__}

@@ -1,0 +1,501 @@
+"""One hosted interpreter session: a machine plus its whole pipeline,
+drivable in bounded increments.
+
+A :class:`Session` owns everything one tenant's programs touch — global
+environment, expansion environment, machine, output buffer, compile
+stats — so sessions are fully isolated from each other: no error,
+deadline, cancellation or mutation in one session can corrupt a
+sibling.  What makes a session *hostable* is the paper's own machinery:
+at every quantum boundary the machine's entire state (the process tree,
+including captured continuations, suspended ``pcall`` branches and
+parked future trees) is a first-class value sitting in the
+:class:`~repro.machine.scheduler.Machine`, so an evaluation can be
+suspended between :meth:`pump` calls and resumed arbitrarily later —
+engines-style time-slicing at the session level.
+
+The lifecycle::
+
+    session = Session(engine="compiled")
+    handle = session.submit("(+ 1 2)", max_steps=10_000, deadline=0.25)
+    while not handle.done():
+        session.pump(512)          # ≤ 512 machine steps, then yield
+    handle.result()                # => 3
+
+``submit`` runs the frontend eagerly (read → expand → resolve →
+compile), so malformed programs are rejected at the queue, not after
+occupying the machine; the queue is bounded (``max_pending``), and a
+full queue raises :class:`~repro.errors.HostSaturated` — backpressure,
+not buffering.  ``pump`` enforces the handle's step budget *exactly*
+(via the machine's ``max_steps`` clamp) and its wall-clock deadline at
+quantum granularity (via ``Machine.deadline``); both are scoped through
+:meth:`Machine.budget_scope`, the same mechanism behind
+``Interpreter.eval(max_steps=..., deadline=...)``.  Cancellation and
+deadline enforcement are capture-and-discard at the session root
+(:meth:`Machine.abort_tree`): tasks are unlinked at a quantum boundary,
+never interrupted mid-frame, and the session's parked future trees
+survive.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from time import monotonic as _monotonic
+from typing import Any
+
+from repro.datum import scheme_repr
+from repro.errors import (
+    DeadlineExceeded,
+    HostSaturated,
+    ReproError,
+    SessionCancelled,
+    StepBudgetExceeded,
+)
+from repro.expander import ExpandEnv, expand_program
+from repro.control import register_control_primitives
+from repro.host.handle import EvalHandle, HandleState
+from repro.host.metrics import SessionMetrics
+from repro.ir import CompileStats, ResolverStats, compile_program, resolve_program
+from repro.lib import PRELUDE, paper_examples
+from repro.lib.derived import LIBRARIES
+from repro.machine.environment import GlobalEnv
+from repro.machine.scheduler import Engine, Machine, SchedulerPolicy, normalize_engine
+from repro.primitives import OutputBuffer, install_primitives
+from repro.reader import read_all
+
+__all__ = ["Session"]
+
+_session_ids = itertools.count()
+
+#: Default pump chunk for synchronous driving (drive()/result()): big
+#: enough that chunking is invisible, small enough that wall-clock
+#: deadlines are still honoured promptly inside one pump.
+_DRIVE_CHUNK = 1 << 20
+
+
+class Session:
+    """A complete, independently hosted interpreter session.
+
+    Parameters mirror :class:`repro.api.Interpreter` (which is a thin
+    single-session façade over this class); see ``docs/API.md`` for the
+    canonical constructor surface.  Host-specific knobs:
+
+    max_pending:
+        Bound on queued + in-flight evaluations; ``submit`` beyond it
+        raises :class:`~repro.errors.HostSaturated`.
+    name:
+        Label used in error messages and host listings.
+    """
+
+    def __init__(
+        self,
+        *,
+        policy: str | SchedulerPolicy = SchedulerPolicy.ROUND_ROBIN,
+        seed: int | None = None,
+        quantum: int = 16,
+        max_steps: int | None = None,
+        prelude: bool = True,
+        echo_output: bool = False,
+        engine: str | Engine | None = None,
+        batched: bool = True,
+        profile: bool = False,
+        max_pending: int = 64,
+        name: str | None = None,
+    ):
+        engine = normalize_engine(engine if engine is not None else "compiled")
+        self.name = name if name is not None else f"session-{next(_session_ids)}"
+        self.engine = engine
+        self.resolver_stats = ResolverStats()
+        self.compile_stats = CompileStats()
+        self.globals = GlobalEnv()
+        self.output = install_primitives(self.globals, OutputBuffer(echo=echo_output))
+        register_control_primitives(self.globals)
+        self.machine = Machine(
+            self.globals,
+            policy=policy,
+            seed=seed,
+            quantum=quantum,
+            max_steps=None,  # budgets apply to user code only
+            engine=engine,
+            batched=batched,
+            profile=profile,
+        )
+        self.expand_env = ExpandEnv()
+        self._loaded_examples: set[str] = set()
+        self.max_pending = max(1, max_pending)
+        self._pending: deque[EvalHandle] = deque()
+        self._active: EvalHandle | None = None
+        self._in_pump = False
+        self.metrics = SessionMetrics()
+        if prelude:
+            self.drive(self.submit(PRELUDE))
+            self.metrics = SessionMetrics()  # the prelude is not user traffic
+        self.machine.steps_total = 0
+        self.machine.max_steps = max_steps
+
+    # -- submission ------------------------------------------------------
+
+    def submit(
+        self,
+        source: str,
+        *,
+        max_steps: int | None = None,
+        deadline: float | None = None,
+    ) -> EvalHandle:
+        """Queue ``source`` for evaluation; returns its handle.
+
+        The frontend (read → expand → resolve → compile, per the
+        session's engine) runs eagerly here, so reader/expansion errors
+        raise immediately and never occupy the machine.  ``max_steps``
+        bounds the evaluation's machine steps (enforced exactly;
+        exceeding it fails the handle with
+        :class:`~repro.errors.StepBudgetExceeded`); ``deadline`` is a
+        wall-clock allowance in seconds, started *now* — queueing time
+        counts — and expiry fails the handle with
+        :class:`~repro.errors.DeadlineExceeded` within one quantum.
+        Raises :class:`~repro.errors.HostSaturated` when the bounded
+        queue is full.
+        """
+        if self.queue_depth >= self.max_pending:
+            self.metrics.saturations += 1
+            raise HostSaturated(
+                f"session {self.name}: submit queue full "
+                f"({self.queue_depth}/{self.max_pending})"
+            )
+        nodes = self._frontend(source)
+        handle = EvalHandle(
+            self,
+            nodes,
+            max_steps=max_steps,
+            deadline_at=None if deadline is None else _monotonic() + deadline,
+        )
+        self._pending.append(handle)
+        self.metrics.submits += 1
+        depth = self.queue_depth
+        if depth > self.metrics.max_queue_depth:
+            self.metrics.max_queue_depth = depth
+        return handle
+
+    def _frontend(self, source: str) -> list[Any]:
+        forms = read_all(source)
+        nodes = expand_program(forms, self.expand_env)
+        if self.engine != "dict":
+            nodes = resolve_program(nodes, self.globals, self.resolver_stats)
+            if self.engine == "compiled":
+                nodes = compile_program(nodes, self.compile_stats)
+        return nodes
+
+    # -- state -----------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Queued plus in-flight evaluations."""
+        return len(self._pending) + (1 if self._active is not None else 0)
+
+    @property
+    def idle(self) -> bool:
+        """True when the session has no queued or in-flight work."""
+        return self._active is None and not self._pending
+
+    # -- the pump --------------------------------------------------------
+
+    def pump(self, budget: int) -> int:
+        """Run up to ``budget`` machine steps of this session's queued
+        work; returns the number of steps actually executed.
+
+        Evaluations are served FIFO; an unfinished one is suspended in
+        place (its whole process tree survives on the machine) and
+        resumes at the next pump.  Budget/deadline expiry, errors and
+        cancellations terminate only the *current* evaluation — the
+        failure is recorded on its handle, the tree is discarded at the
+        root, and the session keeps serving.  The single exception is
+        the session-lifetime ``max_steps`` (the constructor knob):
+        exhausting it both fails the in-flight handle and re-raises, so
+        a direct driver sees :class:`StepBudgetExceeded` exactly as the
+        pre-host ``Interpreter`` raised it.
+        """
+        if budget <= 0:
+            return 0
+        machine = self.machine
+        spent = 0
+        served = False
+        self._in_pump = True
+        try:
+            while spent < budget:
+                handle = self._active
+                if handle is None:
+                    if not self._pending:
+                        break
+                    handle = self._pending.popleft()
+                    handle.state = HandleState.RUNNING
+                    self._active = handle
+                served = True
+                if handle._cancel_requested:
+                    self._abort_active(
+                        SessionCancelled(
+                            f"session {self.name}: evaluation {handle.uid} cancelled"
+                        ),
+                        kind="cancel",
+                    )
+                    continue
+                if handle.deadline_at is not None and _monotonic() >= handle.deadline_at:
+                    self._abort_active(
+                        DeadlineExceeded(
+                            f"session {self.name}: evaluation {handle.uid} missed "
+                            "its wall-clock deadline",
+                            steps=handle.steps,
+                        ),
+                        kind="deadline",
+                    )
+                    continue
+                if handle._node_index >= len(handle.nodes):
+                    handle.state = HandleState.DONE
+                    self.metrics.evals_completed += 1
+                    self._active = None
+                    continue
+                if not handle._node_running:
+                    machine.begin_eval(handle.nodes[handle._node_index])
+                    handle._node_running = True
+                handle_cap = None
+                if handle.max_steps is not None:
+                    remaining = handle.max_steps - handle.steps
+                    if remaining <= 0:
+                        self._abort_active(
+                            StepBudgetExceeded(handle.steps), kind="deadline"
+                        )
+                        continue
+                    handle_cap = machine.steps_total + remaining
+                before = machine.steps_total
+                try:
+                    with machine.budget_scope(
+                        max_steps=handle_cap, deadline_at=handle.deadline_at
+                    ):
+                        finished = machine.step_n(budget - spent)
+                except StepBudgetExceeded as exc:
+                    spent += self._account(handle, machine.steps_total - before)
+                    lifetime = machine.max_steps
+                    if handle_cap is not None and (
+                        lifetime is None or handle_cap < lifetime
+                    ):
+                        # The per-request budget was the binding bound:
+                        # a deadline miss for this evaluation only.
+                        self._abort_active(
+                            StepBudgetExceeded(handle.steps), kind="deadline"
+                        )
+                        continue
+                    # The session-lifetime budget: fail the handle and
+                    # surface to whoever is pumping.
+                    self._abort_active(exc, kind="error")
+                    raise
+                except DeadlineExceeded as exc:
+                    spent += self._account(handle, machine.steps_total - before)
+                    self._abort_active(
+                        DeadlineExceeded(
+                            f"session {self.name}: evaluation {handle.uid} missed "
+                            "its wall-clock deadline",
+                            steps=handle.steps,
+                        ),
+                        kind="deadline",
+                    )
+                    continue
+                except ReproError as exc:
+                    spent += self._account(handle, machine.steps_total - before)
+                    self._abort_active(exc, kind="error")
+                    continue
+                spent += self._account(handle, machine.steps_total - before)
+                if finished:
+                    handle.values.append(machine.finish())
+                    handle._node_running = False
+                    handle._node_index += 1
+            return spent
+        finally:
+            self._in_pump = False
+            if served:
+                self.metrics.quanta_served += 1
+
+    def _account(self, handle: EvalHandle, taken: int) -> int:
+        handle.steps += taken
+        self.metrics.steps_served += taken
+        return taken
+
+    def _abort_active(self, exc: BaseException, *, kind: str) -> None:
+        """End the in-flight evaluation: discard its tree at the root
+        (capture-and-discard — never a mid-frame exception) and record
+        the failure on its handle."""
+        handle = self._active
+        assert handle is not None
+        if handle._node_running:
+            self.machine.abort_tree()
+            handle._node_running = False
+        state = HandleState.CANCELLED if kind == "cancel" else HandleState.FAILED
+        handle._fail(exc, state)
+        self.metrics.evals_failed += 1
+        if kind == "deadline":
+            self.metrics.deadline_misses += 1
+        elif kind == "cancel":
+            self.metrics.cancellations += 1
+        self._active = None
+
+    # -- cancellation ----------------------------------------------------
+
+    def cancel(self, handle: EvalHandle) -> bool:
+        """Cooperatively cancel ``handle``; True if it was still live.
+
+        Queued handles are cancelled on the spot.  The in-flight handle
+        is discarded immediately when called between pumps (the machine
+        is guaranteed to be at a quantum boundary), or at the top of
+        the next pump iteration when called from inside one (e.g. from
+        a trace hook).
+        """
+        if handle.session is not self:
+            raise ValueError(f"{handle!r} belongs to {handle.session.name}, not {self.name}")
+        if handle.done():
+            return False
+        if handle is self._active:
+            if self._in_pump:
+                handle._cancel_requested = True
+            else:
+                self._abort_active(
+                    SessionCancelled(
+                        f"session {self.name}: evaluation {handle.uid} cancelled"
+                    ),
+                    kind="cancel",
+                )
+            return True
+        self._pending.remove(handle)
+        handle._fail(
+            SessionCancelled(
+                f"session {self.name}: evaluation {handle.uid} cancelled while queued"
+            ),
+            HandleState.CANCELLED,
+        )
+        self.metrics.evals_failed += 1
+        self.metrics.cancellations += 1
+        return True
+
+    def cancel_all(self) -> int:
+        """Cancel every queued and in-flight evaluation; returns the
+        number cancelled."""
+        count = 0
+        for handle in list(self._pending):
+            count += bool(self.cancel(handle))
+        if self._active is not None:
+            count += bool(self.cancel(self._active))
+        return count
+
+    # -- synchronous driving ---------------------------------------------
+
+    def drive(self, handle: EvalHandle) -> list[Any]:
+        """Pump until ``handle`` is terminal; return its per-form values
+        or raise its failure.  Work queued ahead of it runs first
+        (FIFO) — this is the single-session embedding path used by
+        :class:`repro.api.Interpreter`."""
+        if handle.session is not self:
+            raise ValueError(f"{handle!r} belongs to {handle.session.name}, not {self.name}")
+        while not handle.done():
+            self.pump(_DRIVE_CHUNK)
+        if handle._exception is not None:
+            raise handle._exception
+        return list(handle.values)
+
+    def eval(
+        self,
+        source: str,
+        *,
+        max_steps: int | None = None,
+        deadline: float | None = None,
+    ) -> Any:
+        """Submit and drive ``source``; returns its last form's value."""
+        values = self.drive(self.submit(source, max_steps=max_steps, deadline=deadline))
+        return values[-1] if values else None
+
+    # -- conveniences (shared with the Interpreter façade) ---------------
+
+    def run(self, source: str) -> list[Any]:
+        """Submit and drive ``source``; returns every form's value."""
+        return self.drive(self.submit(source))
+
+    def eval_to_string(self, source: str) -> str:
+        """Evaluate and render the result with ``write`` syntax."""
+        return scheme_repr(self.eval(source))
+
+    def load_paper_example(self, name: str) -> None:
+        """Load one of the paper's programs (and its prerequisites,
+        per :data:`repro.lib.paper_examples.PREREQUISITES`) by name."""
+        for dep in paper_examples.PREREQUISITES.get(name, []):
+            self.load_paper_example(dep)
+        if name in self._loaded_examples:
+            return
+        source, kind = paper_examples.ALL[name]
+        if kind == "definitions":
+            self.run(source)
+            self._loaded_examples.add(name)
+        else:
+            raise ValueError(
+                f"{name} is an expression, not definitions; evaluate it "
+                "with eval(paper_examples.ALL[name][0])"
+            )
+
+    def load_library(self, name: str) -> None:
+        """Load a derived Scheme library (see :mod:`repro.lib.derived`)."""
+        key = f"lib:{name}"
+        if key in self._loaded_examples:
+            return
+        try:
+            source = LIBRARIES[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown library {name!r}; available: {sorted(LIBRARIES)}"
+            ) from None
+        self.run(source)
+        self._loaded_examples.add(key)
+
+    def load_file(self, path: str) -> list[Any]:
+        """Read and run a Scheme source file; returns the form values."""
+        with open(path, encoding="utf-8") as handle:
+            return self.run(handle.read())
+
+    def output_text(self) -> str:
+        """Everything ``display``/``write``/``newline`` produced so far."""
+        return self.output.getvalue()
+
+    def clear_output(self) -> None:
+        self.output.clear()
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Machine counters plus the compile-stage and VM counters,
+        namespaced (``resolver.*``, ``compile.*``, ``vm.*``,
+        ``session.*``).  The pre-namespace flat names
+        (``resolver_locals``, ``compile_nodes``, ``vm_quanta``, ...)
+        are kept as read aliases; namespacing makes the merge
+        collision-safe — a namespaced key can never silently overwrite
+        a machine counter."""
+        out = dict(self.machine.stats)
+        if self.engine != "dict":
+            _merge_namespaced(out, "resolver", self.resolver_stats.as_dict())
+            if self.engine == "compiled":
+                _merge_namespaced(out, "compile", self.compile_stats.as_dict())
+        if self.machine.profile:
+            _merge_namespaced(out, "vm", self.machine.vm_stats)
+        out.update(self.metrics.as_dict())
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"#<session {self.name} engine={self.engine} "
+            f"depth={self.queue_depth} {'idle' if self.idle else 'busy'}>"
+        )
+
+
+def _merge_namespaced(out: dict[str, int], prefix: str, counters: dict[str, int]) -> None:
+    """Merge ``counters`` under ``prefix.*``; keep the historical flat
+    key as an alias only when it does not collide with anything already
+    present (machine counters win)."""
+    marker = prefix + "_"
+    for key, value in counters.items():
+        short = key[len(marker):] if key.startswith(marker) else key
+        out[f"{prefix}.{short}"] = value
+        out.setdefault(key, value)

@@ -165,3 +165,19 @@ ALL = {
     "invalid-after-use": (INVALID_AFTER_USE, "expression"),
     "valid-after-reinstatement": (VALID_AFTER_REINSTATEMENT, "expression"),
 }
+
+#: Load-order prerequisites: example name -> the examples that must be
+#: loaded first.  Built once at import (loaders used to rebuild an
+#: equivalent dict per call); lives next to :data:`ALL` so a new
+#: example's dependencies are declared in the same module that defines
+#: its source.
+PREREQUISITES = {
+    "product-callcc": ["product0"],
+    "product-callcc-leaf": ["product0"],
+    "product-of-products-callcc": ["product0"],
+    "sum-of-products": ["product0", "spawn/exit"],
+    "product-of-products-spawn": ["product0", "spawn/exit"],
+    "first-true": ["spawn/exit"],
+    "parallel-or": ["spawn/exit", "first-true"],
+    "search-all": ["parallel-search"],
+}

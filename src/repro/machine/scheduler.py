@@ -16,12 +16,14 @@ see DESIGN.md).  Three policies are provided:
 
 from __future__ import annotations
 
+import contextlib
 import enum
 import random
 from collections import deque
-from typing import Any, Callable
+from time import monotonic as _monotonic
+from typing import Any, Callable, Iterator
 
-from repro.errors import MachineError, StepBudgetExceeded
+from repro.errors import DeadlineExceeded, MachineError, StepBudgetExceeded
 from repro.ir import Node
 from repro.machine.environment import Environment, GlobalEnv
 from repro.machine.links import HaltLink, Join, Label, LabelLink
@@ -36,7 +38,7 @@ from repro.machine.step import (
 )
 from repro.machine.task import EVAL, Task, TaskState
 
-__all__ = ["ENGINES", "Machine", "SchedulerPolicy"]
+__all__ = ["ENGINES", "Engine", "Machine", "SchedulerPolicy", "normalize_engine"]
 
 #: The execution engines a Machine can run (see repro.machine.step and
 #: repro.ir.compile):
@@ -52,6 +54,25 @@ __all__ = ["ENGINES", "Machine", "SchedulerPolicy"]
 #: capture/reinstate algebra — and every Section 7 claim — is engine-
 #: independent.
 ENGINES = ("dict", "resolved", "compiled")
+
+
+class Engine(enum.Enum):
+    """Execution-engine selector; every constructor that takes an
+    ``engine`` accepts either this enum or its string value."""
+
+    DICT = "dict"
+    RESOLVED = "resolved"
+    COMPILED = "compiled"
+
+
+def normalize_engine(engine: "Engine | str") -> str:
+    """Normalize an engine selector (enum or string) to its canonical
+    string name, raising ``ValueError`` for unknown engines."""
+    if isinstance(engine, Engine):
+        return engine.value
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    return engine
 
 
 class SchedulerPolicy(enum.Enum):
@@ -84,7 +105,7 @@ class Machine:
         seed: int | None = None,
         quantum: int = 16,
         max_steps: int | None = None,
-        engine: str = "resolved",
+        engine: str | Engine = "resolved",
         batched: bool = True,
         profile: bool = False,
     ):
@@ -92,10 +113,12 @@ class Machine:
         self.policy = SchedulerPolicy(policy)
         self.quantum = max(1, quantum)
         self.max_steps = max_steps
-        if engine not in ENGINES:
-            raise ValueError(
-                f"unknown engine {engine!r}; expected one of {ENGINES}"
-            )
+        # Wall-clock deadline (absolute ``time.monotonic`` timestamp, or
+        # None).  Checked once per quantum by step_n, so the host's
+        # DeadlineExceeded fires within one quantum of the budget and
+        # never mid-frame.  Set via budget_scope (scoped) or directly.
+        self.deadline: float | None = None
+        engine = normalize_engine(engine)
         self.engine = engine
         # Trivial-operand folding in the tree-walking stepper (see
         # repro.machine.step).  Only the resolved engine folds: the dict
@@ -318,6 +341,58 @@ class Machine:
         self.begin_eval(node, env)
         return self.finish()
 
+    def abort_tree(self) -> None:
+        """Discard the in-flight tree at its root (cooperative
+        cancellation / deadline enforcement).
+
+        This is capture-and-discard: every main-tree task is unlinked
+        exactly as an abortive controller discards a captured subtree —
+        no exception is delivered into a running frame.  Independent
+        future trees survive (they are parked for the next form, as at
+        a normal form boundary), main-tree placeholder waiters are
+        detached, and the machine is left ready for the next
+        :meth:`begin_eval`.  Safe to call after an exception escaped
+        :meth:`step_n` mid-run.
+        """
+        self.kill_main_tree_tasks()
+        self._park_surviving_futures()
+        self.halt_value = _NO_HALT
+        self.root_entity = None
+        self.root_label_link = None
+
+    @contextlib.contextmanager
+    def budget_scope(
+        self,
+        max_steps: int | None = None,
+        deadline_at: float | None = None,
+    ) -> Iterator[None]:
+        """Temporarily tighten the step budget and wall-clock deadline.
+
+        ``max_steps`` is an absolute ``steps_total`` ceiling,
+        ``deadline_at`` an absolute ``time.monotonic`` timestamp.  The
+        scope only ever *tightens*: an enclosing budget (the machine's
+        lifetime ``max_steps``, or an outer scope — scopes nest, which
+        is how the host hands a per-request budget down through
+        re-entrant :meth:`step_n` calls) keeps binding if it is
+        stricter.  Previous bounds are restored on exit, including when
+        :class:`StepBudgetExceeded` / :class:`DeadlineExceeded`
+        propagates.  This is the single budget mechanism shared by
+        ``Interpreter.eval(max_steps=..., deadline=...)`` and the host
+        runtime's per-request deadlines.
+        """
+        prev_max, prev_deadline = self.max_steps, self.deadline
+        if max_steps is not None:
+            self.max_steps = max_steps if prev_max is None else min(prev_max, max_steps)
+        if deadline_at is not None:
+            self.deadline = (
+                deadline_at if prev_deadline is None else min(prev_deadline, deadline_at)
+            )
+        try:
+            yield
+        finally:
+            self.max_steps = prev_max
+            self.deadline = prev_deadline
+
     def run(self, nodes: list[Node]) -> list[Any]:
         """Evaluate a program (list of top-level nodes) in order."""
         return [self.eval_node(node) for node in nodes]
@@ -361,8 +436,18 @@ class Machine:
         serial = self.policy is SchedulerPolicy.SERIAL
         run_quantum_fn = self._run_quantum
         max_steps = self.max_steps
+        deadline = self.deadline
         remaining = n
         while remaining > 0 and self.halt_value is _NO_HALT:
+            if deadline is not None and _monotonic() >= deadline:
+                # Checked at quantum granularity: an expired deadline
+                # refuses the next quantum rather than interrupting one,
+                # so enforcement lands within one quantum of the budget
+                # and never mid-frame.
+                raise DeadlineExceeded(
+                    f"wall-clock deadline exceeded after {self.steps_total} steps",
+                    steps=self.steps_total,
+                )
             task = self._pick()
             if task is None:
                 if self.waiting_tasks:

@@ -6,6 +6,7 @@
     python -m repro --examples        # list the paper's programs
     python -m repro --engine dict ... # pick an execution engine
     python -m repro --no-resolve ...  # alias for --engine dict (A/B runs)
+    python -m repro --deadline 0.5    # per-evaluation wall-clock budget
 
 REPL meta-commands:
 
@@ -44,10 +45,22 @@ Type ,help for meta-commands, ,quit to exit.
 class Repl:
     """A line-oriented REPL with multi-line form buffering."""
 
-    def __init__(self, interp: Interpreter | None = None, out: Any = None):
+    def __init__(
+        self,
+        interp: Interpreter | None = None,
+        out: Any = None,
+        *,
+        deadline: float | None = None,
+        eval_max_steps: int | None = None,
+    ):
         self.interp = interp if interp is not None else Interpreter(echo_output=False)
         self.out = out if out is not None else sys.stdout
         self.buffer = ""
+        # Per-evaluation budgets (the host-runtime mechanism): each
+        # entered form gets this wall-clock allowance / step budget; a
+        # miss fails that evaluation only, the REPL keeps going.
+        self.deadline = deadline
+        self.eval_max_steps = eval_max_steps
 
     # -- plumbing --------------------------------------------------------
 
@@ -139,7 +152,9 @@ class Repl:
 
     def eval_and_print(self, source: str) -> None:
         try:
-            values = self.interp.run(source)
+            values = self.interp.run(
+                source, max_steps=self.eval_max_steps, deadline=self.deadline
+            )
         except ReproError as exc:
             self._print(f"error: {exc}")
             return
@@ -202,7 +217,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=None, help="random-policy seed")
     parser.add_argument(
-        "--max-steps", type=int, default=None, help="machine step budget"
+        "--max-steps", type=int, default=None, help="machine step budget (lifetime)"
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-evaluation wall-clock deadline; a miss fails that "
+        "evaluation only (the host-runtime budget mechanism)",
+    )
+    parser.add_argument(
+        "--eval-max-steps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-evaluation step budget, enforced exactly (raises "
+        "StepBudgetExceeded for that evaluation only)",
     )
     parser.add_argument(
         "--engine",
@@ -245,7 +276,7 @@ def main(argv: list[str] | None = None) -> int:
         engine=engine,
         profile=args.profile,
     )
-    repl = Repl(interp)
+    repl = Repl(interp, deadline=args.deadline, eval_max_steps=args.eval_max_steps)
 
     if args.expr is not None:
         repl.eval_and_print(args.expr)
