@@ -40,6 +40,7 @@ from repro.errors import (
 )
 from repro.host import EvalHandle, HandleState, Host, HostPolicy, Session
 from repro.machine.scheduler import Engine, SchedulerPolicy
+from repro.obs import Recorder
 
 __version__ = "1.1.0"
 
@@ -52,6 +53,7 @@ __all__ = [
     "HandleState",
     "Engine",
     "SchedulerPolicy",
+    "Recorder",
     "ReproError",
     "ReaderError",
     "ExpandError",

@@ -42,6 +42,7 @@ from typing import Any
 from repro.host.handle import EvalHandle
 from repro.host.session import Session
 from repro.machine.scheduler import Engine, SchedulerPolicy, normalize_engine
+from repro.obs.recorder import Recorder
 
 __all__ = ["Interpreter"]
 
@@ -96,6 +97,14 @@ class Interpreter:
         Keep VM run-loop counters (quanta, spill causes, write-backs
         avoided) in ``machine.vm_stats``; surfaced through
         :attr:`stats` and the REPL's ``,stats``.
+    record:
+        Observability (see ``docs/OBSERVABILITY.md``): ``True`` attaches
+        a fresh :class:`~repro.obs.Recorder` ring buffer, or pass an
+        existing :class:`~repro.obs.Recorder` to share one across
+        machines.  Control events (captures, reinstatements, forks,
+        label pops, join fires) and per-quantum timings stream into it;
+        export with ``interp.recorder.to_chrome_trace()`` or
+        ``interp.recorder.render()``.  Default None: zero overhead.
     """
 
     def __init__(
@@ -110,6 +119,7 @@ class Interpreter:
         engine: str | Engine | None = None,
         batched: bool = True,
         profile: bool = False,
+        record: "Recorder | bool | None" = None,
     ):
         if resolve is not None:
             warnings.warn(
@@ -134,6 +144,7 @@ class Interpreter:
             engine=engine,
             batched=batched,
             profile=profile,
+            record=record,
         )
         # The wiring is the session's; these are the historical
         # attribute surface (tests, the REPL and the tracer reach for
@@ -150,6 +161,12 @@ class Interpreter:
     def resolve(self) -> bool:
         """Whether the resolver pass runs (every engine but ``dict``)."""
         return self.engine != "dict"
+
+    @property
+    def recorder(self) -> Recorder | None:
+        """The attached observability recorder (None unless the
+        interpreter was built with ``record=``)."""
+        return self.session.recorder
 
     # -- evaluation -----------------------------------------------------
 

@@ -65,6 +65,7 @@ class RootContinuation(MachineApplicable):
         task.state = TaskState.DEAD
         halt = HaltLink(machine)
         machine.root_entity = None
+        machine.notify_reinstate(task, "whole-tree")
         reinstate(machine, self.capture, value, None, halt)
         # The reinstated snapshot's root becomes the new implicit root
         # label (so nested whole-tree call/cc keeps working).
@@ -81,7 +82,7 @@ def callcc_primitive(machine: "Machine", task: Task, args: list[Any]) -> None:
     if root is None:  # pragma: no cover - machine always plants a root
         raise ControlError("call/cc: no root label")
     capture = capture_subtree(machine, root, task, mode="copy")
-    machine.stats["captures"] += 1
+    machine.notify_capture(task, "call/cc")
     task.tag = APPLY
     task.payload = (receiver, [RootContinuation(capture)])
 
@@ -123,6 +124,7 @@ class LeafContinuation(MachineApplicable):
         replace_child(self.link, task)
         task.tag = VALUE
         task.payload = value
+        machine.notify_reinstate(task, "leaf")
 
     def __repr__(self) -> str:
         return "#<continuation (leaf)>"
@@ -132,6 +134,6 @@ def callcc_leaf_primitive(machine: "Machine", task: Task, args: list[Any]) -> No
     """``(call/cc-leaf f)`` with the leaf policy."""
     receiver = args[0]
     continuation = LeafContinuation(task.frames, task.link)
-    machine.stats["captures"] += 1
+    machine.notify_capture(task, "call/cc-leaf")
     task.tag = APPLY
     task.payload = (receiver, [continuation])

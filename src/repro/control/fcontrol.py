@@ -56,7 +56,7 @@ class FunctionalContinuation(MachineApplicable):
         check_arity("functional continuation", len(args), 1, 1)
         value = args[0]
         task.state = TaskState.DEAD
-        machine.stats["reinstatements"] += 1
+        machine.notify_reinstate(task, "functional")
         reinstate(
             machine,
             self.capture,
@@ -98,7 +98,7 @@ def fcontrol_primitive(machine: "Machine", task: Task, args: list[Any]) -> None:
     synthetic = LabelLink(Label("fk"), None, None, child=region)
     _set_parent(region, synthetic)
     capture = capture_subtree(machine, synthetic, task, mode="move")
-    machine.stats["captures"] += 1
+    machine.notify_capture(task, "F")
     successor = Task(
         (APPLY, receiver, [FunctionalContinuation(capture)]),
         task.env,

@@ -58,7 +58,7 @@ class ProcessController(MachineApplicable):
             )
         cont_frames, cont_link = link.cont_frames, link.cont_link
         capture = capture_subtree(machine, link, task, mode="move")
-        machine.stats["captures"] += 1
+        machine.notify_capture(task, "controller")
         continuation = ProcessContinuation(capture)
         successor = Task(
             (APPLY, receiver, [continuation]), task.env, cont_frames, cont_link  # type: ignore[arg-type]
@@ -94,7 +94,7 @@ class ProcessContinuation(MachineApplicable):
         # The invoking task's continuation becomes the parent of the
         # grafted subtree; the task itself is consumed by the graft.
         task.state = TaskState.DEAD
-        machine.stats["reinstatements"] += 1
+        machine.notify_reinstate(task, "process")
         reinstate(machine, self.capture, value, task.frames, task.link)
 
     def control_points(self) -> int:

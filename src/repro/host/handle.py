@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+from time import monotonic
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -53,6 +54,7 @@ class EvalHandle:
         "state",
         "values",
         "steps",
+        "submitted_at",
         "_exception",
         "_cancel_requested",
         "_node_index",
@@ -75,6 +77,7 @@ class EvalHandle:
         self.state = HandleState.PENDING
         self.values: list[Any] = []  # one value per completed top-level form
         self.steps = 0  # machine steps spent on this evaluation
+        self.submitted_at = monotonic()  # for request-latency histograms
         self._exception: BaseException | None = None
         self._cancel_requested = False
         self._node_index = 0  # next form to evaluate

@@ -33,12 +33,14 @@ from __future__ import annotations
 
 import enum
 import itertools
+from time import perf_counter as _perf_counter
 from typing import Any, Iterator
 
 from repro.errors import HostSaturated, ReproError
 from repro.host.handle import EvalHandle
 from repro.host.metrics import HostMetrics
 from repro.host.session import Session
+from repro.obs.recorder import Recorder
 
 __all__ = ["DEFICIT_CAP_TICKS", "Host", "HostPolicy"]
 
@@ -76,6 +78,12 @@ class Host:
         sessions; ``submit`` beyond it raises
         :class:`~repro.errors.HostSaturated` (per-session bounds are
         enforced by the sessions themselves).
+    record:
+        Observability: ``True`` builds a fresh
+        :class:`~repro.obs.recorder.Recorder`, or pass an existing one;
+        it is shared with every attached session (unless a session
+        brought its own), so host ticks, session pumps, quanta and
+        control events land in one stream as a span tree.
     """
 
     def __init__(
@@ -85,6 +93,7 @@ class Host:
         quantum: int = 512,
         max_pending: int = 1024,
         name: str | None = None,
+        record: "Recorder | bool | None" = None,
     ):
         self.policy = HostPolicy(policy)
         self.quantum = max(1, quantum)
@@ -94,6 +103,12 @@ class Host:
         self._by_name: dict[str, Session] = {}
         self._deficit: dict[str, int] = {}
         self.metrics = HostMetrics()
+        if record is True:
+            self.recorder: Recorder | None = Recorder()
+        elif record is False:
+            self.recorder = None
+        else:
+            self.recorder = record
 
     # -- membership ------------------------------------------------------
 
@@ -110,6 +125,8 @@ class Host:
         self.sessions.append(session)
         self._by_name[session.name] = session
         self._deficit[session.name] = 0
+        if self.recorder is not None and session.recorder is None:
+            session.attach_recorder(self.recorder)
         return session
 
     def remove_session(self, session: Session | str) -> Session:
@@ -185,7 +202,23 @@ class Host:
         per-request budget misses are absorbed by the session and never
         reach here) is caught, counted in ``host.session_faults``, and
         does not disturb the other sessions' service.
+
+        With a recorder attached the tick is bracketed as a
+        ``host.tick`` span on the ``host`` track; every tick's duration
+        and step total also feed the host's histograms.
         """
+        t0 = _perf_counter()
+        rec = self.recorder
+        if rec is not None and rec.enabled:
+            with rec.span("host.tick", f"tick {self.metrics.ticks}", track="host"):
+                total = self._tick()
+        else:
+            total = self._tick()
+        self.metrics.tick_us.observe((_perf_counter() - t0) * 1e6)
+        self.metrics.tick_steps.observe(total)
+        return total
+
+    def _tick(self) -> int:
         self.metrics.ticks += 1
         deficit = self.policy is HostPolicy.DEFICIT
         cap = DEFICIT_CAP_TICKS * self.quantum
@@ -204,11 +237,18 @@ class Host:
                 if session.idle:
                     continue
                 budget = self.quantum
+            served_before = session.metrics.steps_served
             try:
                 spent = session.pump(budget)
             except ReproError:
                 self.metrics.session_faults += 1
-                spent = 0
+                # The pump accounts every executed step into the
+                # session's steps_served before the fault propagates;
+                # recover the partial spend from that counter so the
+                # steps stay visible in host.steps_served and the
+                # deficit bank does not treat a faulted tick as free
+                # credit.
+                spent = session.metrics.steps_served - served_before
             total += spent
             if deficit:
                 self._deficit[session.name] = max(0, credit - spent)
@@ -246,6 +286,16 @@ class Host:
     def session_stats(self) -> dict[str, dict[str, int]]:
         """Full per-session stats, keyed by session name."""
         return {session.name: session.stats for session in self.sessions}
+
+    def histograms(self) -> dict[str, Any]:
+        """Latency/steps distribution summaries: the host's tick
+        histograms plus each session's request histograms, JSON-ready
+        (this is what the benchmark drivers fold into
+        ``BENCH_results.json``)."""
+        out: dict[str, Any] = self.metrics.histograms()
+        for session in self.sessions:
+            out.update(session.metrics.histograms(prefix=f"session.{session.name}"))
+        return out
 
     def __repr__(self) -> str:
         return (

@@ -1,21 +1,33 @@
-"""Counters for the host runtime.
+"""Counters and histograms for the host runtime.
 
-Two small fixed-slot counter records — one per :class:`~repro.host.session.Session`,
+Two small fixed-slot metric records — one per :class:`~repro.host.session.Session`,
 one per :class:`~repro.host.host.Host` — exported as namespaced
 dictionaries (``session.*`` / ``host.*``) so they merge collision-free
 into the machine's ``stats`` plumbing, the REPL's ``,stats`` and
 ``BENCH_results.json``.
+
+Each record is counters plus a few log2 :class:`~repro.obs.histogram.Histogram`
+distributions (request latency, steps per request / tick duration,
+steps per tick).  ``as_dict`` stays int-only — it iterates the
+``_COUNTERS`` tuple, not ``__slots__`` — because the host's stats
+rollup sums those values across sessions; the distributions are
+exported separately via ``histograms()``.
 """
 
 from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.histogram import Histogram
 
 __all__ = ["SessionMetrics", "HostMetrics"]
 
 
 class SessionMetrics:
-    """Per-session counters, updated by the session's pump loop."""
+    """Per-session counters and distributions, updated by the
+    session's pump loop."""
 
-    __slots__ = (
+    _COUNTERS = (
         "submits",
         "evals_completed",
         "evals_failed",
@@ -27,6 +39,8 @@ class SessionMetrics:
         "max_queue_depth",
     )
 
+    __slots__ = _COUNTERS + ("latency_us", "steps_hist")
+
     def __init__(self) -> None:
         self.submits = 0  # evaluations accepted into the queue
         self.evals_completed = 0  # handles that reached DONE
@@ -37,15 +51,33 @@ class SessionMetrics:
         self.quanta_served = 0  # pump() calls that found work
         self.steps_served = 0  # machine steps executed on behalf of evals
         self.max_queue_depth = 0  # high-water mark of pending + active
+        self.latency_us = Histogram()  # submit -> terminal state, per request
+        self.steps_hist = Histogram()  # machine steps, per request
+
+    def observe_request(self, latency_us: float, steps: int) -> None:
+        """Record one finished request (any terminal state): its
+        submit-to-terminal latency in µs and its machine steps."""
+        self.latency_us.observe(latency_us)
+        self.steps_hist.observe(steps)
 
     def as_dict(self, prefix: str = "session") -> dict[str, int]:
-        return {f"{prefix}.{name}": getattr(self, name) for name in self.__slots__}
+        return {f"{prefix}.{name}": getattr(self, name) for name in self._COUNTERS}
+
+    def histograms(self, prefix: str = "session") -> dict[str, Any]:
+        """The distribution summaries, JSON-ready."""
+        return {
+            f"{prefix}.latency_us": self.latency_us.as_dict(),
+            f"{prefix}.steps_per_request": self.steps_hist.as_dict(),
+        }
 
 
 class HostMetrics:
-    """Host-level counters (the per-session ones roll up separately)."""
+    """Host-level counters and distributions (the per-session ones
+    roll up separately)."""
 
-    __slots__ = ("ticks", "submits", "saturations", "steps_served", "session_faults")
+    _COUNTERS = ("ticks", "submits", "saturations", "steps_served", "session_faults")
+
+    __slots__ = _COUNTERS + ("tick_us", "tick_steps")
 
     def __init__(self) -> None:
         self.ticks = 0  # scheduling rounds run
@@ -53,6 +85,15 @@ class HostMetrics:
         self.saturations = 0  # submits refused (host-wide or per-session bound)
         self.steps_served = 0  # machine steps executed across all sessions
         self.session_faults = 0  # pumps that surfaced a session-fatal error
+        self.tick_us = Histogram()  # wall-clock duration per tick
+        self.tick_steps = Histogram()  # machine steps per tick
 
     def as_dict(self, prefix: str = "host") -> dict[str, int]:
-        return {f"{prefix}.{name}": getattr(self, name) for name in self.__slots__}
+        return {f"{prefix}.{name}": getattr(self, name) for name in self._COUNTERS}
+
+    def histograms(self, prefix: str = "host") -> dict[str, Any]:
+        """The distribution summaries, JSON-ready."""
+        return {
+            f"{prefix}.tick_us": self.tick_us.as_dict(),
+            f"{prefix}.steps_per_tick": self.tick_steps.as_dict(),
+        }

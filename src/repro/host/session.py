@@ -60,6 +60,7 @@ from repro.lib import PRELUDE, paper_examples
 from repro.lib.derived import LIBRARIES
 from repro.machine.environment import GlobalEnv
 from repro.machine.scheduler import Engine, Machine, SchedulerPolicy, normalize_engine
+from repro.obs.recorder import Recorder
 from repro.primitives import OutputBuffer, install_primitives
 from repro.reader import read_all
 
@@ -101,6 +102,7 @@ class Session:
         profile: bool = False,
         max_pending: int = 64,
         name: str | None = None,
+        record: "Recorder | bool | None" = None,
     ):
         engine = normalize_engine(engine if engine is not None else "compiled")
         self.name = name if name is not None else f"session-{next(_session_ids)}"
@@ -119,6 +121,7 @@ class Session:
             engine=engine,
             batched=batched,
             profile=profile,
+            record=record,
         )
         self.expand_env = ExpandEnv()
         self._loaded_examples: set[str] = set()
@@ -130,6 +133,8 @@ class Session:
         if prelude:
             self.drive(self.submit(PRELUDE))
             self.metrics = SessionMetrics()  # the prelude is not user traffic
+            if self.machine.recorder is not None:
+                self.machine.recorder.clear()  # nor are its events
         self.machine.steps_total = 0
         self.machine.max_steps = max_steps
 
@@ -197,11 +202,28 @@ class Session:
         """True when the session has no queued or in-flight work."""
         return self._active is None and not self._pending
 
+    # -- observability ---------------------------------------------------
+
+    @property
+    def recorder(self) -> Recorder | None:
+        """The attached observability recorder, if any (shared with —
+        and stored on — this session's machine)."""
+        return self.machine.recorder
+
+    def attach_recorder(self, recorder: Recorder | None) -> None:
+        """Attach (or detach, with None) a recorder.  A host attaches
+        its own recorder to member sessions so all layers' spans land
+        in one stream."""
+        self.machine.recorder = recorder
+
     # -- the pump --------------------------------------------------------
 
     def pump(self, budget: int) -> int:
         """Run up to ``budget`` machine steps of this session's queued
-        work; returns the number of steps actually executed.
+        work; returns the number of steps actually executed.  When a
+        recorder is attached the pump is bracketed as a
+        ``session.pump`` span on this session's track, so quantum and
+        control events emitted inside nest under it.
 
         Evaluations are served FIFO; an unfinished one is suspended in
         place (its whole process tree survives on the machine) and
@@ -216,6 +238,18 @@ class Session:
         """
         if budget <= 0:
             return 0
+        rec = self.machine.recorder
+        if rec is not None and rec.enabled:
+            with rec.span(
+                "session.pump",
+                f"{self.name} budget={budget}",
+                track=self.name,
+                step=self.machine.steps_total,
+            ):
+                return self._pump(budget)
+        return self._pump(budget)
+
+    def _pump(self, budget: int) -> int:
         machine = self.machine
         spent = 0
         served = False
@@ -251,6 +285,7 @@ class Session:
                 if handle._node_index >= len(handle.nodes):
                     handle.state = HandleState.DONE
                     self.metrics.evals_completed += 1
+                    self._finish_request(handle)
                     self._active = None
                     continue
                 if not handle._node_running:
@@ -318,6 +353,12 @@ class Session:
         self.metrics.steps_served += taken
         return taken
 
+    def _finish_request(self, handle: EvalHandle) -> None:
+        """Observe a request reaching *any* terminal state into the
+        session's latency and steps histograms."""
+        latency_us = (_monotonic() - handle.submitted_at) * 1e6
+        self.metrics.observe_request(latency_us, handle.steps)
+
     def _abort_active(self, exc: BaseException, *, kind: str) -> None:
         """End the in-flight evaluation: discard its tree at the root
         (capture-and-discard — never a mid-frame exception) and record
@@ -334,6 +375,7 @@ class Session:
             self.metrics.deadline_misses += 1
         elif kind == "cancel":
             self.metrics.cancellations += 1
+        self._finish_request(handle)
         self._active = None
 
     # -- cancellation ----------------------------------------------------
@@ -371,6 +413,7 @@ class Session:
         )
         self.metrics.evals_failed += 1
         self.metrics.cancellations += 1
+        self._finish_request(handle)
         return True
 
     def cancel_all(self) -> int:

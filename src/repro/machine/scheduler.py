@@ -37,6 +37,7 @@ from repro.machine.step import (
     step_compiled,
 )
 from repro.machine.task import EVAL, Task, TaskState
+from repro.obs.recorder import Recorder
 
 __all__ = ["ENGINES", "Engine", "Machine", "SchedulerPolicy", "normalize_engine"]
 
@@ -108,6 +109,7 @@ class Machine:
         engine: str | Engine = "resolved",
         batched: bool = True,
         profile: bool = False,
+        record: "Recorder | bool | None" = None,
     ):
         self.globals = globals_ if globals_ is not None else GlobalEnv()
         self.policy = SchedulerPolicy(policy)
@@ -200,6 +202,17 @@ class Machine:
         }
         # Optional step hook for tracing: fn(machine, task) before each step.
         self.trace_hook: Callable[["Machine", Task], None] | None = None
+        # Observability recorder (repro.obs).  ``record=True`` builds a
+        # fresh ring buffer; an existing Recorder is shared (the host
+        # passes one recorder down through every session's machine so
+        # spans from all layers land in one stream).  None — the
+        # default — keeps every emit site on its zero-cost path.
+        if record is True:
+            self.recorder: Recorder | None = Recorder()
+        elif record is False:
+            self.recorder = None
+        else:
+            self.recorder = record
 
     # -- scheduler interface used by step/tree/control ----------------------
 
@@ -221,14 +234,52 @@ class Machine:
     def halt(self, value: Any) -> None:
         self.halt_value = value
 
+    # -- control-event notify points ----------------------------------------
+    #
+    # Every control operation lands on exactly one of these, from all
+    # three engines (the sites live in shared code: the steppers'
+    # _deliver_through_link/_eval_pcall and the control primitives'
+    # machine_apply).  They are the single source of truth for both the
+    # stats counters and the observability stream: counted == emitted
+    # by construction, which is what fixes the seed Tracer's event
+    # loss (it sniffed counter deltas from a per-step hook and dropped
+    # events when the evaluation aborted between hook calls).
+
     def notify_fork(self, join: Join) -> None:
         self.stats["forks"] += 1
+        rec = self.recorder
+        if rec is not None and rec.enabled:
+            rec.emit("fork", f"join {id(join) & 0xFFFF:04x}", step=self.steps_total)
 
     def notify_label_pop(self, link: LabelLink) -> None:
         self.stats["label_pops"] += 1
+        rec = self.recorder
+        if rec is not None and rec.enabled:
+            rec.emit("label-pop", str(link.label), step=self.steps_total)
 
     def notify_join_fire(self, join: Join) -> None:
         self.stats["join_fires"] += 1
+        rec = self.recorder
+        if rec is not None and rec.enabled:
+            rec.emit("join-fire", f"join {id(join) & 0xFFFF:04x}", step=self.steps_total)
+
+    def notify_capture(self, task: Task, kind: str = "") -> None:
+        """A continuation (subtree or whole-tree) was captured by
+        ``task``.  Counts into ``stats["captures"]`` and emits one
+        recorder event — one call per capture, from every engine."""
+        self.stats["captures"] += 1
+        rec = self.recorder
+        if rec is not None and rec.enabled:
+            detail = f"{kind} by task {task.uid}" if kind else f"by task {task.uid}"
+            rec.emit("capture", detail, step=self.steps_total)
+
+    def notify_reinstate(self, task: Task, kind: str = "") -> None:
+        """A captured continuation was reinstated by ``task``."""
+        self.stats["reinstatements"] += 1
+        rec = self.recorder
+        if rec is not None and rec.enabled:
+            detail = f"{kind} by task {task.uid}" if kind else f"by task {task.uid}"
+            rec.emit("reinstate", detail, step=self.steps_total)
 
     def register_future_root(self, task: Task) -> None:
         self.stats["futures"] = self.stats.get("futures", 0) + 1
@@ -437,6 +488,9 @@ class Machine:
         run_quantum_fn = self._run_quantum
         max_steps = self.max_steps
         deadline = self.deadline
+        rec = self.recorder
+        if rec is not None and not rec.enabled:
+            rec = None
         remaining = n
         while remaining > 0 and self.halt_value is _NO_HALT:
             if deadline is not None and _monotonic() >= deadline:
@@ -472,7 +526,25 @@ class Machine:
                     raise StepBudgetExceeded(self.steps_total)
                 if budget > headroom:
                     budget = headroom
-            taken = run_quantum_fn(self, task, budget)
+            if rec is None:
+                taken = run_quantum_fn(self, task, budget)
+            else:
+                # One X (complete) event per quantum: which task ran,
+                # for how many steps, and how long it took.  Emitted
+                # even when the quantum raises (budget/deadline/error)
+                # so aborted work stays visible in the trace.
+                t0 = rec.clock()
+                s0 = self.steps_total
+                try:
+                    taken = run_quantum_fn(self, task, budget)
+                finally:
+                    rec.complete(
+                        "quantum",
+                        t0,
+                        rec.clock() - t0,
+                        f"task {task.uid} ({self.steps_total - s0} steps)",
+                        step=self.steps_total,
+                    )
             remaining -= taken
             if task.state is TaskState.RUNNABLE and self.halt_value is _NO_HALT:
                 self.queue.append(task)

@@ -1,0 +1,20 @@
+"""``repro.obs`` — the unified observability layer.
+
+One :class:`Recorder` threads through machine → session → host, so a
+single host request reconstructs as a span tree (host.tick →
+session.pump → quantum → control events).  See
+``docs/OBSERVABILITY.md`` for the model and overhead numbers.
+"""
+
+from repro.obs.export import render_timeline, to_chrome_trace, validate_chrome_trace
+from repro.obs.histogram import Histogram
+from repro.obs.recorder import ObsEvent, Recorder
+
+__all__ = [
+    "Histogram",
+    "ObsEvent",
+    "Recorder",
+    "render_timeline",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+]

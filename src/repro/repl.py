@@ -256,6 +256,14 @@ def main(argv: list[str] | None = None) -> int:
         help="keep VM run-loop counters (quanta, spill causes, "
         "write-backs avoided); shown by ,stats",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="record control events and quantum timings (repro.obs) "
+        "and write a chrome://tracing / Perfetto JSON trace to PATH "
+        "on exit",
+    )
     args = parser.parse_args(argv)
 
     if args.examples:
@@ -275,18 +283,35 @@ def main(argv: list[str] | None = None) -> int:
         echo_output=False,
         engine=engine,
         profile=args.profile,
+        record=args.trace_out is not None,
     )
     repl = Repl(interp, deadline=args.deadline, eval_max_steps=args.eval_max_steps)
 
+    def finish() -> int:
+        if args.trace_out is not None and interp.recorder is not None:
+            import json
+
+            with open(args.trace_out, "w", encoding="utf-8") as out:
+                json.dump(interp.recorder.to_chrome_trace(), out)
+            print(
+                f"wrote {len(interp.recorder)} events to {args.trace_out} "
+                "(open in chrome://tracing or ui.perfetto.dev)",
+                file=sys.stderr,
+            )
+        return 0
+
     if args.expr is not None:
         repl.eval_and_print(args.expr)
-        return 0
+        return finish()
     if args.file is not None:
         with open(args.file) as handle:
             source = handle.read()
         repl.eval_and_print(source)
-        return 0
-    repl.run_interactive()  # pragma: no cover - terminal loop
+        return finish()
+    try:
+        repl.run_interactive()  # pragma: no cover - terminal loop
+    finally:
+        finish()
     return 0
 
 

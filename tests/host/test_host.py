@@ -261,3 +261,96 @@ def test_host_stats_rollup():
     assert stats["host.submits"] == 1
     assert stats["host.sessions.evals_completed"] == 1
     assert stats["host.steps_served"] == a.metrics.steps_served
+
+
+# -- fault accounting and observability -----------------------------------
+
+
+def test_faulted_tick_keeps_partial_steps_visible():
+    """A session fault mid-pump used to zero that tick's spend, losing
+    the pre-fault steps from host.steps_served.  The pump accounts every
+    executed step before the fault propagates, so the host can recover
+    the partial spend — conservation must hold."""
+    host = Host(quantum=512)
+    doomed = host.session("doomed", prelude=False, max_steps=150)
+    good = host.session("good", prelude=False)
+    h_doomed = host.submit(doomed, _spin(5000))
+    h_good = host.submit(good, _spin(200))
+    host.run_until_idle(max_ticks=50)
+    assert host.metrics.session_faults == 1
+    assert isinstance(h_doomed.exception(), StepBudgetExceeded)
+    assert h_good.result() == 200
+    # Every step any session executed is in the host's ledger.
+    assert doomed.metrics.steps_served == 150  # ran right up to the cap
+    assert host.metrics.steps_served == sum(
+        s.metrics.steps_served for s in host
+    )
+
+
+def test_faulted_tick_decrements_deficit_bank():
+    """Under the deficit policy a faulted pump must still consume the
+    credit it actually spent, not bank the whole budget as if the tick
+    were free."""
+    host = Host(policy="deficit", quantum=100)
+    doomed = host.session("doomed", prelude=False, max_steps=150)
+    host.submit(doomed, _spin(5000))
+    host.tick()  # spends the full 100-step credit, no fault yet
+    assert host._deficit["doomed"] == 0
+    host.tick()  # faults after the remaining 50 lifetime steps
+    assert host.metrics.session_faults == 1
+    assert doomed.metrics.steps_served == 150
+    assert host.metrics.steps_served == 150
+    # credit 100, spent 50 before the fault: 50 banked, not 100.
+    assert host._deficit["doomed"] == 50
+
+
+def test_run_until_idle_terminates_on_mid_request_fault():
+    """Regression: run_until_idle (no max_ticks safety net) must not
+    spin forever when a session faults mid-request."""
+    host = Host(quantum=64)
+    doomed = host.session("doomed", prelude=False, max_steps=150)
+    good = host.session("good", prelude=False)
+    h_doomed = host.submit(doomed, _spin(5000))
+    h_good = host.submit(good, _spin(500))
+    ticks = host.run_until_idle()
+    assert ticks > 0
+    assert host.idle
+    assert h_doomed.state is HandleState.FAILED
+    assert isinstance(h_doomed.exception(), StepBudgetExceeded)
+    assert h_good.result() == 500
+
+
+def test_request_histograms_observe_every_terminal_state():
+    host = Host(quantum=256)
+    sess = host.session("a", prelude=False)
+    ok = host.submit(sess, _spin(100))
+    slow = host.submit(sess, _spin(10_000), max_steps=50)  # budget miss
+    queued = host.submit(sess, _spin(100))
+    queued.cancel()
+    host.run_until_idle(max_ticks=100)
+    assert ok.state is HandleState.DONE
+    assert slow.state is HandleState.FAILED
+    assert queued.state is HandleState.CANCELLED
+    # done + failed + cancelled all land in the distributions.
+    assert sess.metrics.latency_us.count == 3
+    assert sess.metrics.steps_hist.count == 3
+    assert sess.metrics.steps_hist.max >= 100
+
+
+def test_host_histogram_rollup():
+    host = Host(quantum=128)
+    sess = host.session("a", prelude=False)
+    host.submit(sess, _spin(300))
+    host.run_until_idle(max_ticks=50)
+    assert host.metrics.tick_us.count == host.metrics.ticks
+    assert host.metrics.tick_steps.count == host.metrics.ticks
+    hists = host.histograms()
+    assert "host.tick_us" in hists
+    assert "host.steps_per_tick" in hists
+    assert "session.a.latency_us" in hists
+    assert "session.a.steps_per_request" in hists
+    assert hists["session.a.latency_us"]["count"] == 1
+    # Stats stay pure-int (the host rollup sums them); distributions
+    # live only in histograms().
+    assert all(isinstance(v, int) for v in host.stats.values())
+    assert all(isinstance(v, int) for v in sess.stats.values())

@@ -95,3 +95,82 @@ def test_nested_search_trace_shape():
     reinstates = len(tracer.events_of_kind("reinstate"))
     assert captures == 2  # two odd nodes: 1 and 3
     assert reinstates == 2  # each hit resumed once by the drain loop
+
+
+def test_counted_equals_emitted_across_engines_and_quanta():
+    """The seed tracer sniffed stats deltas from a per-step hook and
+    collapsed multiple control events per interval; the notify-based
+    tracer must emit exactly one event per counter unit — including
+    under the batched loop at quantum 4096, where the hook fires once
+    per quantum."""
+    for engine in ("dict", "resolved", "compiled"):
+        for quantum in (1, 16, 4096):
+            interp = Interpreter(engine=engine, quantum=quantum)
+            interp.load_paper_example("search-all")
+            interp.run("(define t (list->tree '(5 2 8 1 3 7 9)))")
+            with Tracer(interp.machine) as tracer:
+                interp.eval("(search-all t odd?)")
+            counted_c = interp.stats["captures"]
+            counted_r = interp.stats["reinstatements"]
+            emitted_c = len(tracer.events_of_kind("capture"))
+            emitted_r = len(tracer.events_of_kind("reinstate"))
+            assert counted_c > 0, f"{engine}/q{quantum}"
+            assert emitted_c == counted_c, f"{engine}/q{quantum}"
+            assert emitted_r == counted_r, f"{engine}/q{quantum}"
+
+
+def test_no_event_loss_on_budget_abort():
+    """Regression: a capture immediately followed by a budget abort
+    produced a counter bump with no further step for the old hook to
+    observe, silently losing the event."""
+    from repro.errors import StepBudgetExceeded
+
+    for budget in range(1, 40):
+        interp = Interpreter(quantum=16)
+        with Tracer(interp.machine) as tracer:
+            try:
+                interp.eval("(spawn (lambda (c) (c (lambda (k) k))))",
+                            max_steps=budget)
+            except StepBudgetExceeded:
+                pass
+        assert len(tracer.events_of_kind("capture")) == interp.stats["captures"]
+        assert (len(tracer.events_of_kind("reinstate"))
+                == interp.stats["reinstatements"])
+
+
+def test_tracer_reusable_across_sequential_with_blocks():
+    interp = Interpreter()
+    tracer = Tracer(interp.machine)
+    with tracer:
+        interp.eval("(pcall + 1 2)")
+    first = len(tracer.events)
+    assert first > 0
+    with tracer:
+        interp.eval("(pcall + 3 4)")
+    # Second run starts from a clean slate, not an accumulated log.
+    assert len(tracer.events) == first
+    assert len(tracer.events_of_kind("fork")) == 1
+
+
+def test_tracer_nested_entry_raises():
+    import pytest
+
+    interp = Interpreter()
+    tracer = Tracer(interp.machine)
+    with tracer:
+        with pytest.raises(RuntimeError, match="re-entrant"):
+            with tracer:
+                pass
+    # The outer exit restored the machine cleanly.
+    assert interp.machine.trace_hook is None
+    interp.eval("(pcall + 1 2)")
+
+
+def test_capture_events_name_the_capturing_task():
+    interp = Interpreter()
+    with Tracer(interp.machine) as tracer:
+        interp.eval("(spawn (lambda (c) (+ 1 (c (lambda (k) (k 10))))))")
+    (capture,) = tracer.events_of_kind("capture")
+    (reinstate,) = tracer.events_of_kind("reinstate")
+    assert "task" in capture.detail
+    assert "task" in reinstate.detail

@@ -1,0 +1,118 @@
+"""Exporter behaviour: Chrome-trace conversion, schema validation,
+orphan repair, text timeline."""
+
+from __future__ import annotations
+
+from repro.obs import Recorder, render_timeline, to_chrome_trace, validate_chrome_trace
+
+
+def _recorded_tree() -> Recorder:
+    rec = Recorder()
+    with rec.span("host.tick", track="host"):
+        with rec.span("session.pump", "s0", track="s0"):
+            rec.emit("capture", "by task 3", step=12)
+            rec.complete("quantum", rec.clock(), 0.0001, "task 3", step=16)
+    return rec
+
+
+def test_round_trip_validates():
+    trace = to_chrome_trace(_recorded_tree())
+    assert validate_chrome_trace(trace) == []
+
+
+def test_empty_trace_validates():
+    trace = to_chrome_trace([])
+    assert trace["traceEvents"] == []
+    assert validate_chrome_trace(trace) == []
+
+
+def test_tracks_become_named_threads():
+    trace = to_chrome_trace(_recorded_tree())
+    meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+    names = {e["args"]["name"] for e in meta}
+    assert names == {"host", "s0"}
+    tids = {e["tid"] for e in meta}
+    assert len(tids) == len(meta)  # one tid per track
+
+
+def test_phases_map_through():
+    trace = to_chrome_trace(_recorded_tree())
+    phases = [e["ph"] for e in trace["traceEvents"] if e["ph"] != "M"]
+    assert phases.count("B") == 2
+    assert phases.count("E") == 2
+    assert phases.count("i") == 1
+    assert phases.count("X") == 1
+
+
+def test_orphan_end_from_ring_eviction_is_dropped():
+    rec = Recorder(capacity=3)
+    s = rec.begin("outer")
+    for i in range(8):  # evicts the B
+        rec.emit(f"e{i}")
+    rec.end(s)
+    assert rec.dropped > 0
+    trace = to_chrome_trace(rec)
+    assert validate_chrome_trace(trace) == []
+    assert not any(e["ph"] == "E" for e in trace["traceEvents"])
+
+
+def test_unclosed_span_is_auto_closed():
+    rec = Recorder()
+    rec.begin("never-closed")
+    rec.emit("x")
+    trace = to_chrome_trace(rec)
+    assert validate_chrome_trace(trace) == []
+    ends = [e for e in trace["traceEvents"] if e["ph"] == "E"]
+    assert len(ends) == 1
+
+
+def test_x_events_are_sorted_back_into_timeline_order():
+    """A quantum's X event carries its start timestamp but lands in
+    the ring after the instants emitted inside it; export must not
+    produce non-monotonic ts."""
+    rec = Recorder()
+    with rec.span("pump"):
+        t0 = rec.clock()
+        rec.emit("capture")
+        rec.complete("quantum", t0, rec.clock() - t0)
+    assert validate_chrome_trace(to_chrome_trace(rec)) == []
+
+
+def test_validator_rejects_broken_traces():
+    bad_ts = {
+        "traceEvents": [
+            {"pid": 1, "tid": 1, "ph": "i", "name": "a", "ts": 10, "s": "t"},
+            {"pid": 1, "tid": 1, "ph": "i", "name": "b", "ts": 5, "s": "t"},
+        ]
+    }
+    assert any("ts" in p for p in validate_chrome_trace(bad_ts))
+
+    unmatched_end = {
+        "traceEvents": [{"pid": 1, "tid": 1, "ph": "E", "name": "x", "ts": 0}]
+    }
+    assert any("no open B" in p for p in validate_chrome_trace(unmatched_end))
+
+    unclosed_begin = {
+        "traceEvents": [{"pid": 1, "tid": 1, "ph": "B", "name": "x", "ts": 0}]
+    }
+    assert any("unclosed" in p for p in validate_chrome_trace(unclosed_begin))
+
+    negative_dur = {
+        "traceEvents": [{"pid": 1, "tid": 1, "ph": "X", "name": "x", "ts": 0, "dur": -1}]
+    }
+    assert any("dur" in p for p in validate_chrome_trace(negative_dur))
+
+    assert validate_chrome_trace({}) != []
+    assert validate_chrome_trace({"traceEvents": "nope"}) != []
+
+
+def test_timeline_renders_all_events_with_indentation():
+    rec = _recorded_tree()
+    text = render_timeline(rec)
+    lines = text.splitlines()
+    assert len(lines) == len(rec.events)
+    assert any("▶ host.tick" in line for line in lines)
+    assert any("◀ session.pump" in line for line in lines)
+    assert any("· capture" in line for line in lines)
+    assert any("■ quantum" in line for line in lines)
+    assert render_timeline([]) == "(no events recorded)"

@@ -1,0 +1,117 @@
+"""Recorder unit behaviour: the ring, spans, tracks, enable/disable."""
+
+from __future__ import annotations
+
+from repro.obs import Recorder
+
+
+def test_emit_collects_events_oldest_first():
+    rec = Recorder()
+    rec.emit("a", "one", step=1)
+    rec.emit("b", "two", step=2)
+    assert [e.name for e in rec.events] == ["a", "b"]
+    assert [e.detail for e in rec.events] == ["one", "two"]
+    assert [e.step for e in rec.events] == [1, 2]
+    assert all(e.phase == "i" for e in rec.events)
+
+
+def test_ring_evicts_oldest_and_counts_drops():
+    rec = Recorder(capacity=3)
+    for i in range(10):
+        rec.emit(f"e{i}")
+    assert len(rec) == 3
+    assert rec.dropped == 7
+    assert [e.name for e in rec.events] == ["e7", "e8", "e9"]
+
+
+def test_disabled_recorder_records_nothing():
+    rec = Recorder(enabled=False)
+    rec.emit("a")
+    with rec.span("s"):
+        rec.emit("b")
+    rec.complete("x", 0.0, 1.0)
+    assert len(rec) == 0
+
+
+def test_enable_toggle_mid_stream():
+    rec = Recorder()
+    rec.emit("kept")
+    rec.enabled = False
+    rec.emit("dropped")
+    rec.enabled = True
+    rec.emit("kept-too")
+    assert [e.name for e in rec.events] == ["kept", "kept-too"]
+
+
+def test_span_nesting_assigns_parents():
+    rec = Recorder()
+    with rec.span("outer"):
+        with rec.span("inner"):
+            rec.emit("leaf")
+    outer_b, inner_b, leaf, inner_e, outer_e = rec.events
+    assert (outer_b.phase, outer_b.parent) == ("B", 0)
+    assert (inner_b.phase, inner_b.parent) == ("B", outer_b.span)
+    assert leaf.span == inner_b.span
+    assert (inner_e.phase, inner_e.span) == ("E", inner_b.span)
+    assert (outer_e.phase, outer_e.span) == ("E", outer_b.span)
+
+
+def test_span_track_switch_restored():
+    rec = Recorder()
+    rec.emit("before")
+    with rec.span("tick", track="host"):
+        rec.emit("inside")
+    rec.emit("after")
+    before, _, inside, _, after = rec.events
+    assert before.track == "main"
+    assert inside.track == "host"
+    assert after.track == "main"
+
+
+def test_end_closes_nested_spans_innermost_first():
+    rec = Recorder()
+    outer = rec.begin("outer")
+    rec.begin("inner")  # never explicitly ended
+    rec.end(outer)
+    ends = [e for e in rec.events if e.phase == "E"]
+    assert [e.name for e in ends] == ["inner", "outer"]
+
+
+def test_end_of_unknown_span_is_a_noop():
+    rec = Recorder()
+    rec.end(999)
+    s = rec.begin("s")
+    rec.end(s)
+    rec.end(s)  # double-end: second is a no-op
+    assert [e.phase for e in rec.events] == ["B", "E"]
+
+
+def test_complete_records_duration_and_start():
+    rec = Recorder()
+    t = rec.clock()
+    rec.complete("quantum", t, 0.002, "task 3", step=16)
+    (event,) = rec.events
+    assert event.phase == "X"
+    assert event.ts == t
+    assert event.dur == 0.002
+    assert event.step == 16
+
+
+def test_clear_drops_events_and_reset_dropped():
+    rec = Recorder(capacity=2)
+    for i in range(5):
+        rec.emit(f"e{i}")
+    rec.clear()
+    assert len(rec) == 0
+    assert rec.dropped == 0
+    rec.emit("fresh")
+    assert [e.name for e in rec.events] == ["fresh"]
+
+
+def test_events_of_filters_by_name():
+    rec = Recorder()
+    rec.emit("capture")
+    rec.emit("reinstate")
+    rec.emit("capture")
+    assert len(rec.events_of("capture")) == 2
+    assert len(rec.events_of("reinstate")) == 1
