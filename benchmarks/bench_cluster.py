@@ -1,0 +1,266 @@
+#!/usr/bin/env python
+"""Cluster-tier benchmark: snapshot codec cost and migrate-and-resume
+throughput.
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py           # full run
+    PYTHONPATH=src python benchmarks/bench_cluster.py --smoke   # CI mode
+    PYTHONPATH=src python benchmarks/bench_cluster.py --out x.json
+
+Three measurements:
+
+* **Codec cost** — snapshot blob size and encode/decode wall time for
+  three session shapes (fresh prelude; warm with user state; suspended
+  mid-``pcall`` with a parked future), per engine.  Idle shapes must
+  re-snapshot to the *identical bytes* after a restore; the suspended
+  shape carries a live handle whose wall-clock age is rebased on every
+  encode, so its gate is deterministic *resume* — two independent
+  restores drained on the same schedule must produce identical output
+  and machine stats.
+* **Round-trip overhead** — a batch of requests served by an inline
+  single shard (``workers=0``) versus the same requests with a
+  **snapshot + restore forced between every request** (evict after
+  each).  The ratio isolates what session mobility costs on top of
+  evaluation; the gate is a ceiling on that multiplier.
+* **Migration churn** — sessions bounced between two live worker
+  processes every request (snapshot out, rehydrate on the other
+  shard), measuring end-to-end requests/s and verifying every reply.
+
+Results merge into ``BENCH_results.json`` under the ``"cluster"`` key,
+preserving whatever ``run_all.py`` and the other drivers already wrote.
+``--smoke`` (CI) shrinks the workloads, runs single-repeat, and gates
+only correctness (byte-identity, verified replies) — never timing, on
+shared runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.isdir(os.path.join(_ROOT, "src")):
+    sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from repro.cluster import Cluster  # noqa: E402
+from repro.host import Session  # noqa: E402
+from repro.machine.scheduler import ENGINES  # noqa: E402
+
+#: Forced snapshot+restore per request must cost less than this
+#: multiple of straight serving (full run only; smoke reports).
+ROUNDTRIP_CEILING = 8.0
+
+WARM_PROGRAM = (
+    "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))"
+    "(define table (list (fib 10) (fib 12) (fib 14)))"
+    '(define-syntax swap! (syntax-rules () ((_ a b) (let ((t a)) (set! a b) (set! b t)))))'
+)
+
+SUSPEND_PROGRAM = (
+    "(define (loop n acc) (if (= n 0) acc (loop (- n 1) (+ acc 1))))"
+    "(define parked (future (lambda () (loop 100000 0))))"
+    "(display (pcall + (loop 3000 0) (loop 5000 0) (loop 4000 0)))"
+)
+
+REQUEST = "(display (fib 11))"
+
+
+def _session_shapes(engine: str):
+    fresh = Session(engine=engine)
+
+    warm = Session(engine=engine)
+    warm.drive(warm.submit(WARM_PROGRAM))
+
+    suspended = Session(engine=engine, quantum=64)
+    suspended.drive(suspended.submit(WARM_PROGRAM))
+    suspended.submit(SUSPEND_PROGRAM)
+    suspended.pump(200)  # mid-pcall, future tree in flight
+    return {"fresh": fresh, "warm": warm, "suspended": suspended}
+
+
+def _drain(session: Session) -> None:
+    for _ in range(10_000):
+        if session.idle:
+            return
+        session.pump(512)
+
+
+def run_codec(repeats: int) -> dict[str, object]:
+    out: dict[str, object] = {}
+    faithful = True
+    for engine in ENGINES:
+        per_engine: dict[str, object] = {}
+        for shape, session in _session_shapes(engine).items():
+            blob = session.snapshot()
+            encode_s = min(
+                _timed(lambda: session.snapshot())[0] for _ in range(repeats)
+            )
+            decode_s, restored = min(
+                (_timed(lambda: Session.restore(blob)) for _ in range(repeats)),
+                key=lambda pair: pair[0],
+            )
+            entry: dict[str, object] = {
+                "bytes": len(blob),
+                "encode_ms": round(encode_s * 1e3, 3),
+                "decode_ms": round(decode_s * 1e3, 3),
+            }
+            if shape == "suspended":
+                # A live handle carries a wall-clock age rebased on
+                # every encode, so bytes cannot be time-stable; the
+                # guarantee here is deterministic resume.
+                twin = Session.restore(blob)
+                _drain(restored)
+                _drain(twin)
+                ok = (
+                    restored.output_text() == twin.output_text()
+                    and restored.machine.stats == twin.machine.stats
+                )
+                entry["resume_deterministic"] = ok
+            else:
+                ok = restored.snapshot() == blob
+                entry["restored_snapshot_identical"] = ok
+            faithful = faithful and ok
+            per_engine[shape] = entry
+        out[engine] = per_engine
+    out["all_shapes_faithful"] = faithful
+    return out
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def run_roundtrip_overhead(requests: int, repeats: int) -> dict[str, object]:
+    def straight() -> None:
+        with Cluster(workers=0) as c:
+            c.submit("s", WARM_PROGRAM)
+            for _ in range(requests):
+                assert c.submit("s", REQUEST).ok
+
+    def bounced() -> None:
+        with Cluster(workers=0) as c:
+            c.submit("s", WARM_PROGRAM)
+            c.evict("s")
+            for _ in range(requests):
+                assert c.submit("s", REQUEST).ok  # rehydrates from the store
+                c.evict("s")  # forces the next request to restore
+
+    straight_s = min(_timed(straight)[0] for _ in range(repeats))
+    bounced_s = min(_timed(bounced)[0] for _ in range(repeats))
+    ratio = bounced_s / straight_s if straight_s else float("inf")
+    return {
+        "requests": requests,
+        "straight_s": round(straight_s, 4),
+        "bounced_s": round(bounced_s, 4),
+        "bounce_over_straight": round(ratio, 2),
+    }
+
+
+def run_migration_churn(requests: int) -> dict[str, object]:
+    verified = 0
+    t0 = time.perf_counter()
+    with Cluster(workers=2) as c:
+        first = c.submit("churner", WARM_PROGRAM + "(define hits 0)")
+        shard = first.shard
+        for i in range(requests):
+            shard = (shard + 1) % 2
+            c.migrate("churner", shard)
+            r = c.submit("churner", "(set! hits (+ hits 1)) hits")
+            if r.ok and r.value == str(i + 1) and r.shard == shard:
+                verified += 1
+        stats = c.stats
+        hist = c.histograms()
+    elapsed = time.perf_counter() - t0
+    return {
+        "requests": requests,
+        "verified": verified,
+        "all_verified": verified == requests,
+        "elapsed_s": round(elapsed, 3),
+        "requests_per_s": round(requests / elapsed, 2) if elapsed else None,
+        "migrations": stats["cluster.migrations"],
+        "restores": stats["cluster.restores"],
+        "snapshot_bytes_max": hist["cluster.snapshot_bytes"]["max"],
+    }
+
+
+def _merge_out(path: str, payload: dict[str, object]) -> None:
+    data: dict[str, object] = {}
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            data = {}
+    data["cluster"] = payload
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2)
+        handle.write("\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=os.path.join(_ROOT, "BENCH_results.json"),
+        help="result JSON path; the cluster section merges into an "
+        "existing file (default: BENCH_results.json)",
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="best-of-N")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: shrunk workloads, correctness gated, timing "
+        "reported but never gated",
+    )
+    args = parser.parse_args(argv)
+    repeats = 1 if args.smoke else max(1, args.repeats)
+    requests = 5 if args.smoke else 30
+    churn = 4 if args.smoke else 20
+
+    codec = run_codec(repeats)
+    roundtrip = run_roundtrip_overhead(requests, repeats)
+    migration = run_migration_churn(churn)
+
+    codec_ok = bool(codec["all_shapes_faithful"])
+    churn_ok = bool(migration["all_verified"])
+    ratio = float(roundtrip["bounce_over_straight"])  # type: ignore[arg-type]
+    ratio_ok = ratio <= ROUNDTRIP_CEILING
+    if args.smoke:
+        acceptance_pass = codec_ok and churn_ok
+    else:
+        acceptance_pass = codec_ok and churn_ok and ratio_ok
+
+    payload = {
+        "smoke": args.smoke,
+        "repeats": repeats,
+        "codec": codec,
+        "roundtrip_overhead": roundtrip,
+        "migration_churn": migration,
+        "acceptance": {
+            "roundtrip_ceiling": ROUNDTRIP_CEILING,
+            "codec_identity_ok": codec_ok,
+            "migration_verified_ok": churn_ok,
+            "roundtrip_ratio": ratio,
+            "roundtrip_ok": ratio_ok,
+            "pass": acceptance_pass,
+        },
+    }
+    _merge_out(args.out, payload)
+    print(f"\nwrote cluster section to {args.out}")
+    status = "pass" if acceptance_pass else "FAIL"
+    print(
+        f"acceptance [{status}]: codec_identity_ok={codec_ok} "
+        f"migration_verified_ok={churn_ok} "
+        f"bounce/straight={ratio:.2f}x (ceiling {ROUNDTRIP_CEILING}x"
+        + (", not gated in --smoke" if args.smoke else "")
+        + ")"
+    )
+    return 0 if acceptance_pass else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,12 +37,18 @@ from repro.errors import (
     DeadlineExceeded,
     SessionCancelled,
     HostSaturated,
+    SnapshotError,
+    SnapshotFormatError,
+    ClusterError,
+    ShardDied,
 )
 from repro.host import EvalHandle, HandleState, Host, HostPolicy, Session
 from repro.machine.scheduler import Engine, SchedulerPolicy
 from repro.obs import Recorder
+from repro.snapshot import SNAPSHOT_VERSION, restore_session, snapshot_session
+from repro.cluster import Cluster, ClusterResult, DirectoryStore, MemoryStore
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Interpreter",
@@ -69,5 +75,16 @@ __all__ = [
     "DeadlineExceeded",
     "SessionCancelled",
     "HostSaturated",
+    "SnapshotError",
+    "SnapshotFormatError",
+    "ClusterError",
+    "ShardDied",
+    "SNAPSHOT_VERSION",
+    "snapshot_session",
+    "restore_session",
+    "Cluster",
+    "ClusterResult",
+    "MemoryStore",
+    "DirectoryStore",
     "__version__",
 ]

@@ -1,0 +1,453 @@
+"""The cluster front: sharded, snapshot-backed session serving.
+
+A :class:`Cluster` owns N shard worker processes (one
+:class:`~repro.host.host.Host` each, see :mod:`repro.cluster.shard`)
+and routes each session id to a shard by stable hash.  Sessions are
+*mobile*: every completed request ships a fresh snapshot back to the
+front's :class:`~repro.cluster.store.SnapshotStore`, so any session can
+be evicted from shard memory, rehydrated on a different shard
+(:meth:`Cluster.migrate`), or — when a worker is SIGKILLed mid-service
+— replayed from its last snapshot on a respawned worker without the
+other shards noticing.
+
+``workers=0`` runs the same :class:`~repro.cluster.shard.ShardRuntime`
+logic inline in the calling process (no ``multiprocessing``): handy for
+tests, debugging, and platforms where fork is unavailable.
+
+The front is synchronous: :meth:`submit` blocks until the shard
+replies.  Shard-side evaluation failures come back in-band as
+``status="error"`` results; a dead worker raises
+:class:`~repro.errors.ShardDied` only when the affected session has no
+snapshot to replay — otherwise the front respawns the worker, counts a
+recovery, and retries the request transparently.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import queue as queue_mod
+import zlib
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any
+
+from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.shard import ShardRuntime, shard_main
+from repro.cluster.store import MemoryStore, SnapshotStore
+from repro.errors import ClusterError, ShardDied
+
+__all__ = ["Cluster", "ClusterResult"]
+
+_cluster_ids = itertools.count()
+
+#: Seconds between liveness checks while waiting on a shard reply.
+_POLL_INTERVAL = 0.05
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """The picklable outcome of one cluster request.
+
+    ``value`` is the printed (``write``-style) representation of the
+    last form's value — live machine objects never leave their shard.
+    ``output`` is the ``display`` output this request produced (the
+    delta, not the session's lifetime buffer).
+    """
+
+    session_id: str
+    shard: int
+    status: str  # "ok" | "error"
+    value: str | None
+    output: str
+    steps: int
+    error: str | None = None
+    error_type: str | None = None
+    recovered: bool = False  # replayed from a snapshot after a shard death
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+class _InlineShard:
+    """``workers=0``: the shard runtime in the front process."""
+
+    def __init__(self, index: int):
+        self.runtime = ShardRuntime(index)
+
+    def request(self, op: str, payload: dict[str, Any]) -> dict[str, Any]:
+        return self.runtime.handle(op, payload)
+
+    def alive(self) -> bool:
+        return True
+
+    def shutdown(self) -> None:
+        pass
+
+
+class _ProcessShard:
+    """A shard worker process plus its command/result queues."""
+
+    def __init__(self, index: int, ctx: Any):
+        self.index = index
+        self.ctx = ctx
+        self._request_ids = itertools.count()
+        self._spawn()
+
+    def _spawn(self) -> None:
+        self.cmd_queue = self.ctx.Queue()
+        self.result_queue = self.ctx.Queue()
+        self.process = self.ctx.Process(
+            target=shard_main,
+            args=(self.index, self.cmd_queue, self.result_queue),
+            daemon=True,
+            name=f"repro-shard-{self.index}",
+        )
+        self.process.start()
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def respawn(self) -> None:
+        """Fresh process, fresh queues (the old queue may hold replies
+        from the dead worker's past life)."""
+        if self.process.is_alive():  # pragma: no cover - defensive
+            self.process.terminate()
+        self.process.join(timeout=1.0)
+        self._spawn()
+
+    def request(self, op: str, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one command and wait for its reply, polling worker
+        liveness; raises :class:`ShardDied` if the process exits (or is
+        killed) before replying."""
+        request_id = next(self._request_ids)
+        self.cmd_queue.put((request_id, op, payload))
+        while True:
+            try:
+                got_id, status, reply = self.result_queue.get(timeout=_POLL_INTERVAL)
+            except queue_mod.Empty:
+                if not self.process.is_alive():
+                    raise ShardDied(
+                        f"shard {self.index} (pid {self.process.pid}) died "
+                        f"while serving {op!r}"
+                    ) from None
+                continue
+            if got_id != request_id:
+                # A reply from a previous life of this shard index;
+                # drop it (queues are replaced on respawn, so this is
+                # belt-and-braces).
+                continue
+            if status == "err":
+                raise ClusterError(f"shard {self.index}: {reply}")
+            return reply
+
+    def shutdown(self) -> None:
+        if not self.process.is_alive():
+            return
+        try:
+            self.cmd_queue.put((next(self._request_ids), "shutdown", {}))
+            self.process.join(timeout=2.0)
+        finally:
+            if self.process.is_alive():  # pragma: no cover - stuck worker
+                self.process.terminate()
+                self.process.join(timeout=1.0)
+
+
+class Cluster:
+    """A sharded pool of interpreter hosts behind one submit interface.
+
+    Parameters
+    ----------
+    workers:
+        Shard worker processes.  ``0`` runs a single inline shard in
+        this process (no ``multiprocessing``).
+    store:
+        Where last-known-good snapshots live; defaults to a
+        :class:`~repro.cluster.store.MemoryStore`.  Point a
+        :class:`~repro.cluster.store.DirectoryStore` at a directory to
+        survive front restarts.
+    session_defaults:
+        Constructor kwargs for sessions the cluster creates on first
+        submit (``engine=``, ``quantum=``, ...).
+    record:
+        Optional :class:`~repro.obs.recorder.Recorder` (or ``True``)
+        for front-side spans: every submit/migrate/recovery is
+        bracketed on the ``cluster`` track.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        store: SnapshotStore | None = None,
+        session_defaults: dict[str, Any] | None = None,
+        record: Any = None,
+        name: str | None = None,
+    ):
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.name = name if name is not None else f"cluster-{next(_cluster_ids)}"
+        self.store = store if store is not None else MemoryStore()
+        self.session_defaults = dict(session_defaults or {})
+        self.metrics = ClusterMetrics()
+        if record is True:
+            from repro.obs.recorder import Recorder
+
+            self.recorder = Recorder()
+        elif record is False:
+            self.recorder = None
+        else:
+            self.recorder = record
+        #: session id -> shard index where the session is live in RAM.
+        self._resident: dict[str, int] = {}
+        #: session id -> pinned shard (set by migrate); else hashed.
+        self._placement: dict[str, int] = {}
+        self._closed = False
+        if workers == 0:
+            self.shards: list[Any] = [_InlineShard(0)]
+            self._nshards = 1
+        else:
+            # fork shares the parent's loaded modules (fast start); fall
+            # back to spawn where fork does not exist.
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+            self.shards = [_ProcessShard(i, ctx) for i in range(workers)]
+            self._nshards = workers
+
+    # -- placement -------------------------------------------------------
+
+    def shard_for(self, session_id: str) -> int:
+        """The shard this session routes to: its pinned placement if
+        migrated, else a stable hash of the id (crc32 — identical
+        across processes and runs, unlike ``hash``)."""
+        pinned = self._placement.get(session_id)
+        if pinned is not None:
+            return pinned
+        return zlib.crc32(session_id.encode("utf-8")) % self._nshards
+
+    def sessions(self) -> list[str]:
+        """Every session id the cluster knows: resident or stored."""
+        return sorted(set(self._resident) | set(self.store.ids()))
+
+    # -- the request path ------------------------------------------------
+
+    def submit(
+        self,
+        session_id: str,
+        source: str,
+        *,
+        max_steps: int | None = None,
+        deadline: float | None = None,
+    ) -> ClusterResult:
+        """Evaluate ``source`` on ``session_id``'s session, creating or
+        rehydrating it on its shard as needed; blocks for the result.
+
+        Survives one shard death per call: if the worker dies
+        mid-request and the session has a stored snapshot, the worker
+        is respawned and the request replays against the last
+        snapshot (``result.recovered`` is set).  With no snapshot —
+        the session's very first request — :class:`ShardDied`
+        propagates.
+        """
+        self._check_open()
+        t0 = perf_counter()
+        self.metrics.submits += 1
+        rec = self.recorder
+        if rec is not None and rec.enabled:
+            with rec.span("cluster.submit", session_id, track="cluster"):
+                result = self._submit_once(session_id, source, max_steps, deadline)
+        else:
+            result = self._submit_once(session_id, source, max_steps, deadline)
+        self.metrics.request_us.observe((perf_counter() - t0) * 1e6)
+        if result.ok:
+            self.metrics.completed += 1
+        else:
+            self.metrics.failed += 1
+        return result
+
+    def _submit_once(
+        self,
+        session_id: str,
+        source: str,
+        max_steps: float | None,
+        deadline: float | None,
+    ) -> ClusterResult:
+        index = self.shard_for(session_id)
+        payload: dict[str, Any] = {
+            "session_id": session_id,
+            "source": source,
+            "max_steps": max_steps,
+            "deadline": deadline,
+        }
+        if self._resident.get(session_id) != index:
+            # Not live on the target shard: ship the last snapshot, or
+            # creation kwargs for a brand-new session.
+            blob = self.store.get(session_id)
+            if blob is not None:
+                payload["blob"] = blob
+            else:
+                payload["session_kwargs"] = self.session_defaults
+        recovered = False
+        try:
+            reply = self.shards[index].request("submit", payload)
+        except ShardDied:
+            reply = self._recover(index, session_id, payload)
+            recovered = True
+        return self._finish(reply, recovered=recovered)
+
+    def _recover(
+        self, index: int, session_id: str, payload: dict[str, Any]
+    ) -> dict[str, Any]:
+        """A worker died under this request: respawn it, invalidate its
+        residents, and replay against the last snapshot."""
+        shard = self.shards[index]
+        self.metrics.respawns += 1
+        shard.respawn()
+        # Every session that was live on that worker is gone from RAM;
+        # they all rehydrate from the store on next touch.
+        for sid, at in list(self._resident.items()):
+            if at == index:
+                del self._resident[sid]
+        blob = self.store.get(session_id)
+        if blob is None:
+            raise ShardDied(
+                f"shard {index} died and session {session_id!r} has no "
+                "snapshot to replay"
+            )
+        payload = dict(payload)
+        payload["blob"] = blob
+        payload.pop("session_kwargs", None)
+        rec = self.recorder
+        if rec is not None and rec.enabled:
+            rec.emit("cluster.recover", session_id)
+        reply = self.shards[index].request("submit", payload)
+        self.metrics.recoveries += 1
+        return reply
+
+    def _finish(self, reply: dict[str, Any], *, recovered: bool) -> ClusterResult:
+        """Persist the piggybacked snapshot and fold shard-side timings
+        into the front's metrics."""
+        session_id = reply["session_id"]
+        self._resident[session_id] = reply["shard"]
+        if reply.get("restored"):
+            self.metrics.restores += 1
+            self.metrics.restore_us.observe(reply.get("restore_us", 0.0))
+        blob = reply.get("snapshot")
+        if blob is not None:
+            self.store.put(session_id, blob)
+            self.metrics.snapshots += 1
+            self.metrics.snapshot_bytes.observe(len(blob))
+            self.metrics.snapshot_us.observe(reply.get("snapshot_us", 0.0))
+        return ClusterResult(
+            session_id=session_id,
+            shard=reply["shard"],
+            status=reply["status"],
+            value=reply.get("value"),
+            output=reply.get("output", ""),
+            steps=reply.get("steps", 0),
+            error=reply.get("error"),
+            error_type=reply.get("error_type"),
+            recovered=recovered,
+        )
+
+    # -- session mobility ------------------------------------------------
+
+    def evict(self, session_id: str) -> bool:
+        """Snapshot a session to the store and release its shard
+        memory; returns True if it was resident.  The session stays
+        fully usable — the next submit rehydrates it."""
+        self._check_open()
+        index = self._resident.get(session_id)
+        if index is None:
+            return False
+        reply = self.shards[index].request("evict", {"session_id": session_id})
+        del self._resident[session_id]
+        blob = reply.get("snapshot")
+        if blob is not None:
+            self.store.put(session_id, blob)
+            self.metrics.snapshots += 1
+            self.metrics.snapshot_bytes.observe(len(blob))
+            self.metrics.snapshot_us.observe(reply.get("snapshot_us", 0.0))
+        self.metrics.evictions += 1
+        return bool(reply.get("resident"))
+
+    def migrate(self, session_id: str, to_shard: int) -> int:
+        """Move a session to ``to_shard`` (pinning it there): snapshot
+        out of its current shard now; the next submit rehydrates on the
+        target.  Returns the target shard index."""
+        self._check_open()
+        if not 0 <= to_shard < self._nshards:
+            raise ValueError(
+                f"shard index {to_shard} out of range (cluster has "
+                f"{self._nshards} shards)"
+            )
+        rec = self.recorder
+        if rec is not None and rec.enabled:
+            rec.emit("cluster.migrate", f"{session_id} -> shard {to_shard}")
+        if self._resident.get(session_id) is not None:
+            self.evict(session_id)
+        self._placement[session_id] = to_shard
+        self.metrics.migrations += 1
+        return to_shard
+
+    def snapshot_now(self, session_id: str) -> bytes | None:
+        """Force a fresh snapshot of a resident session into the store
+        (idle sessions are already stored as of their last request);
+        returns the blob, or the stored one if not resident."""
+        self._check_open()
+        index = self._resident.get(session_id)
+        if index is None:
+            return self.store.get(session_id)
+        reply = self.shards[index].request("snapshot", {"session_id": session_id})
+        blob = reply.get("snapshot")
+        if blob is not None:
+            self.store.put(session_id, blob)
+            self.metrics.snapshots += 1
+            self.metrics.snapshot_bytes.observe(len(blob))
+            self.metrics.snapshot_us.observe(reply.get("snapshot_us", 0.0))
+        return blob
+
+    # -- introspection / lifecycle ---------------------------------------
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Front counters (``cluster.*``) plus topology."""
+        out = self.metrics.as_dict()
+        out["cluster.shards"] = self._nshards
+        out["cluster.resident_sessions"] = len(self._resident)
+        out["cluster.stored_sessions"] = len(self.store.ids())
+        return out
+
+    def histograms(self) -> dict[str, Any]:
+        """Distribution summaries, JSON-ready (snapshot sizes and
+        encode/decode/request latencies)."""
+        return self.metrics.histograms()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClusterError(f"cluster {self.name} is closed")
+
+    def close(self) -> None:
+        """Shut every worker down (idempotent).  Stored snapshots are
+        untouched — a new cluster over the same store resumes them."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self.shards:
+            shard.shutdown()
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"#<cluster {self.name} {self._nshards} shards "
+            f"{len(self._resident)} resident {state}>"
+        )

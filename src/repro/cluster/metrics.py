@@ -1,0 +1,60 @@
+"""Counters and histograms for the cluster tier, following the
+``session.*`` / ``host.*`` conventions of :mod:`repro.host.metrics`:
+int-only ``as_dict`` (namespaced ``cluster.*``), distributions exported
+separately via ``histograms()`` so benchmark drivers can fold them into
+``BENCH_results.json`` unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.histogram import Histogram
+
+__all__ = ["ClusterMetrics"]
+
+
+class ClusterMetrics:
+    """Front-side counters and distributions for a
+    :class:`~repro.cluster.cluster.Cluster`."""
+
+    _COUNTERS = (
+        "submits",
+        "completed",
+        "failed",
+        "snapshots",
+        "restores",
+        "migrations",
+        "recoveries",
+        "respawns",
+        "evictions",
+    )
+
+    __slots__ = _COUNTERS + ("snapshot_bytes", "snapshot_us", "restore_us", "request_us")
+
+    def __init__(self) -> None:
+        self.submits = 0  # requests accepted by the front
+        self.completed = 0  # requests that returned ok
+        self.failed = 0  # requests that returned an evaluation error
+        self.snapshots = 0  # blobs persisted to the store
+        self.restores = 0  # sessions rehydrated onto a shard
+        self.migrations = 0  # explicit session moves between shards
+        self.recoveries = 0  # requests replayed after a shard death
+        self.respawns = 0  # worker processes restarted
+        self.evictions = 0  # sessions snapshotted out of shard memory
+        self.snapshot_bytes = Histogram()  # blob size per snapshot
+        self.snapshot_us = Histogram()  # encode latency (measured on the shard)
+        self.restore_us = Histogram()  # decode latency (measured on the shard)
+        self.request_us = Histogram()  # front-side submit round-trip
+
+    def as_dict(self, prefix: str = "cluster") -> dict[str, int]:
+        return {f"{prefix}.{name}": getattr(self, name) for name in self._COUNTERS}
+
+    def histograms(self, prefix: str = "cluster") -> dict[str, Any]:
+        """The distribution summaries, JSON-ready."""
+        return {
+            f"{prefix}.snapshot_bytes": self.snapshot_bytes.as_dict(),
+            f"{prefix}.snapshot_us": self.snapshot_us.as_dict(),
+            f"{prefix}.restore_us": self.restore_us.as_dict(),
+            f"{prefix}.request_us": self.request_us.as_dict(),
+        }

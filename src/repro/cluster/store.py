@@ -1,0 +1,130 @@
+"""Snapshot stores: where the cluster keeps each session's last blob.
+
+The cluster's durability model is *snapshot-on-idle*: after every
+completed request a shard ships the session's fresh snapshot back to
+the front, which persists it here.  A store therefore always holds the
+state as of the last completed request — enough to rehydrate the
+session on any shard, and the replay point when a shard dies.
+
+Two implementations:
+
+* :class:`MemoryStore` — a dict in the front process.  Fast, survives
+  shard deaths (the blobs live in the front, not the shards), gone when
+  the front exits.
+* :class:`DirectoryStore` — one ``<session-id>.rsnp`` file per session,
+  written via temp-file + :func:`os.replace` so readers never observe a
+  torn blob.  Survives the front itself; a new cluster pointed at the
+  same directory picks up every session.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+__all__ = ["DirectoryStore", "MemoryStore", "SnapshotStore"]
+
+
+class SnapshotStore:
+    """Interface: a mapping from session id to its latest snapshot."""
+
+    def put(self, session_id: str, blob: bytes) -> None:
+        raise NotImplementedError
+
+    def get(self, session_id: str) -> bytes | None:
+        raise NotImplementedError
+
+    def delete(self, session_id: str) -> None:
+        raise NotImplementedError
+
+    def ids(self) -> list[str]:
+        raise NotImplementedError
+
+
+class MemoryStore(SnapshotStore):
+    """Snapshots held in the front process's memory."""
+
+    def __init__(self) -> None:
+        self._blobs: dict[str, bytes] = {}
+
+    def put(self, session_id: str, blob: bytes) -> None:
+        self._blobs[session_id] = blob
+
+    def get(self, session_id: str) -> bytes | None:
+        return self._blobs.get(session_id)
+
+    def delete(self, session_id: str) -> None:
+        self._blobs.pop(session_id, None)
+
+    def ids(self) -> list[str]:
+        return sorted(self._blobs)
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    def __repr__(self) -> str:
+        total = sum(len(b) for b in self._blobs.values())
+        return f"#<memory-store {len(self._blobs)} snapshots {total} bytes>"
+
+
+class DirectoryStore(SnapshotStore):
+    """Snapshots as files under a directory, one per session.
+
+    Writes are atomic (temp file in the same directory, then
+    :func:`os.replace`), so a concurrent reader — or a front restarted
+    mid-write — sees either the previous complete blob or the new one,
+    never a prefix.
+    """
+
+    #: File suffix, after the snapshot magic.
+    SUFFIX = ".rsnp"
+
+    def __init__(self, path: str):
+        self.path = path
+        os.makedirs(path, exist_ok=True)
+
+    def _file(self, session_id: str) -> str:
+        # Session ids may contain path-hostile characters; escape to a
+        # flat, reversible filename.
+        escaped = session_id.replace("%", "%25").replace("/", "%2F").replace(os.sep, "%5C")
+        return os.path.join(self.path, escaped + self.SUFFIX)
+
+    def put(self, session_id: str, blob: bytes) -> None:
+        target = self._file(session_id)
+        fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def get(self, session_id: str) -> bytes | None:
+        try:
+            with open(self._file(session_id), "rb") as fh:
+                return fh.read()
+        except FileNotFoundError:
+            return None
+
+    def delete(self, session_id: str) -> None:
+        try:
+            os.unlink(self._file(session_id))
+        except FileNotFoundError:
+            pass
+
+    def ids(self) -> list[str]:
+        out = []
+        for entry in os.listdir(self.path):
+            if entry.endswith(self.SUFFIX):
+                name = entry[: -len(self.SUFFIX)]
+                out.append(
+                    name.replace("%5C", os.sep).replace("%2F", "/").replace("%25", "%")
+                )
+        return sorted(out)
+
+    def __repr__(self) -> str:
+        return f"#<directory-store {self.path!r}>"

@@ -24,9 +24,9 @@ enforced structurally).  Engines nest: an engine can run engines.
 
 from __future__ import annotations
 
-import itertools
 from typing import TYPE_CHECKING, Any
 
+from repro.counters import SerialCounter
 from repro.datum import intern
 from repro.errors import SchemeError, WrongTypeError
 from repro.machine.environment import GlobalEnv
@@ -38,7 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["EngineValue", "register_engine_primitives"]
 
-_ids = itertools.count()
+_ids = SerialCounter()
 
 
 class EngineValue:

@@ -21,9 +21,9 @@ unfinished future tasks between forms.
 
 from __future__ import annotations
 
-import itertools
 from typing import TYPE_CHECKING, Any
 
+from repro.counters import SerialCounter
 from repro.datum import intern
 from repro.errors import WrongTypeError
 from repro.machine.environment import GlobalEnv
@@ -36,7 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["FuturePlaceholder", "register_future_primitives"]
 
-_ids = itertools.count()
+_ids = SerialCounter()
 
 
 class FuturePlaceholder:

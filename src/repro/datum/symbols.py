@@ -9,8 +9,9 @@ uses them for fresh labels in the Section 6 semantics bridge.
 
 from __future__ import annotations
 
-import itertools
 import threading
+
+from repro.counters import SerialCounter
 
 __all__ = ["Symbol", "intern", "gensym", "gensym_reset"]
 
@@ -61,7 +62,10 @@ def intern(name: str) -> Symbol:
             return sym
 
 
-_gensym_counter = itertools.count()
+#: The gensym stream.  A :class:`~repro.counters.SerialCounter` so the
+#: snapshot codec can record its watermark and carry it across
+#: processes (gensym printed names are observable in output).
+_gensym_counter = SerialCounter()
 
 
 def gensym(prefix: str = "g") -> Symbol:
@@ -79,5 +83,4 @@ def gensym_reset() -> None:
     Existing gensyms stay unique by identity; only printed names
     restart.
     """
-    global _gensym_counter
-    _gensym_counter = itertools.count()
+    _gensym_counter.reset()

@@ -41,6 +41,10 @@ __all__ = [
     "DeadlineExceeded",
     "SessionCancelled",
     "HostSaturated",
+    "SnapshotError",
+    "SnapshotFormatError",
+    "ClusterError",
+    "ShardDied",
 ]
 
 
@@ -193,3 +197,27 @@ class HostSaturated(HostError):
     Backpressure, not failure: nothing was evaluated and nothing was
     corrupted; the caller should retry after draining, or shed load.
     """
+
+
+class SnapshotError(HostError):
+    """A session could not be snapshotted or restored.
+
+    Raised for semantic problems: snapshotting from inside a pump,
+    a value of a kind the codec does not know, a primitive present in
+    the snapshot but missing from the restoring build.
+    """
+
+
+class SnapshotFormatError(SnapshotError):
+    """A snapshot blob is malformed, truncated, from an incompatible
+    format version, or fails its embedded integrity checks."""
+
+
+class ClusterError(HostError):
+    """Base class for errors raised by the sharded cluster tier
+    (:mod:`repro.cluster`)."""
+
+
+class ShardDied(ClusterError):
+    """A shard worker process died while holding live (non-snapshotted)
+    session state; the affected request cannot be recovered."""

@@ -19,16 +19,17 @@ occurred.
 from __future__ import annotations
 
 import enum
-import itertools
 from time import monotonic
 from typing import TYPE_CHECKING, Any
+
+from repro.counters import SerialCounter
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.host.session import Session
 
 __all__ = ["EvalHandle", "HandleState"]
 
-_handle_ids = itertools.count()
+_handle_ids = SerialCounter()
 
 
 class HandleState(enum.Enum):

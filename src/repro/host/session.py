@@ -318,9 +318,13 @@ class Session:
                             StepBudgetExceeded(handle.steps), kind="deadline"
                         )
                         continue
-                    # The session-lifetime budget: fail the handle and
-                    # surface to whoever is pumping.
+                    # The session-lifetime budget: the session will
+                    # never pump again, so fail the in-flight handle
+                    # AND drain the queue — a queued handle left
+                    # PENDING here would block its waiter forever and
+                    # re-fault the session on every future tick.
                     self._abort_active(exc, kind="error")
+                    self._fail_pending(exc)
                     raise
                 except DeadlineExceeded as exc:
                     spent += self._account(handle, machine.steps_total - before)
@@ -358,6 +362,25 @@ class Session:
         session's latency and steps histograms."""
         latency_us = (_monotonic() - handle.submitted_at) * 1e6
         self.metrics.observe_request(latency_us, handle.steps)
+
+    def _fail_pending(self, fault: BaseException) -> None:
+        """Session-fatal fault containment: resolve every still-queued
+        handle to CANCELLED, naming the fault that killed the session.
+        The queue is left empty, so the session reads as idle and a
+        host keeps scheduling around it instead of re-faulting it on
+        every tick."""
+        while self._pending:
+            handle = self._pending.popleft()
+            handle._fail(
+                SessionCancelled(
+                    f"session {self.name}: evaluation {handle.uid} abandoned "
+                    f"after session-fatal fault: {fault}"
+                ),
+                HandleState.CANCELLED,
+            )
+            self.metrics.evals_failed += 1
+            self.metrics.cancellations += 1
+            self._finish_request(handle)
 
     def _abort_active(self, exc: BaseException, *, kind: str) -> None:
         """End the in-flight evaluation: discard its tree at the root
@@ -504,6 +527,34 @@ class Session:
 
     def clear_output(self) -> None:
         self.output.clear()
+
+    # -- snapshots -------------------------------------------------------
+
+    def snapshot(self) -> bytes:
+        """Serialize this session — including suspended evaluations,
+        captured continuations and parked future trees — into a
+        self-contained blob; see :mod:`repro.snapshot`.  Deterministic:
+        the same state yields the same bytes.  Must be called between
+        pumps, not from inside one."""
+        from repro.snapshot import snapshot_session
+
+        return snapshot_session(self)
+
+    @classmethod
+    def restore(
+        cls,
+        blob: bytes,
+        *,
+        record=None,
+        name: str | None = None,
+    ) -> "Session":
+        """Rebuild a session from a :meth:`snapshot` blob, in this or
+        any other process.  ``record`` attaches a fresh observability
+        recorder (recorders are never serialized); ``name`` overrides
+        the stored session name."""
+        from repro.snapshot import restore_session
+
+        return restore_session(blob, record=record, name=name)
 
     # -- introspection ---------------------------------------------------
 

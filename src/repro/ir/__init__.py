@@ -28,6 +28,7 @@ from repro.ir.nodes import (
     GlobalSet,
 )
 from repro.ir.free_vars import free_variables
+from repro.ir.hashing import stable_hash
 from repro.ir.pretty import pretty
 from repro.ir.resolve import ResolverStats, resolve_node, resolve_program
 
@@ -53,6 +54,7 @@ __all__ = [
     "GlobalSet",
     "free_variables",
     "pretty",
+    "stable_hash",
     "ResolverStats",
     "resolve_node",
     "resolve_program",

@@ -1,0 +1,220 @@
+"""Stable structural hashing of IR.
+
+``stable_hash(node)`` digests an IR tree (either dialect — expander
+output or resolved) into a hex SHA-256 that is identical across
+processes, Python versions and machine word sizes.  The snapshot codec
+(:mod:`repro.snapshot`) stamps every serialized ``Lambda`` body and
+compiled code thunk with this hash: on restore the hash keys the
+recompile cache (one ``compile_node`` per distinct body, so closures
+that shared a compiled body keep sharing one) and doubles as an
+integrity check on the decoded IR.
+
+Hashing covers everything behaviourally observable:
+
+* node kinds and their structural fields (``depth``/``index``,
+  ``nslots``, branch order);
+* ``Lambda.name`` — it surfaces in arity-error messages;
+* interned symbols by spelling, gensyms by printed name;
+* ``GlobalRef``/``GlobalSet`` cells by *name* (cells are interned per
+  global table, so name identity is cell identity within a session);
+* constants, including quoted structure (pairs, vectors, chars,
+  rationals), with shared/cyclic substructure hashed by back-reference
+  so the walk terminates.
+
+The debug-only ``name`` field of ``LocalRef``/``LocalSet`` is excluded:
+it never reaches user-visible output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from fractions import Fraction
+from typing import Any
+
+from repro.datum import NIL, Char, MVector, Pair, Symbol
+from repro.datum.singletons import EOF_OBJECT, UNSPECIFIED
+from repro.ir.nodes import (
+    App,
+    Const,
+    DefineTop,
+    GlobalRef,
+    GlobalSet,
+    If,
+    Lambda,
+    LocalRef,
+    LocalSet,
+    Node,
+    Pcall,
+    Seq,
+    SetBang,
+    Var,
+)
+
+__all__ = ["stable_hash"]
+
+#: Bump when the token stream below changes shape: the hash is stored
+#: in snapshots, so decoders must be able to tell hashes apart by era.
+_HASH_VERSION = b"ir-hash-v1"
+
+
+def _sym(symbol: Symbol) -> bytes:
+    kind = b"s" if symbol.interned else b"g"
+    return kind + b":" + symbol.name.encode("utf-8") + b";"
+
+
+def stable_hash(node: "Node | Any") -> str:
+    """Hex SHA-256 of ``node``'s canonical token stream (iterative —
+    safe on arbitrarily deep IR and on shared/cyclic constants)."""
+    digest = hashlib.sha256(_HASH_VERSION)
+    update = digest.update
+    seen: dict[int, int] = {}  # id -> back-reference index, for constants
+    stack: list[Any] = [node]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, bytes):  # pre-rendered token
+            update(item)
+            continue
+        kind = item.__class__
+        if kind is Const:
+            update(b"C(")
+            stack.append(b")")
+            stack.append(_ConstMark(item.value))
+        elif kind is Var:
+            update(b"V(" + _sym(item.name) + b")")
+        elif kind is Lambda:
+            header = "L(%d,%r,%r(" % (
+                len(item.params),
+                item.rest.name if item.rest is not None else None,
+                (item.name, item.nslots),
+            )
+            update(header.encode("utf-8"))
+            for param in item.params:
+                update(_sym(param))
+            update(b")")
+            stack.append(b")")
+            stack.append(item.body)
+        elif kind is App:
+            update(b"A%d(" % len(item.args))
+            stack.append(b")")
+            for arg in reversed(item.args):
+                stack.append(arg)
+            stack.append(item.fn)
+        elif kind is If:
+            update(b"I(")
+            stack.append(b")")
+            stack.append(item.els)
+            stack.append(item.then)
+            stack.append(item.test)
+        elif kind is SetBang:
+            update(b"S(" + _sym(item.name))
+            stack.append(b")")
+            stack.append(item.expr)
+        elif kind is Seq:
+            update(b"Q%d(" % len(item.exprs))
+            stack.append(b")")
+            for expr in reversed(item.exprs):
+                stack.append(expr)
+        elif kind is DefineTop:
+            update(b"D(" + _sym(item.name))
+            stack.append(b")")
+            stack.append(item.expr)
+        elif kind is Pcall:
+            update(b"P%d(" % len(item.exprs))
+            stack.append(b")")
+            for expr in reversed(item.exprs):
+                stack.append(expr)
+        elif kind is LocalRef:
+            update(b"l(%d,%d)" % (item.depth, item.index))
+        elif kind is LocalSet:
+            update(b"m(%d,%d" % (item.depth, item.index))
+            stack.append(b")")
+            stack.append(item.expr)
+        elif kind is GlobalRef:
+            update(b"G(" + _sym(item.cell.name) + b")")
+        elif kind is GlobalSet:
+            update(b"H(" + _sym(item.cell.name))
+            stack.append(b")")
+            stack.append(item.expr)
+        elif kind is _ConstMark:
+            _hash_constant(item.value, update, seen, stack)
+        else:
+            # A code thunk reaching the hash (compiled engine) hashes
+            # as its source node.
+            source = getattr(item, "node", None)
+            if source is None:
+                raise TypeError(f"stable_hash: not an IR node: {item!r}")
+            stack.append(source)
+    return digest.hexdigest()
+
+
+class _ConstMark:
+    """Work-stack marker: hash ``value`` as constant data."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+
+def _hash_constant(
+    value: Any,
+    update: Any,
+    seen: dict[int, int],
+    stack: list[Any],
+) -> None:
+    """Emit tokens for one constant; composite children are pushed as
+    further :class:`_ConstMark` entries."""
+    if value is None:
+        update(b"n")
+    elif value is True:
+        update(b"t")
+    elif value is False:
+        update(b"f")
+    elif value is NIL:
+        update(b"0")
+    elif value is UNSPECIFIED:
+        update(b"u")
+    elif value is EOF_OBJECT:
+        update(b"e")
+    elif isinstance(value, int):
+        update(b"i" + str(value).encode("ascii") + b";")
+    elif isinstance(value, float):
+        update(b"d" + repr(value).encode("ascii") + b";")
+    elif isinstance(value, Fraction):
+        update(
+            b"r"
+            + str(value.numerator).encode("ascii")
+            + b"/"
+            + str(value.denominator).encode("ascii")
+            + b";"
+        )
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        update(b"x%d:" % len(encoded))
+        update(encoded)
+    elif isinstance(value, Symbol):
+        update(_sym(value))
+    elif isinstance(value, Char):
+        update(b"c" + value.value.encode("utf-8") + b";")
+    elif isinstance(value, Pair):
+        marker = seen.get(id(value))
+        if marker is not None:
+            update(b"@%d;" % marker)
+            return
+        seen[id(value)] = len(seen)
+        update(b"p(")
+        stack.append(b")")
+        stack.append(_ConstMark(value.cdr))
+        stack.append(_ConstMark(value.car))
+    elif isinstance(value, MVector):
+        marker = seen.get(id(value))
+        if marker is not None:
+            update(b"@%d;" % marker)
+            return
+        seen[id(value)] = len(seen)
+        update(b"v%d(" % len(value.items))
+        stack.append(b")")
+        for item in reversed(value.items):
+            stack.append(_ConstMark(item))
+    else:
+        raise TypeError(f"stable_hash: unhashable constant {value!r}")

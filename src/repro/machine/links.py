@@ -18,8 +18,9 @@ subtrees can be collected downward in time linear in control points.
 
 from __future__ import annotations
 
-import itertools
 from typing import TYPE_CHECKING, Any, Union
+
+from repro.counters import SerialCounter
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.frames import Frame
@@ -37,7 +38,7 @@ __all__ = [
     "TOMBSTONE",
 ]
 
-_label_ids = itertools.count()
+_label_ids = SerialCounter()
 
 
 class Label:

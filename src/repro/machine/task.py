@@ -17,8 +17,10 @@ primitives, introspection, tests).
 from __future__ import annotations
 
 import enum
-import itertools
 from typing import TYPE_CHECKING, Any
+
+from repro.counters import SerialCounter
+from repro.machine.frames import frame_chain_length
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.environment import Environment
@@ -49,7 +51,7 @@ VALUE = "value"
 APPLY = "apply"
 HOLE = "hole"
 
-_task_ids = itertools.count()
+_task_ids = SerialCounter()
 
 
 class Task:
@@ -104,4 +106,7 @@ class Task:
         return copy
 
     def __repr__(self) -> str:
-        return f"#<task {self.uid} {self.tag} {self.state.value}>"
+        return (
+            f"#<task {self.uid} {self.tag} {self.state.value} "
+            f"frames={frame_chain_length(self.frames)} steps={self.steps}>"
+        )

@@ -166,6 +166,14 @@ class Capture:
         _, tasks = collect_subtree(self.root)
         return len(tasks)
 
+    def __repr__(self) -> str:
+        label = self.root.label
+        return (
+            f"#<capture label={label.name or label.uid} "
+            f"tasks={self.task_count()} cps={self.control_points()} "
+            f"hole=task-{self.hole.uid}>"
+        )
+
 
 def _clone_tree(
     entity: Any, new_link: "Link", task_map: dict[int, Task]

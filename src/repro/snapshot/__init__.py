@@ -1,0 +1,32 @@
+"""Serializable session snapshots.
+
+:func:`snapshot_session` walks the reachable graph of a suspended
+:class:`~repro.host.session.Session` — machine registers, process
+trees, captured continuations, parked future forests, global cells,
+macro tables, pending handles — into a versioned, deterministic byte
+string; :func:`restore_session` rebuilds an equivalent session in any
+process.  Compiled code is never serialized: closures carry the stable
+hash of their source IR and are recompiled on restore.
+
+This is the substrate of the cluster tier (:mod:`repro.cluster`), which
+moves idle sessions between shard processes as snapshot blobs.  See
+``docs/CLUSTER.md`` for the normative wire-format description.
+"""
+
+from repro.snapshot.codec import (
+    FORMAT_VERSION,
+    MAGIC,
+    restore_session,
+    snapshot_session,
+)
+
+#: Public alias for the wire-format version this build reads and writes.
+SNAPSHOT_VERSION = FORMAT_VERSION
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MAGIC",
+    "SNAPSHOT_VERSION",
+    "restore_session",
+    "snapshot_session",
+]

@@ -1,0 +1,134 @@
+"""Low-level byte plumbing for the snapshot codec.
+
+A deliberately tiny, dependency-free binary layer: unsigned LEB128
+varints (``varint``), zigzag signed varints (``svarint`` — exact for
+arbitrary-precision Python ints, which LEB128 handles natively),
+big-endian IEEE-754 doubles, and length-prefixed UTF-8 strings.  The
+structured layer (:mod:`repro.snapshot.codec`) builds every record out
+of these five primitives, so the wire format is fully described by this
+module plus the codec's tag tables — see ``docs/CLUSTER.md`` for the
+normative layout.
+
+Readers fail with :class:`~repro.errors.SnapshotFormatError` on
+truncation rather than ``IndexError``, so a corrupt blob is always
+reported as a snapshot problem.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import SnapshotFormatError
+
+__all__ = ["Reader", "Writer"]
+
+_F64 = struct.Struct(">d")
+
+
+class Writer:
+    """Append-only byte sink."""
+
+    __slots__ = ("_buf",)
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def u8(self, value: int) -> None:
+        self._buf.append(value & 0xFF)
+
+    def varint(self, value: int) -> None:
+        """Unsigned LEB128 (value must be >= 0)."""
+        if value < 0:
+            raise ValueError(f"varint: negative value {value}")
+        buf = self._buf
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                buf.append(byte | 0x80)
+            else:
+                buf.append(byte)
+                return
+
+    def svarint(self, value: int) -> None:
+        """Zigzag-then-LEB128; exact for any Python int."""
+        self.varint(-2 * value - 1 if value < 0 else 2 * value)
+
+    def f64(self, value: float) -> None:
+        self._buf += _F64.pack(value)
+
+    def raw(self, data: bytes) -> None:
+        self._buf += data
+
+    def str_(self, text: str) -> None:
+        encoded = text.encode("utf-8")
+        self.varint(len(encoded))
+        self._buf += encoded
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+
+class Reader:
+    """Sequential reader over a snapshot blob (or a slice of one)."""
+
+    __slots__ = ("data", "pos", "end")
+
+    def __init__(self, data: bytes, pos: int = 0, end: int | None = None):
+        self.data = data
+        self.pos = pos
+        self.end = len(data) if end is None else end
+
+    def _need(self, n: int) -> None:
+        if self.pos + n > self.end:
+            raise SnapshotFormatError(
+                f"truncated snapshot: wanted {n} byte(s) at offset {self.pos}, "
+                f"only {self.end - self.pos} available"
+            )
+
+    def u8(self) -> int:
+        self._need(1)
+        value = self.data[self.pos]
+        self.pos += 1
+        return value
+
+    def varint(self) -> int:
+        data, pos, end = self.data, self.pos, self.end
+        result = 0
+        shift = 0
+        while True:
+            if pos >= end:
+                raise SnapshotFormatError("truncated snapshot: unterminated varint")
+            byte = data[pos]
+            pos += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                self.pos = pos
+                return result
+            shift += 7
+
+    def svarint(self) -> int:
+        z = self.varint()
+        return -(z + 1) // 2 if z & 1 else z // 2
+
+    def f64(self) -> float:
+        self._need(8)
+        value = _F64.unpack_from(self.data, self.pos)[0]
+        self.pos += 8
+        return value
+
+    def raw(self, n: int) -> bytes:
+        self._need(n)
+        chunk = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return bytes(chunk)
+
+    def str_(self) -> str:
+        n = self.varint()
+        return self.raw(n).decode("utf-8")
+
+    def at_end(self) -> bool:
+        return self.pos >= self.end

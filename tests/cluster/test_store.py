@@ -1,0 +1,59 @@
+"""Snapshot stores: mapping semantics, atomicity plumbing, filename
+escaping."""
+
+from __future__ import annotations
+
+import os
+
+from repro.cluster import DirectoryStore, MemoryStore
+
+
+def exercise(store):
+    assert store.get("a") is None
+    store.put("a", b"blob-a")
+    store.put("b", b"blob-b")
+    assert store.get("a") == b"blob-a"
+    assert store.ids() == ["a", "b"]
+    store.put("a", b"blob-a2")  # overwrite
+    assert store.get("a") == b"blob-a2"
+    store.delete("a")
+    assert store.get("a") is None
+    store.delete("a")  # idempotent
+    assert store.ids() == ["b"]
+
+
+def test_memory_store():
+    exercise(MemoryStore())
+
+
+def test_directory_store(tmp_path):
+    exercise(DirectoryStore(str(tmp_path / "snaps")))
+
+
+def test_directory_store_persists_across_instances(tmp_path):
+    path = str(tmp_path / "snaps")
+    DirectoryStore(path).put("sess", b"payload")
+    again = DirectoryStore(path)
+    assert again.get("sess") == b"payload"
+    assert again.ids() == ["sess"]
+
+
+def test_directory_store_escapes_hostile_ids(tmp_path):
+    store = DirectoryStore(str(tmp_path / "snaps"))
+    hostile = "../../etc/passwd%sneaky"
+    store.put(hostile, b"x")
+    # Nothing escaped the store directory...
+    assert not (tmp_path / "etc").exists()
+    files = os.listdir(str(tmp_path / "snaps"))
+    assert len(files) == 1
+    # ...and the id round-trips exactly.
+    assert store.ids() == [hostile]
+    assert store.get(hostile) == b"x"
+
+
+def test_directory_store_no_tmp_litter(tmp_path):
+    path = str(tmp_path / "snaps")
+    store = DirectoryStore(path)
+    for i in range(5):
+        store.put("s", b"v" * (i + 1))
+    assert [f for f in os.listdir(path) if f.endswith(".tmp")] == []

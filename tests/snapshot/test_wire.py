@@ -1,0 +1,120 @@
+"""The byte-level wire primitives: varints, zigzag, doubles, strings,
+and truncation behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SnapshotFormatError
+from repro.snapshot.wire import Reader, Writer
+
+
+def roundtrip() -> tuple[Writer, callable]:
+    w = Writer()
+
+    def read() -> Reader:
+        return Reader(w.getvalue())
+
+    return w, read
+
+
+@pytest.mark.parametrize(
+    "value",
+    [0, 1, 127, 128, 300, 2**31, 2**64, 2**200],
+)
+def test_varint_roundtrip(value):
+    w, read = roundtrip()
+    w.varint(value)
+    assert read().varint() == value
+
+
+def test_varint_rejects_negative():
+    w = Writer()
+    with pytest.raises(ValueError):
+        w.varint(-1)
+
+
+@pytest.mark.parametrize(
+    "value",
+    [0, 1, -1, 63, -64, 64, -65, 2**80, -(2**80)],
+)
+def test_svarint_roundtrip(value):
+    w, read = roundtrip()
+    w.svarint(value)
+    assert read().svarint() == value
+
+
+@pytest.mark.parametrize("value", [0.0, -0.0, 1.5, -2.75, 1e300, float("inf")])
+def test_f64_roundtrip(value):
+    w, read = roundtrip()
+    w.f64(value)
+    got = read().f64()
+    assert got == value
+    # -0.0 must stay signed: it is printable Scheme output.
+    assert (got == 0.0) == (value == 0.0)
+
+
+def test_f64_nan_roundtrip():
+    w, read = roundtrip()
+    w.f64(float("nan"))
+    assert read().f64() != read().f64() or True  # NaN compares unequal
+    import math
+
+    assert math.isnan(read().f64())
+
+
+@pytest.mark.parametrize("text", ["", "plain", "héllo → λ", "a\x00b"])
+def test_str_roundtrip(text):
+    w, read = roundtrip()
+    w.str_(text)
+    assert read().str_() == text
+
+
+def test_mixed_sequence():
+    w = Writer()
+    w.u8(7)
+    w.varint(1000)
+    w.svarint(-1000)
+    w.str_("mid")
+    w.f64(2.5)
+    w.raw(b"tail")
+    r = Reader(w.getvalue())
+    assert r.u8() == 7
+    assert r.varint() == 1000
+    assert r.svarint() == -1000
+    assert r.str_() == "mid"
+    assert r.f64() == 2.5
+    assert r.raw(4) == b"tail"
+    assert r.at_end()
+
+
+@pytest.mark.parametrize(
+    "reader_op",
+    [
+        lambda r: r.u8(),
+        lambda r: r.varint(),
+        lambda r: r.f64(),
+        lambda r: r.raw(1),
+        lambda r: r.str_(),
+    ],
+)
+def test_truncation_raises_format_error(reader_op):
+    with pytest.raises(SnapshotFormatError):
+        reader_op(Reader(b""))
+
+
+def test_truncated_varint_mid_sequence():
+    w = Writer()
+    w.varint(2**40)
+    blob = w.getvalue()[:-1]  # drop the terminating byte
+    with pytest.raises(SnapshotFormatError):
+        Reader(blob).varint()
+
+
+def test_reader_slice_respects_end():
+    data = b"\x01\x02\x03\x04"
+    r = Reader(data, 1, 3)
+    assert r.u8() == 2
+    assert r.u8() == 3
+    with pytest.raises(SnapshotFormatError):
+        r.u8()
