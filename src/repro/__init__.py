@@ -20,6 +20,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-claim reproduction index.
 """
 
+from repro.analysis import EffectInfo, ProgramReport, analyze, spawn_report
 from repro.api import Interpreter
 from repro.errors import (
     ReproError,
@@ -48,10 +49,14 @@ from repro.obs import Recorder
 from repro.snapshot import SNAPSHOT_VERSION, restore_session, snapshot_session
 from repro.cluster import Cluster, ClusterResult, DirectoryStore, MemoryStore
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Interpreter",
+    "analyze",
+    "spawn_report",
+    "EffectInfo",
+    "ProgramReport",
     "Host",
     "HostPolicy",
     "Session",

@@ -24,6 +24,13 @@ classifies how the controller ``c`` is used inside ``body``:
 The analysis is conservative: ``confined`` is a guarantee, the other
 labels are "no guarantee".  Shadowing is handled (rebinding ``c``
 stops the tracking in that scope).
+
+Both IR dialects are supported: pre-resolution trees (``Var`` /
+``SetBang``) are tracked by controller *name*, resolved trees
+(``LocalRef`` / ``GlobalRef`` / ``LocalSet`` / ``GlobalSet``) by the
+controller's slot *address* — depth 0, index 0 inside the spawned
+procedure, shifted by one per enclosing rib.  A ``(pcall spawn proc)``
+fork counts as a spawn site too.
 """
 
 from __future__ import annotations
@@ -36,8 +43,12 @@ from repro.ir import (
     App,
     Const,
     DefineTop,
+    GlobalRef,
+    GlobalSet,
     If,
     Lambda,
+    LocalRef,
+    LocalSet,
     Node,
     Pcall,
     Seq,
@@ -61,6 +72,10 @@ class SpawnSite:
     captured_uses: int = 0
     value_uses: int = 0
     notes: list[str] = field(default_factory=list)
+    #: The ``spawn`` reference node (operator of the site), letting the
+    #: effect phase attribute the site to its enclosing lambdas without
+    #: re-walking their bodies.
+    ref: Any = field(default=None, repr=False, compare=False)
 
     def is_safe(self) -> bool:
         """True iff the controller provably cannot outlive its body's
@@ -84,35 +99,55 @@ def analyze_source(source: str) -> list[SpawnSite]:
     return analyze_spawns(expand_program(read_all(source), ExpandEnv()))
 
 
+# References and constants cannot contain a spawn application; the
+# walk skips them without a call.
+_LEAVES = frozenset({Const, Var, LocalRef, GlobalRef})
+
+
 def _walk(node: Node, sites: list[SpawnSite]) -> None:
     """Find spawn applications anywhere in ``node``."""
-    if isinstance(node, App):
-        if _is_spawn_var(node.fn) and len(node.args) == 1:
+    k = type(node)
+    if k is App:
+        if _is_spawn_ref(node.fn) and len(node.args) == 1:
             site = _classify_site(node.args[0], len(sites))
+            site.ref = node.fn
             sites.append(site)
             # Continue inside the spawned procedure for nested spawns.
             _walk(node.args[0], sites)
             return
-        _walk(node.fn, sites)
+        if type(node.fn) not in _LEAVES:
+            _walk(node.fn, sites)
         for arg in node.args:
-            _walk(arg, sites)
+            if type(arg) not in _LEAVES:
+                _walk(arg, sites)
         return
-    if isinstance(node, Lambda):
+    if k is Lambda:
         _walk(node.body, sites)
-    elif isinstance(node, If):
-        _walk(node.test, sites)
-        _walk(node.then, sites)
-        _walk(node.els, sites)
-    elif isinstance(node, (Seq, Pcall)):
+    elif k is If:
+        for sub in (node.test, node.then, node.els):
+            if type(sub) not in _LEAVES:
+                _walk(sub, sites)
+    elif k is Seq or k is Pcall:
+        # ``(pcall spawn proc)`` forks the operator/operand evaluations
+        # but still ends in a spawn application: a spawn site.
+        if k is Pcall and len(node.exprs) == 2 and _is_spawn_ref(node.exprs[0]):
+            site = _classify_site(node.exprs[1], len(sites))
+            site.ref = node.exprs[0]
+            sites.append(site)
         for expr in node.exprs:
-            _walk(expr, sites)
-    elif isinstance(node, (SetBang, DefineTop)):
+            if type(expr) not in _LEAVES:
+                _walk(expr, sites)
+    elif k is SetBang or k is DefineTop or k is LocalSet or k is GlobalSet:
         _walk(node.expr, sites)
-    # Const / Var: leaves.
+    # Const / Var / LocalRef / GlobalRef: leaves.
 
 
-def _is_spawn_var(node: Node) -> bool:
-    return isinstance(node, Var) and node.name is _SPAWN
+def _is_spawn_ref(node: Node) -> bool:
+    if isinstance(node, Var):
+        return node.name is _SPAWN
+    if isinstance(node, GlobalRef):
+        return node.cell.name is _SPAWN
+    return False
 
 
 def _classify_site(proc: Node, index: int) -> SpawnSite:
@@ -125,7 +160,12 @@ def _classify_site(proc: Node, index: int) -> SpawnSite:
         )
     controller = proc.params[0]
     site = SpawnSite(index=index, controller=controller.name, classification="unused")
-    _scan_uses(proc.body, controller, site, under_lambda=False)
+    if proc.nslots is None:
+        _scan_uses(proc.body, controller, site, under_lambda=False)
+    else:
+        # Resolved body: the controller is slot 0 of the spawned
+        # procedure's rib; track it by (depth, index) address.
+        _scan_uses_resolved(proc.body, 0, site, under_lambda=False)
     if site.value_uses:
         site.classification = "escaping"
     elif site.captured_uses:
@@ -190,6 +230,67 @@ def _scan_uses(
         return
     if isinstance(node, DefineTop):  # pragma: no cover - not in bodies
         _scan_uses(node.expr, controller, site, under_lambda)
+        return
+    raise TypeError(f"unknown IR node: {node!r}")  # pragma: no cover
+
+
+def _scan_uses_resolved(
+    node: Node, depth: int, site: SpawnSite, under_lambda: bool
+) -> None:
+    """Resolved-IR twin of :func:`_scan_uses`.
+
+    ``depth`` is the controller's rib distance from the current scope
+    (its address is ``(depth, 0)``).  Exact addressing makes shadowing
+    a non-issue: a rebinding lives in its own rib, so its references
+    can never collide with the controller's address.
+    """
+    k = type(node)
+    if k is LocalRef:
+        if node.depth == depth and node.index == 0:
+            site.value_uses += 1
+            site.notes.append("controller used as a value")
+        return
+    if k is Const or k is GlobalRef or k is Var:
+        return
+    if k is App:
+        fn = node.fn
+        if type(fn) is LocalRef and fn.depth == depth and fn.index == 0:
+            if under_lambda:
+                site.captured_uses += 1
+                site.notes.append(
+                    "controller applied inside a nested lambda (access may "
+                    "outlive the body's activation)"
+                )
+            else:
+                site.direct_uses += 1
+        else:
+            _scan_uses_resolved(fn, depth, site, under_lambda)
+        for arg in node.args:
+            _scan_uses_resolved(arg, depth, site, under_lambda)
+        return
+    if k is Lambda:
+        # Zero-slot lambdas allocate no rib at runtime, so they do not
+        # shift the controller's address — but they are still nested
+        # abstractions whose activation may outlive the body's.
+        inner = depth + 1 if node.nslots else depth
+        _scan_uses_resolved(node.body, inner, site, under_lambda=True)
+        return
+    if k is If:
+        _scan_uses_resolved(node.test, depth, site, under_lambda)
+        _scan_uses_resolved(node.then, depth, site, under_lambda)
+        _scan_uses_resolved(node.els, depth, site, under_lambda)
+        return
+    if k is Seq or k is Pcall:
+        for expr in node.exprs:
+            _scan_uses_resolved(expr, depth, site, under_lambda)
+        return
+    if k is LocalSet:
+        if node.depth == depth and node.index == 0:
+            site.notes.append("controller variable reassigned (set!)")
+        _scan_uses_resolved(node.expr, depth, site, under_lambda)
+        return
+    if k is GlobalSet or k is DefineTop or k is SetBang:
+        _scan_uses_resolved(node.expr, depth, site, under_lambda)
         return
     raise TypeError(f"unknown IR node: {node!r}")  # pragma: no cover
 

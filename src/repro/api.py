@@ -105,6 +105,17 @@ class Interpreter:
         label pops, join fires) and per-quantum timings stream into it;
         export with ``interp.recorder.to_chrome_trace()`` or
         ``interp.recorder.render()``.  Default None: zero overhead.
+    analysis:
+        Run the capture/effect analysis phase
+        (:mod:`repro.analysis.effects`, ``docs/ANALYSIS.md``) on every
+        submit: lambdas are stamped with conservative facts
+        (capture-free, spawn-free, controller-confined, known-total),
+        requests are classified pure / capture-heavy / spawning, and
+        forms proven single-task run with an enlarged scheduler
+        quantum.  On by default; ``analysis=False`` (the REPL's
+        ``--no-analysis``) is the ablation baseline and always ignored
+        on the ``dict`` engine.  Semantics are identical either way —
+        ``benchmarks/bench_analysis.py`` gates on it.
     """
 
     def __init__(
@@ -120,6 +131,7 @@ class Interpreter:
         batched: bool = True,
         profile: bool = False,
         record: "Recorder | bool | None" = None,
+        analysis: bool = True,
     ):
         if resolve is not None:
             warnings.warn(
@@ -145,6 +157,7 @@ class Interpreter:
             batched=batched,
             profile=profile,
             record=record,
+            analysis=analysis,
         )
         # The wiring is the session's; these are the historical
         # attribute surface (tests, the REPL and the tracer reach for
@@ -156,6 +169,8 @@ class Interpreter:
         self.expand_env = self.session.expand_env
         self.resolver_stats = self.session.resolver_stats
         self.compile_stats = self.session.compile_stats
+        self.analysis = self.session.analysis
+        self.analysis_stats = self.session.analysis_stats
 
     @property
     def resolve(self) -> bool:

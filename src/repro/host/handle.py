@@ -56,6 +56,8 @@ class EvalHandle:
         "values",
         "steps",
         "submitted_at",
+        "report",
+        "classification",
         "_exception",
         "_cancel_requested",
         "_node_index",
@@ -79,6 +81,12 @@ class EvalHandle:
         self.values: list[Any] = []  # one value per completed top-level form
         self.steps = 0  # machine steps spent on this evaluation
         self.submitted_at = monotonic()  # for request-latency histograms
+        # Capture/effect analysis results (repro.analysis.effects): the
+        # ProgramReport from submit (transient — not serialized) and the
+        # request classification pure/capture-heavy/spawning ("unknown"
+        # on the dict engine or with analysis off).
+        self.report: Any = None
+        self.classification: str = "unknown"
         self._exception: BaseException | None = None
         self._cancel_requested = False
         self._node_index = 0  # next form to evaluate

@@ -37,6 +37,9 @@ class SessionMetrics:
         "quanta_served",
         "steps_served",
         "max_queue_depth",
+        "submits_pure",
+        "submits_capture_heavy",
+        "submits_spawning",
     )
 
     __slots__ = _COUNTERS + ("latency_us", "steps_hist")
@@ -51,6 +54,11 @@ class SessionMetrics:
         self.quanta_served = 0  # pump() calls that found work
         self.steps_served = 0  # machine steps executed on behalf of evals
         self.max_queue_depth = 0  # high-water mark of pending + active
+        # Request classifications from the capture/effect analysis
+        # (repro.analysis.effects); "unknown" submits count in none.
+        self.submits_pure = 0
+        self.submits_capture_heavy = 0
+        self.submits_spawning = 0
         self.latency_us = Histogram()  # submit -> terminal state, per request
         self.steps_hist = Histogram()  # machine steps, per request
 

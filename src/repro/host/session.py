@@ -51,6 +51,12 @@ from repro.errors import (
     SessionCancelled,
     StepBudgetExceeded,
 )
+from repro.analysis.effects import (
+    GRANT_QUANTUM,
+    AnalysisStats,
+    annotate_program,
+    single_task_form,
+)
 from repro.expander import ExpandEnv, expand_program
 from repro.control import register_control_primitives
 from repro.host.handle import EvalHandle, HandleState
@@ -67,6 +73,9 @@ from repro.reader import read_all
 __all__ = ["Session"]
 
 _session_ids = itertools.count()
+
+#: Ordering for backlog_classification: higher = more demanding.
+_CLASS_RANK = {"pure": 0, "unknown": 1, "capture-heavy": 2, "spawning": 3}
 
 #: Default pump chunk for synchronous driving (drive()/result()): big
 #: enough that chunking is invisible, small enough that wall-clock
@@ -86,6 +95,14 @@ class Session:
         raises :class:`~repro.errors.HostSaturated`.
     name:
         Label used in error messages and host listings.
+    analysis:
+        Run the capture/effect analysis phase
+        (:mod:`repro.analysis.effects`) on every submit: stamps
+        ``EffectInfo`` facts on lambdas, classifies each request
+        pure / capture-heavy / spawning, and lets the pump grant
+        enlarged quanta to forms proven single-task.  On by default
+        (``--no-analysis`` in the REPL is the ablation flag); forced
+        off on the dict engine, whose IR the phase does not target.
     """
 
     def __init__(
@@ -103,10 +120,13 @@ class Session:
         max_pending: int = 64,
         name: str | None = None,
         record: "Recorder | bool | None" = None,
+        analysis: bool = True,
     ):
         engine = normalize_engine(engine if engine is not None else "compiled")
         self.name = name if name is not None else f"session-{next(_session_ids)}"
         self.engine = engine
+        self.analysis = bool(analysis) and engine != "dict"
+        self.analysis_stats = AnalysisStats()
         self.resolver_stats = ResolverStats()
         self.compile_stats = CompileStats()
         self.globals = GlobalEnv()
@@ -167,13 +187,22 @@ class Session:
                 f"session {self.name}: submit queue full "
                 f"({self.queue_depth}/{self.max_pending})"
             )
-        nodes = self._frontend(source)
+        nodes, report = self._frontend(source)
         handle = EvalHandle(
             self,
             nodes,
             max_steps=max_steps,
             deadline_at=None if deadline is None else _monotonic() + deadline,
         )
+        if report is not None:
+            handle.report = report
+            handle.classification = report.classification
+            if report.classification == "pure":
+                self.metrics.submits_pure += 1
+            elif report.classification == "capture-heavy":
+                self.metrics.submits_capture_heavy += 1
+            elif report.classification == "spawning":
+                self.metrics.submits_spawning += 1
         self._pending.append(handle)
         self.metrics.submits += 1
         depth = self.queue_depth
@@ -181,14 +210,19 @@ class Session:
             self.metrics.max_queue_depth = depth
         return handle
 
-    def _frontend(self, source: str) -> list[Any]:
+    def _frontend(self, source: str) -> tuple[list[Any], Any]:
         forms = read_all(source)
         nodes = expand_program(forms, self.expand_env)
+        report = None
         if self.engine != "dict":
             nodes = resolve_program(nodes, self.globals, self.resolver_stats)
+            if self.analysis:
+                # The phase runs on resolved IR, before compilation, so
+                # the compiler bakes the stamped facts into closures.
+                report = annotate_program(nodes, self.globals, self.analysis_stats)
             if self.engine == "compiled":
                 nodes = compile_program(nodes, self.compile_stats)
-        return nodes
+        return nodes, report
 
     # -- state -----------------------------------------------------------
 
@@ -201,6 +235,23 @@ class Session:
     def idle(self) -> bool:
         """True when the session has no queued or in-flight work."""
         return self._active is None and not self._pending
+
+    def backlog_classification(self) -> str:
+        """The most demanding analysis classification among queued and
+        in-flight evaluations: ``spawning`` > ``capture-heavy`` >
+        ``unknown`` > ``pure``; ``idle`` with no work.  A host with
+        ``class_weights`` budgets its deficit-round-robin credits by
+        this label."""
+        best: str | None = None
+        best_rank = -1
+        handles: list[EvalHandle] = list(self._pending)
+        if self._active is not None:
+            handles.append(self._active)
+        for handle in handles:
+            rank = _CLASS_RANK.get(handle.classification, 1)
+            if rank > best_rank:
+                best, best_rank = handle.classification, rank
+        return best if best is not None else "idle"
 
     # -- observability ---------------------------------------------------
 
@@ -289,7 +340,30 @@ class Session:
                     self._active = None
                     continue
                 if not handle._node_running:
-                    machine.begin_eval(handle.nodes[handle._node_index])
+                    node = handle.nodes[handle._node_index]
+                    # Quantum grant: decided here, against *current*
+                    # global cell values, because submit-time facts can
+                    # go stale (an earlier form may have redefined a
+                    # global this form applies).  Between this proof
+                    # and the form's end nothing foreign runs — the
+                    # machine has no parked futures or waiting tasks —
+                    # and self-mutation is rejected inside the walk.
+                    # The random policy draws from the RNG once per
+                    # pick even for a solo task, so enlarging quanta
+                    # there would perturb seeded schedules of *later*
+                    # forms; grants are FIFO-policy only.
+                    granted = (
+                        self.analysis
+                        and machine.policy is SchedulerPolicy.ROUND_ROBIN
+                        and machine.quantum < GRANT_QUANTUM
+                        and not machine.parked_futures
+                        and not machine.waiting_tasks
+                        and single_task_form(node, self.globals)
+                    )
+                    machine.quantum_grant = GRANT_QUANTUM if granted else None
+                    if granted:
+                        self.analysis_stats.grants += 1
+                    machine.begin_eval(node)
                     handle._node_running = True
                 handle_cap = None
                 if handle.max_steps is not None:
@@ -343,6 +417,7 @@ class Session:
                     continue
                 spent += self._account(handle, machine.steps_total - before)
                 if finished:
+                    machine.quantum_grant = None
                     handle.values.append(machine.finish())
                     handle._node_running = False
                     handle._node_index += 1
@@ -389,6 +464,7 @@ class Session:
         handle = self._active
         assert handle is not None
         if handle._node_running:
+            self.machine.quantum_grant = None
             self.machine.abort_tree()
             handle._node_running = False
         state = HandleState.CANCELLED if kind == "cancel" else HandleState.FAILED
@@ -570,6 +646,8 @@ class Session:
         out = dict(self.machine.stats)
         if self.engine != "dict":
             _merge_namespaced(out, "resolver", self.resolver_stats.as_dict())
+            if self.analysis:
+                _merge_namespaced(out, "analysis", self.analysis_stats.as_dict())
             if self.engine == "compiled":
                 _merge_namespaced(out, "compile", self.compile_stats.as_dict())
         if self.machine.profile:

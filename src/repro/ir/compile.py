@@ -222,12 +222,13 @@ class _Compiler:
         self.stats.lambdas_compiled += 1
         body = self.compile(node.body)
         params, rest, name, nslots = node.params, node.rest, node.name, node.nslots
+        effects = node.effects
 
         def triv(env: Any) -> Any:
-            return Closure(params, rest, body, env, name, nslots)
+            return Closure(params, rest, body, env, name, nslots, effects)
 
         def run(machine: Any, task: Task) -> Any:
-            return (VALUE, Closure(params, rest, body, task.env, name, nslots))
+            return (VALUE, Closure(params, rest, body, task.env, name, nslots, effects))
 
         return _finish(run, node, triv)
 

@@ -114,6 +114,13 @@ class Machine:
         self.globals = globals_ if globals_ is not None else GlobalEnv()
         self.policy = SchedulerPolicy(policy)
         self.quantum = max(1, quantum)
+        # Analysis-granted quantum enlargement.  The session layer sets
+        # this (to repro.analysis.effects.GRANT_QUANTUM) after proving
+        # the form about to run capture- and spawn-free — single-task
+        # forever — and clears it at form end.  step_n honours it only
+        # while no other task is runnable, so multi-task scheduling is
+        # untouched.  Transient by design: never serialized.
+        self.quantum_grant: int | None = None
         self.max_steps = max_steps
         # Wall-clock deadline (absolute ``time.monotonic`` timestamp, or
         # None).  Checked once per quantum by step_n, so the host's
@@ -516,7 +523,18 @@ class Machine:
                     "dropped process continuation holds the only path to "
                     "the root)"
                 )
-            budget = remaining if serial else min(self.quantum, remaining)
+            if serial:
+                budget = remaining
+            else:
+                budget = min(self.quantum, remaining)
+                grant = self.quantum_grant
+                if grant is not None and grant > budget and not self.queue:
+                    # The session proved this form single-task (capture-
+                    # and spawn-free), so with no rotation partner a
+                    # larger batch executes the identical step sequence.
+                    # The empty-queue check is defense in depth: any
+                    # second runnable task reverts to the base quantum.
+                    budget = min(grant, remaining)
             if max_steps is not None:
                 headroom = max_steps - self.steps_total
                 if headroom <= 0:

@@ -152,7 +152,9 @@ def _trivial_eval(node: Any, env: Any) -> Any:
     if kind is Const:
         return node.value
     if kind is Lambda and node.nslots is not None:
-        return Closure(node.params, node.rest, node.body, env, node.name, node.nslots)
+        return Closure(
+            node.params, node.rest, node.body, env, node.name, node.nslots, node.effects
+        )
     return _NOT_TRIVIAL
 
 
@@ -1179,7 +1181,15 @@ def _eval_global_ref(machine: "Machine", task: Task, node: GlobalRef):
 def _eval_lambda(machine: "Machine", task: Task, node: Lambda):
     return (
         VALUE,
-        Closure(node.params, node.rest, node.body, task.env, node.name, node.nslots),
+        Closure(
+            node.params,
+            node.rest,
+            node.body,
+            task.env,
+            node.name,
+            node.nslots,
+            node.effects,
+        ),
     )
 
 

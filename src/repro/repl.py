@@ -6,6 +6,7 @@
     python -m repro --examples        # list the paper's programs
     python -m repro --engine dict ... # pick an execution engine
     python -m repro --no-resolve ...  # alias for --engine dict (A/B runs)
+    python -m repro --no-analysis ... # skip the capture/effect phase (A/B)
     python -m repro --deadline 0.5    # per-evaluation wall-clock budget
 
 REPL meta-commands:
@@ -14,12 +15,15 @@ REPL meta-commands:
     ,load <name>     load a paper example by name (,load sum-of-products)
     ,examples        list paper example names
     ,stats           engine + machine + compile-stage counters (forks,
-                     captures, locals resolved, nodes compiled, ...);
-                     with --profile also the VM run-loop counters
-                     (quanta, spill causes, write-backs avoided)
+                     captures, locals resolved, nodes compiled,
+                     analysis.* facts and grants, ...); with --profile
+                     also the VM run-loop counters (quanta, spill
+                     causes, write-backs avoided)
     ,tree            render the last process-tree statistics
     ,trace <expr>    evaluate with a control-event trace
-    ,analyze <expr>  controller escape analysis of the spawn sites
+    ,analyze <expr>  capture/effect analysis: per-form facts and the
+                     pure/capture-heavy/spawning classification, plus
+                     the controller escape report for spawn sites
     ,quit            exit
 """
 
@@ -138,11 +142,15 @@ class Repl:
                 self._print(tracer.render())
         elif command == "analyze":
             if not argument:
-                self._print("usage: ,analyze <expression-with-spawn>")
+                self._print("usage: ,analyze <expression>")
             else:
-                from repro.analysis import spawn_report
+                from repro.analysis import analyze, spawn_report
 
                 try:
+                    # Facts against this REPL's live globals and macros,
+                    # exactly what submit would compute for it.
+                    report = analyze(argument, session=self.interp.session)
+                    self._print(report.summary())
                     self._print(spawn_report(argument))
                 except ReproError as exc:
                     self._print(f"error: {exc}")
@@ -251,6 +259,14 @@ def main(argv: list[str] | None = None) -> int:
         "ablation baseline)",
     )
     parser.add_argument(
+        "--no-analysis",
+        action="store_true",
+        help="skip the capture/effect analysis phase (repro.analysis."
+        "effects): no lambda facts, no request classification, no "
+        "enlarged quanta for proven single-task forms — the ablation "
+        "baseline for benchmarks/bench_analysis.py",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="keep VM run-loop counters (quanta, spill causes, "
@@ -284,6 +300,7 @@ def main(argv: list[str] | None = None) -> int:
         engine=engine,
         profile=args.profile,
         record=args.trace_out is not None,
+        analysis=not args.no_analysis,
     )
     repl = Repl(interp, deadline=args.deadline, eval_max_steps=args.eval_max_steps)
 

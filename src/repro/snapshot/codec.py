@@ -52,6 +52,7 @@ from time import monotonic as _monotonic
 from typing import Any, Callable
 
 from repro.control.callcc import LeafContinuation, RootContinuation
+from repro.analysis.effects import EffectInfo
 from repro.control.engines import EngineValue
 from repro.control.fcontrol import FunctionalContinuation
 from repro.control.futures import FuturePlaceholder
@@ -110,7 +111,10 @@ __all__ = ["FORMAT_VERSION", "MAGIC", "restore_session", "snapshot_session"]
 
 MAGIC = b"RSNP"
 #: Bump on any wire-format change; restore refuses other versions.
-FORMAT_VERSION = 1
+#: v2: capture/effect analysis — Lambda/Closure effects bitmasks, the
+#: handle classification, AnalysisStats roots, the analysis header flag
+#: and the three submits_* session counters.
+FORMAT_VERSION = 2
 
 # -- value tags (the self-describing scalar/reference layer) -------------
 
@@ -402,6 +406,9 @@ class _Encoder:
             wv(w, node.body)
             wv(w, node.name)
             wv(w, node.nslots)
+            # EffectInfo travels as its bitmask (interned on read), so
+            # facts survive without a dedicated object-table entry.
+            wv(w, None if node.effects is None else node.effects.bits)
         elif cls is App:
             w.u8(_N_APP)
             wv(w, node.fn)
@@ -471,6 +478,7 @@ class _Encoder:
             (1 if machine.batched else 0)
             | (2 if machine.profile else 0)
             | (4 if session.output.echo else 0)
+            | (8 if session.analysis else 0)
         )
         w.varint(session.max_pending)
         for watermark in _counter_watermarks():
@@ -513,6 +521,8 @@ class _Encoder:
             w,
             (cs.nodes_compiled, cs.lambdas_compiled, cs.apps_inlined, cs.tests_inlined),
         )
+        ast = session.analysis_stats
+        wv(w, tuple(getattr(ast, name) for name in ast._FIELDS))
         m = session.metrics
         wv(
             w,
@@ -707,6 +717,9 @@ def _handle_rest(enc: _Encoder, obj: EvalHandle) -> list:
         obj._cancel_requested,
         obj._node_index,
         obj._node_running,
+        # The classification survives; the full ProgramReport is
+        # transient (re-derivable by re-analyzing the source).
+        obj.classification,
     ]
 
 
@@ -726,6 +739,22 @@ def _attr_rest(*names: str) -> Callable[[_Encoder, Any], list]:
     return rest
 
 
+def _closure_rest(enc: _Encoder, obj: Closure) -> list:
+    eff = obj.effects
+    return [
+        obj.params,
+        obj.rest,
+        obj.body,
+        obj.env,
+        obj.name,
+        obj.nslots,
+        obj.low,
+        obj.high,
+        # EffectInfo as its interned bitmask, like Lambda nodes.
+        None if eff is None else eff.bits,
+    ]
+
+
 _EMITTERS: dict[type, tuple[int, Callable, Callable]] = {
     Pair: (_O_PAIR, _no_head, _attr_rest("car", "cdr")),
     MVector: (_O_MVECTOR, _no_head, _attr_rest("items")),
@@ -733,11 +762,7 @@ _EMITTERS: dict[type, tuple[int, Callable, Callable]] = {
     GlobalCell: (_O_CELL, _cell_head, _cell_rest),
     Primitive: (_O_PRIMITIVE, _name_head, _no_rest),
     ControlPrimitive: (_O_CONTROL_PRIMITIVE, _name_head, _no_rest),
-    Closure: (
-        _O_CLOSURE,
-        _no_head,
-        _attr_rest("params", "rest", "body", "env", "name", "nslots", "low", "high"),
-    ),
+    Closure: (_O_CLOSURE, _no_head, _closure_rest),
     Environment: (
         _O_ENVIRONMENT,
         _no_head,
@@ -881,7 +906,16 @@ class _Decoder:
             rest = rv(r)
             body = rv(r)
             name = rv(r)
-            return Lambda(params, rest, body, name, rv(r))
+            nslots = rv(r)
+            bits = rv(r)
+            return Lambda(
+                params,
+                rest,
+                body,
+                name,
+                nslots,
+                None if bits is None else EffectInfo.from_bits(bits),
+            )
         if tag == _N_APP:
             fn = rv(r)
             return App(fn, rv(r))
@@ -949,6 +983,7 @@ class _Decoder:
         batched = bool(flags & 1)
         profile = bool(flags & 2)
         echo = bool(flags & 4)
+        analysis = bool(flags & 8)
         max_pending = r.varint()
         watermarks = tuple(r.varint() for _ in range(6))
 
@@ -963,6 +998,7 @@ class _Decoder:
             max_pending=max_pending,
             name=self.name_override if self.name_override is not None else name,
             record=self.record,
+            analysis=analysis,
         )
         self.session = session
         self.globals = session.globals
@@ -1009,6 +1045,7 @@ class _Decoder:
         parts = rv(r)
         resolver = rv(r)
         compile_counts = rv(r)
+        analysis_counts = rv(r)
         metrics = rv(r)
         pending = rv(r)
         active = rv(r)
@@ -1034,6 +1071,9 @@ class _Decoder:
             cs.apps_inlined,
             cs.tests_inlined,
         ) = compile_counts
+        ast = session.analysis_stats
+        for field, value in zip(ast._FIELDS, analysis_counts):
+            setattr(ast, field, value)
         counters, latency, steps_hist = metrics
         m = session.metrics
         for field, value in zip(m._COUNTERS, counters):
@@ -1227,6 +1267,22 @@ def _fill_handle(dec: _Decoder, r: Reader, handle: EvalHandle) -> None:
     handle._cancel_requested = rv(r)
     handle._node_index = rv(r)
     handle._node_running = rv(r)
+    handle.report = None  # transient; re-derivable from the source
+    handle.classification = rv(r)
+
+
+def _fill_closure(dec: _Decoder, r: Reader, obj: Closure) -> None:
+    rv = dec._read_value
+    obj.params = rv(r)
+    obj.rest = rv(r)
+    obj.body = rv(r)
+    obj.env = rv(r)
+    obj.name = rv(r)
+    obj.nslots = rv(r)
+    obj.low = rv(r)
+    obj.high = rv(r)
+    bits = rv(r)
+    obj.effects = None if bits is None else EffectInfo.from_bits(bits)
 
 
 def _fill_macro(dec: _Decoder, r: Reader, macro: Macro) -> None:
@@ -1279,9 +1335,7 @@ _FILLERS: dict[int, Callable[[_Decoder, Reader, Any], None]] = {
     _O_CELL: _fill_cell,
     _O_PRIMITIVE: lambda dec, r, obj: None,
     _O_CONTROL_PRIMITIVE: lambda dec, r, obj: None,
-    _O_CLOSURE: _fill_attrs(
-        "params", "rest", "body", "env", "name", "nslots", "low", "high"
-    ),
+    _O_CLOSURE: _fill_closure,
     _O_ENVIRONMENT: _fill_environment,
     _O_SLOT_RIB: _fill_attrs("values", "parent"),
     _O_TASK: _fill_task,

@@ -214,6 +214,67 @@ def test_batched_matches_stepped(engine, quantum):
         assert batched == stepped, (case.id, batched, stepped)
 
 
+# ---------------------------------------------------------------------------
+# Analysis ablation axis: the capture/effect phase (repro.analysis.
+# effects) stamps facts and grants enlarged quanta to proven
+# single-task forms, but must be semantically invisible — identical
+# values, total step counts and machine stats with analysis on or off,
+# across engines × policies × quanta.  The dict engine ignores the
+# flag (no resolved IR to analyze), so the axis covers the other two.
+# ---------------------------------------------------------------------------
+
+ANALYSIS_ENGINES = ("resolved", "compiled")
+ANALYSIS_QUANTA = (1, 16, 4096)
+
+
+def _run_case_analysis(engine, policy, quantum, analysis, case):
+    interp = Interpreter(
+        engine=engine, policy=policy, seed=7, quantum=quantum, analysis=analysis
+    )
+    for example in case.examples:
+        interp.load_paper_example(example)
+    if case.setup:
+        interp.run(case.setup)
+    value = interp.eval_to_string(case.expr)
+    return (value, interp.machine.steps_total, dict(interp.machine.stats))
+
+
+@pytest.mark.parametrize("quantum", ANALYSIS_QUANTA)
+@pytest.mark.parametrize("engine", ANALYSIS_ENGINES)
+def test_analysis_ablation_no_divergence(engine, quantum):
+    for case in CASES:
+        if not case.check_stats:
+            continue
+        on = _run_case_analysis(engine, "round-robin", quantum, True, case)
+        off = _run_case_analysis(engine, "round-robin", quantum, False, case)
+        assert on == off, (case.id, on, off)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_analysis_ablation_across_policies(policy):
+    # The engine × quantum plane is covered above; this sweeps the
+    # policy axis at the default quantum (grants only ever fire under
+    # round-robin, but the off-path must be untouched everywhere).
+    for case in CASES:
+        if not case.check_stats:
+            continue
+        on = _run_case_analysis("compiled", policy, 16, True, case)
+        off = _run_case_analysis("compiled", policy, 16, False, case)
+        assert on == off, (case.id, on, off)
+
+
+@pytest.mark.parametrize("source", EQUIV_PROGRAMS)
+def test_equivalence_programs_analysis_ablation(source):
+    for engine in ANALYSIS_ENGINES:
+        runs = {
+            analysis: Interpreter(
+                engine=engine, policy="round-robin", seed=3, analysis=analysis
+            ).eval_to_string(source)
+            for analysis in (True, False)
+        }
+        assert runs[True] == runs[False], (engine, source)
+
+
 @pytest.mark.parametrize("engine", ENGINES)
 def test_batched_values_quantum_invariant(engine):
     # Schedule-deterministic cases must not observe the quantum at all:

@@ -142,3 +142,100 @@ def test_report_format():
 
 def test_report_no_sites():
     assert spawn_report("(+ 1 2)") == "no spawn sites"
+
+
+# ---------------------------------------------------------------------------
+# Regressions: the analysis used to miss two whole node families.
+# ---------------------------------------------------------------------------
+
+
+class TestPcallSites:
+    """``(pcall spawn proc)`` forks the evaluations but still ends in a
+    spawn application — it is a spawn site and must be classified."""
+
+    def test_pcall_spawn_is_a_site(self):
+        site = one("(pcall spawn (lambda (c) (c (lambda (k) 1))))")
+        assert site.classification == "confined"
+
+    def test_pcall_spawn_escaping(self):
+        site = one("(pcall spawn (lambda (c) c))")
+        assert site.classification == "escaping"
+
+    def test_pcall_other_operator_is_not_a_site(self):
+        assert analyze_source("(pcall + 1 2)") == []
+
+    def test_spawn_nested_under_pcall_arm_found(self):
+        site = one("(pcall + (spawn (lambda (c) 7)) 1)")
+        assert site.classification == "unused"
+
+
+def resolved_sites(source):
+    """Expand + resolve ``source`` against a fresh session's globals,
+    then analyze the *resolved* trees (LocalRef/GlobalRef dialect)."""
+    from repro.expander import ExpandEnv, expand_program
+    from repro.host.session import Session
+    from repro.ir.resolve import resolve_program
+    from repro.reader import read_all
+
+    from repro.analysis import analyze_spawns
+
+    sess = Session(engine="resolved", prelude=False)
+    env = ExpandEnv()
+    env.macros.update(sess.expand_env.macros)
+    nodes = expand_program(read_all(source), env)
+    return analyze_spawns(resolve_program(nodes, sess.globals))
+
+
+class TestResolvedDialect:
+    """The resolver rewrites Var into LocalRef/GlobalRef; the analysis
+    tracks the controller by slot address (depth, 0) instead of name."""
+
+    def test_confined(self):
+        (site,) = resolved_sites("(spawn (lambda (c) (+ 1 (c (lambda (k) 9)))))")
+        assert site.classification == "confined"
+        assert site.direct_uses == 1
+
+    def test_escaping_value_use(self):
+        (site,) = resolved_sites("(spawn (lambda (c) c))")
+        assert site.classification == "escaping"
+
+    def test_captured_in_nested_lambda(self):
+        (site,) = resolved_sites("(spawn (lambda (c) (lambda () (c (lambda (k) 1)))))")
+        assert site.classification == "captured"
+
+    def test_zero_slot_nested_lambda_keeps_address(self):
+        # A no-argument inner lambda allocates no rib, so it does not
+        # shift the controller's depth — but it is still a nested
+        # abstraction: the use is captured, not direct.
+        (site,) = resolved_sites("(spawn (lambda (c) (lambda () (c 'x))))")
+        assert site.classification == "captured"
+
+    def test_shadowing_by_address(self):
+        # Rebinding c in an inner lambda lives in its own rib; exact
+        # addressing keeps the outer controller distinct.
+        (site,) = resolved_sites(
+            "(spawn (lambda (c) ((lambda (c) (c 1)) (lambda (x) x))))"
+        )
+        assert site.classification == "unused"
+
+    def test_local_set_noted(self):
+        (site,) = resolved_sites("(spawn (lambda (c) (set! c 5)))")
+        assert any("reassigned" in n for n in site.notes)
+
+    def test_pcall_spawn_resolved(self):
+        (site,) = resolved_sites("(pcall spawn (lambda (c) (c (lambda (k) 1))))")
+        assert site.classification == "confined"
+
+    def test_agreement_with_unresolved(self):
+        programs = [
+            "(spawn (lambda (c) 42))",
+            "(spawn (lambda (c) (+ 1 (c (lambda (k) 9)))))",
+            "(spawn (lambda (c) c))",
+            "(spawn (lambda (c) (list c)))",
+            "(spawn (lambda (c) ((lambda (x) (c (lambda (k) x))) 5)))",
+            "(spawn (lambda (outer) (spawn (lambda (inner) (outer (lambda (k) 1))))))",
+        ]
+        for source in programs:
+            unresolved = [s.classification for s in analyze_source(source)]
+            resolved = [s.classification for s in resolved_sites(source)]
+            assert unresolved == resolved, source
