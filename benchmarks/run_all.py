@@ -211,19 +211,25 @@ def run_ab(repeats: int) -> dict[str, dict[str, float]]:
     the pre-batching engines so the resolver and compiler ratios stay
     comparable across PRs; the ``batched`` column is the default
     quantum-batched register loop on the compiled pipeline (PR 3's
-    run-loop A/B is ``batched`` vs ``compiled``).
+    run-loop A/B is ``batched`` vs ``compiled``).  The ``codegen``
+    column is engine #4 — emitted Python source through the ir-hash
+    code cache — on the same batched loop, reported as g/b against the
+    batched baseline (its gated floor lives in ``bench_codegen.py``).
     """
     print(
         "\n=== A/B  dict chains vs resolved (slot ribs) vs compiled (code "
-        "thunks) vs batched (register run loop) ==="
+        "thunks) vs batched (register run loop) vs codegen (emitted "
+        "Python) ==="
     )
     results: dict[str, dict[str, float]] = {}
     for name in AB_WORKLOADS:
         times = {
             engine: _time_workload(name, engine, repeats, batched=False)
             for engine in ENGINES
+            if engine != "codegen"  # codegen's column is the batched loop
         }
         times["batched"] = _time_workload(name, "compiled", repeats, batched=True)
+        times["codegen"] = _time_workload(name, "codegen", repeats, batched=True)
         resolved_vs_dict = (
             times["dict"] / times["resolved"] if times["resolved"] else float("inf")
         )
@@ -233,6 +239,9 @@ def run_ab(repeats: int) -> dict[str, dict[str, float]]:
         batched_vs_compiled = (
             times["compiled"] / times["batched"] if times["batched"] else float("inf")
         )
+        codegen_vs_batched = (
+            times["batched"] / times["codegen"] if times["codegen"] else float("inf")
+        )
         gate = "  [gated ≥%.1fx]" % RATIO_FLOOR if name in GATED else ""
         if name in BATCH_GATED:
             gate += "  [b/c gated ≥%.2fx]" % BATCH_RATIO_FLOOR
@@ -241,17 +250,21 @@ def run_ab(repeats: int) -> dict[str, dict[str, float]]:
             f"resolved={times['resolved'] * 1e3:8.2f}ms  "
             f"compiled={times['compiled'] * 1e3:8.2f}ms  "
             f"batched={times['batched'] * 1e3:8.2f}ms  "
+            f"codegen={times['codegen'] * 1e3:8.2f}ms  "
             f"r/d={resolved_vs_dict:5.2f}x  c/r={compiled_vs_resolved:5.2f}x  "
-            f"b/c={batched_vs_compiled:5.2f}x{gate}"
+            f"b/c={batched_vs_compiled:5.2f}x  "
+            f"g/b={codegen_vs_batched:5.2f}x{gate}"
         )
         results[name] = {
             "dict_s": times["dict"],
             "resolved_s": times["resolved"],
             "compiled_s": times["compiled"],
             "batched_s": times["batched"],
+            "codegen_s": times["codegen"],
             "resolved_over_dict": round(resolved_vs_dict, 3),
             "compiled_over_resolved": round(compiled_vs_resolved, 3),
             "batched_over_compiled": round(batched_vs_compiled, 3),
+            "codegen_over_batched": round(codegen_vs_batched, 3),
         }
     return results
 

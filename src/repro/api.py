@@ -79,14 +79,17 @@ class Interpreter:
            ``engine`` wins when both are given.
     engine:
         Execution engine: :class:`~repro.machine.scheduler.Engine` or
-        its string value — ``"dict"``, ``"resolved"``, ``"compiled"``
-        (see :data:`repro.machine.scheduler.ENGINES`).  Defaults to
-        ``"compiled"``: the full pipeline reader → expand → resolve →
-        compile → machine.  ``"resolved"`` stops after the resolver and
-        tree-walks the resolved IR; ``"dict"`` is the original
-        dict-chain interpreter (the seed baseline).  All three agree on
-        every program — ``benchmarks/run_all.py`` runs the three-way
-        A/B.
+        its string value — ``"dict"``, ``"resolved"``, ``"compiled"``,
+        ``"codegen"`` (see :data:`repro.machine.scheduler.ENGINES`).
+        Defaults to ``"compiled"``: the pipeline reader → expand →
+        resolve → compile → machine.  ``"codegen"`` goes one stage
+        further — resolved IR is emitted as straight-line Python
+        source, ``compile()``d once and cached by ``ir-hash-v1``
+        digest (:mod:`repro.ir.codegen`, DESIGN.md S26).
+        ``"resolved"`` stops after the resolver and tree-walks the
+        resolved IR; ``"dict"`` is the original dict-chain interpreter
+        (the seed baseline).  All four agree on every program —
+        ``benchmarks/run_all.py`` runs the engine A/B.
     batched:
         Run tasks in quantum batches with the control registers held in
         Python locals (the default).  ``batched=False`` selects the

@@ -61,7 +61,14 @@ from repro.expander import ExpandEnv, expand_program
 from repro.control import register_control_primitives
 from repro.host.handle import EvalHandle, HandleState
 from repro.host.metrics import SessionMetrics
-from repro.ir import CompileStats, ResolverStats, compile_program, resolve_program
+from repro.ir import (
+    CodegenStats,
+    CompileStats,
+    ResolverStats,
+    codegen_program,
+    compile_program,
+    resolve_program,
+)
 from repro.lib import PRELUDE, paper_examples
 from repro.lib.derived import LIBRARIES
 from repro.machine.environment import GlobalEnv
@@ -129,6 +136,7 @@ class Session:
         self.analysis_stats = AnalysisStats()
         self.resolver_stats = ResolverStats()
         self.compile_stats = CompileStats()
+        self.codegen_stats = CodegenStats()
         self.globals = GlobalEnv()
         self.output = install_primitives(self.globals, OutputBuffer(echo=echo_output))
         register_control_primitives(self.globals)
@@ -222,6 +230,8 @@ class Session:
                 report = annotate_program(nodes, self.globals, self.analysis_stats)
             if self.engine == "compiled":
                 nodes = compile_program(nodes, self.compile_stats)
+            elif self.engine == "codegen":
+                nodes = codegen_program(nodes, self.codegen_stats)
         return nodes, report
 
     # -- state -----------------------------------------------------------
@@ -623,14 +633,19 @@ class Session:
         *,
         record=None,
         name: str | None = None,
+        engine: "str | Engine | None" = None,
     ) -> "Session":
         """Rebuild a session from a :meth:`snapshot` blob, in this or
         any other process.  ``record`` attaches a fresh observability
         recorder (recorders are never serialized); ``name`` overrides
-        the stored session name."""
+        the stored session name; ``engine`` restores under a different
+        engine (code is recorded as resolved IR + digest, so each
+        engine rebuilds its own executable form on restore)."""
         from repro.snapshot import restore_session
 
-        return restore_session(blob, record=record, name=name)
+        if engine is not None:
+            engine = normalize_engine(engine)
+        return restore_session(blob, record=record, name=name, engine=engine)
 
     # -- introspection ---------------------------------------------------
 
@@ -650,6 +665,8 @@ class Session:
                 _merge_namespaced(out, "analysis", self.analysis_stats.as_dict())
             if self.engine == "compiled":
                 _merge_namespaced(out, "compile", self.compile_stats.as_dict())
+            elif self.engine == "codegen":
+                _merge_namespaced(out, "codegen", self.codegen_stats.as_dict())
         if self.machine.profile:
             _merge_namespaced(out, "vm", self.machine.vm_stats)
         out.update(self.metrics.as_dict())

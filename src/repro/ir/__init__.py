@@ -32,10 +32,12 @@ from repro.ir.hashing import stable_hash
 from repro.ir.pretty import pretty
 from repro.ir.resolve import ResolverStats, resolve_node, resolve_program
 
-# Imported last: repro.ir.compile depends on repro.machine, which in
-# turn imports repro.ir — by this point every name above is bound, so
-# the cycle resolves cleanly from either entry direction.
+# Imported last: repro.ir.compile and repro.ir.codegen depend on
+# repro.machine, which in turn imports repro.ir — by this point every
+# name above is bound, so the cycle resolves cleanly from either entry
+# direction.
 from repro.ir.compile import CompileStats, compile_node, compile_program
+from repro.ir.codegen import CodegenStats, codegen_node, codegen_program
 
 __all__ = [
     "Node",
@@ -61,4 +63,7 @@ __all__ = [
     "CompileStats",
     "compile_node",
     "compile_program",
+    "CodegenStats",
+    "codegen_node",
+    "codegen_program",
 ]

@@ -50,11 +50,16 @@ __all__ = ["ENGINES", "Engine", "Machine", "SchedulerPolicy", "normalize_engine"
 #:   with trivial-operand folding in the tree-walking stepper.
 #: * ``"compiled"`` — resolved IR pre-translated to code thunks by
 #:   :mod:`repro.ir.compile`; the stepper dispatches by calling.
+#: * ``"codegen"`` — resolved IR emitted as straight-line Python source
+#:   and ``compile()``d once per form by :mod:`repro.ir.codegen`, with
+#:   code objects cached by ``ir-hash-v1`` digest.  The emitted
+#:   functions obey the same code-thunk contract as ``"compiled"``, so
+#:   both engines share one run loop.
 #:
-#: All three push identical frame chains and control points, so the
+#: All four push identical frame chains and control points, so the
 #: capture/reinstate algebra — and every Section 7 claim — is engine-
 #: independent.
-ENGINES = ("dict", "resolved", "compiled")
+ENGINES = ("dict", "resolved", "compiled", "codegen")
 
 
 class Engine(enum.Enum):
@@ -64,6 +69,7 @@ class Engine(enum.Enum):
     DICT = "dict"
     RESOLVED = "resolved"
     COMPILED = "compiled"
+    CODEGEN = "codegen"
 
 
 def normalize_engine(engine: "Engine | str") -> str:
@@ -136,7 +142,9 @@ class Machine:
         # nodes that reach the stepper (begin_eval fallback) take the
         # plain path.
         self.fold = engine == "resolved"
-        self._step_fn = step_compiled if engine == "compiled" else step
+        self._step_fn = (
+            step_compiled if engine in ("compiled", "codegen") else step
+        )
         # The quantum driver (see repro.machine.step).  ``batched=True``
         # (default) runs each quantum in one Python frame with the
         # control registers held in locals; ``batched=False`` is the
@@ -146,7 +154,7 @@ class Machine:
         self.batched = batched
         if not batched:
             self._run_quantum = run_quantum_stepped
-        elif engine == "compiled":
+        elif engine in ("compiled", "codegen"):
             self._run_quantum = run_quantum_compiled
         else:
             self._run_quantum = run_quantum

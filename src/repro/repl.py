@@ -24,6 +24,9 @@ REPL meta-commands:
     ,analyze <expr>  capture/effect analysis: per-form facts and the
                      pure/capture-heavy/spawning classification, plus
                      the controller escape report for spawn sites
+    ,codegen <expr>  show the Python source the codegen engine emits
+                     for a form (against this REPL's live globals and
+                     macros) and its ir-hash code-cache status
     ,quit            exit
 """
 
@@ -154,9 +157,43 @@ class Repl:
                     self._print(spawn_report(argument))
                 except ReproError as exc:
                     self._print(f"error: {exc}")
+        elif command == "codegen":
+            if not argument:
+                self._print("usage: ,codegen <expression>")
+            else:
+                self._show_codegen(argument)
         else:
             self._print(f"unknown command ,{command} (try ,help)")
         return True
+
+    def _show_codegen(self, source: str) -> None:
+        """,codegen — the emitted Python for each top-level form, plus
+        the ir-hash code-cache verdict (mirrors ,analyze: the form is
+        expanded and resolved against this REPL's live session)."""
+        from repro.expander import expand_program
+        from repro.ir import resolve_program, stable_hash
+        from repro.ir.codegen import cache_info, emitted_source, is_cached
+        from repro.reader import read_all
+
+        session = self.interp.session
+        try:
+            forms = read_all(source)
+            nodes = expand_program(forms, session.expand_env)
+            nodes = resolve_program(nodes, session.globals)
+            if session.analysis:
+                from repro.analysis import annotate_program
+
+                annotate_program(nodes, session.globals)
+            for node in nodes:
+                digest = stable_hash(node)
+                status = "hit" if is_cached(node) else "miss"
+                self._print(f"; ir-hash {digest[:16]}… cache {status}")
+                self._print(emitted_source(node))
+        except ReproError as exc:
+            self._print(f"error: {exc}")
+            return
+        info = cache_info()
+        self._print(f"; code cache {info['size']}/{info['capacity']} entries")
 
     def eval_and_print(self, source: str) -> None:
         try:
@@ -246,10 +283,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--engine",
         default=None,
-        choices=["dict", "resolved", "compiled"],
+        choices=["dict", "resolved", "compiled", "codegen"],
         help="execution engine: 'compiled' (default; resolved IR "
-        "closure-compiled to code thunks), 'resolved' (tree-walk the "
-        "resolved IR), or 'dict' (the original dict-chain interpreter)",
+        "closure-compiled to code thunks), 'codegen' (resolved IR "
+        "emitted as Python source, compile()d once and cached by "
+        "ir-hash), 'resolved' (tree-walk the resolved IR), or 'dict' "
+        "(the original dict-chain interpreter)",
     )
     parser.add_argument(
         "--no-resolve",

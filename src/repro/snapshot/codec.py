@@ -46,6 +46,7 @@ state — snapshotting from inside :meth:`Session.pump` raises
 
 from __future__ import annotations
 
+import dataclasses
 from collections import deque
 from fractions import Fraction
 from time import monotonic as _monotonic
@@ -63,7 +64,8 @@ from repro.errors import SnapshotError, SnapshotFormatError
 from repro.expander.syntax_rules import Macro, Rule
 from repro.host.handle import EvalHandle, HandleState
 from repro.host.session import Session
-from repro.ir import compile_node, stable_hash
+from repro.ir import codegen_node, compile_node, stable_hash
+from repro.ir.codegen import CodegenStats
 from repro.ir.compile import CompileStats
 from repro.ir.nodes import (
     App,
@@ -114,7 +116,9 @@ MAGIC = b"RSNP"
 #: v2: capture/effect analysis — Lambda/Closure effects bitmasks, the
 #: handle classification, AnalysisStats roots, the analysis header flag
 #: and the three submits_* session counters.
-FORMAT_VERSION = 2
+#: v3: codegen engine — the CodegenStats root tuple (written for every
+#: engine, zeros when codegen never ran).
+FORMAT_VERSION = 3
 
 # -- value tags (the self-describing scalar/reference layer) -------------
 
@@ -521,6 +525,8 @@ class _Encoder:
             w,
             (cs.nodes_compiled, cs.lambdas_compiled, cs.apps_inlined, cs.tests_inlined),
         )
+        gs = session.codegen_stats
+        wv(w, tuple(getattr(gs, f.name) for f in dataclasses.fields(gs)))
         ast = session.analysis_stats
         wv(w, tuple(getattr(ast, name) for name in ast._FIELDS))
         m = session.metrics
@@ -827,14 +833,22 @@ class _Decoder:
         *,
         record: Any = None,
         name: str | None = None,
+        engine: str | None = None,
     ):
         self.reader = Reader(blob)
         self.record = record
         self.name_override = name
+        self.engine_override = engine
+        #: The engine the restored session runs under (stored engine or
+        #: the override); decided in :meth:`decode` before the node
+        #: table is built, because it selects the ``_N_CODE`` recompile
+        #: path.
+        self.engine: str | None = None
         self.objects: list[Any] = []
         self.nodes: list[Any] = []
         self.code_cache: dict[str, Any] = {}
         self.scratch_compile_stats = CompileStats()
+        self.scratch_codegen_stats = CodegenStats()
         self.now = _monotonic()
         self.session: Session | None = None
         self.globals = None
@@ -958,7 +972,18 @@ class _Decoder:
                     "snapshot integrity failure: decoded IR does not match "
                     f"its stored hash {digest[:16]}…"
                 )
-            thunk = compile_node(node, self.scratch_compile_stats)
+            # The restoring engine decides the executable form: codegen
+            # routes through its digest-keyed code cache, compiled
+            # rebuilds closure thunks, and the tree-walking engines
+            # keep the raw resolved IR (their steppers evaluate nodes
+            # directly — a restored closure's resolved body runs fine
+            # under either walker).
+            if self.engine == "codegen":
+                thunk = codegen_node(node, self.scratch_codegen_stats)
+            elif self.engine == "compiled":
+                thunk = compile_node(node, self.scratch_compile_stats)
+            else:
+                thunk = node
             self.code_cache[digest] = thunk
             return thunk
         raise SnapshotFormatError(f"unknown node tag {tag}")
@@ -977,6 +1002,9 @@ class _Decoder:
             )
         name = r.str_()
         engine = r.str_()
+        if self.engine_override is not None:
+            engine = self.engine_override
+        self.engine = engine
         policy = r.str_()
         quantum = r.varint()
         flags = r.u8()
@@ -1045,6 +1073,7 @@ class _Decoder:
         parts = rv(r)
         resolver = rv(r)
         compile_counts = rv(r)
+        codegen_counts = rv(r)
         analysis_counts = rv(r)
         metrics = rv(r)
         pending = rv(r)
@@ -1071,6 +1100,9 @@ class _Decoder:
             cs.apps_inlined,
             cs.tests_inlined,
         ) = compile_counts
+        gs = session.codegen_stats
+        for field, value in zip(dataclasses.fields(gs), codegen_counts):
+            setattr(gs, field.name, value)
         ast = session.analysis_stats
         for field, value in zip(ast._FIELDS, analysis_counts):
             setattr(ast, field, value)
@@ -1384,6 +1416,7 @@ def restore_session(
     *,
     record: Any = None,
     name: str | None = None,
+    engine: str | None = None,
 ) -> Session:
     """Rebuild a :class:`~repro.host.session.Session` from a snapshot
     blob, in this or any other process.
@@ -1391,7 +1424,15 @@ def restore_session(
     ``record`` attaches an observability recorder to the restored
     session (recorders are never serialized); ``name`` overrides the
     stored session name (the cluster tier uses this to keep shard-local
-    names stable).  Raises :class:`~repro.errors.SnapshotFormatError`
-    on malformed or version-incompatible blobs.
+    names stable).  ``engine`` restores under a different engine than
+    the one that took the snapshot — snapshots record code as resolved
+    IR plus digest, so any engine can rebuild its own executable form
+    (cross-engine migration; values are engine-independent).  Raises
+    :class:`~repro.errors.SnapshotFormatError` on malformed or
+    version-incompatible blobs.
     """
-    return _Decoder(blob, record=record, name=name).decode()
+    from repro.machine.scheduler import normalize_engine
+
+    if engine is not None:
+        engine = normalize_engine(engine)
+    return _Decoder(blob, record=record, name=name, engine=engine).decode()

@@ -80,7 +80,16 @@ class Reader:
     def __init__(self, data: bytes, pos: int = 0, end: int | None = None):
         self.data = data
         self.pos = pos
-        self.end = len(data) if end is None else end
+        if end is None:
+            end = len(data)
+        elif end > len(data):
+            # A length prefix promising more bytes than the blob holds:
+            # the blob is truncated, not the reader out of bounds.
+            raise SnapshotFormatError(
+                f"truncated snapshot: record claims {end - len(data)} "
+                f"byte(s) past the end of the blob"
+            )
+        self.end = end
 
     def _need(self, n: int) -> None:
         if self.pos + n > self.end:

@@ -297,6 +297,29 @@ def test_no_grants_when_quantum_already_large():
     assert sess.analysis_stats.grants == 0
 
 
+def test_codegen_engine_gets_grants():
+    # The grant condition unwraps code thunks via .node, so the
+    # codegen engine's emitted functions qualify exactly like the
+    # closure compiler's thunks do — same program, same grant count.
+    compiled = Session(engine="compiled", quantum=16)
+    compiled.run(FIB)
+    codegen = Session(engine="codegen", quantum=16)
+    codegen.run(FIB)
+    assert codegen.analysis_stats.grants == compiled.analysis_stats.grants > 0
+    assert codegen.machine.quantum_grant is None  # cleared at form end
+
+
+@pytest.mark.parametrize("engine", ["dict", "resolved", "compiled", "codegen"])
+def test_no_grants_under_random_policy_any_engine(engine):
+    # Regression for the grant policy gate: the random policy draws
+    # from its RNG once per pick, so an enlarged quantum would perturb
+    # the seeded schedule — every engine must stay excluded, including
+    # any engine added after the gate was written.
+    sess = Session(engine=engine, quantum=16, policy="random", seed=3)
+    sess.run(FIB)
+    assert sess.analysis_stats.grants == 0
+
+
 def test_dict_engine_ignores_analysis():
     sess = Session(engine="dict")
     assert sess.analysis is False

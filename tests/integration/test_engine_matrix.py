@@ -223,7 +223,7 @@ def test_batched_matches_stepped(engine, quantum):
 # flag (no resolved IR to analyze), so the axis covers the other two.
 # ---------------------------------------------------------------------------
 
-ANALYSIS_ENGINES = ("resolved", "compiled")
+ANALYSIS_ENGINES = ("resolved", "compiled", "codegen")
 ANALYSIS_QUANTA = (1, 16, 4096)
 
 

@@ -175,6 +175,36 @@ def test_meta_analyze_usage(repl):
     assert "usage" in text
 
 
+def test_meta_codegen(repl):
+    # Emitted Python for the form plus the ir-hash cache verdict.
+    text, _ = feed(repl, ",codegen (+ 1 2)")
+    assert "ir-hash" in text
+    assert "def _f1(machine, task" in text
+    assert "code cache" in text
+
+
+def test_meta_codegen_resolves_against_live_session(repl):
+    # Like ,analyze, the form is expanded and resolved against this
+    # REPL's live globals and macros — a fresh definition is visible.
+    text, _ = feed(
+        repl,
+        "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))",
+        ",codegen (fib 10)",
+    )
+    assert "cache" in text
+    assert "_apply_deliver" in text  # the spill path is in the source
+
+
+def test_meta_codegen_usage(repl):
+    text, _ = feed(repl, ",codegen")
+    assert "usage" in text
+
+
+def test_meta_codegen_error(repl):
+    text, _ = feed(repl, ",codegen (")
+    assert "error" in text
+
+
 def test_experiments_runner_module():
     """python -m repro.experiments must run clean (smoke: E3+E8 subset
     run in-process to keep the test fast)."""

@@ -110,13 +110,16 @@ def test_resolved_engine_stats_omit_compile_counters():
 # -- the engine seam ---------------------------------------------------
 
 
-def test_engines_tuple_names_all_three():
-    assert ENGINES == ("dict", "resolved", "compiled")
+def test_engines_tuple_names_all_four():
+    assert ENGINES == ("dict", "resolved", "compiled", "codegen")
 
 
 def test_machine_rejects_unknown_engine():
-    with pytest.raises(ValueError):
+    with pytest.raises(ValueError) as exc:
         Machine(engine="bogus")
+    # The error names every engine, so a typo'd selector is self-serving.
+    for name in ("dict", "resolved", "compiled", "codegen"):
+        assert name in str(exc.value)
 
 
 def test_interpreter_engine_defaults():

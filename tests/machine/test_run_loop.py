@@ -117,7 +117,10 @@ def test_trace_hook_sees_every_transition(engine, batched):
     interp.eval("(count 20)")
     interp.machine.trace_hook = None
     assert len(seen) == interp.machine.steps_total
-    assert len(seen) > 20
+    # Engines fuse differently (codegen's self-call inlining runs two
+    # loop iterations per step); any real run of the loop still takes
+    # a healthy number of transitions.
+    assert len(seen) > 10
 
 
 def test_trace_hook_count_is_batching_invariant():

@@ -10,7 +10,7 @@ from repro import Session
 from repro.errors import SnapshotError, SnapshotFormatError
 from repro.snapshot import FORMAT_VERSION, MAGIC, restore_session, snapshot_session
 
-ENGINES = ["dict", "resolved", "compiled"]
+ENGINES = ["dict", "resolved", "compiled", "codegen"]
 
 
 def drained(session: Session) -> Session:
