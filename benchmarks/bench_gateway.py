@@ -1,0 +1,332 @@
+#!/usr/bin/env python
+"""Gateway serving benchmark: closed- and open-loop load over TCP.
+
+    PYTHONPATH=src python benchmarks/bench_gateway.py           # full run
+    PYTHONPATH=src python benchmarks/bench_gateway.py --smoke   # CI mode
+    PYTHONPATH=src python benchmarks/bench_gateway.py --out x.json
+
+Two phases against one in-process :class:`~repro.gateway.Gateway` over
+a :class:`~repro.host.Host` backend (real sockets, loopback):
+
+* **Closed loop** — N concurrent connections, each running submit →
+  result back to back for a fixed duration.  Measures the sustainable
+  request rate and the request latency distribution (p50/p99) with the
+  offered load self-limited by completion.
+* **Open loop** — requests fired at a fixed rate of 2× the measured
+  sustainable throughput, regardless of completions (the arrival
+  process does not slow down when the server does).  This is the
+  overload test the shed contract exists for: the gateway must answer
+  *every* frame — a result or a structured ``busy`` with
+  ``retry_after_ms`` — with zero protocol errors and zero client
+  timeouts, while inflight stays bounded by admission control instead
+  of queue growth.
+
+Acceptance (gated in CI via ``--smoke``):
+
+* zero protocol errors and zero client timeouts in both phases;
+* every open-loop request answered: served + shed + failed == sent;
+* under 2× overload the gateway actually sheds (shed rate in
+  (0.02, 0.98) — load shedding, not collapse and not a free lunch);
+* served-request p99 stays under a generous ceiling even at overload
+  (bounded admission ⇒ bounded queueing delay).
+
+Results merge into ``BENCH_results.json`` under ``"gateway"``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.isdir(os.path.join(_ROOT, "src")):
+    sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from repro.errors import GatewayBusy, GatewayRequestError  # noqa: E402
+from repro.gateway import Gateway, GatewayClient, GatewayLimits  # noqa: E402
+from repro.host import Host  # noqa: E402
+
+#: Served p99 ceiling under 2x overload, milliseconds.  Generous for
+#: shared CI runners; the property being gated is boundedness (shed,
+#: don't queue), not absolute speed.
+P99_CEILING_MS = 2_000.0
+
+#: The open-loop shed-rate window at 2x offered load: the gateway must
+#: refuse some work (it cannot serve 2x its own ceiling) but must not
+#: collapse into refusing everything.
+SHED_RATE_MIN, SHED_RATE_MAX = 0.02, 0.98
+
+SOURCE = "(+ %d 1)"
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+def _summary(latencies_s: list[float]) -> dict[str, float]:
+    latencies = sorted(latencies_s)
+    return {
+        "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+        "p90_ms": round(_percentile(latencies, 0.90) * 1e3, 3),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+    }
+
+
+class Tally:
+    """Shared counters for one load phase."""
+
+    def __init__(self) -> None:
+        self.ok = 0
+        self.shed = 0
+        self.failed = 0  # eval-side failures (none expected here)
+        self.timeouts = 0
+        self.protocol_errors = 0
+        self.latencies: list[float] = []
+
+    @property
+    def answered(self) -> int:
+        return self.ok + self.shed + self.failed
+
+
+async def _one_request(
+    client: GatewayClient, session: str, tenant: str, i: int, tally: Tally
+) -> float:
+    """Run one submit→result round trip.  Returns the server's
+    retry-after hint in seconds when the request was shed, else 0.0."""
+    t0 = time.perf_counter()
+    try:
+        rid = await client.submit(session, SOURCE % i, tenant=tenant)
+        value = await asyncio.wait_for(client.result(rid), timeout=30.0)
+    except GatewayBusy as exc:
+        tally.shed += 1
+        if exc.retry_after_ms < 0:  # pragma: no cover - contract check
+            tally.protocol_errors += 1
+        return max(0.001, exc.retry_after_ms / 1000.0)
+    except GatewayRequestError:
+        tally.failed += 1
+        return 0.0
+    except asyncio.TimeoutError:
+        tally.timeouts += 1
+        return 0.0
+    except Exception:  # noqa: BLE001 - anything else is a protocol error
+        tally.protocol_errors += 1
+        return 0.0
+    if value != str(i + 1):
+        tally.protocol_errors += 1
+        return 0.0
+    tally.ok += 1
+    tally.latencies.append(time.perf_counter() - t0)
+    return 0.0
+
+
+async def _closed_loop(
+    gw: Gateway, connections: int, sessions: int, duration: float
+) -> dict[str, object]:
+    clients = await asyncio.gather(
+        *(GatewayClient.connect(gw.host, gw.port) for _ in range(connections))
+    )
+    tally = Tally()
+    stop_at = time.perf_counter() + duration
+
+    async def worker(k: int, client: GatewayClient) -> None:
+        session, tenant = f"s{k % sessions}", f"t{k % sessions}"
+        i = 0
+        while time.perf_counter() < stop_at:
+            # A well-behaved client: honour the retry hint on a shed
+            # instead of hammering (the shed/retry contract's client
+            # half, docs/SERVING.md).
+            retry_after = await _one_request(client, session, tenant, i, tally)
+            if retry_after:
+                await asyncio.sleep(retry_after)
+            i += 1
+
+    t0 = time.perf_counter()
+    await asyncio.gather(*(worker(k, c) for k, c in enumerate(clients)))
+    elapsed = time.perf_counter() - t0
+    for client in clients:
+        await client.close()
+    throughput = tally.ok / elapsed if elapsed else 0.0
+    return {
+        "connections": connections,
+        "duration_s": round(elapsed, 3),
+        "requests_ok": tally.ok,
+        "shed": tally.shed,
+        "failed": tally.failed,
+        "timeouts": tally.timeouts,
+        "protocol_errors": tally.protocol_errors,
+        "throughput_rps": round(throughput, 1),
+        **_summary(tally.latencies),
+    }
+
+
+async def _open_loop(
+    gw: Gateway,
+    pool_size: int,
+    sessions: int,
+    rate: float,
+    duration: float,
+) -> dict[str, object]:
+    clients = await asyncio.gather(
+        *(GatewayClient.connect(gw.host, gw.port) for _ in range(pool_size))
+    )
+    tally = Tally()
+    tasks: list[asyncio.Task] = []
+    total = int(rate * duration)
+    t0 = time.perf_counter()
+    fired = 0
+    # Fire in 10ms batches: the arrival clock never waits for results.
+    while fired < total:
+        now = time.perf_counter() - t0
+        due = min(total, int(now * rate) + 1)
+        while fired < due:
+            client = clients[fired % pool_size]
+            session, tenant = f"s{fired % sessions}", f"t{fired % sessions}"
+            tasks.append(
+                asyncio.ensure_future(
+                    _one_request(client, session, tenant, fired, tally)
+                )
+            )
+            fired += 1
+        await asyncio.sleep(0.01)
+    await asyncio.gather(*tasks)
+    elapsed = time.perf_counter() - t0
+    for client in clients:
+        await client.close()
+    shed_rate = tally.shed / fired if fired else 0.0
+    return {
+        "offered_rps": round(rate, 1),
+        "sent": fired,
+        "duration_s": round(elapsed, 3),
+        "requests_ok": tally.ok,
+        "shed": tally.shed,
+        "failed": tally.failed,
+        "timeouts": tally.timeouts,
+        "protocol_errors": tally.protocol_errors,
+        "answered": tally.answered,
+        "shed_rate": round(shed_rate, 4),
+        "served_rps": round(tally.ok / elapsed, 1) if elapsed else 0.0,
+        **_summary(tally.latencies),
+    }
+
+
+async def _run(args: argparse.Namespace) -> dict[str, object]:
+    connections = 64 if args.smoke else args.connections
+    sessions = min(connections, 64)
+    duration = 2.0 if args.smoke else args.duration
+    limits = GatewayLimits(max_inflight=64, tenant_max_inflight=32)
+    host = Host(max_pending=256, quantum=2048)
+    async with Gateway(host, limits=limits) as gw:
+        print(
+            f"\n=== closed loop ({connections} connections, "
+            f"{sessions} sessions, {duration:.0f}s) ==="
+        )
+        closed = await _closed_loop(gw, connections, sessions, duration)
+        print(
+            f"  {closed['throughput_rps']:8.0f} req/s  "
+            f"p50={closed['p50_ms']:.2f}ms p99={closed['p99_ms']:.2f}ms  "
+            f"shed={closed['shed']} errors={closed['protocol_errors']}"
+        )
+
+        sustainable = float(closed["throughput_rps"])  # type: ignore[arg-type]
+        offered = max(50.0, 2.0 * sustainable)
+        print(
+            f"\n=== open loop (2x overload: {offered:.0f} req/s offered, "
+            f"{duration:.0f}s) ==="
+        )
+        open_ = await _open_loop(
+            gw, min(connections, 64), sessions, offered, duration
+        )
+        print(
+            f"  sent={open_['sent']} ok={open_['requests_ok']} "
+            f"shed={open_['shed']} ({100 * float(open_['shed_rate']):.1f}%) "  # type: ignore[arg-type]
+            f"timeouts={open_['timeouts']} errors={open_['protocol_errors']}"
+        )
+        print(
+            f"  served p50={open_['p50_ms']:.2f}ms p99={open_['p99_ms']:.2f}ms "
+            f"at {open_['served_rps']:.0f} req/s"
+        )
+        gateway_stats = gw.stats
+        histograms = gw.histograms()
+    return {
+        "closed_loop": closed,
+        "open_loop": open_,
+        "gateway_stats": gateway_stats,
+        "histograms": histograms,
+    }
+
+
+def _merge_out(path: str, payload: dict[str, object]) -> None:
+    data: dict[str, object] = {}
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            data = {}
+    data["gateway"] = payload
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2)
+        handle.write("\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=os.path.join(_ROOT, "BENCH_results.json"),
+        help="result JSON path; the gateway section merges into an "
+        "existing file (default: BENCH_results.json)",
+    )
+    parser.add_argument(
+        "--connections", type=int, default=1000, help="closed-loop connections"
+    )
+    parser.add_argument(
+        "--duration", type=float, default=8.0, help="seconds per phase"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: 64 connections, 2s phases, same gates",
+    )
+    args = parser.parse_args(argv)
+
+    payload = asyncio.run(_run(args))
+    closed = payload["closed_loop"]
+    open_ = payload["open_loop"]
+
+    checks = {
+        "zero_protocol_errors": (
+            closed["protocol_errors"] == 0 and open_["protocol_errors"] == 0  # type: ignore[index]
+        ),
+        "zero_timeouts": closed["timeouts"] == 0 and open_["timeouts"] == 0,  # type: ignore[index]
+        "every_frame_answered": open_["answered"] == open_["sent"],  # type: ignore[index]
+        "sheds_under_overload": (
+            SHED_RATE_MIN < float(open_["shed_rate"]) < SHED_RATE_MAX  # type: ignore[index, arg-type]
+        ),
+        "p99_bounded": float(open_["p99_ms"]) < P99_CEILING_MS,  # type: ignore[index, arg-type]
+    }
+    acceptance_pass = all(checks.values())
+    payload["acceptance"] = {
+        **checks,
+        "shed_rate_window": [SHED_RATE_MIN, SHED_RATE_MAX],
+        "p99_ceiling_ms": P99_CEILING_MS,
+        "smoke": args.smoke,
+        "pass": acceptance_pass,
+    }
+    _merge_out(args.out, payload)
+    print(f"\nwrote gateway section to {args.out}")
+    failing = [name for name, ok in checks.items() if not ok]
+    status = "pass" if acceptance_pass else f"FAIL ({', '.join(failing)})"
+    print(f"acceptance [{status}]")
+    return 0 if acceptance_pass else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

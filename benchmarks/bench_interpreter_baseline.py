@@ -65,11 +65,11 @@ WORKLOADS = {
 }
 
 
-@pytest.mark.parametrize("resolve", [True, False], ids=["resolved", "dict"])
+@pytest.mark.parametrize("engine", ["resolved", "dict"], ids=["resolved", "dict"])
 @pytest.mark.parametrize("name", list(WORKLOADS))
-def test_baseline_timing(benchmark, name, resolve):
+def test_baseline_timing(benchmark, name, engine):
     setup, expr, expected = WORKLOADS[name]
-    interp = Interpreter(resolve=resolve)
+    interp = Interpreter(engine=engine)
     if setup:
         interp.run(setup)
 
@@ -84,8 +84,8 @@ def test_steps_per_workload_report():
     print("\nBaseline  machine steps per workload (resolved / dict)")
     for name, (setup, expr, _expected) in WORKLOADS.items():
         counts = []
-        for resolve in (True, False):
-            interp = Interpreter(resolve=resolve)
+        for engine in ("resolved", "dict"):
+            interp = Interpreter(engine=engine)
             if setup:
                 interp.run(setup)
             before = interp.machine.steps_total

@@ -107,11 +107,11 @@ def test_write_backs_avoided_scale_with_quantum():
         interp.run(setup)
         interp.eval(expr)
         stats = interp.stats
-        avoided = stats["vm_allocations_avoided"]
-        steps = stats["vm_quantum_steps"]
+        avoided = stats["vm.allocations_avoided"]
+        steps = stats["vm.quantum_steps"]
         rows.append((quantum, avoided, steps))
         print(
-            f"  quantum={quantum:5d}: steps={steps:6d} quanta={stats['vm_quanta']:6d}"
+            f"  quantum={quantum:5d}: steps={steps:6d} quanta={stats['vm.quanta']:6d}"
             f" write-backs avoided={avoided}"
         )
     # quantum=1 spills every step; larger quanta avoid nearly all of them.

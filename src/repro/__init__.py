@@ -41,15 +41,22 @@ from repro.errors import (
     SnapshotError,
     SnapshotFormatError,
     ClusterError,
+    ClusterEvalError,
     ShardDied,
+    GatewayError,
+    FrameError,
+    GatewayBusy,
+    GatewayClosed,
+    GatewayRequestError,
 )
 from repro.host import EvalHandle, HandleState, Host, HostPolicy, Session
 from repro.machine.scheduler import Engine, SchedulerPolicy
 from repro.obs import Recorder
 from repro.snapshot import SNAPSHOT_VERSION, restore_session, snapshot_session
-from repro.cluster import Cluster, ClusterResult, DirectoryStore, MemoryStore
+from repro.cluster import Cluster, ClusterHandle, ClusterResult, DirectoryStore, MemoryStore
+from repro.gateway import Gateway, GatewayClient, GatewayLimits, TokenBucket
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Interpreter",
@@ -83,13 +90,24 @@ __all__ = [
     "SnapshotError",
     "SnapshotFormatError",
     "ClusterError",
+    "ClusterEvalError",
     "ShardDied",
+    "GatewayError",
+    "FrameError",
+    "GatewayBusy",
+    "GatewayClosed",
+    "GatewayRequestError",
     "SNAPSHOT_VERSION",
     "snapshot_session",
     "restore_session",
     "Cluster",
+    "ClusterHandle",
     "ClusterResult",
     "MemoryStore",
     "DirectoryStore",
+    "Gateway",
+    "GatewayClient",
+    "GatewayLimits",
+    "TokenBucket",
     "__version__",
 ]

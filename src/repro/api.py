@@ -36,7 +36,6 @@ their string values interchangeably for ``engine`` and ``policy``:
 
 from __future__ import annotations
 
-import warnings
 from typing import Any
 
 from repro.host.handle import EvalHandle
@@ -71,12 +70,6 @@ class Interpreter:
         default; switch off for a bare machine.
     echo_output:
         Also print ``display`` output to real stdout.
-    resolve:
-        .. deprecated:: 1.1
-           Use ``engine="dict"`` (for ``resolve=False``) or the default
-           engine instead.  ``resolve=False`` still selects the
-           ``"dict"`` engine, with a :class:`DeprecationWarning`;
-           ``engine`` wins when both are given.
     engine:
         Execution engine: :class:`~repro.machine.scheduler.Engine` or
         its string value — ``"dict"``, ``"resolved"``, ``"compiled"``,
@@ -119,6 +112,11 @@ class Interpreter:
         ``--no-analysis``) is the ablation baseline and always ignored
         on the ``dict`` engine.  Semantics are identical either way —
         ``benchmarks/bench_analysis.py`` gates on it.
+    max_pending:
+        Bound on queued + in-flight :meth:`submit` evaluations (passed
+        to the underlying :class:`~repro.host.session.Session`);
+        beyond it submit raises :class:`~repro.errors.HostSaturated` —
+        the same backpressure contract as every other frontend.
     """
 
     def __init__(
@@ -129,23 +127,17 @@ class Interpreter:
         max_steps: int | None = None,
         prelude: bool = True,
         echo_output: bool = False,
-        resolve: bool | None = None,
         engine: str | Engine | None = None,
         batched: bool = True,
         profile: bool = False,
         record: "Recorder | bool | None" = None,
         analysis: bool = True,
+        max_pending: int = 64,
     ):
-        if resolve is not None:
-            warnings.warn(
-                "Interpreter(resolve=...) is deprecated; use "
-                "engine='dict' instead of resolve=False (and drop "
-                "resolve=True — the compiled engine is the default)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if engine is None:
-                engine = "compiled" if resolve else "dict"
+        # The resolve= sentinel (deprecated since 1.1) is gone as of
+        # 1.4.0: engine="dict" is the only spelling of the dict-chain
+        # ablation.  Passing resolve= now raises TypeError like any
+        # unknown keyword.
         if engine is None:
             engine = "compiled"
         engine = normalize_engine(engine)
@@ -161,6 +153,7 @@ class Interpreter:
             profile=profile,
             record=record,
             analysis=analysis,
+            max_pending=max_pending,
         )
         # The wiring is the session's; these are the historical
         # attribute surface (tests, the REPL and the tracer reach for
@@ -234,12 +227,16 @@ class Interpreter:
         *,
         max_steps: int | None = None,
         deadline: float | None = None,
+        tenant: str | None = None,
     ) -> EvalHandle:
         """Queue ``source`` without running it; returns the handle
         (resolve it with ``handle.result()`` or by pumping
-        :attr:`session`).  This is the incremental path — see
-        :class:`repro.host.Session`."""
-        return self.session.submit(source, max_steps=max_steps, deadline=deadline)
+        :attr:`session`).  The keyword surface is the shared submit
+        contract (``docs/API.md``).  This is the incremental path —
+        see :class:`repro.host.Session`."""
+        return self.session.submit(
+            source, max_steps=max_steps, deadline=deadline, tenant=tenant
+        )
 
     # -- conveniences ----------------------------------------------------
 

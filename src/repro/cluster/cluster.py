@@ -14,12 +14,23 @@ other shards noticing.
 logic inline in the calling process (no ``multiprocessing``): handy for
 tests, debugging, and platforms where fork is unavailable.
 
-The front is synchronous: :meth:`submit` blocks until the shard
-replies.  Shard-side evaluation failures come back in-band as
-``status="error"`` results; a dead worker raises
-:class:`~repro.errors.ShardDied` only when the affected session has no
-snapshot to replay — otherwise the front respawns the worker, counts a
-recovery, and retries the request transparently.
+The shard protocol is synchronous, but the front offers both request
+shapes of the shared submit contract (``docs/API.md``):
+:meth:`Cluster.submit_async` queues the request on a bounded front-side
+queue and returns a :class:`~repro.cluster.handle.ClusterHandle`
+immediately (poll/result/cancel parity with the host tier's
+``EvalHandle`` — same :class:`~repro.host.handle.HandleState` state
+machine, same :class:`~repro.errors.HostSaturated` refusal when the
+queue is full), while the classic blocking :meth:`Cluster.submit` is a
+thin wrapper that waits on the handle.  A single dispatcher thread
+drains the queue and performs the blocking shard round-trips, so the
+machinery below it stays synchronous.
+
+Shard-side evaluation failures come back in-band as ``status="error"``
+results; a dead worker raises :class:`~repro.errors.ShardDied` only
+when the affected session has no snapshot to replay — otherwise the
+front respawns the worker, counts a recovery, and retries the request
+transparently.
 """
 
 from __future__ import annotations
@@ -27,15 +38,25 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import queue as queue_mod
+import threading
 import zlib
+from collections import deque
 from dataclasses import dataclass
-from time import perf_counter
+from time import monotonic, perf_counter
 from typing import Any
 
+from repro.cluster.handle import ClusterHandle
 from repro.cluster.metrics import ClusterMetrics
 from repro.cluster.shard import ShardRuntime, shard_main
 from repro.cluster.store import MemoryStore, SnapshotStore
-from repro.errors import ClusterError, ShardDied
+from repro.errors import (
+    ClusterError,
+    DeadlineExceeded,
+    HostSaturated,
+    SessionCancelled,
+    ShardDied,
+)
+from repro.host.handle import HandleState
 
 __all__ = ["Cluster", "ClusterResult"]
 
@@ -174,6 +195,11 @@ class Cluster:
         Optional :class:`~repro.obs.recorder.Recorder` (or ``True``)
         for front-side spans: every submit/migrate/recovery is
         bracketed on the ``cluster`` track.
+    max_pending:
+        Bound on front-side queued + in-flight requests;
+        :meth:`submit_async` beyond it raises
+        :class:`~repro.errors.HostSaturated` — the same backpressure
+        contract as the host tier's bounded queues.
     """
 
     def __init__(
@@ -184,13 +210,24 @@ class Cluster:
         session_defaults: dict[str, Any] | None = None,
         record: Any = None,
         name: str | None = None,
+        max_pending: int = 256,
     ):
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         self.name = name if name is not None else f"cluster-{next(_cluster_ids)}"
         self.store = store if store is not None else MemoryStore()
         self.session_defaults = dict(session_defaults or {})
+        self.max_pending = max(1, max_pending)
         self.metrics = ClusterMetrics()
+        # The dispatcher thread serializes shard round-trips; the op
+        # lock additionally serializes them against mobility calls
+        # (evict/migrate/snapshot_now) from the caller's thread, so
+        # store/_resident bookkeeping stays single-writer-at-a-time.
+        self._cv = threading.Condition()
+        self._op_lock = threading.RLock()
+        self._queue: deque[ClusterHandle] = deque()
+        self._inflight: ClusterHandle | None = None
+        self._dispatcher: threading.Thread | None = None
         if record is True:
             from repro.obs.recorder import Recorder
 
@@ -230,9 +267,21 @@ class Cluster:
 
     def sessions(self) -> list[str]:
         """Every session id the cluster knows: resident or stored."""
-        return sorted(set(self._resident) | set(self.store.ids()))
+        with self._op_lock:
+            return sorted(set(self._resident) | set(self.store.ids()))
 
     # -- the request path ------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Front-side queued plus in-flight requests."""
+        with self._cv:
+            return len(self._queue) + (1 if self._inflight is not None else 0)
+
+    @property
+    def idle(self) -> bool:
+        """True when no request is queued or in flight on the front."""
+        return self.queue_depth == 0
 
     def submit(
         self,
@@ -241,32 +290,153 @@ class Cluster:
         *,
         max_steps: int | None = None,
         deadline: float | None = None,
+        tenant: str | None = None,
     ) -> ClusterResult:
         """Evaluate ``source`` on ``session_id``'s session, creating or
         rehydrating it on its shard as needed; blocks for the result.
+        A thin wrapper over :meth:`submit_async` — the keyword surface
+        is the shared submit contract (``docs/API.md``).
 
         Survives one shard death per call: if the worker dies
         mid-request and the session has a stored snapshot, the worker
         is respawned and the request replays against the last
         snapshot (``result.recovered`` is set).  With no snapshot —
         the session's very first request — :class:`ShardDied`
-        propagates.
+        propagates.  Evaluation errors come back in-band
+        (``status="error"``) and never raise here.
+        """
+        handle = self.submit_async(
+            session_id, source, max_steps=max_steps, deadline=deadline, tenant=tenant
+        )
+        return handle.cluster_result()
+
+    def submit_async(
+        self,
+        session_id: str,
+        source: str,
+        *,
+        max_steps: int | None = None,
+        deadline: float | None = None,
+        tenant: str | None = None,
+    ) -> ClusterHandle:
+        """Queue ``source`` for evaluation on ``session_id``'s session
+        and return a :class:`~repro.cluster.handle.ClusterHandle`
+        immediately — poll/result/cancel parity with the host tier's
+        ``EvalHandle`` (same state machine, same refusal types).
+
+        The front-side queue is bounded (``max_pending``); beyond it
+        this raises :class:`~repro.errors.HostSaturated` —
+        backpressure, not buffering.  The ``deadline`` clock starts
+        now: a request still queued at expiry fails with
+        :class:`~repro.errors.DeadlineExceeded` without touching a
+        shard.
         """
         self._check_open()
+        handle = ClusterHandle(
+            self,
+            session_id,
+            source,
+            max_steps=max_steps,
+            deadline=deadline,
+            tenant=tenant,
+        )
+        with self._cv:
+            depth = len(self._queue) + (1 if self._inflight is not None else 0)
+            if depth >= self.max_pending:
+                self.metrics.saturations += 1
+                raise HostSaturated(
+                    f"cluster {self.name}: submit queue full "
+                    f"({depth}/{self.max_pending})"
+                )
+            self.metrics.submits += 1
+            self._queue.append(handle)
+            if self._dispatcher is None:
+                self._dispatcher = threading.Thread(
+                    target=self._dispatch_loop,
+                    name=f"{self.name}-dispatch",
+                    daemon=True,
+                )
+                self._dispatcher.start()
+            self._cv.notify()
+        return handle
+
+    def _cancel_async(self, handle: ClusterHandle) -> bool:
+        """Cancel ``handle`` if still queued (running/terminal requests
+        return False); the :meth:`ClusterHandle.cancel` backend."""
+        with self._cv:
+            if handle.state is not HandleState.PENDING:
+                return False
+            try:
+                self._queue.remove(handle)
+            except ValueError:  # pragma: no cover - defensive
+                return False
+            self.metrics.cancellations += 1
+            handle._resolve(
+                exc=SessionCancelled(
+                    f"cluster {self.name}: request {handle.uid} cancelled while queued"
+                ),
+                state=HandleState.CANCELLED,
+            )
+            return True
+
+    def _dispatch_loop(self) -> None:
+        """The dispatcher thread: drain the front queue, performing one
+        blocking shard round-trip at a time."""
+        while True:
+            with self._cv:
+                while not self._queue and not self._closed:
+                    self._cv.wait()
+                if not self._queue:  # closed and drained
+                    return
+                handle = self._queue.popleft()
+                if handle.done():  # pragma: no cover - cancel raced the pop
+                    continue
+                handle.state = HandleState.RUNNING
+                self._inflight = handle
+            try:
+                self._execute(handle)
+            finally:
+                with self._cv:
+                    self._inflight = None
+
+    def _execute(self, handle: ClusterHandle) -> None:
+        """One request, start to terminal state (dispatcher thread)."""
         t0 = perf_counter()
-        self.metrics.submits += 1
+        deadline: float | None = None
+        if handle.deadline_at is not None:
+            deadline = handle.deadline_at - monotonic()
+            if deadline <= 0:
+                self.metrics.failed += 1
+                handle._resolve(
+                    exc=DeadlineExceeded(
+                        f"cluster {self.name}: request {handle.uid} missed its "
+                        "wall-clock deadline while queued",
+                        steps=0,
+                    )
+                )
+                return
         rec = self.recorder
-        if rec is not None and rec.enabled:
-            with rec.span("cluster.submit", session_id, track="cluster"):
-                result = self._submit_once(session_id, source, max_steps, deadline)
-        else:
-            result = self._submit_once(session_id, source, max_steps, deadline)
+        try:
+            with self._op_lock:
+                if rec is not None and rec.enabled:
+                    with rec.span("cluster.submit", handle.session_id, track="cluster"):
+                        result = self._submit_once(
+                            handle.session_id, handle.source, handle.max_steps, deadline
+                        )
+                else:
+                    result = self._submit_once(
+                        handle.session_id, handle.source, handle.max_steps, deadline
+                    )
+        except BaseException as exc:  # noqa: BLE001 - resolve, never kill the loop
+            self.metrics.failed += 1
+            handle._resolve(exc=exc)
+            return
         self.metrics.request_us.observe((perf_counter() - t0) * 1e6)
         if result.ok:
             self.metrics.completed += 1
         else:
             self.metrics.failed += 1
-        return result
+        handle._resolve(result=result)
 
     def _submit_once(
         self,
@@ -360,19 +530,20 @@ class Cluster:
         memory; returns True if it was resident.  The session stays
         fully usable — the next submit rehydrates it."""
         self._check_open()
-        index = self._resident.get(session_id)
-        if index is None:
-            return False
-        reply = self.shards[index].request("evict", {"session_id": session_id})
-        del self._resident[session_id]
-        blob = reply.get("snapshot")
-        if blob is not None:
-            self.store.put(session_id, blob)
-            self.metrics.snapshots += 1
-            self.metrics.snapshot_bytes.observe(len(blob))
-            self.metrics.snapshot_us.observe(reply.get("snapshot_us", 0.0))
-        self.metrics.evictions += 1
-        return bool(reply.get("resident"))
+        with self._op_lock:
+            index = self._resident.get(session_id)
+            if index is None:
+                return False
+            reply = self.shards[index].request("evict", {"session_id": session_id})
+            del self._resident[session_id]
+            blob = reply.get("snapshot")
+            if blob is not None:
+                self.store.put(session_id, blob)
+                self.metrics.snapshots += 1
+                self.metrics.snapshot_bytes.observe(len(blob))
+                self.metrics.snapshot_us.observe(reply.get("snapshot_us", 0.0))
+            self.metrics.evictions += 1
+            return bool(reply.get("resident"))
 
     def migrate(self, session_id: str, to_shard: int) -> int:
         """Move a session to ``to_shard`` (pinning it there): snapshot
@@ -387,10 +558,11 @@ class Cluster:
         rec = self.recorder
         if rec is not None and rec.enabled:
             rec.emit("cluster.migrate", f"{session_id} -> shard {to_shard}")
-        if self._resident.get(session_id) is not None:
-            self.evict(session_id)
-        self._placement[session_id] = to_shard
-        self.metrics.migrations += 1
+        with self._op_lock:
+            if self._resident.get(session_id) is not None:
+                self.evict(session_id)
+            self._placement[session_id] = to_shard
+            self.metrics.migrations += 1
         return to_shard
 
     def snapshot_now(self, session_id: str) -> bytes | None:
@@ -398,17 +570,18 @@ class Cluster:
         (idle sessions are already stored as of their last request);
         returns the blob, or the stored one if not resident."""
         self._check_open()
-        index = self._resident.get(session_id)
-        if index is None:
-            return self.store.get(session_id)
-        reply = self.shards[index].request("snapshot", {"session_id": session_id})
-        blob = reply.get("snapshot")
-        if blob is not None:
-            self.store.put(session_id, blob)
-            self.metrics.snapshots += 1
-            self.metrics.snapshot_bytes.observe(len(blob))
-            self.metrics.snapshot_us.observe(reply.get("snapshot_us", 0.0))
-        return blob
+        with self._op_lock:
+            index = self._resident.get(session_id)
+            if index is None:
+                return self.store.get(session_id)
+            reply = self.shards[index].request("snapshot", {"session_id": session_id})
+            blob = reply.get("snapshot")
+            if blob is not None:
+                self.store.put(session_id, blob)
+                self.metrics.snapshots += 1
+                self.metrics.snapshot_bytes.observe(len(blob))
+                self.metrics.snapshot_us.observe(reply.get("snapshot_us", 0.0))
+            return blob
 
     # -- introspection / lifecycle ---------------------------------------
 
@@ -417,6 +590,7 @@ class Cluster:
         """Front counters (``cluster.*``) plus topology."""
         out = self.metrics.as_dict()
         out["cluster.shards"] = self._nshards
+        out["cluster.queue_depth"] = self.queue_depth
         out["cluster.resident_sessions"] = len(self._resident)
         out["cluster.stored_sessions"] = len(self.store.ids())
         return out
@@ -431,11 +605,29 @@ class Cluster:
             raise ClusterError(f"cluster {self.name} is closed")
 
     def close(self) -> None:
-        """Shut every worker down (idempotent).  Stored snapshots are
-        untouched — a new cluster over the same store resumes them."""
-        if self._closed:
-            return
-        self._closed = True
+        """Shut the front down (idempotent): the in-flight request
+        finishes, still-queued requests resolve CANCELLED, the
+        dispatcher thread exits, and every worker is shut down.  Stored
+        snapshots are untouched — a new cluster over the same store
+        resumes them."""
+        with self._cv:
+            if self._closed:
+                return
+            self._closed = True
+            while self._queue:
+                handle = self._queue.popleft()
+                self.metrics.cancellations += 1
+                handle._resolve(
+                    exc=SessionCancelled(
+                        f"cluster {self.name}: request {handle.uid} abandoned "
+                        "at close"
+                    ),
+                    state=HandleState.CANCELLED,
+                )
+            self._cv.notify_all()
+            dispatcher = self._dispatcher
+        if dispatcher is not None:
+            dispatcher.join(timeout=30.0)
         for shard in self.shards:
             shard.shutdown()
 

@@ -22,6 +22,8 @@ class ClusterMetrics:
         "submits",
         "completed",
         "failed",
+        "saturations",
+        "cancellations",
         "snapshots",
         "restores",
         "migrations",
@@ -36,6 +38,8 @@ class ClusterMetrics:
         self.submits = 0  # requests accepted by the front
         self.completed = 0  # requests that returned ok
         self.failed = 0  # requests that returned an evaluation error
+        self.saturations = 0  # submits refused by the bounded front queue
+        self.cancellations = 0  # queued requests cancelled (or dropped at close)
         self.snapshots = 0  # blobs persisted to the store
         self.restores = 0  # sessions rehydrated onto a shard
         self.migrations = 0  # explicit session moves between shards

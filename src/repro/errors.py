@@ -44,7 +44,13 @@ __all__ = [
     "SnapshotError",
     "SnapshotFormatError",
     "ClusterError",
+    "ClusterEvalError",
     "ShardDied",
+    "GatewayError",
+    "FrameError",
+    "GatewayBusy",
+    "GatewayClosed",
+    "GatewayRequestError",
 ]
 
 
@@ -218,6 +224,69 @@ class ClusterError(HostError):
     (:mod:`repro.cluster`)."""
 
 
+class ClusterEvalError(ClusterError):
+    """An evaluation on a shard failed (the in-band ``status="error"``
+    reply, surfaced as an exception by the handle-parity
+    :meth:`~repro.cluster.handle.ClusterHandle.result` path).
+
+    Carries the shard-side error type name and message; the shard and
+    the session both survived — only this request failed.
+    """
+
+    def __init__(self, message: str, *, error_type: str | None = None):
+        self.error_type = error_type
+        super().__init__(message)
+
+
 class ShardDied(ClusterError):
     """A shard worker process died while holding live (non-snapshotted)
     session state; the affected request cannot be recovered."""
+
+
+class GatewayError(HostError):
+    """Base class for errors raised by the network gateway tier
+    (:mod:`repro.gateway`)."""
+
+
+class FrameError(GatewayError):
+    """A wire frame violated the protocol: not valid JSON, not an
+    object, oversize, or missing/mistyped required fields.
+
+    Carries the machine-readable error ``code`` (``"bad-frame"``,
+    ``"oversize"``, ``"unknown-op"``, ...) that the server echoes in
+    its structured error reply — see ``docs/SERVING.md``.
+    """
+
+    def __init__(self, message: str, *, code: str = "bad-frame"):
+        self.code = code
+        super().__init__(message)
+
+
+class GatewayBusy(HostSaturated):
+    """A gateway refused a submit for capacity reasons (tenant quota,
+    inflight cap, or backend saturation).
+
+    Subclasses :class:`HostSaturated` so every frontend's refusal is
+    one catchable type; carries the server's ``retry_after_ms`` hint.
+    Raised client-side only — the server never raises for load, it
+    answers with a structured ``busy`` reply.
+    """
+
+    def __init__(self, message: str, *, retry_after_ms: int = 0, reason: str = "busy"):
+        self.retry_after_ms = retry_after_ms
+        self.reason = reason
+        super().__init__(message)
+
+
+class GatewayClosed(GatewayError):
+    """The gateway (or the client's connection to it) is closed."""
+
+
+class GatewayRequestError(GatewayError):
+    """The server answered a request with a non-``busy`` structured
+    error (``invalid`` source, ``unknown-request`` id, ...); carries
+    the reply's error ``code``."""
+
+    def __init__(self, message: str, *, code: str = "error"):
+        self.code = code
+        super().__init__(message)

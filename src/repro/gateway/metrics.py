@@ -1,0 +1,62 @@
+"""Gateway counters and latency histograms, following the
+``session.*`` / ``host.*`` / ``cluster.*`` conventions of
+:mod:`repro.host.metrics`: int-only ``as_dict`` under the ``gateway.*``
+namespace, distributions exported separately via ``histograms()`` so
+the bench driver folds them into ``BENCH_results.json`` unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.histogram import Histogram
+
+__all__ = ["GatewayMetrics"]
+
+
+class GatewayMetrics:
+    """Counters and distributions for one :class:`~repro.gateway.server.Gateway`.
+
+    Mutated only on the gateway's asyncio thread (terminal-state
+    notifications are marshalled there before counting), so reads from
+    the same thread are consistent without locks.
+    """
+
+    _COUNTERS = (
+        "connections",
+        "disconnects",
+        "frames",
+        "submits",
+        "completed",
+        "failed",
+        "cancelled",
+        "shed",
+        "protocol_errors",
+        "disconnect_cancels",
+    )
+
+    __slots__ = _COUNTERS + ("request_us", "result_wait_us")
+
+    def __init__(self) -> None:
+        self.connections = 0  # connections accepted
+        self.disconnects = 0  # connections ended (any reason)
+        self.frames = 0  # client frames parsed
+        self.submits = 0  # submits admitted to the backend
+        self.completed = 0  # admitted requests that reached DONE
+        self.failed = 0  # admitted requests that reached FAILED
+        self.cancelled = 0  # admitted requests that reached CANCELLED
+        self.shed = 0  # submits refused with a busy reply
+        self.protocol_errors = 0  # bad-frame/oversize/unknown-op/invalid replies
+        self.disconnect_cancels = 0  # requests cancelled because their client left
+        self.request_us = Histogram()  # admit -> terminal state, per request
+        self.result_wait_us = Histogram()  # blocking `result` op wait time
+
+    def as_dict(self, prefix: str = "gateway") -> dict[str, int]:
+        return {f"{prefix}.{name}": getattr(self, name) for name in self._COUNTERS}
+
+    def histograms(self, prefix: str = "gateway") -> dict[str, Any]:
+        """The distribution summaries, JSON-ready."""
+        return {
+            f"{prefix}.request_us": self.request_us.as_dict(),
+            f"{prefix}.result_wait_us": self.result_wait_us.as_dict(),
+        }

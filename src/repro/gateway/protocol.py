@@ -1,0 +1,142 @@
+"""The gateway wire protocol: newline-delimited JSON frames.
+
+One TCP connection carries a sequence of *frames*, each a single JSON
+object on its own ``\\n``-terminated line (UTF-8, no newlines inside a
+frame).  The protocol is deliberately minimal and fully specified in
+``docs/SERVING.md``; this module is the shared codec — both the server
+and the bundled client encode/decode through it, and the fuzz test in
+``tests/gateway/test_protocol.py`` round-trips arbitrary frames through
+the same pair of functions.
+
+Client → server frames carry ``op`` and a client-chosen ``id``::
+
+    {"op": "submit", "id": 1, "session": "alice", "source": "(+ 1 2)",
+     "max_steps": 10000, "deadline_ms": 500, "tenant": "alice",
+     "stream": false}
+    {"op": "poll",   "id": 2, "request": 7}
+    {"op": "result", "id": 3, "request": 7, "timeout_ms": 1000}
+    {"op": "cancel", "id": 4, "request": 7}
+    {"op": "stats",  "id": 5}
+
+Server → client frames are either *replies* (exactly one per client
+frame, echoing its ``id``) or — for ``stream: true`` submits — *events*
+(``"event": "state"``, no ``id``) announcing each handle-state
+transition::
+
+    {"id": 1, "ok": true, "request": 7, "state": "pending"}
+    {"event": "state", "request": 7, "state": "running"}
+    {"event": "state", "request": 7, "state": "done", "value": "3",
+     "steps": 42}
+    {"id": 3, "ok": false, "error": {"code": "busy",
+     "message": "...", "retry_after_ms": 25}}
+
+Error codes (the ``error.code`` field of a refused reply):
+
+========== =============================================================
+``busy``          load shed — quota or backpressure refusal; carries
+                  ``retry_after_ms`` (the 429 of this protocol)
+``bad-frame``     unparseable JSON or a non-object frame (recoverable:
+                  the stream stays line-synchronised)
+``oversize``      frame longer than the negotiated limit (fatal: the
+                  server closes the connection, since the stream can no
+                  longer be trusted to be line-synchronised)
+``unknown-op``    an ``op`` this server does not implement
+``unknown-request`` a ``request`` id this server is not tracking
+``invalid``       a well-formed frame with missing/mistyped fields
+``eval-error``    the evaluation itself failed (in-band, via ``result``)
+``cancelled``     the request was cancelled before completing
+``internal``      an unexpected server-side fault (the request is dead,
+                  the connection survives)
+========== =============================================================
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import FrameError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "ERROR_CODES",
+    "encode_frame",
+    "decode_frame",
+    "error_frame",
+]
+
+#: Default per-frame byte limit (including the trailing newline).  Large
+#: enough for multi-kilobyte programs, small enough that one connection
+#: cannot balloon server memory: frames beyond it are an ``oversize``
+#: protocol error and the connection is closed.
+MAX_FRAME_BYTES = 256 * 1024
+
+#: The ops a gateway serves.
+OPS = ("submit", "poll", "result", "cancel", "stats", "ping")
+
+#: Every error code a server may put in ``error.code``.
+ERROR_CODES = (
+    "busy",
+    "bad-frame",
+    "oversize",
+    "unknown-op",
+    "unknown-request",
+    "invalid",
+    "eval-error",
+    "cancelled",
+    "internal",
+)
+
+
+def encode_frame(frame: dict[str, Any]) -> bytes:
+    """One frame as its wire bytes (compact JSON + ``\\n``).
+
+    Raises :class:`~repro.errors.FrameError` if the frame is not
+    JSON-serialisable — a caller bug surfaced before it hits the wire.
+    """
+    try:
+        text = json.dumps(frame, separators=(",", ":"), ensure_ascii=False)
+    except (TypeError, ValueError) as exc:
+        raise FrameError(f"frame not JSON-serialisable: {exc}") from exc
+    return text.encode("utf-8") + b"\n"
+
+
+def decode_frame(line: bytes, *, max_bytes: int = MAX_FRAME_BYTES) -> dict[str, Any]:
+    """Decode one wire line back to a frame dict.
+
+    Raises :class:`~repro.errors.FrameError` with ``code="oversize"``
+    for an over-long line and ``code="bad-frame"`` for malformed JSON
+    or a non-object payload.  (Oversize is checked first: a huge line
+    is refused without parsing it.)
+    """
+    if len(line) > max_bytes:
+        raise FrameError(
+            f"frame of {len(line)} bytes exceeds the {max_bytes}-byte limit",
+            code="oversize",
+        )
+    try:
+        frame = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise FrameError(f"unparseable frame: {exc}") from exc
+    if not isinstance(frame, dict):
+        raise FrameError(
+            f"frame must be a JSON object, got {type(frame).__name__}"
+        )
+    return frame
+
+
+def error_frame(
+    request_id: Any,
+    code: str,
+    message: str,
+    *,
+    retry_after_ms: int | None = None,
+) -> dict[str, Any]:
+    """Build a refusal reply (``ok: false``) for ``request_id`` (the
+    *client's* frame id; ``None`` when the frame was too broken to
+    carry one)."""
+    error: dict[str, Any] = {"code": code, "message": message}
+    if retry_after_ms is not None:
+        error["retry_after_ms"] = int(retry_after_ms)
+    return {"id": request_id, "ok": False, "error": error}

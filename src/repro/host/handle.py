@@ -52,6 +52,7 @@ class EvalHandle:
         "nodes",
         "max_steps",
         "deadline_at",
+        "tenant",
         "state",
         "values",
         "steps",
@@ -71,12 +72,14 @@ class EvalHandle:
         *,
         max_steps: int | None = None,
         deadline_at: float | None = None,
+        tenant: str | None = None,
     ):
         self.uid = next(_handle_ids)
         self.session = session
         self.nodes = nodes
         self.max_steps = max_steps
         self.deadline_at = deadline_at
+        self.tenant = tenant  # attribution label (gateway quota accounting)
         self.state = HandleState.PENDING
         self.values: list[Any] = []  # one value per completed top-level form
         self.steps = 0  # machine steps spent on this evaluation

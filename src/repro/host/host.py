@@ -179,11 +179,19 @@ class Host:
         *,
         max_steps: int | None = None,
         deadline: float | None = None,
+        tenant: str | None = None,
     ) -> EvalHandle:
         """Queue ``source`` on ``session`` (a member session or its
-        name).  Enforces the host-wide bound before the session's own;
-        both refusals raise :class:`~repro.errors.HostSaturated`."""
-        session = self[session] if isinstance(session, str) else session
+        name); the keyword surface is the shared submit contract
+        (``max_steps``/``deadline``/``tenant`` — see ``docs/API.md``).
+        Enforces the host-wide bound before the session's own; both
+        refusals raise :class:`~repro.errors.HostSaturated`.  An
+        unknown session name (or a session object belonging to another
+        host) raises :class:`ValueError` naming this host."""
+        if isinstance(session, str):
+            if session not in self._by_name:
+                raise ValueError(f"host {self.name}: {session!r} is not one of my sessions")
+            session = self._by_name[session]
         if session.name not in self._by_name or self._by_name[session.name] is not session:
             raise ValueError(f"host {self.name}: {session.name!r} is not one of my sessions")
         if self.queue_depth >= self.max_pending:
@@ -192,7 +200,9 @@ class Host:
                 f"host {self.name}: queue full ({self.queue_depth}/{self.max_pending})"
             )
         try:
-            handle = session.submit(source, max_steps=max_steps, deadline=deadline)
+            handle = session.submit(
+                source, max_steps=max_steps, deadline=deadline, tenant=tenant
+            )
         except HostSaturated:
             self.metrics.saturations += 1
             raise

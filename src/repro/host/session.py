@@ -174,8 +174,14 @@ class Session:
         *,
         max_steps: int | None = None,
         deadline: float | None = None,
+        tenant: str | None = None,
     ) -> EvalHandle:
         """Queue ``source`` for evaluation; returns its handle.
+
+        This is the **shared submit contract** (``source, *,
+        max_steps=None, deadline=None, tenant=None``) honoured by every
+        frontend — ``Session``, ``Interpreter``, ``Host`` and
+        ``Cluster`` — see ``docs/API.md``.
 
         The frontend (read → expand → resolve → compile, per the
         session's engine) runs eagerly here, so reader/expansion errors
@@ -186,8 +192,10 @@ class Session:
         wall-clock allowance in seconds, started *now* — queueing time
         counts — and expiry fails the handle with
         :class:`~repro.errors.DeadlineExceeded` within one quantum.
-        Raises :class:`~repro.errors.HostSaturated` when the bounded
-        queue is full.
+        ``tenant`` is an attribution label stamped on the handle
+        (quota accounting in :mod:`repro.gateway`); it never affects
+        evaluation.  Raises :class:`~repro.errors.HostSaturated` when
+        the bounded queue is full.
         """
         if self.queue_depth >= self.max_pending:
             self.metrics.saturations += 1
@@ -201,6 +209,7 @@ class Session:
             nodes,
             max_steps=max_steps,
             deadline_at=None if deadline is None else _monotonic() + deadline,
+            tenant=tenant,
         )
         if report is not None:
             handle.report = report
@@ -653,11 +662,11 @@ class Session:
     def stats(self) -> dict[str, int]:
         """Machine counters plus the compile-stage and VM counters,
         namespaced (``resolver.*``, ``compile.*``, ``vm.*``,
-        ``session.*``).  The pre-namespace flat names
-        (``resolver_locals``, ``compile_nodes``, ``vm_quanta``, ...)
-        are kept as read aliases; namespacing makes the merge
-        collision-safe — a namespaced key can never silently overwrite
-        a machine counter."""
+        ``session.*``).  Namespacing makes the merge collision-safe —
+        a namespaced key can never silently overwrite a machine
+        counter.  The pre-1.4 flat aliases (``resolver_locals``,
+        ``compile_nodes``, ``vm_quanta``, ...) are gone; see the 1.4.0
+        release note in README.md."""
         out = dict(self.machine.stats)
         if self.engine != "dict":
             _merge_namespaced(out, "resolver", self.resolver_stats.as_dict())
@@ -680,11 +689,10 @@ class Session:
 
 
 def _merge_namespaced(out: dict[str, int], prefix: str, counters: dict[str, int]) -> None:
-    """Merge ``counters`` under ``prefix.*``; keep the historical flat
-    key as an alias only when it does not collide with anything already
-    present (machine counters win)."""
+    """Merge ``counters`` under ``prefix.*`` (the stats records export
+    raw ``prefix_name`` keys; the namespaced form is the only public
+    spelling since 1.4.0)."""
     marker = prefix + "_"
     for key, value in counters.items():
         short = key[len(marker):] if key.startswith(marker) else key
         out[f"{prefix}.{short}"] = value
-        out.setdefault(key, value)

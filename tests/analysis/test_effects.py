@@ -328,11 +328,12 @@ def test_dict_engine_ignores_analysis():
     assert not any(k.startswith("analysis") for k in sess.stats)
 
 
-def test_stats_namespaced_and_flat():
+def test_stats_namespaced_only():
     interp = Interpreter()
     interp.run(FIB)
     stats = interp.stats
-    assert stats["analysis.forms"] == stats["analysis_forms"] > 0
+    assert stats["analysis.forms"] > 0
+    assert "analysis_forms" not in stats  # flat aliases removed in 1.4.0
     assert stats["analysis.lambdas"] > 0
     assert stats["analysis.grants"] > 0
     off = Interpreter(analysis=False)

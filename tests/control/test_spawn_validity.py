@@ -103,11 +103,11 @@ def test_error_message_names_the_controller(interp):
 # machine (slot ribs, default) and the dict-chain ablation.
 
 
-@pytest.fixture(params=[True, False], ids=["resolved", "dict"])
+@pytest.fixture(params=["resolved", "dict"], ids=["resolved", "dict"])
 def either_interp(request):
     from repro import Interpreter
 
-    return Interpreter(resolve=request.param)
+    return Interpreter(engine=request.param)
 
 
 def test_invalid_after_return_both_representations(either_interp):

@@ -1,0 +1,32 @@
+"""Shared helpers for the gateway tests: no pytest-asyncio in the
+toolchain, so each test drives one fresh event loop via ``run``."""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import asynccontextmanager
+from typing import Any, AsyncIterator, Awaitable, TypeVar
+
+from repro.gateway import Gateway, GatewayClient
+from repro.host import Host
+
+T = TypeVar("T")
+
+
+def run(coro: Awaitable[T]) -> T:
+    return asyncio.run(coro)
+
+
+@asynccontextmanager
+async def serving(
+    backend: Any = None, **gateway_kwargs: Any
+) -> AsyncIterator[tuple[Gateway, GatewayClient]]:
+    """A started gateway (default backend: a fresh Host) plus one
+    connected client; both torn down on exit."""
+    backend = backend if backend is not None else Host()
+    async with Gateway(backend, **gateway_kwargs) as gw:
+        client = await GatewayClient.connect(gw.host, gw.port)
+        try:
+            yield gw, client
+        finally:
+            await client.close()

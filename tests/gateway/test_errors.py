@@ -1,0 +1,299 @@
+"""The gateway error paths: malformed/oversize frames, unknown ops,
+disconnect mid-request, quota refusals, and backend fault containment.
+The shed contract under real overload is exercised end-to-end by
+``benchmarks/bench_gateway.py``."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import GatewayBusy, HostSaturated
+from repro.gateway import Gateway, GatewayClient, GatewayLimits
+from repro.host import Host
+
+from tests.gateway.conftest import run, serving
+
+LOOP = "(let loop ((i 0)) (loop (+ i 1)))"
+
+
+async def _raw_connection(gw):
+    """A raw reader/writer pair (no client), for speaking bad frames."""
+    return await asyncio.open_connection(gw.host, gw.port)
+
+
+async def _read_frame(reader):
+    line = await reader.readline()
+    assert line, "server closed unexpectedly"
+    return json.loads(line)
+
+
+# -- malformed frames -----------------------------------------------------
+
+
+def test_malformed_frame_recoverable():
+    async def main():
+        async with serving() as (gw, _):
+            reader, writer = await _raw_connection(gw)
+            writer.write(b"{this is not json}\n")
+            await writer.drain()
+            reply = await _read_frame(reader)
+            assert reply["ok"] is False
+            assert reply["error"]["code"] == "bad-frame"
+            # The connection survives and stays line-synchronised.
+            writer.write(
+                b'{"op":"submit","id":1,"session":"s","source":"(+ 1 2)"}\n'
+            )
+            await writer.drain()
+            reply = await _read_frame(reader)
+            assert reply["ok"] is True
+            assert gw.stats["gateway.protocol_errors"] == 1
+            writer.close()
+            await writer.wait_closed()
+
+    run(main())
+
+
+def test_non_object_frame_rejected():
+    async def main():
+        async with serving() as (gw, _):
+            reader, writer = await _raw_connection(gw)
+            writer.write(b"[1,2,3]\n")
+            await writer.drain()
+            reply = await _read_frame(reader)
+            assert reply["error"]["code"] == "bad-frame"
+            writer.close()
+            await writer.wait_closed()
+
+    run(main())
+
+
+def test_blank_lines_ignored():
+    async def main():
+        async with serving() as (gw, _):
+            reader, writer = await _raw_connection(gw)
+            writer.write(b"\n\n")
+            writer.write(b'{"op":"ping","id":1}\n')
+            await writer.drain()
+            reply = await _read_frame(reader)
+            assert reply["id"] == 1 and reply["ok"] is True
+            writer.close()
+            await writer.wait_closed()
+
+    run(main())
+
+
+# -- oversize frames ------------------------------------------------------
+
+
+def test_oversize_frame_is_fatal():
+    async def main():
+        limits = GatewayLimits(max_frame_bytes=1024)
+        async with serving(Host(), limits=limits) as (gw, _):
+            reader, writer = await _raw_connection(gw)
+            frame = {"op": "submit", "id": 1, "session": "s", "source": "x" * 4096}
+            writer.write(json.dumps(frame).encode() + b"\n")
+            await writer.drain()
+            reply = await _read_frame(reader)
+            assert reply["error"]["code"] == "oversize"
+            # The server closes: EOF follows.
+            assert await reader.readline() == b""
+            assert gw.stats["gateway.protocol_errors"] == 1
+            writer.close()
+            await writer.wait_closed()
+
+    run(main())
+
+
+def test_frame_under_the_limit_is_fine():
+    async def main():
+        limits = GatewayLimits(max_frame_bytes=4096)
+        async with serving(Host(), limits=limits) as (gw, client):
+            value = await client.eval("s", "(string-length \"%s\")" % ("y" * 512))
+            assert value == "512"
+
+    run(main())
+
+
+# -- unknown ops / requests / invalid fields ------------------------------
+
+
+def test_unknown_op():
+    async def main():
+        async with serving() as (gw, _):
+            reader, writer = await _raw_connection(gw)
+            writer.write(b'{"op":"frobnicate","id":1}\n')
+            await writer.drain()
+            reply = await _read_frame(reader)
+            assert reply["error"]["code"] == "unknown-op"
+            writer.close()
+            await writer.wait_closed()
+
+    run(main())
+
+
+def test_unknown_request_id():
+    async def main():
+        async with serving() as (_, client):
+            for op in ("poll", "result", "cancel"):
+                with pytest.raises(Exception) as info:
+                    await client.call(op, request=999)
+                assert getattr(info.value, "code", None) == "unknown-request"
+
+    run(main())
+
+
+def test_invalid_submit_fields():
+    async def main():
+        async with serving() as (gw, _):
+            reader, writer = await _raw_connection(gw)
+            bad_frames = [
+                {"op": "submit", "id": 1},  # no session/source
+                {"op": "submit", "id": 2, "session": "", "source": "1"},
+                {"op": "submit", "id": 3, "session": "s", "source": 42},
+                {"op": "submit", "id": 4, "session": "s", "source": "1", "max_steps": -1},
+                {"op": "submit", "id": 5, "session": "s", "source": "1", "deadline_ms": 0},
+                {"op": "submit", "id": 6, "session": "s", "source": "1", "tenant": 9},
+            ]
+            for frame in bad_frames:
+                writer.write(json.dumps(frame).encode() + b"\n")
+            await writer.drain()
+            for frame in bad_frames:
+                reply = await _read_frame(reader)
+                assert reply["id"] == frame["id"]
+                assert reply["error"]["code"] == "invalid"
+            assert gw.stats["gateway.protocol_errors"] == len(bad_frames)
+            writer.close()
+            await writer.wait_closed()
+
+    run(main())
+
+
+# -- disconnect mid-request -----------------------------------------------
+
+
+def test_disconnect_cancels_inflight_requests():
+    async def main():
+        host = Host()
+        async with serving(host) as (gw, _):
+            doomed = await GatewayClient.connect(gw.host, gw.port)
+            await doomed.submit("s", LOOP)
+            await doomed.submit("s", LOOP)
+            await doomed.close()
+            # The gateway notices the disconnect, cancels the handles,
+            # and the backend drains to idle — no leaked work.
+            for _ in range(200):
+                if gw.stats["gateway.tracked_requests"] == 0 and host.idle:
+                    break
+                await asyncio.sleep(0.01)
+            assert gw.stats["gateway.disconnect_cancels"] == 2
+            assert gw.stats["gateway.tracked_requests"] == 0
+            assert host.idle
+            assert gw.quota.inflight == 0
+
+    run(main())
+
+
+def test_disconnect_with_terminal_requests_drops_records():
+    async def main():
+        async with serving() as (gw, _):
+            client = await GatewayClient.connect(gw.host, gw.port)
+            rid = await client.submit("s", "(+ 1 1)")
+            await client.result(rid)
+            await client.close()
+            for _ in range(100):
+                if gw.stats["gateway.tracked_requests"] == 0:
+                    break
+                await asyncio.sleep(0.01)
+            assert gw.stats["gateway.tracked_requests"] == 0
+            assert gw.stats["gateway.disconnect_cancels"] == 0
+
+    run(main())
+
+
+# -- quota refusal --------------------------------------------------------
+
+
+def test_inflight_cap_sheds_with_retry_after():
+    async def main():
+        limits = GatewayLimits(max_inflight=1)
+        async with serving(Host(), limits=limits) as (gw, client):
+            rid = await client.submit("s", LOOP)  # occupies the one slot
+            with pytest.raises(GatewayBusy) as info:
+                await client.submit("s", "(+ 1 1)")
+            assert info.value.retry_after_ms >= 1
+            # GatewayBusy IS a HostSaturated: remote refusals unify
+            # with the in-process backpressure type.
+            assert isinstance(info.value, HostSaturated)
+            assert gw.stats["gateway.shed"] == 1
+            await client.cancel(rid)
+            # The terminal state frees the slot.
+            with pytest.raises(Exception):
+                await client.result(rid)
+            assert await client.eval("s", "(+ 1 1)") == "2"
+
+    run(main())
+
+
+def test_tenant_rate_limit_sheds():
+    async def main():
+        limits = GatewayLimits(tenant_rate=5.0, tenant_burst=2)
+        async with serving(Host(), limits=limits) as (gw, client):
+            await client.eval("s", "(+ 1 1)", tenant="t")
+            await client.eval("s", "(+ 1 1)", tenant="t")
+            with pytest.raises(GatewayBusy) as info:
+                await client.submit("s", "(+ 1 1)", tenant="t")
+            assert info.value.retry_after_ms >= 1
+
+    run(main())
+
+
+def test_backend_saturation_maps_to_busy():
+    async def main():
+        # A tiny host queue, a permissive gateway: the *backend*'s
+        # HostSaturated comes back as the same busy contract.
+        host = Host(max_pending=1)
+        async with serving(host) as (gw, client):
+            await client.submit("s", LOOP)
+            with pytest.raises(GatewayBusy):
+                await client.submit("s", "(+ 1 1)")
+            assert gw.stats["gateway.shed"] == 1
+            assert gw.quota.inflight == 1  # the shed submit released its slot
+
+    run(main())
+
+
+# -- backend fault containment --------------------------------------------
+
+
+def test_backend_fault_contained_to_internal_reply():
+    async def main():
+        # Bad session_defaults make every auto-create explode inside
+        # the backend; the gateway contains it as an `internal` reply
+        # and keeps serving.
+        gw = Gateway(Host(), session_defaults={"engine": "no-such-engine"})
+        async with gw:
+            client = await GatewayClient.connect(gw.host, gw.port)
+            try:
+                with pytest.raises(Exception) as info:
+                    await client.submit("s", "(+ 1 1)")
+                assert getattr(info.value, "code", None) == "internal"
+                assert await client.ping() is True  # connection survives
+                assert gw.quota.inflight == 0  # the slot was released
+            finally:
+                await client.close()
+
+    run(main())
+
+
+def test_eval_error_does_not_poison_the_session():
+    async def main():
+        async with serving() as (_, client):
+            with pytest.raises(Exception):
+                rid = await client.submit("s", "(+ 1 nope)")
+                await client.result(rid)
+            assert await client.eval("s", "(+ 1 1)") == "2"
+
+    run(main())

@@ -1,0 +1,157 @@
+"""The NDJSON frame codec: round-trips, framing errors, and a fuzz
+pass that feeds randomly-generated frames through encode/decode."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.errors import FrameError
+from repro.gateway.protocol import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    OPS,
+    decode_frame,
+    encode_frame,
+    error_frame,
+)
+
+# -- round trips ----------------------------------------------------------
+
+
+FRAMES = [
+    {"op": "submit", "id": 1, "session": "alice", "source": "(+ 1 2)"},
+    {"op": "submit", "id": 2, "session": "s", "source": "", "stream": True},
+    {"op": "poll", "id": 3, "request": 7},
+    {"op": "result", "id": 4, "request": 7, "timeout_ms": 250.5},
+    {"op": "stats", "id": None},
+    {"id": 1, "ok": True, "request": 7, "state": "pending"},
+    {"event": "state", "request": 7, "state": "done", "value": "λ→3", "steps": 42},
+]
+
+
+@pytest.mark.parametrize("frame", FRAMES, ids=[str(i) for i in range(len(FRAMES))])
+def test_round_trip(frame):
+    wire = encode_frame(frame)
+    assert wire.endswith(b"\n")
+    assert b"\n" not in wire[:-1]  # one frame, one line
+    assert decode_frame(wire) == frame
+
+
+def test_unicode_survives():
+    frame = {"op": "submit", "id": 1, "session": "π", "source": "(define λ 1) ; ✓"}
+    assert decode_frame(encode_frame(frame)) == frame
+
+
+# -- encode errors --------------------------------------------------------
+
+
+def test_encode_rejects_unserialisable():
+    with pytest.raises(FrameError):
+        encode_frame({"op": "submit", "source": object()})
+
+
+# -- decode errors --------------------------------------------------------
+
+
+def test_decode_rejects_bad_json():
+    with pytest.raises(FrameError) as info:
+        decode_frame(b"{not json}\n")
+    assert info.value.code == "bad-frame"
+
+
+def test_decode_rejects_non_object():
+    for line in (b"[1,2,3]\n", b'"hello"\n', b"42\n", b"null\n"):
+        with pytest.raises(FrameError) as info:
+            decode_frame(line)
+        assert info.value.code == "bad-frame"
+
+
+def test_decode_rejects_oversize_before_parsing():
+    line = b"x" * (MAX_FRAME_BYTES + 1)  # not even valid JSON
+    with pytest.raises(FrameError) as info:
+        decode_frame(line)
+    assert info.value.code == "oversize"
+
+
+def test_decode_oversize_limit_adjustable():
+    frame = encode_frame({"op": "submit", "id": 1, "source": "x" * 100})
+    with pytest.raises(FrameError) as info:
+        decode_frame(frame, max_bytes=64)
+    assert info.value.code == "oversize"
+    assert decode_frame(frame)["source"] == "x" * 100
+
+
+# -- error frames ---------------------------------------------------------
+
+
+def test_error_frame_shape():
+    frame = error_frame(9, "busy", "try later", retry_after_ms=25)
+    assert frame == {
+        "id": 9,
+        "ok": False,
+        "error": {"code": "busy", "message": "try later", "retry_after_ms": 25},
+    }
+    bare = error_frame(None, "bad-frame", "nope")
+    assert bare["id"] is None
+    assert "retry_after_ms" not in bare["error"]
+
+
+def test_error_codes_cover_the_spec():
+    for code in ("busy", "bad-frame", "oversize", "unknown-op", "internal"):
+        assert code in ERROR_CODES
+    assert "submit" in OPS and "result" in OPS
+
+
+# -- fuzz: arbitrary JSON-shaped frames round-trip ------------------------
+
+
+def _random_value(rng: random.Random, depth: int):
+    kinds = ["str", "int", "float", "bool", "none"]
+    if depth < 3:
+        kinds += ["list", "dict"]
+    kind = rng.choice(kinds)
+    if kind == "str":
+        return "".join(
+            rng.choice('abc{}[]",:\\\n\té中 ') for _ in range(rng.randint(0, 20))
+        )
+    if kind == "int":
+        return rng.randint(-(10**12), 10**12)
+    if kind == "float":
+        return rng.uniform(-1e6, 1e6)
+    if kind == "bool":
+        return rng.random() < 0.5
+    if kind == "none":
+        return None
+    if kind == "list":
+        return [_random_value(rng, depth + 1) for _ in range(rng.randint(0, 4))]
+    return {
+        f"k{i}": _random_value(rng, depth + 1) for i in range(rng.randint(0, 4))
+    }
+
+
+def test_fuzz_round_trip():
+    rng = random.Random(0x5EED)
+    for _ in range(200):
+        frame = {
+            f"field{i}": _random_value(rng, 0) for i in range(rng.randint(1, 6))
+        }
+        wire = encode_frame(frame)
+        assert wire.endswith(b"\n")
+        back = decode_frame(wire)
+        # JSON round-trip equality (float repr is exact through json).
+        assert back == json.loads(json.dumps(frame))
+
+
+def test_fuzz_garbage_lines_never_crash_the_decoder():
+    rng = random.Random(0xBAD)
+    for _ in range(200):
+        line = bytes(rng.randrange(256) for _ in range(rng.randint(0, 200)))
+        try:
+            frame = decode_frame(line)
+        except FrameError as exc:
+            assert exc.code in ("bad-frame", "oversize")
+        else:
+            assert isinstance(frame, dict)

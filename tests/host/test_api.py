@@ -1,5 +1,5 @@
 """The Interpreter façade: canonical constructor surface, the
-``resolve=`` deprecation, per-call budgets, and the api.py doctests."""
+``resolve=`` removal, per-call budgets, and the api.py doctests."""
 
 from __future__ import annotations
 
@@ -50,27 +50,23 @@ def test_facade_is_a_session():
     assert interp.globals is interp.session.globals
 
 
-# -- the resolve= deprecation ---------------------------------------------
+# -- the resolve= removal (deprecated 1.1, removed 1.4) -------------------
 
 
-def test_resolve_false_warns_and_selects_dict():
-    with pytest.warns(DeprecationWarning, match="resolve"):
-        interp = Interpreter(resolve=False, prelude=False)
-    assert interp.engine == "dict"
-    assert interp.resolve is False
+def test_resolve_kwarg_removed():
+    # The sentinel path is gone: resolve= is an unknown keyword now,
+    # not a warning.  engine="dict" is the only spelling.
+    with pytest.raises(TypeError, match="resolve"):
+        Interpreter(resolve=False, prelude=False)
+    with pytest.raises(TypeError, match="resolve"):
+        Interpreter(resolve=True, prelude=False)
 
 
-def test_resolve_true_warns_and_keeps_default():
-    with pytest.warns(DeprecationWarning):
-        interp = Interpreter(resolve=True, prelude=False)
-    assert interp.engine == "compiled"
-    assert interp.resolve is True
-
-
-def test_explicit_engine_wins_over_resolve():
-    with pytest.warns(DeprecationWarning):
-        interp = Interpreter(resolve=False, engine="resolved", prelude=False)
-    assert interp.engine == "resolved"
+def test_resolve_property_still_reads():
+    # The derived read-only property survives (it reports whether the
+    # resolver pass runs, i.e. any engine but dict).
+    assert Interpreter(engine="dict", prelude=False).resolve is False
+    assert Interpreter(engine="compiled", prelude=False).resolve is True
 
 
 # -- per-call budgets -----------------------------------------------------
@@ -126,7 +122,9 @@ def test_submit_returns_handle():
 # -- stats compatibility --------------------------------------------------
 
 
-def test_stats_flat_aliases_preserved():
+def test_stats_flat_aliases_gone():
+    # 1.4.0: the namespaced keys are the only spelling; the flat
+    # aliases that shadowed them since 1.1 are removed.
     interp = Interpreter(engine="compiled", profile=True)
     interp.eval("(+ 1 2)")
     stats = interp.stats
@@ -135,8 +133,8 @@ def test_stats_flat_aliases_preserved():
         ("compile_nodes", "compile.nodes"),
         ("vm_quanta", "vm.quanta"),
     ]:
-        assert flat in stats
-        assert stats[flat] == stats[namespaced]
+        assert namespaced in stats
+        assert flat not in stats
 
 
 # -- doctests -------------------------------------------------------------

@@ -151,18 +151,18 @@ def test_cli_no_resolve(capsys):
 
 def test_meta_stats_includes_resolver_counters(repl):
     text, _ = feed(repl, "(let ([x 1]) (+ x x))", ",stats")
-    assert "resolver_locals" in text
-    assert "resolver_cells_interned" in text
+    assert "resolver.locals" in text
+    assert "resolver.cells_interned" in text
 
 
 def test_meta_stats_no_resolver_rows_when_disabled():
     from repro import Interpreter
 
     out = io.StringIO()
-    pair = (Repl(Interpreter(echo_output=False, resolve=False), out=out), out)
+    pair = (Repl(Interpreter(echo_output=False, engine="dict"), out=out), out)
     text, _ = feed(pair, "(+ 1 2)", ",stats")
     assert "forks" in text
-    assert "resolver_locals" not in text
+    assert "resolver.locals" not in text
 
 
 def test_meta_analyze(repl):

@@ -97,14 +97,14 @@ def test_interpreter_stats_include_compile_counters():
     interp = _compiled_interp()
     interp.eval("(+ 1 2)")
     stats = interp.stats
-    assert stats["compile_nodes"] > 0
-    assert "compile_apps_inlined" in stats
+    assert stats["compile.nodes"] > 0
+    assert "compile.apps_inlined" in stats
 
 
 def test_resolved_engine_stats_omit_compile_counters():
     interp = Interpreter(engine="resolved")
     interp.eval("(+ 1 2)")
-    assert "compile_nodes" not in interp.stats
+    assert "compile.nodes" not in interp.stats
 
 
 # -- the engine seam ---------------------------------------------------
@@ -124,7 +124,7 @@ def test_machine_rejects_unknown_engine():
 
 def test_interpreter_engine_defaults():
     assert Interpreter().engine == "compiled"
-    assert Interpreter(resolve=False).engine == "dict"
+    assert Interpreter(engine="dict").engine == "dict"
     assert Interpreter(engine="resolved").engine == "resolved"
 
 

@@ -115,8 +115,8 @@ EQUIV_PROGRAMS = [
 
 @pytest.mark.parametrize("source", EQUIV_PROGRAMS)
 def test_resolved_and_dict_agree(source):
-    resolved = Interpreter(policy="serial", resolve=True).eval(source)
-    baseline = Interpreter(policy="serial", resolve=False).eval(source)
+    resolved = Interpreter(policy="serial", engine="resolved").eval(source)
+    baseline = Interpreter(policy="serial", engine="dict").eval(source)
     assert type(resolved) is type(baseline)
     assert repr(resolved) == repr(baseline)
 
@@ -170,13 +170,13 @@ def test_closure_captures_rib_not_snapshot(interp):
 def test_resolver_stats_exposed(interp):
     interp.eval("(let ([x 1]) (+ x x))")
     stats = interp.stats
-    assert stats["resolver_locals"] >= 2
-    assert stats["resolver_globals"] >= 1  # the + reference
-    assert stats["resolver_lambdas"] >= 1
-    assert "resolver_cells_interned" in stats
+    assert stats["resolver.locals"] >= 2
+    assert stats["resolver.globals"] >= 1  # the + reference
+    assert stats["resolver.lambdas"] >= 1
+    assert "resolver.cells_interned" in stats
 
 
-def test_no_resolve_interp_has_no_resolver_stats():
-    interp = Interpreter(resolve=False)
+def test_dict_engine_interp_has_no_resolver_stats():
+    interp = Interpreter(engine="dict")
     interp.eval("(+ 1 2)")
-    assert "resolver_locals" not in interp.stats
+    assert "resolver.locals" not in interp.stats

@@ -149,18 +149,18 @@ def test_profile_counters_track_quanta_and_spills():
     interp.eval(LOOP)
     interp.eval("(count 100)")
     stats = interp.stats
-    assert stats["vm_quanta"] > 0
-    assert stats["vm_quantum_steps"] > 100
+    assert stats["vm.quanta"] > 0
+    assert stats["vm.quantum_steps"] > 100
     # A tail loop of this shape runs almost entirely in registers.
-    assert stats["vm_allocations_avoided"] > 100
-    assert stats["vm_spill_trace"] == 0
+    assert stats["vm.allocations_avoided"] > 100
+    assert stats["vm.spill_trace"] == 0
 
 
 def test_profile_off_leaves_counters_untouched():
     interp = Interpreter(engine="compiled")
     interp.eval("(+ 1 2)")
     assert all(value == 0 for value in interp.machine.vm_stats.values())
-    assert "vm_quanta" not in interp.stats
+    assert "vm.quanta" not in interp.stats
 
 
 def test_profile_counts_trace_spills():
@@ -169,7 +169,7 @@ def test_profile_counts_trace_spills():
     interp.machine.trace_hook = lambda machine, task: None
     interp.eval("(count 10)")
     interp.machine.trace_hook = None
-    assert interp.stats["vm_spill_trace"] > 0
+    assert interp.stats["vm.spill_trace"] > 0
 
 
 # ---------------------------------------------------------------------------

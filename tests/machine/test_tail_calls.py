@@ -91,8 +91,8 @@ def test_deep_mutual_recursion_under_slot_ribs():
 
 
 def test_deep_mutual_recursion_dict_baseline():
-    """The same loop must also hold on the resolve=False ablation."""
-    interp = Interpreter(resolve=False)
+    """The same loop must also hold on the dict-engine ablation."""
+    interp = Interpreter(engine="dict")
     interp.run(
         """
         (define (even? n) (if (= n 0) #t (odd? (- n 1))))
