@@ -1,0 +1,62 @@
+"""One injectable monotonic clock for deadline and quota arithmetic.
+
+Every place the serving stack does *deadline math* — "has this request's
+wall-clock budget elapsed", "when will a quota token exist again" —
+must read a **monotonic** clock, and must read it through an
+**injectable** seam so tests can drive it deterministically and so a
+wall-clock jump (NTP step, VM suspend/resume, a user changing the
+system time) can never fire or suppress a deadline.  This module is
+that seam:
+
+* :data:`MONOTONIC` — the production clock (``time.monotonic``).  It is
+  the only clock the gateway's quota buckets, the gateway's
+  ``retry_after_ms`` computation, and the cluster's dispatch/deadline
+  arithmetic consult.
+* :class:`ManualClock` — a hand-advanced clock for tests: construct it,
+  pass it as ``clock=``, and ``advance()`` it; real time passing (or
+  jumping) has no effect on anything computed against it.
+
+The rule of thumb, enforced by the clock-skew regression tests
+(``tests/gateway/test_clock.py``):
+
+* **deadlines and quotas** → the injected monotonic clock (this module);
+* **duration measurement** (latency histograms, bench timings) →
+  ``time.perf_counter``, which is also monotonic but may tick on a
+  different epoch, so its readings must never be *compared* against
+  deadline timestamps — only subtracted from its own readings;
+* **``time.time()``** → never, in either role.
+"""
+
+from __future__ import annotations
+
+from time import monotonic as MONOTONIC
+
+__all__ = ["MONOTONIC", "ManualClock"]
+
+
+class ManualClock:
+    """A monotonic clock a test advances by hand.
+
+    Calling the instance returns the current reading; :meth:`advance`
+    moves it forward.  Attempting to move it backwards raises — the
+    whole point of the seam is that the code under test may assume
+    monotonicity.
+    """
+
+    __slots__ = ("now",)
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds``; returns the new reading."""
+        if seconds < 0:
+            raise ValueError(f"a monotonic clock cannot go backwards ({seconds})")
+        self.now += seconds
+        return self.now
+
+    def __repr__(self) -> str:
+        return f"#<manual-clock {self.now:.6f}>"

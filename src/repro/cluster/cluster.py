@@ -42,9 +42,10 @@ import threading
 import zlib
 from collections import deque
 from dataclasses import dataclass
-from time import monotonic, perf_counter
-from typing import Any
+from time import perf_counter
+from typing import Any, Callable
 
+from repro.clock import MONOTONIC
 from repro.cluster.handle import ClusterHandle
 from repro.cluster.metrics import ClusterMetrics
 from repro.cluster.shard import ShardRuntime, shard_main
@@ -64,6 +65,12 @@ _cluster_ids = itertools.count()
 
 #: Seconds between liveness checks while waiting on a shard reply.
 _POLL_INTERVAL = 0.05
+
+#: Default seconds :meth:`Cluster.close` waits for the dispatcher
+#: thread to finish its in-flight shard round-trip before abandoning
+#: the request (the handle is then force-resolved CANCELLED, so no
+#: caller is ever left holding a non-terminal handle).
+_CLOSE_JOIN_TIMEOUT = 5.0
 
 
 @dataclass(frozen=True)
@@ -132,11 +139,48 @@ class _ProcessShard:
 
     def respawn(self) -> None:
         """Fresh process, fresh queues (the old queue may hold replies
-        from the dead worker's past life)."""
-        if self.process.is_alive():  # pragma: no cover - defensive
+        from the dead worker's past life).
+
+        The old queues' pipe FDs and the old process's sentinel are
+        closed *explicitly* before the new ones are created: a wedged
+        worker that survives the 1s ``join`` would otherwise orphan
+        four pipe ends per respawn and leak the front out of file
+        descriptors under repeated worker churn (gated by the
+        50-respawn FD test in ``tests/cluster``).
+        """
+        if self.process.is_alive():
             self.process.terminate()
         self.process.join(timeout=1.0)
+        if self.process.is_alive():  # pragma: no cover - wedged worker
+            self.process.kill()
+            self.process.join(timeout=1.0)
+        self._release_resources()
         self._spawn()
+
+    def _release_resources(self) -> None:
+        """Close both pipe ends of both queues plus the process
+        sentinel — every front-side FD the dead worker's plumbing
+        held."""
+        for q in (self.cmd_queue, self.result_queue):
+            try:
+                q.close()
+                q.join_thread()
+            except (OSError, ValueError):  # pragma: no cover - defensive
+                pass
+            # close() only closes the reader; the writer is closed by
+            # the feeder thread, which never ran for a queue this
+            # process only read from.  Close both ends regardless
+            # (Connection.close is idempotent).
+            for conn in (getattr(q, "_reader", None), getattr(q, "_writer", None)):
+                try:
+                    if conn is not None:
+                        conn.close()
+                except OSError:  # pragma: no cover - defensive
+                    pass
+        try:
+            self.process.close()  # releases the sentinel FD
+        except ValueError:  # pragma: no cover - still alive; GC reclaims
+            pass
 
     def request(self, op: str, payload: dict[str, Any]) -> dict[str, Any]:
         """Send one command and wait for its reply, polling worker
@@ -164,15 +208,19 @@ class _ProcessShard:
             return reply
 
     def shutdown(self) -> None:
-        if not self.process.is_alive():
-            return
         try:
-            self.cmd_queue.put((next(self._request_ids), "shutdown", {}))
-            self.process.join(timeout=2.0)
-        finally:
-            if self.process.is_alive():  # pragma: no cover - stuck worker
-                self.process.terminate()
-                self.process.join(timeout=1.0)
+            alive = self.process.is_alive()
+        except ValueError:  # pragma: no cover - already shut down
+            return
+        if alive:
+            try:
+                self.cmd_queue.put((next(self._request_ids), "shutdown", {}))
+                self.process.join(timeout=2.0)
+            finally:
+                if self.process.is_alive():  # pragma: no cover - stuck worker
+                    self.process.terminate()
+                    self.process.join(timeout=1.0)
+        self._release_resources()
 
 
 class Cluster:
@@ -200,6 +248,11 @@ class Cluster:
         :meth:`submit_async` beyond it raises
         :class:`~repro.errors.HostSaturated` — the same backpressure
         contract as the host tier's bounded queues.
+    clock:
+        The monotonic clock every deadline computation reads
+        (:mod:`repro.clock`); injectable so tests can drive queued-
+        request expiry deterministically and so wall-clock skew can
+        never fire or suppress a deadline.
     """
 
     def __init__(
@@ -211,10 +264,12 @@ class Cluster:
         record: Any = None,
         name: str | None = None,
         max_pending: int = 256,
+        clock: Callable[[], float] = MONOTONIC,
     ):
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         self.name = name if name is not None else f"cluster-{next(_cluster_ids)}"
+        self._clock = clock
         self.store = store if store is not None else MemoryStore()
         self.session_defaults = dict(session_defaults or {})
         self.max_pending = max(1, max_pending)
@@ -404,7 +459,7 @@ class Cluster:
         t0 = perf_counter()
         deadline: float | None = None
         if handle.deadline_at is not None:
-            deadline = handle.deadline_at - monotonic()
+            deadline = handle.deadline_at - self._clock()
             if deadline <= 0:
                 self.metrics.failed += 1
                 handle._resolve(
@@ -604,12 +659,15 @@ class Cluster:
         if self._closed:
             raise ClusterError(f"cluster {self.name} is closed")
 
-    def close(self) -> None:
-        """Shut the front down (idempotent): the in-flight request
-        finishes, still-queued requests resolve CANCELLED, the
-        dispatcher thread exits, and every worker is shut down.  Stored
-        snapshots are untouched — a new cluster over the same store
-        resumes them."""
+    def close(self, *, join_timeout: float = _CLOSE_JOIN_TIMEOUT) -> None:
+        """Shut the front down (idempotent): still-queued requests
+        resolve CANCELLED immediately, the in-flight request gets up to
+        ``join_timeout`` seconds to finish its shard round-trip and is
+        then abandoned — force-resolved CANCELLED, so **every**
+        outstanding :class:`ClusterHandle` reaches a terminal state
+        before this returns — the dispatcher thread exits, and every
+        worker is shut down.  Stored snapshots are untouched — a new
+        cluster over the same store resumes them."""
         with self._cv:
             if self._closed:
                 return
@@ -627,7 +685,22 @@ class Cluster:
             self._cv.notify_all()
             dispatcher = self._dispatcher
         if dispatcher is not None:
-            dispatcher.join(timeout=30.0)
+            dispatcher.join(timeout=join_timeout)
+        # A wedged shard can hold the dispatcher past the join timeout;
+        # the caller still gets the terminal-state guarantee.  Handle
+        # resolution is idempotent (first wins), so if the round-trip
+        # does eventually return, the dispatcher's resolve is a no-op.
+        with self._cv:
+            inflight = self._inflight
+        if inflight is not None and not inflight.done():
+            self.metrics.cancellations += 1
+            inflight._resolve(
+                exc=SessionCancelled(
+                    f"cluster {self.name}: request {inflight.uid} abandoned "
+                    "in flight at close"
+                ),
+                state=HandleState.CANCELLED,
+            )
         for shard in self.shards:
             shard.shutdown()
 

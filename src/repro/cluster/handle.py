@@ -27,7 +27,6 @@ the classic blocking API.
 from __future__ import annotations
 
 import threading
-from time import monotonic
 from typing import TYPE_CHECKING, Any
 
 from repro.counters import SerialCounter
@@ -62,6 +61,7 @@ class ClusterHandle:
         "_result",
         "_exception",
         "_done",
+        "_resolve_lock",
     )
 
     def __init__(
@@ -80,15 +80,19 @@ class ClusterHandle:
         self.source = source
         self.max_steps = max_steps
         # The deadline clock starts at submit, exactly like the host
-        # tier: time spent queued on the front counts against it.
-        self.deadline_at = None if deadline is None else monotonic() + deadline
+        # tier: time spent queued on the front counts against it.  The
+        # clock is the cluster's injected monotonic clock, so deadline
+        # math is immune to wall-clock skew and testable by hand.
+        now = cluster._clock()
+        self.deadline_at = None if deadline is None else now + deadline
         self.tenant = tenant
-        self.submitted_at = monotonic()
+        self.submitted_at = now
         self.state = HandleState.PENDING
         self.steps = 0
         self._result: "ClusterResult | None" = None
         self._exception: BaseException | None = None
         self._done = threading.Event()
+        self._resolve_lock = threading.Lock()
 
     # -- inspection ------------------------------------------------------
 
@@ -160,23 +164,33 @@ class ClusterHandle:
     ) -> None:
         """Record the outcome and wake waiters.  Exactly one of
         ``result``/``exc`` is set; in-band error results also surface
-        as a :class:`ClusterEvalError` so the parity path raises."""
-        if result is not None:
-            self._result = result
-            self.steps = result.steps
-            if result.ok:
-                self.state = HandleState.DONE
+        as a :class:`ClusterEvalError` so the parity path raises.
+
+        Idempotent — the *first* resolution wins and later ones are
+        no-ops.  This is what lets :meth:`Cluster.close` force an
+        abandoned in-flight handle to a terminal state without racing
+        the dispatcher thread, which may still resolve it for real if
+        the shard round-trip eventually returns.
+        """
+        with self._resolve_lock:
+            if self._done.is_set():
+                return
+            if result is not None:
+                self._result = result
+                self.steps = result.steps
+                if result.ok:
+                    self.state = HandleState.DONE
+                else:
+                    self.state = HandleState.FAILED
+                    self._exception = ClusterEvalError(
+                        f"session {self.session_id!r}: {result.error}",
+                        error_type=result.error_type,
+                    )
             else:
-                self.state = HandleState.FAILED
-                self._exception = ClusterEvalError(
-                    f"session {self.session_id!r}: {result.error}",
-                    error_type=result.error_type,
-                )
-        else:
-            assert exc is not None
-            self._exception = exc
-            self.state = state if state is not None else HandleState.FAILED
-        self._done.set()
+                assert exc is not None
+                self._exception = exc
+                self.state = state if state is not None else HandleState.FAILED
+            self._done.set()
 
     def __repr__(self) -> str:
         return (

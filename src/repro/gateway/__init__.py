@@ -9,7 +9,7 @@ drives the backend; the event loop owns only sockets and admission.
 See ``docs/SERVING.md`` for the wire protocol and shed contract.
 """
 
-from repro.gateway.client import GatewayClient
+from repro.gateway.client import GatewayClient, GatewayClientPool
 from repro.gateway.metrics import GatewayMetrics
 from repro.gateway.protocol import (
     ERROR_CODES,
@@ -26,6 +26,7 @@ __all__ = [
     "ERROR_CODES",
     "Gateway",
     "GatewayClient",
+    "GatewayClientPool",
     "GatewayLimits",
     "GatewayMetrics",
     "MAX_FRAME_BYTES",

@@ -33,7 +33,18 @@ class GatewayMetrics:
         "shed",
         "protocol_errors",
         "disconnect_cancels",
+        "output_events",
+        "recovery_replays",
+        "recovery_failures",
     )
+
+    #: Counters exported under a dotted sub-namespace instead of their
+    #: attribute name (``gateway.recovery.*`` is the wire-visible
+    #: failure-transparency contract, see docs/SERVING.md).
+    _RENAMES = {
+        "recovery_replays": "recovery.replays",
+        "recovery_failures": "recovery.failures",
+    }
 
     __slots__ = _COUNTERS + ("request_us", "result_wait_us")
 
@@ -48,11 +59,17 @@ class GatewayMetrics:
         self.shed = 0  # submits refused with a busy reply
         self.protocol_errors = 0  # bad-frame/oversize/unknown-op/invalid replies
         self.disconnect_cancels = 0  # requests cancelled because their client left
+        self.output_events = 0  # streamed session-output event frames sent
+        self.recovery_replays = 0  # terminal answers recovered via snapshot replay
+        self.recovery_failures = 0  # shard deaths answered with recovered: false
         self.request_us = Histogram()  # admit -> terminal state, per request
         self.result_wait_us = Histogram()  # blocking `result` op wait time
 
     def as_dict(self, prefix: str = "gateway") -> dict[str, int]:
-        return {f"{prefix}.{name}": getattr(self, name) for name in self._COUNTERS}
+        return {
+            f"{prefix}.{self._RENAMES.get(name, name)}": getattr(self, name)
+            for name in self._COUNTERS
+        }
 
     def histograms(self, prefix: str = "gateway") -> dict[str, Any]:
         """The distribution summaries, JSON-ready."""

@@ -20,15 +20,28 @@ Client → server frames carry ``op`` and a client-chosen ``id``::
 
 Server → client frames are either *replies* (exactly one per client
 frame, echoing its ``id``) or — for ``stream: true`` submits — *events*
-(``"event": "state"``, no ``id``) announcing each handle-state
-transition::
+(no ``id``): ``"event": "state"`` announces each handle-state
+transition, and ``"event": "output"`` carries the ``display``/``write``
+output the evaluation produced since the previous output event (for a
+Host backend the deltas stream *during* execution; for a Cluster
+backend the shard protocol returns output with the result, so one
+output event precedes the terminal state event)::
 
     {"id": 1, "ok": true, "request": 7, "state": "pending"}
     {"event": "state", "request": 7, "state": "running"}
+    {"event": "output", "request": 7, "text": "hello\\n"}
     {"event": "state", "request": 7, "state": "done", "value": "3",
      "steps": 42}
     {"id": 3, "ok": false, "error": {"code": "busy",
      "message": "...", "retry_after_ms": 25}}
+
+Cluster-backed terminal payloads additionally carry ``recovered``
+(boolean) whenever a shard death touched the request: ``true`` means
+the answer was produced by replaying the session's last snapshot on a
+respawned worker, ``false`` means no snapshot existed and the
+structured error is all the caller gets — either way the frame is
+answered, never dropped (the failure-transparency contract,
+``docs/SERVING.md``).
 
 Error codes (the ``error.code`` field of a refused reply):
 

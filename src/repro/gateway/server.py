@@ -38,9 +38,10 @@ import threading
 from time import perf_counter
 from typing import Any, Callable
 
+from repro.clock import MONOTONIC
 from repro.cluster.cluster import Cluster
 from repro.cluster.handle import ClusterHandle
-from repro.errors import FrameError, GatewayError, HostSaturated
+from repro.errors import FrameError, GatewayError, HostSaturated, ShardDied
 from repro.gateway.metrics import GatewayMetrics
 from repro.gateway.protocol import OPS, decode_frame, encode_frame, error_frame
 from repro.gateway.quota import GatewayLimits, QuotaTable
@@ -102,6 +103,19 @@ class _HostBackend:
     def state_of(self, handle: EvalHandle) -> tuple[HandleState, int]:
         return handle.state, handle.steps
 
+    def output_mark(self, handle: EvalHandle) -> int:
+        """The session's output cursor at submit time: parts already
+        produced belong to *earlier* requests, not this one."""
+        return len(handle.session.output.parts)
+
+    def drain_output(self, handle: EvalHandle, cursor: int) -> tuple[str, int]:
+        """Output produced since ``cursor``, plus the new cursor.  The
+        host runs in-process, so deltas stream *during* execution."""
+        parts = handle.session.output.parts
+        if len(parts) <= cursor:
+            return "", cursor
+        return "".join(parts[cursor:]), len(parts)
+
     def outcome(self, handle: EvalHandle) -> dict[str, Any]:
         """Terminal payload fields: printed value or failure info."""
         if handle.state is HandleState.DONE:
@@ -151,21 +165,48 @@ class _ClusterBackend:
     def state_of(self, handle: ClusterHandle) -> tuple[HandleState, int]:
         return handle.state, handle.steps
 
+    def output_mark(self, handle: ClusterHandle) -> int:
+        return 0
+
+    def drain_output(self, handle: ClusterHandle, cursor: int) -> tuple[str, int]:
+        """Session output for this request.  The shard protocol returns
+        the output delta *with* the result, so there is exactly one
+        drain — once the in-band result lands, just before the terminal
+        state event reaches the wire."""
+        result = handle._result
+        if cursor == 0 and result is not None and result.output:
+            return result.output, 1
+        return "", cursor
+
     def outcome(self, handle: ClusterHandle) -> dict[str, Any]:
         result = handle._result
         if handle.state is HandleState.DONE:
-            return {"value": result.value if result is not None else None}
+            payload: dict[str, Any] = {
+                "value": result.value if result is not None else None
+            }
+            if result is not None and result.recovered:
+                payload["recovered"] = True
+            return payload
         if result is not None and not result.ok:
             # In-band shard failure: surface the original error type,
             # not the ClusterEvalError wrapper.
-            return {
+            payload = {
                 "error": {
                     "type": result.error_type or "error",
                     "message": result.error or "",
                 }
             }
+            if result.recovered:
+                payload["recovered"] = True
+            return payload
         exc = handle.exception()
-        return {"error": _failure_info(exc) if exc is not None else None}
+        payload = {"error": _failure_info(exc) if exc is not None else None}
+        if isinstance(exc, ShardDied):
+            # A shard died and no snapshot could replay the session:
+            # the frame is still answered (failure transparency), but
+            # the caller must know the session state is gone.
+            payload["recovered"] = False
+        return payload
 
     def stats(self) -> dict[str, Any]:
         return dict(self.cluster.stats)
@@ -184,6 +225,7 @@ class _Request:
         "conn",
         "handle",
         "last_state",
+        "output_cursor",
         "admitted_ts",
         "waiters",
         "terminal",
@@ -197,6 +239,7 @@ class _Request:
         self.conn: "_Connection | None" = conn
         self.handle: Any = None
         self.last_state = HandleState.PENDING
+        self.output_cursor = 0  # backend-defined position in the session output
         self.admitted_ts = perf_counter()
         self.waiters: list[asyncio.Future] = []  # blocking `result` ops
         self.terminal: dict[str, Any] | None = None  # final state payload
@@ -249,6 +292,11 @@ class Gateway:
         :class:`~repro.obs.recorder.Recorder`, or pass one; each
         admitted request lands as a ``gateway.request`` complete event
         (admission → terminal state) on the ``gateway`` track.
+    clock:
+        The monotonic clock for quota/deadline arithmetic (see
+        :mod:`repro.clock`).  Injectable so tests can drive token
+        refill deterministically; defaults to ``time.monotonic``.
+        Latency *measurement* stays on ``perf_counter`` regardless.
 
     Usage::
 
@@ -267,6 +315,7 @@ class Gateway:
         session_defaults: dict[str, Any] | None = None,
         record: "Recorder | bool | None" = None,
         name: str | None = None,
+        clock: Callable[[], float] = MONOTONIC,
     ):
         if isinstance(backend, Host):
             self.backend: Any = _HostBackend(backend, session_defaults)
@@ -292,7 +341,7 @@ class Gateway:
             self.recorder = None
         else:
             self.recorder = record
-        self.quota = QuotaTable(self.limits)
+        self.quota = QuotaTable(self.limits, clock=clock)
         self._requests: dict[int, _Request] = {}
         self._rids = itertools.count(1)
         self._server: asyncio.AbstractServer | None = None
@@ -381,6 +430,16 @@ class Gateway:
             if handle is None or req.terminal is not None:
                 continue
             state, steps = self.backend.state_of(handle)
+            if req.stream and req.conn is not None:
+                # Drain *after* reading the state: if the state read saw
+                # terminal, the session has finished writing, so this
+                # drain is complete and its event is queued to the loop
+                # ahead of the terminal state event below.
+                text, cursor = self.backend.drain_output(handle, req.output_cursor)
+                if text:
+                    req.output_cursor = cursor
+                    changed = True
+                    self._call_soon(self._on_output, req, text)
             if state is req.last_state:
                 continue
             req.last_state = state
@@ -429,6 +488,16 @@ class Gateway:
 
     # -- state delivery (loop thread) ------------------------------------
 
+    def _on_output(self, req: _Request, text: str) -> None:
+        """Forward a session-output delta as an ``output`` event frame."""
+        conn = req.conn
+        if conn is None or conn.closed or req.terminal is not None:
+            return
+        self.metrics.output_events += 1
+        asyncio.ensure_future(
+            conn.send({"event": "output", "request": req.rid, "text": text})
+        )
+
     def _on_state(self, req: _Request, payload: dict[str, Any]) -> None:
         terminal = payload["state"] in ("done", "failed", "cancelled")
         if terminal:
@@ -462,6 +531,13 @@ class Gateway:
             self.metrics.failed += 1
         else:
             self.metrics.cancelled += 1
+        recovered = payload.get("recovered")
+        if recovered is True:
+            # A shard died under this request and a snapshot replay on
+            # a respawned worker still produced the answer.
+            self.metrics.recovery_replays += 1
+        elif recovered is False:
+            self.metrics.recovery_failures += 1
         dur = perf_counter() - req.admitted_ts
         self.metrics.request_us.observe(dur * 1e6)
         rec = self.recorder
@@ -610,16 +686,22 @@ class Gateway:
         rid = next(self._rids)
         req = _Request(rid, tenant, stream, conn)
         deadline = None if deadline_ms is None else deadline_ms / 1000.0
-        try:
-            req.handle = await self._run_on_pump(
-                lambda: self.backend.submit(
-                    session,
-                    source,
-                    max_steps=max_steps,
-                    deadline=deadline,
-                    tenant=tenant,
-                )
+
+        def _do_submit() -> tuple[Any, int]:
+            # One pump-thread round trip: submit *and* mark the output
+            # cursor, so output the session produced before this request
+            # (or during the gap) is never replayed to this client.
+            handle = self.backend.submit(
+                session,
+                source,
+                max_steps=max_steps,
+                deadline=deadline,
+                tenant=tenant,
             )
+            return handle, self.backend.output_mark(handle)
+
+        try:
+            req.handle, req.output_cursor = await self._run_on_pump(_do_submit)
         except HostSaturated as exc:
             # The backend itself refused: same shed contract as a
             # quota refusal — structured busy, nothing buffered.

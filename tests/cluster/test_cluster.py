@@ -171,6 +171,61 @@ def test_mp_sigkill_without_snapshot_raises():
         assert c.submit("newborn", "(+ 1 1)").value == "2"
 
 
+def test_close_force_resolves_wedged_inflight_handle():
+    """``close()`` must leave no handle non-terminal: when the
+    dispatcher's in-flight shard round-trip outlives ``join_timeout``,
+    the handle is force-resolved CANCELLED instead of dangling."""
+    from repro.errors import SessionCancelled
+    from repro.host.handle import HandleState
+
+    c = Cluster(workers=1)
+    # Unbounded tail-recursive loop: the shard never replies.
+    handle = c.submit_async("wedged", "(define (f) (f)) (f)")
+    deadline = time.monotonic() + 10.0
+    while handle.state is not HandleState.RUNNING:
+        assert time.monotonic() < deadline, "request never dispatched"
+        time.sleep(0.005)
+    c.close(join_timeout=0.2)
+    assert handle.done()
+    assert handle.state is HandleState.CANCELLED
+    with pytest.raises(SessionCancelled):
+        handle.result()
+
+
+def test_close_cancels_queued_handles():
+    """Queued (never dispatched) handles also reach a terminal state."""
+    from repro.host.handle import HandleState
+
+    c = Cluster(workers=0)
+    slow = c.submit_async(
+        "busy", "(define (loop n) (if (= n 0) 0 (loop (- n 1)))) (loop 300000)"
+    )
+    queued = c.submit_async("later", "(+ 1 1)")
+    c.close(join_timeout=5.0)
+    assert queued.done()
+    assert queued.state is HandleState.CANCELLED
+    assert slow.done()  # finished or abandoned — terminal either way
+
+
+@pytest.mark.skipif(
+    not os.path.isdir("/proc/self/fd"), reason="needs /proc fd accounting"
+)
+def test_respawn_does_not_leak_fds():
+    """Each respawn replaces both queues (4 pipe FDs) and the process
+    sentinel; without explicit closes the front leaks ~5 FDs per
+    worker death.  50 respawns must leave the FD count flat."""
+    with Cluster(workers=1) as c:
+        shard = c.shards[0]
+        shard.respawn()  # warm: first respawn may lazily create FDs
+        before = len(os.listdir("/proc/self/fd"))
+        for _ in range(50):
+            shard.respawn()
+        after = len(os.listdir("/proc/self/fd"))
+        assert after - before <= 4, f"FD leak: {before} -> {after}"
+        # The shard still serves after all that churn.
+        assert c.submit("s", "(+ 1 1)").value == "2"
+
+
 def test_mp_suspended_state_migrates():
     """A session with cross-form machine state (a parked future)
     snapshots through the store and keeps it across a migration."""

@@ -1,0 +1,210 @@
+"""The pooled gateway client: round-robin, reconnect, hedged evals."""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+
+import pytest
+
+from repro.errors import GatewayBusy, GatewayRequestError
+from repro.gateway import Gateway, GatewayClientPool, GatewayLimits
+from repro.host import Host
+
+from .conftest import run, serving
+
+
+@pytest.fixture
+def pool_kwargs():
+    return {"rng": random.Random(7), "reconnect_base": 0.01}
+
+
+# -- basics ----------------------------------------------------------------
+
+
+def test_pool_round_trips_across_connections(pool_kwargs):
+    async def main():
+        async with serving() as (gw, _):
+            pool = await GatewayClientPool.connect(
+                gw.host, gw.port, size=3, **pool_kwargs
+            )
+            try:
+                for i in range(6):
+                    assert await pool.eval("s", f"(+ {i} 1)") == str(i + 1)
+                stats = pool.pool_stats()
+                assert stats["client.pool.live"] == 3
+                assert stats["client.hedge.launched"] == 0
+                # Round-robin: the gateway saw all three connections.
+                assert gw.stats["gateway.submits"] == 6
+            finally:
+                await pool.close()
+
+    run(main())
+
+
+def test_pool_submit_poll_result_cancel_route_by_request(pool_kwargs):
+    async def main():
+        async with serving() as (gw, _):
+            pool = await GatewayClientPool.connect(
+                gw.host, gw.port, size=2, **pool_kwargs
+            )
+            try:
+                rid = await pool.submit("s", "(* 6 7)")
+                assert await pool.result(rid, timeout=30) == "42"
+                rid2 = await pool.submit("s", "(+ 1 2)")
+                poll = await pool.poll(rid2)
+                assert "state" in poll
+                await pool.result(rid2, timeout=30)
+                assert await pool.cancel(rid2) is False  # already terminal
+                assert await pool.ping() is True
+            finally:
+                await pool.close()
+
+    run(main())
+
+
+def test_pool_propagates_shed_and_eval_errors(pool_kwargs):
+    async def main():
+        limits = GatewayLimits(max_inflight=1)
+        host = Host()
+        async with Gateway(host, limits=limits) as gw:
+            pool = await GatewayClientPool.connect(
+                gw.host, gw.port, size=2, **pool_kwargs
+            )
+            try:
+                # Evaluation errors surface unchanged.
+                with pytest.raises(GatewayRequestError):
+                    await pool.eval("s", "(car 5)", timeout=30)
+                # Backpressure propagates: a busy reply is the caller's
+                # signal, never an excuse to retry on another connection
+                # (that would double the pressure).
+                rid = await pool.submit(
+                    "s", "(define (f n) (if (= n 0) 0 (f (- n 1)))) (f 200000)"
+                )
+                with pytest.raises(GatewayBusy):
+                    await pool.submit("s", "(+ 1 1)")
+                await pool.result(rid, timeout=60)
+            finally:
+                await pool.close()
+
+    run(main())
+
+
+# -- reconnect -------------------------------------------------------------
+
+
+def test_pool_reconnects_dead_connection(pool_kwargs):
+    async def main():
+        async with serving() as (gw, _):
+            pool = await GatewayClientPool.connect(
+                gw.host, gw.port, size=2, **pool_kwargs
+            )
+            try:
+                # Sever one connection underneath the pool.
+                victim = pool._clients[0]
+                victim._writer.close()
+                await asyncio.sleep(0.05)  # EOF reaches the read loop
+                # The pool keeps serving throughout...
+                for i in range(4):
+                    assert await pool.eval("s", f"(+ {i} 0)") == str(i)
+                # ...and restores the dead slot in the background.
+                deadline = time.monotonic() + 30.0
+                while pool.counters["client.pool.reconnects"] < 1:
+                    assert time.monotonic() < deadline, "never reconnected"
+                    await asyncio.sleep(0.01)
+                assert pool.pool_stats()["client.pool.live"] == 2
+            finally:
+                await pool.close()
+
+    run(main())
+
+
+# -- hedging ---------------------------------------------------------------
+
+
+def test_hedged_eval_wins_on_backup_when_primary_stalls(pool_kwargs):
+    """Slot 0's result path is tarpitted; with a short hedge delay the
+    backup attempt on the other connection answers first and the loser
+    is cancelled server-side (fire-and-forget)."""
+
+    async def main():
+        async with serving() as (gw, _):
+            pool = await GatewayClientPool.connect(
+                gw.host, gw.port, size=2, hedge_delay=0.02, **pool_kwargs
+            )
+            try:
+                slow = pool._clients[0]
+                real_result = slow.result
+
+                async def tarpit_result(request, *, timeout=None):
+                    await asyncio.sleep(0.5)
+                    return await real_result(request, timeout=timeout)
+
+                slow.result = tarpit_result  # type: ignore[method-assign]
+                # Round-robin starts at slot 0, so the primary lands on
+                # the tarpitted connection.
+                value = await pool.eval("s", "(+ 40 2)", hedge=True, timeout=30)
+                assert value == "42"
+                assert pool.counters["client.hedge.launched"] == 1
+                assert pool.counters["client.hedge.wins"] == 1
+                assert pool.counters["client.hedge.cancelled"] == 1
+            finally:
+                await pool.close()
+
+    run(main())
+
+
+def test_hedged_eval_skips_backup_when_primary_is_fast(pool_kwargs):
+    async def main():
+        async with serving() as (gw, _):
+            pool = await GatewayClientPool.connect(
+                gw.host, gw.port, size=2, hedge=True, hedge_delay=5.0, **pool_kwargs
+            )
+            try:
+                assert await pool.eval("s", "(+ 1 1)") == "2"
+                assert pool.counters["client.hedge.launched"] == 0
+            finally:
+                await pool.close()
+
+    run(main())
+
+
+def test_hedge_delay_derives_from_observed_p99(pool_kwargs):
+    async def main():
+        async with serving() as (gw, _):
+            pool = await GatewayClientPool.connect(
+                gw.host, gw.port, size=2, **pool_kwargs
+            )
+            try:
+                assert pool.hedge_delay() == 0.05  # default before samples
+                for _ in range(20):
+                    await pool.eval("s", "(+ 1 1)")
+                delay = pool.hedge_delay()
+                assert 0.001 <= delay < 5.0
+                ordered = sorted(pool._latencies)
+                assert delay == pytest.approx(
+                    max(0.001, ordered[int(0.99 * len(ordered))]), rel=1e-6
+                )
+            finally:
+                await pool.close()
+
+    run(main())
+
+
+def test_pool_stats_merges_server_and_client_counters(pool_kwargs):
+    async def main():
+        async with serving() as (gw, _):
+            pool = await GatewayClientPool.connect(
+                gw.host, gw.port, size=2, **pool_kwargs
+            )
+            try:
+                await pool.eval("s", "(+ 1 1)")
+                stats = await pool.stats()
+                assert stats["gateway.completed"] == 1
+                assert stats["client.pool.size"] == 2
+                assert "client.hedge.launched" in stats
+            finally:
+                await pool.close()
+
+    run(main())

@@ -178,6 +178,94 @@ def test_stream_carries_value_and_steps():
     run(main())
 
 
+def test_stream_delivers_session_output_host_backend():
+    """Host backend: display/write output streams as ``output`` events
+    interleaved with the state transitions, all output arriving before
+    the terminal state event."""
+
+    async def main():
+        async with serving() as (gw, client):
+            rid = await client.submit(
+                "s", '(display "hel") (display "lo") (+ 1 2)', stream=True
+            )
+            events = [ev async for ev in client.events(rid)]
+            output = [ev["text"] for ev in events if ev.get("event") == "output"]
+            assert "".join(output) == "hello"
+            # Every output event precedes the terminal state event.
+            terminal_at = max(
+                i for i, ev in enumerate(events) if ev.get("state") == "done"
+            )
+            last_output_at = max(
+                i for i, ev in enumerate(events) if ev.get("event") == "output"
+            )
+            assert last_output_at < terminal_at
+            assert gw.stats["gateway.output_events"] >= 1
+
+    run(main())
+
+
+def test_stream_delivers_session_output_cluster_backend():
+    """Cluster backend: the shard returns the output delta with the
+    result, so exactly one ``output`` event lands just before the
+    terminal state event."""
+
+    async def main():
+        cluster = Cluster(workers=0, session_defaults={"prelude": False})
+        try:
+            async with Gateway(cluster) as gw:
+                client = await GatewayClient.connect(gw.host, gw.port)
+                try:
+                    rid = await client.submit(
+                        "c", '(display "from-shard") 7', stream=True
+                    )
+                    events = [ev async for ev in client.events(rid)]
+                    output = [
+                        ev["text"] for ev in events if ev.get("event") == "output"
+                    ]
+                    assert output == ["from-shard"]
+                    assert events[-1]["state"] == "done"
+                    assert events[-1]["value"] == "7"
+                finally:
+                    await client.close()
+        finally:
+            cluster.close()
+
+    run(main())
+
+
+def test_no_output_events_without_stream():
+    """A plain submit gets no event frames: output from sessions other
+    clients are streaming never leaks into a non-streaming request."""
+
+    async def main():
+        async with serving() as (gw, client):
+            rid = await client.submit("s", '(display "quiet") (+ 1 1)')
+            assert await client.result(rid) == "2"
+            assert gw.stats["gateway.output_events"] == 0
+
+    run(main())
+
+
+def test_output_cursor_skips_prior_session_output():
+    """A second streamed request on the same session sees only its own
+    output, not the backlog the first request produced."""
+
+    async def main():
+        async with serving() as (_, client):
+            rid1 = await client.submit("s", '(display "first")', stream=True)
+            async for _ in client.events(rid1):
+                pass
+            rid2 = await client.submit("s", '(display "second")', stream=True)
+            output = [
+                ev["text"]
+                async for ev in client.events(rid2)
+                if ev.get("event") == "output"
+            ]
+            assert "".join(output) == "second"
+
+    run(main())
+
+
 def test_events_requires_stream_submit():
     async def main():
         async with serving() as (_, client):
